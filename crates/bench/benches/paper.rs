@@ -1,0 +1,163 @@
+//! Criterion benchmarks — one per paper table/figure — so every
+//! experiment's cost is measured under a stable harness.
+//!
+//! Corpus sizes are reduced relative to the printable binaries to keep
+//! `cargo bench` wall-time reasonable; the binaries in `src/bin/` run
+//! the full paper-scale experiments.
+
+use bench::{pure_engine_config, run_pure, run_statsym_sized, PAPER_SEED};
+use benchapps::{generate_corpus, CorpusSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use statsym_core::pipeline::StatSym;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn spec(rate: f64) -> CorpusSpec {
+    CorpusSpec {
+        n_correct: 30,
+        n_faulty: 30,
+        sampling_rate: rate,
+        seed: PAPER_SEED,
+    }
+}
+
+/// Table I: program statistics extraction.
+fn bench_table1_program_stats(c: &mut Criterion) {
+    let apps = benchapps::all_apps();
+    c.bench_function("table1/program_stats", |b| {
+        b.iter(|| {
+            for app in &apps {
+                black_box(app.stats());
+            }
+        })
+    });
+}
+
+/// Tables II/III: the statistical analysis module (predicates +
+/// candidate paths) at both sampling rates.
+fn bench_table2_3_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_3/statistical_analysis");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for (label, rate) in [("sampling_100", 1.0), ("sampling_30", 0.3)] {
+        for app in benchapps::all_apps() {
+            let logs = generate_corpus(&app, spec(rate));
+            group.bench_function(format!("{label}/{}", app.name), |b| {
+                let statsym = StatSym::default();
+                b.iter(|| black_box(statsym.analyze(&logs)))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Table IV, guided side: the full StatSym pipeline per app.
+fn bench_table4_statsym(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4/statsym");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for app in benchapps::all_apps() {
+        group.bench_function(app.name, |b| {
+            b.iter(|| black_box(run_statsym_sized(&app, 0.3, PAPER_SEED, 30, 30)))
+        });
+    }
+    group.finish();
+}
+
+/// Table IV, baseline side: pure symbolic execution. Only polymorph
+/// terminates with a find; the other three stop at the memory budget
+/// (the paper's `Failed` rows), which is exactly the cost measured.
+fn bench_table4_pure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4/pure_symex");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+    for app in benchapps::all_apps() {
+        group.bench_function(app.name, |b| {
+            b.iter(|| black_box(run_pure(&app, pure_engine_config())))
+        });
+    }
+    group.finish();
+}
+
+/// Table V / Fig 8: predicate construction and ranking for polymorph.
+fn bench_table5_predicates(c: &mut Criterion) {
+    let app = benchapps::polymorph();
+    let logs = generate_corpus(&app, spec(0.3));
+    let corpus = statsym_core::LogCorpus::build(&logs);
+    c.bench_function("table5/predicate_ranking", |b| {
+        b.iter(|| black_box(statsym_core::PredicateSet::build(&corpus)))
+    });
+}
+
+/// Figure 2: motivating example, guided vs pure.
+fn bench_fig2_motivating(c: &mut Criterion) {
+    let app = benchapps::motivating();
+    let mut group = c.benchmark_group("fig2/motivating");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("pure", |b| {
+        b.iter(|| black_box(run_pure(&app, pure_engine_config())))
+    });
+    group.bench_function("guided", |b| {
+        b.iter(|| black_box(run_statsym_sized(&app, 1.0, PAPER_SEED, 20, 20)))
+    });
+    group.finish();
+}
+
+/// Figure 7 / Figure 9: candidate path construction.
+fn bench_fig7_9_candidates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_9/candidate_paths");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for app in benchapps::all_apps() {
+        let logs = generate_corpus(&app, spec(0.3));
+        let statsym = StatSym::default();
+        group.bench_function(app.name, |b| {
+            b.iter(|| {
+                let analysis = statsym.analyze(&logs);
+                black_box(analysis.n_candidates())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 10: sampling-rate sensitivity for polymorph and CTree.
+fn bench_fig10_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10/sampling_sensitivity");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for app in [benchapps::polymorph(), benchapps::ctree()] {
+        for pct in [20u32, 60, 100] {
+            group.bench_function(format!("{}/{}pct", app.name, pct), |b| {
+                b.iter(|| {
+                    black_box(run_statsym_sized(
+                        &app,
+                        pct as f64 / 100.0,
+                        PAPER_SEED,
+                        30,
+                        30,
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    paper,
+    bench_table1_program_stats,
+    bench_table2_3_analysis,
+    bench_table4_statsym,
+    bench_table4_pure,
+    bench_table5_predicates,
+    bench_fig2_motivating,
+    bench_fig7_9_candidates,
+    bench_fig10_sampling
+);
+criterion_main!(paper);

@@ -1,0 +1,34 @@
+//! Calibration utility: prints pure-vs-guided outcomes for every app so
+//! the scaled budgets can be sanity-checked quickly. Not part of the
+//! paper's tables; see `table4` for the real comparison.
+
+use bench::{pure_engine_config, run_pure, run_statsym_sized, PAPER_SEED};
+
+fn main() {
+    for app in benchapps::all_apps() {
+        let t0 = std::time::Instant::now();
+        let pure = run_pure(&app, pure_engine_config());
+        let pure_t = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let guided = run_statsym_sized(&app, 0.3, PAPER_SEED, 30, 30);
+        let guided_t = t1.elapsed();
+        println!(
+            "{:10} pure: {:?} paths={} peakmem={}KB t={:.2}s | statsym: found={} cand={:?} paths={} t={:.2}s (stat {:.3}s symex {:.3}s)",
+            app.name,
+            match &pure.report.outcome {
+                symex::RunOutcome::Found(_) => "FOUND".to_string(),
+                symex::RunOutcome::Exhausted(r) => format!("FAIL({r})"),
+                symex::RunOutcome::Completed => "COMPLETED".to_string(),
+            },
+            pure.report.stats.paths_explored,
+            pure.report.stats.peak_memory / 1024,
+            pure_t.as_secs_f64(),
+            guided.report.found.is_some(),
+            guided.report.candidate_used,
+            guided.report.total_paths_explored(),
+            guided_t.as_secs_f64(),
+            guided.report.analysis.analysis_time.as_secs_f64(),
+            guided.report.symex_time.as_secs_f64(),
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerates **Figure 10**: sensitivity of the statistical-analysis
+//! and symbolic-execution times to the sampling rate (20%–100%), for
+//! polymorph and CTree.
+
+use bench::{run_statsym, Table, PAPER_SEED};
+
+fn main() {
+    for app in [benchapps::polymorph(), benchapps::ctree()] {
+        let mut table = Table::new(
+            format!("Fig. 10: time breakdown vs sampling rate — {}", app.name),
+            &[
+                "sampling",
+                "stat time(sec)",
+                "symex time(sec)",
+                "paths",
+                "found",
+            ],
+        );
+        for pct in [20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            let rate = pct as f64 / 100.0;
+            let r = run_statsym(&app, rate, PAPER_SEED);
+            table.row(&[
+                format!("{pct}%"),
+                format!("{:.4}", r.report.analysis.analysis_time.as_secs_f64()),
+                format!("{:.4}", r.report.symex_time.as_secs_f64()),
+                r.report.total_paths_explored().to_string(),
+                r.report.found.is_some().to_string(),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,61 @@
+//! Regenerates **Figure 2**: search-space reduction on the motivating
+//! example — pure symbolic execution explores the full branching tree,
+//! statistics-guided execution prunes it to the vulnerable subtree.
+
+use bench::{pure_engine_config, run_pure, PAPER_SEED};
+use benchapps::{generate_corpus, CorpusSpec};
+use statsym_core::pipeline::{StatSym, StatSymConfig};
+use statsym_core::GuidanceConfig;
+
+fn main() {
+    let app = benchapps::motivating();
+    let pure = run_pure(&app, pure_engine_config());
+    // Tight hop threshold: the sample program is tiny, so a small tau is
+    // what makes the trimmed subtrees of Figure 2c visible.
+    let logs = generate_corpus(
+        &app,
+        CorpusSpec {
+            n_correct: 50,
+            n_faulty: 50,
+            sampling_rate: 1.0,
+            seed: PAPER_SEED,
+        },
+    );
+    let statsym = StatSym::new(StatSymConfig {
+        guidance: GuidanceConfig {
+            tau: 1,
+            ..GuidanceConfig::default()
+        },
+        ..StatSymConfig::default()
+    });
+    let report = statsym.run(&app.module, &logs);
+    let guided = bench::ExperimentResult {
+        app: app.name,
+        n_logs: logs.len(),
+        report,
+    };
+
+    println!("Fig. 2: motivating example (paper Figure 2a program)");
+    println!(
+        "  pure symbolic execution : found={} states_created={} paths={}",
+        pure.report.outcome.is_found(),
+        pure.report.stats.states_created,
+        pure.report.stats.paths_explored
+    );
+    let g = &guided.report;
+    let (states, paths): (u64, u64) = g
+        .attempts
+        .iter()
+        .map(|a| (a.stats.states_created, a.stats.paths_explored))
+        .fold((0, 0), |(s, p), (s2, p2)| (s + s2, p + p2));
+    println!(
+        "  statistics-guided        : found={} states_created={} paths={}",
+        g.found.is_some(),
+        states,
+        paths
+    );
+    if let Some(found) = &g.found {
+        println!("  vulnerable input: {:?}", found.inputs.get("sym_m"));
+        println!("  constraints: {:?}", found.rendered_constraints);
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates **Figure 7**: candidate-path length statistics (min /
+//! average / max nodes) and the number of candidate paths per program.
+
+use bench::{Table, PAPER_SEED};
+use benchapps::{generate_corpus, CorpusSpec};
+use statsym_core::pipeline::StatSym;
+
+fn main() {
+    let mut table = Table::new(
+        "Fig. 7: candidate path lengths (30% sampling)",
+        &["Program", "#paths", "Min", "Avg", "Max"],
+    );
+    for app in benchapps::all_apps() {
+        let logs = generate_corpus(
+            &app,
+            CorpusSpec {
+                n_correct: 100,
+                n_faulty: 100,
+                sampling_rate: 0.3,
+                seed: PAPER_SEED,
+            },
+        );
+        let analysis = StatSym::default().analyze(&logs);
+        let (n, stats) = analysis
+            .candidates
+            .as_ref()
+            .map(|c| (c.paths.len(), c.length_stats()))
+            .unwrap_or((0, None));
+        let (min, avg, max) = stats.unwrap_or((0, 0.0, 0));
+        table.row(&[
+            app.name.to_string(),
+            n.to_string(),
+            min.to_string(),
+            format!("{avg:.1}"),
+            max.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,51 @@
+//! Regenerates **Figure 9**: the ranked candidate paths for polymorph,
+//! with the predicates attached to each node.
+
+use bench::PAPER_SEED;
+use benchapps::{generate_corpus, CorpusSpec};
+use statsym_core::pipeline::StatSym;
+
+fn main() {
+    let app = benchapps::polymorph();
+    let logs = generate_corpus(
+        &app,
+        CorpusSpec {
+            n_correct: 100,
+            n_faulty: 100,
+            sampling_rate: 0.3,
+            seed: PAPER_SEED,
+        },
+    );
+    let analysis = StatSym::default().analyze(&logs);
+    println!("Fig. 9: candidate paths for polymorph (top ranked first)");
+    let Some(cands) = &analysis.candidates else {
+        println!("  (no candidates)");
+        return;
+    };
+    println!(
+        "  skeleton ({} nodes, avg score {:.3}): {}",
+        cands.skeleton.len(),
+        cands.skeleton.avg_score,
+        cands
+            .skeleton
+            .nodes
+            .iter()
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    );
+    println!("  detours: {}", cands.detours.len());
+    for (i, path) in cands.paths.iter().enumerate() {
+        println!(
+            "  candidate #{i} (score {:.3}, {} nodes): {}",
+            path.score,
+            path.len(),
+            path.render()
+        );
+        for node in &path.nodes {
+            for p in &node.predicates {
+                println!("      {} @ {}", p.render(), node.loc);
+            }
+        }
+    }
+}

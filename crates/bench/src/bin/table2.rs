@@ -1,0 +1,34 @@
+//! Regenerates **Table II**: number of detours and time breakdown
+//! (statistical analysis vs guided symbolic execution) at 100% sampling.
+
+use bench::{run_statsym, Table, PAPER_SEED};
+
+fn main() {
+    print_breakdown(1.0, "TABLE II: detours and time breakdown, sampling rate 100%");
+}
+
+pub fn print_breakdown(rate: f64, title: &str) {
+    let mut table = Table::new(
+        title,
+        &[
+            "Benchmark",
+            "detours",
+            "candidates",
+            "stat time(sec)",
+            "symex time(sec)",
+            "found",
+        ],
+    );
+    for app in benchapps::all_apps() {
+        let r = run_statsym(&app, rate, PAPER_SEED);
+        table.row(&[
+            app.name.to_string(),
+            r.report.analysis.n_detours().to_string(),
+            r.report.analysis.n_candidates().to_string(),
+            format!("{:.3}", r.report.analysis.analysis_time.as_secs_f64()),
+            format!("{:.3}", r.report.symex_time.as_secs_f64()),
+            r.report.found.is_some().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Table III**: number of detours and time breakdown at
+//! 30% sampling.
+
+use bench::{run_statsym, Table, PAPER_SEED};
+
+fn main() {
+    let rate = 0.3;
+    let mut table = Table::new(
+        "TABLE III: detours and time breakdown, sampling rate 30%",
+        &[
+            "Benchmark",
+            "detours",
+            "candidates",
+            "stat time(sec)",
+            "symex time(sec)",
+            "found",
+        ],
+    );
+    for app in benchapps::all_apps() {
+        let r = run_statsym(&app, rate, PAPER_SEED);
+        table.row(&[
+            app.name.to_string(),
+            r.report.analysis.n_detours().to_string(),
+            r.report.analysis.n_candidates().to_string(),
+            format!("{:.3}", r.report.analysis.analysis_time.as_secs_f64()),
+            format!("{:.3}", r.report.symex_time.as_secs_f64()),
+            r.report.found.is_some().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,50 @@
+//! Regenerates **Table V** (top-10 predicates for polymorph) and the
+//! **Figure 8** listing (instrumented locations and variables).
+
+use bench::{Table, PAPER_SEED};
+use benchapps::{generate_corpus, CorpusSpec};
+use statsym_core::{LogCorpus, PredicateSet};
+use std::collections::BTreeSet;
+
+fn main() {
+    let app = benchapps::polymorph();
+    let logs = generate_corpus(
+        &app,
+        CorpusSpec {
+            n_correct: 100,
+            n_faulty: 100,
+            sampling_rate: 0.3,
+            seed: PAPER_SEED,
+        },
+    );
+    let corpus = LogCorpus::build(&logs);
+
+    // Figure 8: instrumented locations and variables.
+    println!("Fig. 8: Instrumented locations and variables in polymorph");
+    for (i, loc) in corpus.locations.iter().enumerate() {
+        println!("  L{}: {loc}", i + 1);
+    }
+    let vars: BTreeSet<String> = corpus
+        .observations
+        .keys()
+        .map(|(_, var)| var.to_string())
+        .collect();
+    println!("  variables: {}", vars.into_iter().collect::<Vec<_>>().join(", "));
+    println!();
+
+    // Table V: top-10 predicates.
+    let preds = PredicateSet::build(&corpus);
+    let mut table = Table::new(
+        "TABLE V: top 10 predicates for polymorph (30% sampling)",
+        &["No.", "Predicate", "Loc.", "Score"],
+    );
+    for (i, p) in preds.top(10).iter().enumerate() {
+        table.row(&[
+            format!("P{}", i + 1),
+            p.render(),
+            p.loc.to_string(),
+            format!("{:.3}", p.score),
+        ]);
+    }
+    println!("{}", table.render());
+}

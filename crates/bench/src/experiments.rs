@@ -1,0 +1,187 @@
+//! Shared experiment runners used by every table/figure binary.
+
+use benchapps::{generate_corpus, BenchApp, CorpusSpec};
+use statsym_core::pipeline::{StatSym, StatSymConfig, StatSymReport};
+use symex::{Engine, EngineConfig, EngineReport, SchedulerKind};
+use std::time::Duration;
+
+/// Deterministic seed used by all paper experiments.
+pub const PAPER_SEED: u64 = 2017;
+
+/// Default sampling rate for the headline tables (paper Table III/IV use
+/// 30%).
+pub const DEFAULT_SAMPLING: f64 = 0.3;
+
+/// Modeled memory budget for the symbolic engines. The paper's KLEE runs
+/// fail with out-of-memory on a 12 GB machine against full-size
+/// programs; our programs are scaled ~32× down, so the budget scales to
+/// 64 MiB (modeled bytes, tracked by the engine).
+pub const DEFAULT_MEMORY_BUDGET: usize = 64 << 20;
+
+/// Wall-clock cap for the pure baseline (the paper allows KLEE 8 hours;
+/// scaled to keep the full table under a minute per app).
+pub const DEFAULT_PURE_TIME_BUDGET: Duration = Duration::from_secs(120);
+
+/// The StatSym configuration used by the paper experiments.
+pub fn statsym_config() -> StatSymConfig {
+    StatSymConfig {
+        engine: EngineConfig {
+            scheduler: SchedulerKind::Priority,
+            memory_budget: DEFAULT_MEMORY_BUDGET,
+            // The paper gives each candidate path 15 minutes; scaled.
+            time_budget: Some(Duration::from_secs(30)),
+            ..EngineConfig::default()
+        },
+        ..StatSymConfig::default()
+    }
+}
+
+/// The pure-symbolic-execution (KLEE baseline) configuration.
+pub fn pure_engine_config() -> EngineConfig {
+    EngineConfig {
+        scheduler: SchedulerKind::Bfs,
+        memory_budget: DEFAULT_MEMORY_BUDGET,
+        time_budget: Some(DEFAULT_PURE_TIME_BUDGET),
+        ..EngineConfig::default()
+    }
+}
+
+/// A full StatSym run on one app: corpus generation + pipeline.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// The app name.
+    pub app: &'static str,
+    /// Number of logs used.
+    pub n_logs: usize,
+    /// The pipeline report (analysis + guided execution).
+    pub report: StatSymReport,
+}
+
+/// Runs the complete StatSym pipeline on `app` at the given sampling
+/// rate (paper §VII-A: 100 correct + 100 faulty logs).
+pub fn run_statsym(app: &BenchApp, sampling_rate: f64, seed: u64) -> ExperimentResult {
+    run_statsym_sized(app, sampling_rate, seed, 100, 100)
+}
+
+/// [`run_statsym`] with an explicit corpus size (used by quick benches).
+pub fn run_statsym_sized(
+    app: &BenchApp,
+    sampling_rate: f64,
+    seed: u64,
+    n_correct: usize,
+    n_faulty: usize,
+) -> ExperimentResult {
+    let logs = generate_corpus(
+        app,
+        CorpusSpec {
+            n_correct,
+            n_faulty,
+            sampling_rate,
+            seed,
+        },
+    );
+    let statsym = StatSym::new(statsym_config());
+    let analysis = statsym.analyze(&logs);
+    let report = run_guided(app, &statsym, analysis);
+    ExperimentResult {
+        app: app.name,
+        n_logs: logs.len(),
+        report,
+    }
+}
+
+/// Runs guided symbolic execution from a precomputed analysis, applying
+/// the app's pinned option inputs to every candidate attempt.
+fn run_guided(
+    app: &BenchApp,
+    statsym: &StatSym,
+    analysis: statsym_core::pipeline::AnalysisReport,
+) -> StatSymReport {
+    // Reimplements StatSym::run_with_analysis with input pinning: the
+    // paper configures required program options for both engines.
+    use statsym_core::pipeline::CandidateAttempt;
+    use statsym_core::GuidedHook;
+    let start = std::time::Instant::now();
+    let mut attempts: Vec<CandidateAttempt> = Vec::new();
+    let mut found = None;
+    let mut candidate_used = None;
+    let paths = analysis
+        .candidates
+        .as_ref()
+        .map(|c| c.paths.clone())
+        .unwrap_or_default();
+    for (index, path) in paths.into_iter().enumerate() {
+        let path_len = path.len();
+        let hook = GuidedHook::new(path, statsym.config().guidance);
+        let mut engine = Engine::with_hook(&app.module, statsym.config().engine, Box::new(hook));
+        for (name, value) in &app.pins {
+            engine.pin_input(name.clone(), value.clone());
+        }
+        let report = engine.run();
+        let hit = report.outcome.is_found();
+        attempts.push(CandidateAttempt {
+            index,
+            path_len,
+            found: hit,
+            wall_time: report.wall_time,
+            stats: report.stats,
+        });
+        if let symex::RunOutcome::Found(f) = report.outcome {
+            found = Some(*f);
+            candidate_used = Some(index);
+            break;
+        }
+    }
+    StatSymReport {
+        analysis,
+        attempts,
+        found,
+        candidate_used,
+        symex_time: start.elapsed(),
+    }
+}
+
+/// A pure symbolic execution (KLEE baseline) run.
+#[derive(Debug)]
+pub struct PureResult {
+    /// The app name.
+    pub app: &'static str,
+    /// The engine report.
+    pub report: EngineReport,
+}
+
+/// Runs the unguided baseline on `app` with the same pinned options.
+pub fn run_pure(app: &BenchApp, config: EngineConfig) -> PureResult {
+    let mut engine = Engine::new(&app.module, config);
+    for (name, value) in &app.pins {
+        engine.pin_input(name.clone(), value.clone());
+    }
+    PureResult {
+        app: app.name,
+        report: engine.run(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn motivating_example_pure_vs_guided() {
+        // Figure 2: guided execution needs far fewer states than pure on
+        // the paper's sample program.
+        let app = benchapps::motivating();
+        let pure = run_pure(&app, pure_engine_config());
+        assert!(pure.report.outcome.is_found(), "{:?}", pure.report.outcome);
+
+        let guided = run_statsym_sized(&app, 1.0, PAPER_SEED, 20, 20);
+        let found = guided.report.found.as_ref().expect("guided finds fault");
+        assert_eq!(found.fault.func, "vul_func");
+        assert!(
+            guided.report.total_paths_explored() <= pure.report.stats.paths_explored,
+            "guided {} <= pure {}",
+            guided.report.total_paths_explored(),
+            pure.report.stats.paths_explored
+        );
+    }
+}

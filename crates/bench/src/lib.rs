@@ -1,0 +1,19 @@
+//! Experiment harness: runs the paper's evaluation (Tables I–V and
+//! Figures 2, 7, 9, 10) against the `benchapps` targets and formats the
+//! results in the paper's layout.
+//!
+//! Every binary in `src/bin/` regenerates exactly one table or figure;
+//! `benches/paper.rs` wraps the same experiments in Criterion for timing
+//! stability. Absolute times differ from the paper's 2008-era testbed —
+//! the *shape* (who wins, who fails, which module dominates) is the
+//! reproduction target; see EXPERIMENTS.md.
+
+pub mod experiments;
+pub mod format;
+
+pub use experiments::{
+    pure_engine_config, run_pure, run_statsym, run_statsym_sized, statsym_config, ExperimentResult,
+    PureResult,
+    DEFAULT_MEMORY_BUDGET, DEFAULT_PURE_TIME_BUDGET, DEFAULT_SAMPLING, PAPER_SEED,
+};
+pub use format::Table;

@@ -1,0 +1,811 @@
+//! The benchmark applications and their input-distribution models.
+
+use concrete::{InputMap, InputValue};
+use minic::{program_stats, Program, ProgramStats};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use sir::Module;
+
+/// One benchmark application: MiniC source, lowered module, the inputs
+/// pinned concrete during symbolic execution (the paper's "semantically
+/// reasonable program input options", §VII-A), and a random input
+/// generator emulating user behavior.
+pub struct BenchApp {
+    /// Short name (`polymorph`, `ctree`, `grep`, `thttpd`, `motivating`).
+    pub name: &'static str,
+    /// One-line description of program and vulnerability.
+    pub description: &'static str,
+    /// MiniC source text.
+    pub source: &'static str,
+    /// Parsed program.
+    pub program: Program,
+    /// Lowered SIR module.
+    pub module: Module,
+    /// Option-like inputs pinned concrete for symbolic execution (both
+    /// the pure baseline and StatSym receive the same pins).
+    pub pins: InputMap,
+    /// Generates one random input set; `want_faulty` biases toward the
+    /// vulnerability-triggering region.
+    pub gen_inputs: fn(&mut StdRng, bool) -> InputMap,
+}
+
+impl BenchApp {
+    fn build(
+        name: &'static str,
+        description: &'static str,
+        source: &'static str,
+        pins: InputMap,
+        gen_inputs: fn(&mut StdRng, bool) -> InputMap,
+    ) -> BenchApp {
+        let program = minic::parse_program(source)
+            .unwrap_or_else(|e| panic!("benchmark `{name}` does not parse: {e}"));
+        let module = sir::lower(&program)
+            .unwrap_or_else(|e| panic!("benchmark `{name}` does not lower: {e}"));
+        sir::verify(&module).unwrap_or_else(|e| panic!("benchmark `{name}` invalid SIR: {e}"));
+        BenchApp {
+            name,
+            description,
+            source,
+            program,
+            module,
+            pins,
+            gen_inputs,
+        }
+    }
+
+    /// Table I program statistics for this application.
+    pub fn stats(&self) -> ProgramStats {
+        program_stats(&self.program)
+    }
+}
+
+fn rand_name(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.random_range(b'a'..=b'z')).collect()
+}
+
+// ---------------------------------------------------------------------
+// polymorph — BugBench file-name conversion utility.
+// Vulnerability: unchecked copy of the user-provided file name into the
+// fixed `newName` stack buffer in convert_fileName() (512 bytes in the
+// original, scaled to 12 here). Fault triggers for names of length >= 12.
+// ---------------------------------------------------------------------
+
+const POLYMORPH_SRC: &str = r#"
+// polymorph: converts file names to lowercase ("unixize") — BugBench.
+global track: int = 0;
+global clean: int = 0;
+global hidden: int = 0;
+global hidden_file: int = 0;
+global init_file: int = 0;
+global wd: str = "/home/user/files";
+
+fn is_fileHidden(suspect: str) -> bool {
+    track = track + 1;
+    return char_at(suspect, 0) == '.';
+}
+
+fn does_nameHaveUppers(suspect: str) -> bool {
+    track = track + 1;
+    let c: int = char_at(suspect, 0);
+    if (c >= 65) {
+        if (c <= 90) { return true; }
+    }
+    return false;
+}
+
+fn does_newnameExist(suspect: str) -> bool {
+    track = track + 1;
+    return char_at(suspect, 0) == 0;
+}
+
+fn convert_fileName(original: str) {
+    let newName: buf[12];
+    let i: int = 0;
+    while (char_at(original, i) != 0) {
+        let c: int = char_at(original, i);
+        if (c >= 97) {
+            buf_set(newName, i, c);          // already lowercase
+        } else {
+            buf_set(newName, i, c + 32);     // tolower
+        }
+        i = i + 1;
+    }
+    buf_set(newName, i, 0);                  // NUL: overflows at len >= 12
+    clean = clean + 1;
+}
+
+fn grok_commandLine(cmd: str) -> int {
+    if (char_at(cmd, 0) != '-') { return 0; }
+    let opt: int = char_at(cmd, 1);
+    if (opt == 'h') { hidden = 1; return 1; }
+    if (opt == 'f') { return 2; }
+    return 0;
+}
+
+fn main() {
+    let cmd: str = input_str("opt", 4);
+    let target: str = input_str("file", 20);
+    let mode: int = grok_commandLine(cmd);
+    if (mode == 0) { print(mode); exit(1); }
+    init_file = 1;
+    if (is_fileHidden(target)) {
+        hidden_file = 1;
+        if (hidden == 0) { print(hidden_file); exit(0); }
+    }
+    if (does_nameHaveUppers(target)) { track = track + 1; }
+    if (does_newnameExist(target)) { print(track); exit(0); }
+    convert_fileName(target);
+    print(clean);
+}
+"#;
+
+fn polymorph_inputs(rng: &mut StdRng, want_faulty: bool) -> InputMap {
+    let opt = if want_faulty || rng.random_bool(0.9) {
+        b"-f".to_vec()
+    } else if rng.random_bool(0.5) {
+        b"-h".to_vec()
+    } else {
+        b"-x".to_vec() // rejected option: early exit, correct run
+    };
+    let len = if want_faulty {
+        rng.random_range(12..=20)
+    } else {
+        rng.random_range(1..=11)
+    };
+    let file = rand_name(rng, len);
+    [
+        ("opt".to_string(), InputValue::Str(opt)),
+        ("file".to_string(), InputValue::Str(file)),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// The polymorph benchmark.
+pub fn polymorph() -> BenchApp {
+    BenchApp::build(
+        "polymorph",
+        "file-name conversion utility; stack buffer overrun in convert_fileName (BugBench)",
+        POLYMORPH_SRC,
+        [("opt".to_string(), InputValue::Str(b"-f".to_vec()))]
+            .into_iter()
+            .collect(),
+        polymorph_inputs,
+    )
+}
+
+// ---------------------------------------------------------------------
+// CTree — STONESOUP directory-tree visualizer.
+// Vulnerability: a tainted environment variable copied into the fixed
+// `linedraw` stack buffer in initlinedraw() (64 bytes in the original,
+// scaled to 16). Fault triggers for taint length >= 16.
+// ---------------------------------------------------------------------
+
+const CTREE_SRC: &str = r#"
+// ctree: displays the file system hierarchy — STONESOUP test suite.
+global lines_drawn: int = 0;
+global dirs_seen: int = 0;
+global files_seen: int = 0;
+global max_depth: int = 0;
+global quiet: int = 0;
+global draw_ascii: int = 0;
+
+fn parse_options(opts: str) -> int {
+    let i: int = 0;
+    let ok: int = 1;
+    while (char_at(opts, i) != 0) {
+        let c: int = char_at(opts, i);
+        if (c == 'n') { draw_ascii = 1; }
+        else if (c == 'q') { quiet = 1; }
+        else { ok = 0; }
+        i = i + 1;
+    }
+    return ok;
+}
+
+fn print_entry(name_len: int, depth: int) {
+    files_seen = files_seen + 1;
+    if (depth > max_depth) { max_depth = depth; }
+    lines_drawn = lines_drawn + 1;
+    if (quiet == 0) { print(name_len, depth); }
+}
+
+fn walk_level(entries: int, depth: int) {
+    let i: int = 0;
+    while (i < entries) {
+        print_entry(i + 3, depth);
+        i = i + 1;
+    }
+    dirs_seen = dirs_seen + 1;
+}
+
+fn stonesoup_read_taint() -> str {
+    let tainted: str = input_str("stonesoup_env", 24);
+    return tainted;
+}
+
+fn initlinedraw(drawing: str) {
+    let linedraw: buf[16];
+    let i: int = 0;
+    while (char_at(drawing, i) != 0) {
+        let c: int = char_at(drawing, i);
+        if (c < 32) { buf_set(linedraw, i, '?'); }
+        else if (c > 126) { buf_set(linedraw, i, '#'); }
+        else { buf_set(linedraw, i, c); }
+        i = i + 1;
+        lines_drawn = lines_drawn + 1;
+    }
+    buf_set(linedraw, i, 0);                 // overflows at len >= 16
+}
+
+fn main() {
+    let opts: str = input_str("opts", 8);
+    let entries: int = input_int("entries");
+    if (parse_options(opts) == 0) { print(0); exit(1); }
+    let taint: str = stonesoup_read_taint();
+    initlinedraw(taint);
+    let d: int = 0;
+    while (d < 3) {
+        walk_level(entries, d);
+        d = d + 1;
+    }
+    print(lines_drawn, dirs_seen, files_seen);
+}
+"#;
+
+fn ctree_inputs(rng: &mut StdRng, want_faulty: bool) -> InputMap {
+    let opts: Vec<u8> = match rng.random_range(0..3) {
+        0 => b"nq".to_vec(),
+        1 => b"n".to_vec(),
+        _ => b"q".to_vec(),
+    };
+    let len = if want_faulty {
+        rng.random_range(16..=24)
+    } else {
+        rng.random_range(0..=15)
+    };
+    let taint = rand_name(rng, len);
+    [
+        ("opts".to_string(), InputValue::Str(opts)),
+        ("entries".to_string(), InputValue::Int(rng.random_range(1..=8))),
+        ("stonesoup_env".to_string(), InputValue::Str(taint)),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// The CTree benchmark.
+pub fn ctree() -> BenchApp {
+    BenchApp::build(
+        "ctree",
+        "directory tree visualizer; tainted env var overflows linedraw buffer in initlinedraw (STONESOUP)",
+        CTREE_SRC,
+        [
+            ("opts".to_string(), InputValue::Str(b"nq".to_vec())),
+            ("entries".to_string(), InputValue::Int(2)),
+        ]
+        .into_iter()
+        .collect(),
+        ctree_inputs,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Grep — STONESOUP plain-text search.
+// Vulnerability: a tainted environment buffer upper-cased into a fixed
+// 28-byte stack buffer in stonesoup_handle_taint(). Fault triggers for
+// taint length >= 28.
+// ---------------------------------------------------------------------
+
+const GREP_SRC: &str = r#"
+// grep: command-line plain-text search — STONESOUP test suite.
+global lines_matched: int = 0;
+global chars_scanned: int = 0;
+global invert: int = 0;
+global count_only: int = 0;
+global taint_len: int = 0;
+
+fn parse_flags(flags: str) {
+    let i: int = 0;
+    while (char_at(flags, i) != 0) {
+        let c: int = char_at(flags, i);
+        if (c == 'v') { invert = 1; }
+        if (c == 'c') { count_only = 1; }
+        i = i + 1;
+    }
+}
+
+fn match_here(line: str, li: int, pattern: str, pi: int) -> bool {
+    if (char_at(pattern, pi) == 0) { return true; }
+    if (char_at(line, li) == 0) { return false; }
+    chars_scanned = chars_scanned + 1;
+    if (char_at(line, li) == char_at(pattern, pi)) {
+        return match_here(line, li + 1, pattern, pi + 1);
+    }
+    return false;
+}
+
+fn match_line(line: str, pattern: str) -> bool {
+    let i: int = 0;
+    while (char_at(line, i) != 0) {
+        if (match_here(line, i, pattern, 0)) { return true; }
+        i = i + 1;
+    }
+    return false;
+}
+
+fn scan_input(pattern: str, line: str, reps: int) {
+    let r: int = 0;
+    while (r < reps) {
+        let hit: bool = match_line(line, pattern);
+        if (hit) {
+            if (invert == 0) { lines_matched = lines_matched + 1; }
+        } else {
+            if (invert == 1) { lines_matched = lines_matched + 1; }
+        }
+        r = r + 1;
+    }
+}
+
+fn validate_env(tainted: str) -> int {
+    // Reject env values with a leading NUL; depth of validation varies.
+    if (char_at(tainted, 0) == 0) { return 0; }
+    return 1;
+}
+
+fn audit_taint(tainted: str) {
+    chars_scanned = chars_scanned + 1;
+    print(chars_scanned);
+}
+
+fn normalize_env(tainted: str) -> int {
+    if (char_at(tainted, 0) >= 'n') { return 1; }
+    return 0;
+}
+
+fn stonesoup_read_taint() -> str {
+    let buff: str = input_str("stonesoup_buffer", 40);
+    // Validation helpers run only for some env shapes, so they appear in
+    // only part of the trace corpus (detour sources for the analysis).
+    if (char_at(buff, 0) >= 'g') {
+        if (validate_env(buff) == 1) {
+            if (char_at(buff, 1) >= 'p') { audit_taint(buff); }
+        }
+    }
+    if (normalize_env(buff) == 1) {
+        if (char_at(buff, 2) >= 't') { audit_taint(buff); }
+    }
+    return buff;
+}
+
+fn stonesoup_handle_taint(buff: str) {
+    let stack_buffer: buf[28];
+    let i: int = 0;
+    while (char_at(buff, i) != 0) {
+        let c: int = char_at(buff, i);
+        if (c >= 97) {
+            buf_set(stack_buffer, i, c - 32); // toupper
+        } else {
+            buf_set(stack_buffer, i, c);
+        }
+        i = i + 1;
+    }
+    buf_set(stack_buffer, i, 0);             // overflows at len >= 28
+    taint_len = i;
+}
+
+fn main() {
+    let flags: str = input_str("flags", 6);
+    let pattern: str = input_str("pattern", 8);
+    let line1: str = input_str("line1", 24);
+    let line2: str = input_str("line2", 24);
+    let reps: int = input_int("reps");
+    parse_flags(flags);
+    scan_input(pattern, line1, reps);
+    scan_input(pattern, line2, reps);
+    let t: str = stonesoup_read_taint();
+    stonesoup_handle_taint(t);
+    print(lines_matched, chars_scanned, taint_len);
+}
+"#;
+
+fn grep_inputs(rng: &mut StdRng, want_faulty: bool) -> InputMap {
+    let flags: Vec<u8> = match rng.random_range(0..3) {
+        0 => b"v".to_vec(),
+        1 => b"c".to_vec(),
+        _ => Vec::new(),
+    };
+    let pat_len = rng.random_range(1..=3);
+    let pattern = rand_name(rng, pat_len);
+    let l1 = rng.random_range(10..=24);
+    let line1 = rand_name(rng, l1);
+    let l2 = rng.random_range(10..=24);
+    let line2 = rand_name(rng, l2);
+    let len = if want_faulty {
+        rng.random_range(28..=40)
+    } else {
+        rng.random_range(0..=27)
+    };
+    let taint = rand_name(rng, len);
+    [
+        ("flags".to_string(), InputValue::Str(flags)),
+        ("pattern".to_string(), InputValue::Str(pattern)),
+        ("line1".to_string(), InputValue::Str(line1)),
+        ("line2".to_string(), InputValue::Str(line2)),
+        ("reps".to_string(), InputValue::Int(rng.random_range(10..=40))),
+        ("stonesoup_buffer".to_string(), InputValue::Str(taint)),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// The Grep benchmark.
+pub fn grep() -> BenchApp {
+    BenchApp::build(
+        "grep",
+        "plain-text search; tainted env buffer overflows stack_buffer in stonesoup_handle_taint (STONESOUP)",
+        GREP_SRC,
+        [
+            ("flags".to_string(), InputValue::Str(b"c".to_vec())),
+            ("pattern".to_string(), InputValue::Str(b"ab".to_vec())),
+            ("line1".to_string(), InputValue::Str(b"zzabzz".to_vec())),
+            ("line2".to_string(), InputValue::Str(b"qqqq".to_vec())),
+            ("reps".to_string(), InputValue::Int(1)),
+        ]
+        .into_iter()
+        .collect(),
+        grep_inputs,
+    )
+}
+
+// ---------------------------------------------------------------------
+// thttpd — defang() buffer overflow (CVE-2003-0899).
+// Vulnerability: defang() expands '<' and '>' to "&lt;"/"&gt;" while
+// copying the request string into a fixed buffer (scaled to 24 bytes);
+// enough brackets overflow it.
+// ---------------------------------------------------------------------
+
+const THTTPD_SRC: &str = r#"
+// thttpd: tiny HTTP server — defang() overflow, CVE-2003-0899 (v2.25b).
+global requests_served: int = 0;
+global bytes_out: int = 0;
+global status: int = 0;
+global port: int = 8080;
+global keepalive: int = 0;
+
+fn parse_method(req: str) -> int {
+    if (char_at(req, 0) != 'G') { return 0; }
+    if (char_at(req, 1) != 'E') { return 0; }
+    if (char_at(req, 2) != 'T') { return 0; }
+    if (char_at(req, 3) != ' ') { return 0; }
+    return 1;
+}
+
+fn read_header(idx: int) -> int {
+    bytes_out = bytes_out + 8;
+    return idx + 1;
+}
+
+fn count_headers(n: int) -> int {
+    let i: int = 0;
+    while (i < n) {
+        i = read_header(i);
+    }
+    return i;
+}
+
+fn de_dotdot(path: str) -> int {
+    // Reject a leading "/.." (bounded scan, as in the original).
+    if (char_at(path, 4) == '/') {
+        if (char_at(path, 5) == '.') {
+            if (char_at(path, 6) == '.') { return 1; }
+        }
+    }
+    return 0;
+}
+
+fn defang(url: str) {
+    let dfstr: buf[100];
+    let i: int = 0;
+    let o: int = 0;
+    while (char_at(url, i) != 0) {
+        let c: int = char_at(url, i);
+        if (c == '<') {
+            buf_set(dfstr, o, '&');
+            buf_set(dfstr, o + 1, 'l');
+            buf_set(dfstr, o + 2, 't');
+            buf_set(dfstr, o + 3, ';');
+            o = o + 4;
+        } else if (c == '>') {
+            buf_set(dfstr, o, '&');
+            buf_set(dfstr, o + 1, 'g');
+            buf_set(dfstr, o + 2, 't');
+            buf_set(dfstr, o + 3, ';');
+            o = o + 4;
+        } else {
+            buf_set(dfstr, o, c);
+            o = o + 1;
+        }
+        i = i + 1;
+    }
+    buf_set(dfstr, o, 0);                    // overflows once o >= 100
+    bytes_out = bytes_out + o;
+}
+
+fn send_response(code: int) {
+    status = code;
+    requests_served = requests_served + 1;
+}
+
+fn log_referer(req: str) {
+    bytes_out = bytes_out + 4;
+    print(bytes_out);
+}
+
+fn check_auth(req: str) -> int {
+    if (char_at(req, 5) >= 'a') { return 1; }
+    return 0;
+}
+
+fn expand_filename(req: str) -> int {
+    if (char_at(req, 5) == '<') { return 1; }
+    return 0;
+}
+
+fn handle_request(req: str, nheaders: int) {
+    if (parse_method(req) == 0) { send_response(400); return; }
+    let h: int = count_headers(nheaders);
+    if (de_dotdot(req) == 1) { send_response(403); return; }
+    // Optional processing stages, taken only for some request shapes
+    // (detour sources for the statistical analysis).
+    if (nheaders > 15) { log_referer(req); }
+    if (check_auth(req) == 1) {
+        if (nheaders > 8) { log_referer(req); }
+    }
+    if (expand_filename(req) == 1) { bytes_out = bytes_out + 1; }
+    defang(req);
+    send_response(200);
+    print(h);
+}
+
+fn main() {
+    let req: str = input_str("request", 128);
+    let nheaders: int = input_int("nheaders");
+    handle_request(req, nheaders);
+    print(requests_served, bytes_out, status);
+}
+"#;
+
+fn thttpd_inputs(rng: &mut StdRng, want_faulty: bool) -> InputMap {
+    let mut req = b"GET /".to_vec();
+    if want_faulty {
+        // Long request with enough angle brackets that the "&lt;"/"&gt;"
+        // expansion overflows defang's 100-byte output buffer.
+        let extra = rng.random_range(100..=117);
+        for _ in 0..extra {
+            if rng.random_bool(0.4) {
+                req.push(if rng.random_bool(0.5) { b'<' } else { b'>' });
+            } else {
+                req.push(rng.random_range(b'a'..=b'z'));
+            }
+        }
+        // Guarantee expansion pressure: at least 26 brackets.
+        for i in 0..26 {
+            req[6 + i * 3] = b'<';
+        }
+    } else {
+        let extra = rng.random_range(0..=85);
+        for _ in 0..extra {
+            req.push(rng.random_range(b'a'..=b'z'));
+        }
+    }
+    [
+        ("request".to_string(), InputValue::Str(req)),
+        ("nheaders".to_string(), InputValue::Int(rng.random_range(5..=30))),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// The thttpd benchmark.
+pub fn thttpd() -> BenchApp {
+    BenchApp::build(
+        "thttpd",
+        "tiny web server; '<'/'>' expansion in defang() overflows dfstr (CVE-2003-0899)",
+        THTTPD_SRC,
+        [("nheaders".to_string(), InputValue::Int(2))]
+            .into_iter()
+            .collect(),
+        thttpd_inputs,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Motivating example — paper Figure 2a.
+// ---------------------------------------------------------------------
+
+const MOTIVATING_SRC: &str = r#"
+// The paper's Figure 2a sample program. The `//...` block the paper
+// elides in the x >= 1000 branch is materialized as bookkeeping work so
+// the subtree that statistics-guided search trims (Figure 2b, the
+// subtree under node 9) actually exists.
+global audited: int = 0;
+
+fn audit(step: int) -> int {
+    audited = audited + step;
+    return audited;
+}
+
+fn vul_func(a: int) {
+    if (a >= 3) {
+        assert(false);
+    }
+}
+
+fn f1(x: int) {
+    if (x >= 1000 || x < 0) {
+        let j: int = 0;
+        while (j < 6) {
+            if (x > 1000 + j) { print(audit(j)); }
+            j = j + 1;
+        }
+        print(x);
+    } else {
+        let i: int = 0;
+        while (i < x) {
+            vul_func(i);
+            i = i + 1;
+        }
+        print(i);
+    }
+}
+
+fn main() {
+    let m: int = input_int("sym_m");
+    f1(m);
+}
+"#;
+
+fn motivating_inputs(rng: &mut StdRng, want_faulty: bool) -> InputMap {
+    let m = if want_faulty {
+        rng.random_range(4..1000)
+    } else {
+        // Correct regions: small loop counts, negatives, or >= 1000.
+        match rng.random_range(0..3) {
+            0 => rng.random_range(0..=3),
+            1 => rng.random_range(-100..0),
+            _ => rng.random_range(1000..2000),
+        }
+    };
+    [("sym_m".to_string(), InputValue::Int(m))]
+        .into_iter()
+        .collect()
+}
+
+/// The Figure 2a motivating example.
+pub fn motivating() -> BenchApp {
+    BenchApp::build(
+        "motivating",
+        "paper Figure 2a: assertion guarded by a loop bound on a symbolic integer",
+        MOTIVATING_SRC,
+        InputMap::new(),
+        motivating_inputs,
+    )
+}
+
+/// The four paper applications, in Table order.
+pub fn all_apps() -> Vec<BenchApp> {
+    vec![polymorph(), ctree(), thttpd(), grep()]
+}
+
+/// Looks up an application (including `motivating`) by name.
+pub fn by_name(name: &str) -> Option<BenchApp> {
+    match name {
+        "polymorph" => Some(polymorph()),
+        "ctree" => Some(ctree()),
+        "grep" => Some(grep()),
+        "thttpd" => Some(thttpd()),
+        "motivating" => Some(motivating()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concrete::{Vm, VmConfig};
+    use rand::SeedableRng;
+
+    fn check_app_verdicts(app: &BenchApp) {
+        let vm = Vm::new(&app.module, VmConfig::default());
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut faulty_ok = 0;
+        let mut correct_ok = 0;
+        for i in 0..40 {
+            let want_faulty = i % 2 == 0;
+            let inputs = (app.gen_inputs)(&mut rng, want_faulty);
+            let run = vm.run(&inputs).unwrap();
+            if want_faulty && run.outcome.is_fault() {
+                faulty_ok += 1;
+            }
+            if !want_faulty && run.outcome.is_success() {
+                correct_ok += 1;
+            }
+        }
+        // The generators are biased, not exact; require a strong majority.
+        assert!(faulty_ok >= 18, "{}: only {faulty_ok}/20 faulty", app.name);
+        assert!(correct_ok >= 18, "{}: only {correct_ok}/20 correct", app.name);
+    }
+
+    #[test]
+    fn polymorph_workload_matches_verdicts() {
+        check_app_verdicts(&polymorph());
+    }
+
+    #[test]
+    fn ctree_workload_matches_verdicts() {
+        check_app_verdicts(&ctree());
+    }
+
+    #[test]
+    fn grep_workload_matches_verdicts() {
+        check_app_verdicts(&grep());
+    }
+
+    #[test]
+    fn thttpd_workload_matches_verdicts() {
+        check_app_verdicts(&thttpd());
+    }
+
+    #[test]
+    fn motivating_workload_matches_verdicts() {
+        check_app_verdicts(&motivating());
+    }
+
+    #[test]
+    fn fault_functions_match_the_paper() {
+        let cases = [
+            ("polymorph", "convert_fileName"),
+            ("ctree", "initlinedraw"),
+            ("grep", "stonesoup_handle_taint"),
+            ("thttpd", "defang"),
+            ("motivating", "vul_func"),
+        ];
+        let mut rng = StdRng::seed_from_u64(7);
+        for (name, expected_func) in cases {
+            let app = by_name(name).unwrap();
+            let vm = Vm::new(&app.module, VmConfig::default());
+            let inputs = (app.gen_inputs)(&mut rng, true);
+            let run = vm.run(&inputs).unwrap();
+            let fault = run
+                .outcome
+                .fault()
+                .unwrap_or_else(|| panic!("{name}: no fault"));
+            assert_eq!(fault.func, expected_func, "{name}");
+        }
+    }
+
+    #[test]
+    fn sloc_ordering_mirrors_table_i() {
+        // Paper Table I: polymorph (506) < CTree (3011) < Grep (6660) <
+        // thttpd (7939). Our scaled programs preserve polymorph as the
+        // smallest; the server (thttpd) and grep are the largest.
+        let p = polymorph().stats().sloc;
+        let c = ctree().stats().sloc;
+        let g = grep().stats().sloc;
+        let t = thttpd().stats().sloc;
+        assert!(p < c, "polymorph {p} < ctree {c}");
+        assert!(p < g && p < t);
+        assert!(g > c && t > c);
+    }
+
+    #[test]
+    fn registry_is_complete() {
+        assert_eq!(all_apps().len(), 4);
+        assert!(by_name("nope").is_none());
+        for app in all_apps() {
+            assert!(!app.description.is_empty());
+            assert!(app.stats().functions >= 4);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Log-corpus generation: emulates the paper's collection of correct
+//! and faulty execution logs from randomly generated inputs (§VII-A).
+
+use crate::apps::BenchApp;
+use concrete::{run_logged, ExecutionLog, Verdict};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How many logs to collect and how they are sampled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusSpec {
+    /// Number of correct-execution logs (the paper uses 100).
+    pub n_correct: usize,
+    /// Number of faulty-execution logs (the paper uses 100).
+    pub n_faulty: usize,
+    /// Per-record sampling rate of the program monitor.
+    pub sampling_rate: f64,
+    /// RNG seed for input generation and sampling.
+    pub seed: u64,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        CorpusSpec {
+            n_correct: 100,
+            n_faulty: 100,
+            sampling_rate: 0.3,
+            seed: 2017,
+        }
+    }
+}
+
+/// Runs `app` under the program monitor until the requested numbers of
+/// correct and faulty logs are collected.
+///
+/// # Panics
+///
+/// Panics if the app's input generator cannot produce the requested run
+/// mix within a generous attempt budget (a bug in the workload model,
+/// caught by `benchapps` tests).
+pub fn generate_corpus(app: &BenchApp, spec: CorpusSpec) -> Vec<ExecutionLog> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut logs = Vec::with_capacity(spec.n_correct + spec.n_faulty);
+    let mut n_correct = 0;
+    let mut n_faulty = 0;
+    let mut attempt: u64 = 0;
+    let max_attempts = ((spec.n_correct + spec.n_faulty) as u64) * 50 + 1000;
+
+    while n_correct < spec.n_correct || n_faulty < spec.n_faulty {
+        attempt += 1;
+        assert!(
+            attempt <= max_attempts,
+            "workload for `{}` cannot reach {}+{} runs",
+            app.name,
+            spec.n_correct,
+            spec.n_faulty
+        );
+        let want_faulty = n_faulty < spec.n_faulty && (n_correct >= spec.n_correct || attempt.is_multiple_of(2));
+        let inputs = (app.gen_inputs)(&mut rng, want_faulty);
+        let run = run_logged(
+            &app.module,
+            &inputs,
+            spec.sampling_rate,
+            spec.seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+        match run.log.verdict {
+            Verdict::Correct if n_correct < spec.n_correct => {
+                n_correct += 1;
+                logs.push(run.log);
+            }
+            Verdict::Faulty if n_faulty < spec.n_faulty => {
+                n_faulty += 1;
+                logs.push(run.log);
+            }
+            _ => {}
+        }
+    }
+    logs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps;
+
+    #[test]
+    fn generates_requested_mix() {
+        let app = apps::polymorph();
+        let spec = CorpusSpec {
+            n_correct: 10,
+            n_faulty: 10,
+            sampling_rate: 1.0,
+            seed: 5,
+        };
+        let logs = generate_corpus(&app, spec);
+        assert_eq!(logs.len(), 20);
+        assert_eq!(logs.iter().filter(|l| l.is_faulty()).count(), 10);
+    }
+
+    #[test]
+    fn partial_sampling_thins_records() {
+        let app = apps::ctree();
+        let full = generate_corpus(
+            &app,
+            CorpusSpec {
+                n_correct: 5,
+                n_faulty: 5,
+                sampling_rate: 1.0,
+                seed: 9,
+            },
+        );
+        let partial = generate_corpus(
+            &app,
+            CorpusSpec {
+                n_correct: 5,
+                n_faulty: 5,
+                sampling_rate: 0.3,
+                seed: 9,
+            },
+        );
+        let count = |logs: &[ExecutionLog]| logs.iter().map(|l| l.records.len()).sum::<usize>();
+        assert!(count(&partial) < count(&full));
+    }
+
+    #[test]
+    fn corpus_is_deterministic_per_seed() {
+        let app = apps::thttpd();
+        let spec = CorpusSpec {
+            n_correct: 5,
+            n_faulty: 5,
+            sampling_rate: 0.5,
+            seed: 33,
+        };
+        let a = generate_corpus(&app, spec);
+        let b = generate_corpus(&app, spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn log_volume_ordering_matches_analysis_cost_shape() {
+        // The paper's Table II/III: grep has the largest logs (statistical
+        // analysis dominates), polymorph the smallest.
+        let spec = CorpusSpec {
+            n_correct: 10,
+            n_faulty: 10,
+            sampling_rate: 1.0,
+            seed: 11,
+        };
+        let vol = |app: &BenchApp| {
+            generate_corpus(app, spec)
+                .iter()
+                .map(|l| l.records.len())
+                .sum::<usize>()
+        };
+        let p = vol(&apps::polymorph());
+        let g = vol(&apps::grep());
+        let c = vol(&apps::ctree());
+        let t = vol(&apps::thttpd());
+        assert!(g > t && t > p, "grep {g} > thttpd {t} > polymorph {p}");
+        assert!(g > c, "grep {g} > ctree {c}");
+    }
+}

@@ -1,0 +1,40 @@
+//! The paper's four evaluation targets — polymorph, CTree, Grep, and
+//! thttpd — re-implemented in MiniC, plus the motivating example of
+//! Figure 2a.
+//!
+//! # Substitution note (see DESIGN.md)
+//!
+//! The original programs are real C applications (506–7,939 SLOC). Each
+//! re-implementation preserves the properties the paper's evaluation
+//! depends on, at a scale where experiments run in seconds rather than
+//! hours:
+//!
+//! * the *documented vulnerability* and its fault/failure structure
+//!   (stack-buffer overflow reached through an unchecked copy/expansion
+//!   loop over an attacker-controlled string);
+//! * the *call-graph shape* between program entry and the fault point
+//!   (option parsing, helper predicates, noise loops);
+//! * the *path-explosion profile*: per-character branching inside the
+//!   vulnerable loop makes pure symbolic execution exponential in the
+//!   buffer size, while the statistical length predicate collapses it.
+//!
+//! Buffer capacities are scaled down (512 → 12 for polymorph, 64 → 16
+//! for CTree, ...) so that the *paper's qualitative outcome* is
+//! preserved under a proportionally scaled memory budget: pure symbolic
+//! execution succeeds (slowly) only on polymorph and exhausts memory on
+//! the other three, while StatSym finds every vulnerability.
+//!
+//! # Example
+//!
+//! ```
+//! let app = benchapps::polymorph();
+//! assert_eq!(app.name, "polymorph");
+//! let stats = app.stats();
+//! assert!(stats.sloc > 40);
+//! ```
+
+pub mod apps;
+pub mod corpus;
+
+pub use apps::{all_apps, by_name, ctree, grep, motivating, polymorph, thttpd, BenchApp};
+pub use corpus::{generate_corpus, CorpusSpec};

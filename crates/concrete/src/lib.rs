@@ -1,0 +1,55 @@
+//! Concrete execution substrate: a SIR virtual machine with fault
+//! detection plus the runtime program monitor the paper builds on
+//! Valgrind/Fjalar.
+//!
+//! The VM detects the paper's vulnerability classes at runtime — stack
+//! buffer overflows ([`FaultKind::BufferOverflow`]), assertion failures,
+//! string out-of-bounds reads, and division by zero — and reports the
+//! *fault point* (function + source span).
+//!
+//! The [`monitor`] module implements the paper's instrumentation model:
+//! at every function entry and exit it records global variables, function
+//! parameters, and return values, each record retained with a tunable
+//! sampling probability (the paper's partial logging, §III-B). String
+//! values are logged as lengths, mirroring the paper's privacy-preserving
+//! transformation.
+//!
+//! # Example
+//!
+//! ```
+//! use concrete::{InputValue, Vm, VmConfig};
+//!
+//! let program = minic::parse_program(r#"
+//!     fn main() -> int {
+//!         let n: int = input_int("n");
+//!         let b: buf[4];
+//!         buf_set(b, n, 65); // overflows when n >= 4
+//!         return 0;
+//!     }
+//! "#)?;
+//! let module = sir::lower(&program)?;
+//! let vm = Vm::new(&module, VmConfig::default());
+//!
+//! let ok = vm.run(&[("n".into(), InputValue::Int(2))].into_iter().collect())?;
+//! assert!(ok.outcome.is_success());
+//!
+//! let bad = vm.run(&[("n".into(), InputValue::Int(9))].into_iter().collect())?;
+//! assert!(bad.outcome.is_fault());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod event;
+pub mod fault;
+pub mod logfile;
+pub mod monitor;
+pub mod runner;
+pub mod value;
+pub mod vm;
+
+pub use event::{FnEvent, Location, Measure, VarId, VarRole};
+pub use fault::{Fault, FaultKind};
+pub use logfile::{parse_log, write_log, ParseLogError};
+pub use monitor::{ExecutionLog, LogRecord, Monitor, Verdict};
+pub use runner::{run_logged, LoggedRun};
+pub use value::{InputValue, Value};
+pub use vm::{ExecHook, InputMap, NoHook, Outcome, RunResult, Vm, VmConfig, VmError};

@@ -1,0 +1,310 @@
+//! Text serialization of execution logs.
+//!
+//! The paper's monitor writes one log *file* per run (hundreds of MB for
+//! Grep); the statistical module reads them back. This module provides
+//! the equivalent plain-text format:
+//!
+//! ```text
+//! #verdict faulty
+//! #fault convert_fileName 35:13 buffer-overflow
+//! @ convert_fileName():enter
+//! len(original FUNCPARAM) = 517
+//! track GLOBAL = 3
+//! @ main():leave
+//! ret RETURN = 0
+//! ```
+//!
+//! Parsing is strict: malformed lines are reported with their line
+//! number rather than skipped, so corrupted corpora are caught early.
+
+use crate::event::{FnEvent, Location, Measure, VarId, VarRole};
+use crate::fault::{Fault, FaultKind};
+use crate::monitor::{ExecutionLog, LogRecord, Verdict};
+use minic::Span;
+use std::fmt;
+
+/// Error produced when parsing a log file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLogError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "log line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseLogError {}
+
+/// Serializes a log to the text format.
+pub fn write_log(log: &ExecutionLog) -> String {
+    let mut out = String::new();
+    let verdict = match log.verdict {
+        Verdict::Correct => "correct",
+        Verdict::Faulty => "faulty",
+        Verdict::Inconclusive => "inconclusive",
+    };
+    out.push_str("#verdict ");
+    out.push_str(verdict);
+    out.push('\n');
+    if let Some(fault) = &log.fault {
+        out.push_str(&format!(
+            "#fault {} {}:{} {}\n",
+            fault.func,
+            fault.span.line,
+            fault.span.col,
+            fault_tag(&fault.kind)
+        ));
+    }
+    for rec in &log.records {
+        out.push_str(&format!("@ {}\n", rec.loc));
+        for (var, value) in &rec.vars {
+            out.push_str(&format!("{var} = {value}\n"));
+        }
+    }
+    out
+}
+
+fn fault_tag(kind: &FaultKind) -> String {
+    match kind {
+        FaultKind::BufferOverflow { cap, idx } => format!("buffer-overflow/{cap}/{idx}"),
+        FaultKind::StringOob { len, idx } => format!("string-oob/{len}/{idx}"),
+        FaultKind::AssertFailed => "assert-failed".into(),
+        FaultKind::DivByZero => "div-by-zero".into(),
+        FaultKind::StackOverflow => "stack-overflow".into(),
+    }
+}
+
+fn parse_fault_tag(tag: &str) -> Option<FaultKind> {
+    let mut parts = tag.split('/');
+    match parts.next()? {
+        "buffer-overflow" => Some(FaultKind::BufferOverflow {
+            cap: parts.next()?.parse().ok()?,
+            idx: parts.next()?.parse().ok()?,
+        }),
+        "string-oob" => Some(FaultKind::StringOob {
+            len: parts.next()?.parse().ok()?,
+            idx: parts.next()?.parse().ok()?,
+        }),
+        "assert-failed" => Some(FaultKind::AssertFailed),
+        "div-by-zero" => Some(FaultKind::DivByZero),
+        "stack-overflow" => Some(FaultKind::StackOverflow),
+        _ => None,
+    }
+}
+
+/// Parses one serialized log.
+///
+/// # Errors
+///
+/// Returns a [`ParseLogError`] with the offending line number on any
+/// malformed header, location, or variable line.
+pub fn parse_log(text: &str) -> Result<ExecutionLog, ParseLogError> {
+    let err = |line: usize, message: &str| ParseLogError {
+        line,
+        message: message.to_string(),
+    };
+    let mut verdict = None;
+    let mut fault: Option<Fault> = None;
+    let mut records: Vec<LogRecord> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(v) = line.strip_prefix("#verdict ") {
+            verdict = Some(match v {
+                "correct" => Verdict::Correct,
+                "faulty" => Verdict::Faulty,
+                "inconclusive" => Verdict::Inconclusive,
+                _ => return Err(err(lineno, "unknown verdict")),
+            });
+        } else if let Some(rest) = line.strip_prefix("#fault ") {
+            let mut parts = rest.split_whitespace();
+            let func = parts
+                .next()
+                .ok_or_else(|| err(lineno, "missing fault function"))?;
+            let pos = parts
+                .next()
+                .ok_or_else(|| err(lineno, "missing fault position"))?;
+            let (l, c) = pos
+                .split_once(':')
+                .ok_or_else(|| err(lineno, "bad fault position"))?;
+            let kind = parts
+                .next()
+                .and_then(parse_fault_tag)
+                .ok_or_else(|| err(lineno, "bad fault kind"))?;
+            fault = Some(Fault {
+                kind,
+                func: func.to_string(),
+                span: Span::new(
+                    l.parse().map_err(|_| err(lineno, "bad line number"))?,
+                    c.parse().map_err(|_| err(lineno, "bad column number"))?,
+                ),
+            });
+        } else if let Some(loc) = line.strip_prefix("@ ") {
+            records.push(LogRecord {
+                loc: parse_location(loc).ok_or_else(|| err(lineno, "bad location"))?,
+                vars: Vec::new(),
+            });
+        } else if let Some((var, value)) = line.split_once(" = ") {
+            let rec = records
+                .last_mut()
+                .ok_or_else(|| err(lineno, "variable before any location"))?;
+            let var = parse_var(var).ok_or_else(|| err(lineno, "bad variable"))?;
+            let value: f64 = value.parse().map_err(|_| err(lineno, "bad value"))?;
+            rec.vars.push((var, value));
+        } else {
+            return Err(err(lineno, "unrecognized line"));
+        }
+    }
+
+    Ok(ExecutionLog {
+        records,
+        verdict: verdict.ok_or_else(|| err(0, "missing #verdict header"))?,
+        fault,
+    })
+}
+
+fn parse_location(s: &str) -> Option<Location> {
+    let (func, event) = s.split_once("():")?;
+    let event = match event {
+        "enter" => FnEvent::Enter,
+        "leave" => FnEvent::Leave,
+        _ => return None,
+    };
+    Some(Location {
+        func: func.to_string(),
+        event,
+    })
+}
+
+fn parse_var(s: &str) -> Option<VarId> {
+    let (inner, measure) = match s.strip_prefix("len(").and_then(|r| r.strip_suffix(')')) {
+        Some(inner) => (inner, Measure::Length),
+        None => (s, Measure::Value),
+    };
+    let (name, role) = inner.rsplit_once(' ')?;
+    let role = match role {
+        "GLOBAL" => VarRole::Global,
+        "FUNCPARAM" => VarRole::Param,
+        "RETURN" => VarRole::Return,
+        _ => return None,
+    };
+    Some(VarId::new(name, role, measure))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> ExecutionLog {
+        ExecutionLog {
+            records: vec![
+                LogRecord {
+                    loc: Location::enter("convert_fileName"),
+                    vars: vec![
+                        (VarId::new("original", VarRole::Param, Measure::Length), 517.0),
+                        (VarId::new("track", VarRole::Global, Measure::Value), 3.0),
+                    ],
+                },
+                LogRecord {
+                    loc: Location::leave("main"),
+                    vars: vec![(VarId::new("ret", VarRole::Return, Measure::Value), 0.0)],
+                },
+            ],
+            verdict: Verdict::Faulty,
+            fault: Some(Fault {
+                kind: FaultKind::BufferOverflow { cap: 512, idx: 513 },
+                func: "convert_fileName".into(),
+                span: Span::new(35, 13),
+            }),
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_log() {
+        let log = sample_log();
+        let text = write_log(&log);
+        let parsed = parse_log(&text).unwrap();
+        assert_eq!(parsed, log);
+    }
+
+    #[test]
+    fn roundtrip_correct_log_without_fault() {
+        let log = ExecutionLog {
+            records: vec![LogRecord {
+                loc: Location::enter("main"),
+                vars: vec![],
+            }],
+            verdict: Verdict::Correct,
+            fault: None,
+        };
+        assert_eq!(parse_log(&write_log(&log)).unwrap(), log);
+    }
+
+    #[test]
+    fn rejects_missing_verdict() {
+        assert!(parse_log("@ main():enter\n").is_err());
+    }
+
+    #[test]
+    fn rejects_variable_before_location() {
+        let e = parse_log("#verdict correct\nx GLOBAL = 1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("before any location"));
+    }
+
+    #[test]
+    fn rejects_garbage_lines() {
+        let e = parse_log("#verdict correct\n???\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn negative_and_fractional_values_roundtrip() {
+        let mut log = sample_log();
+        log.records[0].vars[0].1 = -12.5;
+        let parsed = parse_log(&write_log(&log)).unwrap();
+        assert_eq!(parsed.records[0].vars[0].1, -12.5);
+    }
+
+    #[test]
+    fn all_fault_kinds_roundtrip() {
+        for kind in [
+            FaultKind::BufferOverflow { cap: 4, idx: 9 },
+            FaultKind::StringOob { len: 3, idx: -1 },
+            FaultKind::AssertFailed,
+            FaultKind::DivByZero,
+            FaultKind::StackOverflow,
+        ] {
+            let mut log = sample_log();
+            log.fault.as_mut().unwrap().kind = kind;
+            let parsed = parse_log(&write_log(&log)).unwrap();
+            assert_eq!(parsed.fault.unwrap().kind, kind);
+        }
+    }
+
+    #[test]
+    fn monitored_run_roundtrips() {
+        // An actual monitored execution survives the write/parse cycle.
+        let p = minic::parse_program(
+            r#"
+            global count: int = 0;
+            fn bump(v: int) -> int { count = count + v; return count; }
+            fn main() { print(bump(3)); print(bump(4)); }
+            "#,
+        )
+        .unwrap();
+        let module = sir::lower(&p).unwrap();
+        let run = crate::runner::run_logged(&module, &Default::default(), 1.0, 0).unwrap();
+        let text = write_log(&run.log);
+        assert_eq!(parse_log(&text).unwrap(), run.log);
+    }
+}

@@ -1,0 +1,283 @@
+//! The runtime program monitor: Fjalar-style function-boundary logging
+//! with probabilistic sampling.
+//!
+//! At each function entry the monitor records the function's parameters
+//! and all global variables; at each exit it records the return value and
+//! all globals. Every record is retained with probability `sampling_rate`
+//! (the paper's partial logging). String values are recorded as lengths.
+
+use crate::event::{FnEvent, Location, Measure, VarId, VarRole};
+use crate::fault::Fault;
+use crate::value::Value;
+use crate::vm::ExecHook;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sir::{FuncBody, GlobalDef};
+
+/// One sampled instrumentation record: a location plus the numeric view
+/// of every variable visible there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogRecord {
+    /// The instrumentation point.
+    pub loc: Location,
+    /// Logged variables and their numeric values.
+    pub vars: Vec<(VarId, f64)>,
+}
+
+/// Whether a run was correct or faulty — the paper's partition of the
+/// log corpus (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The run terminated normally.
+    Correct,
+    /// The run manifested a fault.
+    Faulty,
+    /// The run hit a resource limit; excluded from statistical analysis.
+    Inconclusive,
+}
+
+/// The full (sampled) log of one program run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionLog {
+    /// Sampled records in execution order.
+    pub records: Vec<LogRecord>,
+    /// Correct / faulty annotation (the paper annotates each log file).
+    pub verdict: Verdict,
+    /// The detected fault, for faulty runs.
+    pub fault: Option<Fault>,
+}
+
+impl ExecutionLog {
+    /// True if this log came from a faulty execution.
+    pub fn is_faulty(&self) -> bool {
+        self.verdict == Verdict::Faulty
+    }
+
+    /// The sequence of sampled locations (the event trace used for
+    /// transition mining).
+    pub fn locations(&self) -> impl Iterator<Item = &Location> {
+        self.records.iter().map(|r| &r.loc)
+    }
+}
+
+/// The monitor: an [`ExecHook`] that collects sampled records.
+///
+/// # Example
+///
+/// ```
+/// use concrete::{Monitor, Vm, VmConfig};
+///
+/// let p = minic::parse_program("fn main() -> int { return 0; }")?;
+/// let m = sir::lower(&p)?;
+/// let vm = Vm::new(&m, VmConfig::default());
+/// let mut monitor = Monitor::new(1.0, 42);
+/// vm.run_hooked(&Default::default(), &mut monitor)?;
+/// let log = monitor.finish_with(&vm.run(&Default::default())?.outcome);
+/// assert_eq!(log.records.len(), 2); // main enter + leave
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Monitor {
+    sampling_rate: f64,
+    rng: StdRng,
+    records: Vec<LogRecord>,
+}
+
+impl Monitor {
+    /// Creates a monitor sampling each record with probability
+    /// `sampling_rate` (clamped to `[0, 1]`), deterministically seeded.
+    pub fn new(sampling_rate: f64, seed: u64) -> Monitor {
+        Monitor {
+            sampling_rate: sampling_rate.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+            records: Vec::new(),
+        }
+    }
+
+    fn sample(&mut self) -> bool {
+        self.sampling_rate >= 1.0 || self.rng.random_bool(self.sampling_rate)
+    }
+
+    fn global_vars(globals: &[GlobalDef], gvals: &[Value]) -> Vec<(VarId, f64)> {
+        globals
+            .iter()
+            .zip(gvals)
+            .filter_map(|(def, val)| {
+                val.numeric_view().map(|(num, is_len)| {
+                    let measure = if is_len { Measure::Length } else { Measure::Value };
+                    (VarId::new(def.name.clone(), VarRole::Global, measure), num)
+                })
+            })
+            .collect()
+    }
+
+    /// Consumes the collected records into an [`ExecutionLog`], deriving
+    /// the verdict from `outcome`.
+    pub fn finish_with(self, outcome: &crate::vm::Outcome) -> ExecutionLog {
+        use crate::vm::Outcome;
+        let (verdict, fault) = match outcome {
+            Outcome::Exit(_) => (Verdict::Correct, None),
+            Outcome::Fault(f) => (Verdict::Faulty, Some(f.clone())),
+            Outcome::StepLimit => (Verdict::Inconclusive, None),
+        };
+        ExecutionLog {
+            records: self.records,
+            verdict,
+            fault,
+        }
+    }
+}
+
+impl ExecHook for Monitor {
+    fn on_enter(
+        &mut self,
+        func: &FuncBody,
+        args: &[Value],
+        globals: &[GlobalDef],
+        gvals: &[Value],
+    ) {
+        if !self.sample() {
+            return;
+        }
+        let mut vars = Vec::new();
+        for ((name, _), val) in func.params.iter().zip(args) {
+            if let Some((num, is_len)) = val.numeric_view() {
+                let measure = if is_len { Measure::Length } else { Measure::Value };
+                vars.push((VarId::new(name.clone(), VarRole::Param, measure), num));
+            }
+        }
+        vars.extend(Self::global_vars(globals, gvals));
+        self.records.push(LogRecord {
+            loc: Location {
+                func: func.name.clone(),
+                event: FnEvent::Enter,
+            },
+            vars,
+        });
+    }
+
+    fn on_exit(
+        &mut self,
+        func: &FuncBody,
+        ret: Option<&Value>,
+        globals: &[GlobalDef],
+        gvals: &[Value],
+    ) {
+        if !self.sample() {
+            return;
+        }
+        let mut vars = Vec::new();
+        if let Some((num, is_len)) = ret.and_then(|v| v.numeric_view()) {
+            let measure = if is_len { Measure::Length } else { Measure::Value };
+            vars.push((VarId::new("ret", VarRole::Return, measure), num));
+        }
+        vars.extend(Self::global_vars(globals, gvals));
+        self.records.push(LogRecord {
+            loc: Location {
+                func: func.name.clone(),
+                event: FnEvent::Leave,
+            },
+            vars,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{InputMap, Vm, VmConfig};
+
+    fn logged(src: &str, rate: f64, seed: u64) -> ExecutionLog {
+        let p = minic::parse_program(src).unwrap();
+        let m = sir::lower(&p).unwrap();
+        let vm = Vm::new(&m, VmConfig::default());
+        let mut mon = Monitor::new(rate, seed);
+        let r = vm.run_hooked(&InputMap::new(), &mut mon).unwrap();
+        mon.finish_with(&r.outcome)
+    }
+
+    const SRC: &str = r#"
+        global hits: int = 0;
+        fn step(x: int) -> int { hits = hits + 1; return x * 2; }
+        fn main() -> int {
+            let i: int = 0;
+            while (i < 5) { i = step(i); i = i + 1; }
+            return hits;
+        }
+    "#;
+
+    #[test]
+    fn full_sampling_logs_every_boundary() {
+        let log = logged(SRC, 1.0, 1);
+        // main enter/leave + 3 step enter/leave pairs (i = 0,1,3 -> 3 calls).
+        let enters = log
+            .records
+            .iter()
+            .filter(|r| r.loc.event == FnEvent::Enter)
+            .count();
+        let leaves = log.records.len() - enters;
+        assert_eq!(enters, leaves);
+        assert!(log.records.len() >= 6);
+        assert_eq!(log.verdict, Verdict::Correct);
+    }
+
+    #[test]
+    fn records_carry_params_globals_and_returns() {
+        let log = logged(SRC, 1.0, 1);
+        let step_enter = log
+            .records
+            .iter()
+            .find(|r| r.loc == Location::enter("step"))
+            .unwrap();
+        let names: Vec<String> = step_enter.vars.iter().map(|(v, _)| v.to_string()).collect();
+        assert!(names.contains(&"x FUNCPARAM".to_string()));
+        assert!(names.contains(&"hits GLOBAL".to_string()));
+        let step_leave = log
+            .records
+            .iter()
+            .find(|r| r.loc == Location::leave("step"))
+            .unwrap();
+        assert!(step_leave
+            .vars
+            .iter()
+            .any(|(v, _)| v.role == VarRole::Return));
+    }
+
+    #[test]
+    fn zero_sampling_logs_nothing() {
+        let log = logged(SRC, 0.0, 7);
+        assert!(log.records.is_empty());
+    }
+
+    #[test]
+    fn partial_sampling_drops_some_records() {
+        let full = logged(SRC, 1.0, 3).records.len();
+        let partial = logged(SRC, 0.3, 3).records.len();
+        assert!(partial < full, "expected {partial} < {full}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        assert_eq!(logged(SRC, 0.5, 9), logged(SRC, 0.5, 9));
+    }
+
+    #[test]
+    fn string_params_logged_as_lengths() {
+        let log = logged(
+            r#"
+            fn consume(s: str) { return; }
+            fn main() { consume("abcd"); return; }
+            "#,
+            1.0,
+            1,
+        );
+        let rec = log
+            .records
+            .iter()
+            .find(|r| r.loc == Location::enter("consume"))
+            .unwrap();
+        let (var, val) = &rec.vars[0];
+        assert_eq!(var.measure, Measure::Length);
+        assert_eq!(*val, 4.0);
+    }
+}

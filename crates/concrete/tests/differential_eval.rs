@@ -1,0 +1,147 @@
+//! Differential property test: random MiniC integer expressions are
+//! pretty-printed into a program, executed on the VM, and compared
+//! against a host-side reference evaluator with the same (wrapping,
+//! fault-on-div-zero) semantics.
+
+use concrete::{InputMap, Outcome, Vm, VmConfig};
+use proptest::prelude::*;
+
+/// A tiny expression tree over two integer variables.
+#[derive(Debug, Clone)]
+enum E {
+    Const(i64),
+    X,
+    Y,
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Div(Box<E>, Box<E>),
+    Rem(Box<E>, Box<E>),
+    Neg(Box<E>),
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-50i64..=50).prop_map(E::Const),
+        Just(E::X),
+        Just(E::Y),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Rem(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
+        ]
+    })
+}
+
+fn render(e: &E) -> String {
+    match e {
+        E::Const(v) if *v < 0 => format!("(0 - {})", -v),
+        E::Const(v) => v.to_string(),
+        E::X => "x".into(),
+        E::Y => "y".into(),
+        E::Add(a, b) => format!("({} + {})", render(a), render(b)),
+        E::Sub(a, b) => format!("({} - {})", render(a), render(b)),
+        E::Mul(a, b) => format!("({} * {})", render(a), render(b)),
+        E::Div(a, b) => format!("({} / {})", render(a), render(b)),
+        E::Rem(a, b) => format!("({} % {})", render(a), render(b)),
+        E::Neg(a) => format!("(-{})", render(a)),
+    }
+}
+
+/// Host-side reference: `None` = division by zero fault.
+fn eval(e: &E, x: i64, y: i64) -> Option<i64> {
+    Some(match e {
+        E::Const(v) => *v,
+        E::X => x,
+        E::Y => y,
+        E::Add(a, b) => eval(a, x, y)?.wrapping_add(eval(b, x, y)?),
+        E::Sub(a, b) => eval(a, x, y)?.wrapping_sub(eval(b, x, y)?),
+        E::Mul(a, b) => eval(a, x, y)?.wrapping_mul(eval(b, x, y)?),
+        E::Div(a, b) => {
+            let (av, bv) = (eval(a, x, y)?, eval(b, x, y)?);
+            if bv == 0 {
+                return None;
+            }
+            av.wrapping_div(bv)
+        }
+        E::Rem(a, b) => {
+            let (av, bv) = (eval(a, x, y)?, eval(b, x, y)?);
+            if bv == 0 {
+                return None;
+            }
+            av.wrapping_rem(bv)
+        }
+        E::Neg(a) => eval(a, x, y)?.wrapping_neg(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn vm_matches_reference_evaluator(e in expr_strategy(), x in -30i64..=30, y in -30i64..=30) {
+        let src = format!(
+            "fn main() -> int {{\n    let x: int = input_int(\"x\");\n    let y: int = input_int(\"y\");\n    return {};\n}}\n",
+            render(&e)
+        );
+        let program = minic::parse_program(&src).expect("generated source parses");
+        let module = sir::lower(&program).expect("generated source lowers");
+        let vm = Vm::new(&module, VmConfig::default());
+        let inputs: InputMap = [
+            ("x".to_string(), concrete::InputValue::Int(x)),
+            ("y".to_string(), concrete::InputValue::Int(y)),
+        ]
+        .into_iter()
+        .collect();
+        let result = vm.run(&inputs).expect("inputs provided");
+        match (eval(&e, x, y), &result.outcome) {
+            (Some(expected), Outcome::Exit(got)) => prop_assert_eq!(*got, expected),
+            (None, Outcome::Fault(f)) => {
+                prop_assert_eq!(f.kind, concrete::FaultKind::DivByZero);
+            }
+            (expected, got) => {
+                prop_assert!(false, "mismatch: reference {expected:?}, vm {got:?}\n{src}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparisons_match_reference(a in expr_strategy(), x in -20i64..=20, y in -20i64..=20,
+                                   op_idx in 0usize..6) {
+        let ops = ["==", "!=", "<", "<=", ">", ">="];
+        let op = ops[op_idx];
+        let src = format!(
+            "fn main() -> int {{\n    let x: int = input_int(\"x\");\n    let y: int = input_int(\"y\");\n    if ({} {op} 3) {{ return 1; }}\n    return 0;\n}}\n",
+            render(&a)
+        );
+        let program = minic::parse_program(&src).unwrap();
+        let module = sir::lower(&program).unwrap();
+        let vm = Vm::new(&module, VmConfig::default());
+        let inputs: InputMap = [
+            ("x".to_string(), concrete::InputValue::Int(x)),
+            ("y".to_string(), concrete::InputValue::Int(y)),
+        ]
+        .into_iter()
+        .collect();
+        let result = vm.run(&inputs).unwrap();
+        match eval(&a, x, y) {
+            Some(v) => {
+                let expected = match op {
+                    "==" => v == 3,
+                    "!=" => v != 3,
+                    "<" => v < 3,
+                    "<=" => v <= 3,
+                    ">" => v > 3,
+                    _ => v >= 3,
+                };
+                prop_assert_eq!(result.outcome, Outcome::Exit(i64::from(expected)));
+            }
+            None => prop_assert!(result.outcome.is_fault()),
+        }
+    }
+}

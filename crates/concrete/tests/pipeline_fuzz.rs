@@ -1,0 +1,201 @@
+//! Grammar-directed fuzzing of the whole front-end → IR → VM pipeline:
+//! randomly generated *well-typed* MiniC programs must parse, check,
+//! lower, verify, pretty-print-roundtrip, and execute without panicking;
+//! any fault raised must be one of the defined fault classes.
+
+use concrete::{InputMap, InputValue, Outcome, Vm, VmConfig};
+use proptest::prelude::*;
+
+/// Generator state: tracks declared int variables so references are
+/// always valid.
+#[derive(Debug, Clone)]
+struct GenProgram {
+    stmts: Vec<GenStmt>,
+}
+
+#[derive(Debug, Clone)]
+enum GenStmt {
+    /// `let vN: int = <expr>;`
+    Let(GenExpr),
+    /// `vK = <expr>;` (index resolved modulo declared count)
+    Assign(usize, GenExpr),
+    /// `if (<expr> <op> <expr>) { .. } else { .. }`
+    If(GenExpr, GenExpr, Vec<GenStmt>, Vec<GenStmt>),
+    /// Bounded while loop: `while (vK < <small>) { vK = vK + 1; .. }`
+    BoundedLoop(usize, i64, Vec<GenStmt>),
+    /// `print(<expr>);`
+    Print(GenExpr),
+}
+
+#[derive(Debug, Clone)]
+enum GenExpr {
+    Const(i64),
+    Var(usize),
+    Input,
+    Add(Box<GenExpr>, Box<GenExpr>),
+    Sub(Box<GenExpr>, Box<GenExpr>),
+    Mul(Box<GenExpr>, Box<GenExpr>),
+}
+
+fn gen_expr() -> impl Strategy<Value = GenExpr> {
+    let leaf = prop_oneof![
+        (-100i64..=100).prop_map(GenExpr::Const),
+        (0usize..8).prop_map(GenExpr::Var),
+        Just(GenExpr::Input),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GenExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GenExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GenExpr::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn gen_stmts(depth: u32) -> BoxedStrategy<Vec<GenStmt>> {
+    let stmt = if depth == 0 {
+        prop_oneof![
+            gen_expr().prop_map(GenStmt::Let),
+            (0usize..8, gen_expr()).prop_map(|(i, e)| GenStmt::Assign(i, e)),
+            gen_expr().prop_map(GenStmt::Print),
+        ]
+        .boxed()
+    } else {
+        let inner = gen_stmts(depth - 1);
+        prop_oneof![
+            gen_expr().prop_map(GenStmt::Let),
+            (0usize..8, gen_expr()).prop_map(|(i, e)| GenStmt::Assign(i, e)),
+            gen_expr().prop_map(GenStmt::Print),
+            (gen_expr(), gen_expr(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, t, e)| GenStmt::If(a, b, t, e)),
+            ((0usize..8), (1i64..6), inner).prop_map(|(v, n, b)| GenStmt::BoundedLoop(v, n, b)),
+        ]
+        .boxed()
+    };
+    proptest::collection::vec(stmt, 1..5).boxed()
+}
+
+fn gen_program() -> impl Strategy<Value = GenProgram> {
+    gen_stmts(2).prop_map(|stmts| GenProgram { stmts })
+}
+
+/// Renders the generated program. `n_vars` tracks declarations so every
+/// reference is to an existing variable (v0 always exists).
+fn render(p: &GenProgram) -> String {
+    let mut out = String::from("fn main() {\n    let v0: int = input_int(\"seed\");\n");
+    let mut n_vars = 1usize;
+    let mut counters = Vec::new();
+    render_stmts(&p.stmts, &mut out, &mut n_vars, &mut counters, 1);
+    out.push_str("    print(v0);\n}\n");
+    out
+}
+
+fn render_stmts(
+    stmts: &[GenStmt],
+    out: &mut String,
+    n_vars: &mut usize,
+    counters: &mut Vec<usize>,
+    depth: usize,
+) {
+    let pad = "    ".repeat(depth);
+    for s in stmts {
+        match s {
+            GenStmt::Let(e) => {
+                let name = format!("v{}", *n_vars);
+                out.push_str(&format!("{pad}let {name}: int = {};\n", render_expr(e, *n_vars)));
+                *n_vars += 1;
+            }
+            GenStmt::Assign(i, e) => {
+                // Never clobber a live loop counter: that could turn a
+                // bounded loop into an infinite one.
+                let mut target = i % *n_vars;
+                if counters.contains(&target) {
+                    target = 0;
+                }
+                out.push_str(&format!("{pad}v{target} = {};\n", render_expr(e, *n_vars)));
+            }
+            GenStmt::If(a, b, t, els) => {
+                out.push_str(&format!(
+                    "{pad}if ({} < {}) {{\n",
+                    render_expr(a, *n_vars),
+                    render_expr(b, *n_vars)
+                ));
+                // Scoping: declarations inside branches leak to the
+                // function scope in MiniC (locals are default-initialized
+                // at function entry), but redefinition is an error, so
+                // thread n_vars through sequentially.
+                render_stmts(t, out, n_vars, counters, depth + 1);
+                out.push_str(&format!("{pad}}} else {{\n"));
+                render_stmts(els, out, n_vars, counters, depth + 1);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            GenStmt::BoundedLoop(v, n, body) => {
+                let ctr_idx = *n_vars;
+                let ctr = format!("v{ctr_idx}");
+                *n_vars += 1;
+                out.push_str(&format!("{pad}let {ctr}: int = 0;\n"));
+                out.push_str(&format!("{pad}while ({ctr} < {n}) {{\n"));
+                out.push_str(&format!("{pad}    {ctr} = {ctr} + 1;\n"));
+                counters.push(ctr_idx);
+                render_stmts(body, out, n_vars, counters, depth + 1);
+                counters.pop();
+                let _ = v;
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            GenStmt::Print(e) => {
+                out.push_str(&format!("{pad}print({});\n", render_expr(e, *n_vars)));
+            }
+        }
+    }
+}
+
+fn render_expr(e: &GenExpr, n_vars: usize) -> String {
+    match e {
+        GenExpr::Const(v) if *v < 0 => format!("(0 - {})", -v),
+        GenExpr::Const(v) => v.to_string(),
+        GenExpr::Var(i) => format!("v{}", i % n_vars),
+        GenExpr::Input => "v0".to_string(),
+        GenExpr::Add(a, b) => format!("({} + {})", render_expr(a, n_vars), render_expr(b, n_vars)),
+        GenExpr::Sub(a, b) => format!("({} - {})", render_expr(a, n_vars), render_expr(b, n_vars)),
+        GenExpr::Mul(a, b) => format!("({} * {})", render_expr(a, n_vars), render_expr(b, n_vars)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    #[test]
+    fn generated_programs_run_through_the_whole_pipeline(p in gen_program(), seed in -50i64..=50) {
+        let src = render(&p);
+
+        // Front end.
+        let program = minic::parse_program(&src)
+            .unwrap_or_else(|e| panic!("generated program rejected: {e}\n{src}"));
+
+        // Pretty-print fixpoint.
+        let printed = minic::print_program(&program);
+        let reparsed = minic::parse_program(&printed)
+            .unwrap_or_else(|e| panic!("printed program rejected: {e}\n{printed}"));
+        prop_assert_eq!(minic::print_program(&reparsed), printed);
+
+        // Lowering + validation.
+        let module = sir::lower(&program).unwrap_or_else(|e| panic!("lowering failed: {e}\n{src}"));
+        sir::verify(&module).unwrap_or_else(|e| panic!("invalid SIR: {e}\n{src}"));
+
+        // CFG sanity on main.
+        let cfg = sir::Cfg::build(module.function_by_name("main").unwrap());
+        prop_assert!(cfg.reachable().len() <= cfg.len());
+
+        // Concrete execution terminates (loops are bounded) without
+        // panics; outcome is Exit (generated arithmetic cannot fault).
+        let vm = Vm::new(&module, VmConfig::default());
+        let inputs: InputMap = [("seed".to_string(), InputValue::Int(seed))].into_iter().collect();
+        let result = vm.run(&inputs).expect("input provided");
+        prop_assert!(matches!(result.outcome, Outcome::Exit(_)), "{:?}\n{src}", result.outcome);
+
+        // Determinism.
+        let again = vm.run(&inputs).expect("input provided");
+        prop_assert_eq!(result.outcome, again.outcome);
+        prop_assert_eq!(result.output, again.output);
+    }
+}

@@ -1,0 +1,209 @@
+//! Log corpus preprocessing (algorithm steps (a)–(b) in the paper's
+//! Figure 5): partition runs into correct and faulty executions and
+//! index the numeric observations per (location, variable).
+
+use concrete::{ExecutionLog, Location, VarId, Verdict};
+use std::collections::BTreeMap;
+
+/// Numeric observations of one variable at one location, split by run
+/// verdict.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Observations {
+    /// Values seen in correct executions.
+    pub correct: Vec<f64>,
+    /// Values seen in faulty executions.
+    pub faulty: Vec<f64>,
+}
+
+/// A preprocessed corpus of execution logs.
+#[derive(Debug, Clone, Default)]
+pub struct LogCorpus {
+    /// Number of correct runs (with at least one record).
+    pub n_correct: usize,
+    /// Number of faulty runs.
+    pub n_faulty: usize,
+    /// Observations per (location, variable). Deterministically ordered.
+    pub observations: BTreeMap<(Location, VarId), Observations>,
+    /// The event traces of faulty runs (for transition mining).
+    pub faulty_traces: Vec<Vec<Location>>,
+    /// The event traces of correct runs.
+    pub correct_traces: Vec<Vec<Location>>,
+    /// The inferred failure point: the entry of the modal crash function
+    /// reported by faulty runs (falling back to the most common final
+    /// sampled location when no crash report is available).
+    pub failure_location: Option<Location>,
+    /// All locations seen anywhere in the corpus.
+    pub locations: Vec<Location>,
+    /// For each location, the number of faulty traces containing it
+    /// (used to separate the mainline skeleton from detour targets).
+    pub faulty_presence: BTreeMap<Location, usize>,
+}
+
+impl LogCorpus {
+    /// Builds a corpus from annotated logs. Inconclusive runs (resource
+    /// limits) are excluded, mirroring the paper's correct/faulty
+    /// partition.
+    pub fn build(logs: &[ExecutionLog]) -> LogCorpus {
+        let mut corpus = LogCorpus::default();
+        let mut last_locs: BTreeMap<Location, usize> = BTreeMap::new();
+        let mut fault_locs: BTreeMap<Location, usize> = BTreeMap::new();
+        let mut seen_locs: BTreeMap<Location, ()> = BTreeMap::new();
+
+        for log in logs {
+            let faulty = match log.verdict {
+                Verdict::Correct => false,
+                Verdict::Faulty => true,
+                Verdict::Inconclusive => continue,
+            };
+            let trace: Vec<Location> = log.locations().cloned().collect();
+            for rec in &log.records {
+                seen_locs.insert(rec.loc.clone(), ());
+                for (var, value) in &rec.vars {
+                    let obs = corpus
+                        .observations
+                        .entry((rec.loc.clone(), var.clone()))
+                        .or_default();
+                    if faulty {
+                        obs.faulty.push(*value);
+                    } else {
+                        obs.correct.push(*value);
+                    }
+                }
+            }
+            if faulty {
+                corpus.n_faulty += 1;
+                if let Some(last) = trace.last() {
+                    *last_locs.entry(last.clone()).or_default() += 1;
+                }
+                if let Some(fault) = &log.fault {
+                    *fault_locs
+                        .entry(Location::enter(fault.func.clone()))
+                        .or_default() += 1;
+                }
+                let mut unique: Vec<&Location> = trace.iter().collect();
+                unique.sort();
+                unique.dedup();
+                for loc in unique {
+                    *corpus.faulty_presence.entry(loc.clone()).or_default() += 1;
+                }
+                corpus.faulty_traces.push(trace);
+            } else {
+                corpus.n_correct += 1;
+                corpus.correct_traces.push(trace);
+            }
+        }
+
+        // Prefer the crash report (the observable failure point); fall
+        // back to the modal last sampled record.
+        corpus.failure_location = fault_locs
+            .into_iter()
+            .max_by_key(|(loc, n)| (*n, std::cmp::Reverse(loc.clone())))
+            .map(|(loc, _)| loc)
+            .or_else(|| {
+                last_locs
+                    .into_iter()
+                    .max_by_key(|(loc, n)| (*n, std::cmp::Reverse(loc.clone())))
+                    .map(|(loc, _)| loc)
+            });
+        corpus.locations = seen_locs.into_keys().collect();
+        corpus
+    }
+
+    /// Observations for one (location, variable), if any.
+    pub fn observation(&self, loc: &Location, var: &VarId) -> Option<&Observations> {
+        self.observations.get(&(loc.clone(), var.clone()))
+    }
+
+    /// Total number of usable runs.
+    pub fn n_runs(&self) -> usize {
+        self.n_correct + self.n_faulty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concrete::{LogRecord, Measure, VarRole};
+
+    fn rec(loc: Location, vars: &[(&str, VarRole, f64)]) -> LogRecord {
+        LogRecord {
+            loc,
+            vars: vars
+                .iter()
+                .map(|(n, r, v)| (VarId::new(*n, *r, Measure::Value), *v))
+                .collect(),
+        }
+    }
+
+    fn log(verdict: Verdict, records: Vec<LogRecord>) -> ExecutionLog {
+        ExecutionLog {
+            records,
+            verdict,
+            fault: None,
+        }
+    }
+
+    #[test]
+    fn partitions_and_indexes_observations() {
+        let logs = vec![
+            log(
+                Verdict::Correct,
+                vec![
+                    rec(Location::enter("main"), &[("g", VarRole::Global, 1.0)]),
+                    rec(Location::leave("main"), &[("g", VarRole::Global, 2.0)]),
+                ],
+            ),
+            log(
+                Verdict::Faulty,
+                vec![rec(Location::enter("main"), &[("g", VarRole::Global, 9.0)])],
+            ),
+            log(Verdict::Inconclusive, vec![]),
+        ];
+        let corpus = LogCorpus::build(&logs);
+        assert_eq!(corpus.n_correct, 1);
+        assert_eq!(corpus.n_faulty, 1);
+        assert_eq!(corpus.n_runs(), 2);
+        let obs = corpus
+            .observation(
+                &Location::enter("main"),
+                &VarId::new("g", VarRole::Global, Measure::Value),
+            )
+            .unwrap();
+        assert_eq!(obs.correct, vec![1.0]);
+        assert_eq!(obs.faulty, vec![9.0]);
+    }
+
+    #[test]
+    fn failure_location_is_modal_last_faulty_record() {
+        let logs = vec![
+            log(Verdict::Faulty, vec![rec(Location::enter("a"), &[]), rec(Location::enter("boom"), &[])]),
+            log(Verdict::Faulty, vec![rec(Location::enter("boom"), &[])]),
+            log(Verdict::Faulty, vec![rec(Location::enter("other"), &[])]),
+        ];
+        let corpus = LogCorpus::build(&logs);
+        assert_eq!(corpus.failure_location, Some(Location::enter("boom")));
+    }
+
+    #[test]
+    fn empty_corpus_is_well_formed() {
+        let corpus = LogCorpus::build(&[]);
+        assert_eq!(corpus.n_runs(), 0);
+        assert!(corpus.failure_location.is_none());
+        assert!(corpus.locations.is_empty());
+    }
+
+    #[test]
+    fn locations_are_deduplicated_and_sorted() {
+        let logs = vec![log(
+            Verdict::Correct,
+            vec![
+                rec(Location::enter("b"), &[]),
+                rec(Location::enter("a"), &[]),
+                rec(Location::enter("b"), &[]),
+            ],
+        )];
+        let corpus = LogCorpus::build(&logs);
+        assert_eq!(corpus.locations.len(), 2);
+        assert_eq!(corpus.locations[0], Location::enter("a"));
+    }
+}

@@ -1,0 +1,402 @@
+//! The end-to-end StatSym pipeline (paper Figure 3 / Figure 5):
+//! sampled logs → predicates → candidate paths → guided symbolic
+//! execution, iterating candidates until the vulnerable path is
+//! verified.
+
+use crate::candidate::{CandidateConfig, CandidatePath, CandidateSet};
+use crate::corpus::LogCorpus;
+use crate::detour::{find_detours, DetourConfig};
+use crate::guidance::{GuidanceConfig, GuidedHook};
+use crate::predicate::PredicateSet;
+use crate::skeleton::{Skeleton, SkeletonConfig};
+use crate::transition::{MineConfig, TransitionGraph};
+use concrete::{ExecutionLog, Location};
+use sir::Module;
+use symex::{Engine, EngineConfig, EngineStats, FoundVulnerability, SchedulerKind};
+use std::time::{Duration, Instant};
+
+/// Configuration for the whole pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct StatSymConfig {
+    /// Transition mining thresholds (Eq. 3).
+    pub mine: MineConfig,
+    /// Skeleton search limits.
+    pub skeleton: SkeletonConfig,
+    /// Detour search parameters.
+    pub detour: DetourConfig,
+    /// Candidate generation parameters.
+    pub candidate: CandidateConfig,
+    /// Guidance parameters (τ, lookahead).
+    pub guidance: GuidanceConfig,
+    /// Per-candidate symbolic execution budget. The scheduler is forced
+    /// to [`SchedulerKind::Priority`]; `time_budget` plays the role of
+    /// the paper's 15-minute per-candidate timeout.
+    pub engine: EngineConfig,
+}
+
+impl Default for StatSymConfig {
+    fn default() -> Self {
+        StatSymConfig {
+            mine: MineConfig::default(),
+            skeleton: SkeletonConfig::default(),
+            detour: DetourConfig::default(),
+            candidate: CandidateConfig::default(),
+            guidance: GuidanceConfig::default(),
+            engine: EngineConfig {
+                scheduler: SchedulerKind::Priority,
+                time_budget: Some(Duration::from_secs(900)),
+                ..EngineConfig::default()
+            },
+        }
+    }
+}
+
+/// Output of the statistical analysis module (stages 1–3).
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Usable correct runs.
+    pub n_correct: usize,
+    /// Usable faulty runs.
+    pub n_faulty: usize,
+    /// Ranked predicates (Table V).
+    pub predicates: PredicateSet,
+    /// Mined transition graph.
+    pub graph: TransitionGraph,
+    /// Candidate paths, skeleton, detours (Figures 7/9, Tables II/III).
+    pub candidates: Option<CandidateSet>,
+    /// Inferred failure point.
+    pub failure_location: Option<Location>,
+    /// Wall-clock time of statistical analysis (Tables II/III).
+    pub analysis_time: Duration,
+}
+
+impl AnalysisReport {
+    /// Number of detours found (Tables II/III).
+    pub fn n_detours(&self) -> usize {
+        self.candidates.as_ref().map_or(0, |c| c.detours.len())
+    }
+
+    /// Number of candidate paths (Figure 7).
+    pub fn n_candidates(&self) -> usize {
+        self.candidates.as_ref().map_or(0, |c| c.paths.len())
+    }
+}
+
+/// One guided symbolic execution attempt on one candidate path.
+#[derive(Debug, Clone)]
+pub struct CandidateAttempt {
+    /// Candidate index (rank order).
+    pub index: usize,
+    /// Candidate length in nodes.
+    pub path_len: usize,
+    /// Whether the vulnerable path was verified on this candidate.
+    pub found: bool,
+    /// Wall-clock time of the attempt.
+    pub wall_time: Duration,
+    /// Engine counters for the attempt.
+    pub stats: EngineStats,
+}
+
+/// The full pipeline report.
+#[derive(Debug)]
+pub struct StatSymReport {
+    /// Statistical analysis results.
+    pub analysis: AnalysisReport,
+    /// Guided execution attempts, in candidate order.
+    pub attempts: Vec<CandidateAttempt>,
+    /// The verified vulnerable path, if found.
+    pub found: Option<FoundVulnerability>,
+    /// Index of the successful candidate.
+    pub candidate_used: Option<usize>,
+    /// Total guided symbolic execution time (Tables II/III).
+    pub symex_time: Duration,
+}
+
+impl StatSymReport {
+    /// Total wall-clock time: statistical analysis + symbolic execution
+    /// (Table IV).
+    pub fn total_time(&self) -> Duration {
+        self.analysis.analysis_time + self.symex_time
+    }
+
+    /// Total paths explored across attempts (Table IV).
+    pub fn total_paths_explored(&self) -> u64 {
+        self.attempts.iter().map(|a| a.stats.paths_explored).sum()
+    }
+}
+
+/// The StatSym framework.
+#[derive(Debug, Clone, Default)]
+pub struct StatSym {
+    config: StatSymConfig,
+}
+
+impl StatSym {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: StatSymConfig) -> StatSym {
+        StatSym { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &StatSymConfig {
+        &self.config
+    }
+
+    /// Runs the statistical analysis module only (stages 1–3).
+    pub fn analyze(&self, logs: &[ExecutionLog]) -> AnalysisReport {
+        let start = Instant::now();
+        let corpus = LogCorpus::build(logs);
+        let predicates = PredicateSet::build(&corpus);
+
+        // Mine faulty traces (paper §V-B); fall back to the full corpus
+        // when sparse sampling disconnects the graph.
+        let graph = TransitionGraph::mine(corpus.faulty_traces.iter(), self.config.mine);
+        let failure_location = corpus.failure_location.clone();
+
+        let candidates = failure_location.as_ref().and_then(|failure| {
+            // Skeleton: best-scoring among the BFS-shortest entry→failure
+            // paths (§VI-B). Falls back to a graph including correct
+            // traces when heavy sampling disconnects the faulty graph.
+            let skeleton = Skeleton::build(&graph, &predicates, failure, self.config.skeleton)
+                .or_else(|| {
+                    let full = TransitionGraph::mine(
+                        corpus.faulty_traces.iter().chain(&corpus.correct_traces),
+                        self.config.mine,
+                    );
+                    Skeleton::build(&full, &predicates, failure, self.config.skeleton)
+                })?;
+            let detours = find_detours(&graph, &predicates, &skeleton, self.config.detour);
+            Some(CandidateSet::build(
+                skeleton,
+                detours,
+                &predicates,
+                self.config.candidate,
+            ))
+        });
+
+        AnalysisReport {
+            n_correct: corpus.n_correct,
+            n_faulty: corpus.n_faulty,
+            predicates,
+            graph,
+            candidates,
+            failure_location,
+            analysis_time: start.elapsed(),
+        }
+    }
+
+    /// Runs the full pipeline: analysis, then statistics-guided symbolic
+    /// execution over ranked candidate paths until a vulnerable path is
+    /// verified (Figure 5 step (e)).
+    pub fn run(&self, module: &Module, logs: &[ExecutionLog]) -> StatSymReport {
+        let analysis = self.analyze(logs);
+        self.run_with_analysis(module, analysis)
+    }
+
+    /// Runs guided symbolic execution from a precomputed analysis.
+    pub fn run_with_analysis(&self, module: &Module, analysis: AnalysisReport) -> StatSymReport {
+        let start = Instant::now();
+        let mut attempts = Vec::new();
+        let mut found = None;
+        let mut candidate_used = None;
+
+        let paths: Vec<CandidatePath> = analysis
+            .candidates
+            .as_ref()
+            .map(|c| c.paths.clone())
+            .unwrap_or_default();
+
+        for (index, path) in paths.into_iter().enumerate() {
+            let engine_config = EngineConfig {
+                scheduler: SchedulerKind::Priority,
+                ..self.config.engine
+            };
+            let path_len = path.len();
+            let hook = GuidedHook::new(path, self.config.guidance);
+            let mut engine = Engine::with_hook(module, engine_config, Box::new(hook));
+            let report = engine.run();
+            let hit = report.outcome.is_found();
+            attempts.push(CandidateAttempt {
+                index,
+                path_len,
+                found: hit,
+                wall_time: report.wall_time,
+                stats: report.stats,
+            });
+            if let symex::RunOutcome::Found(f) = report.outcome {
+                found = Some(*f);
+                candidate_used = Some(index);
+                break;
+            }
+        }
+
+        StatSymReport {
+            analysis,
+            attempts,
+            found,
+            candidate_used,
+            symex_time: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concrete::{run_logged, InputMap, InputValue};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// A miniature polymorph: option handling noise plus an unchecked
+    /// copy of a string input into a fixed 6-byte stack buffer.
+    const SRC: &str = r#"
+        global track: int = 0;
+        fn helper_a(x: int) -> int { track = track + 1; return x + 1; }
+        fn helper_b(x: int) -> int { track = track + 2; return x * 2; }
+        fn convert(s: str) {
+            let b: buf[6];
+            let i: int = 0;
+            while (char_at(s, i) != 0) {
+                buf_set(b, i, char_at(s, i));
+                i = i + 1;
+            }
+        }
+        fn main() {
+            let m: int = input_int("mode");
+            let s: str = input_str("name", 12);
+            if (m > 0) { print(helper_a(m)); } else { print(helper_b(m)); }
+            convert(s);
+        }
+    "#;
+
+    fn module() -> Module {
+        sir::lower(&minic::parse_program(SRC).unwrap()).unwrap()
+    }
+
+    fn gen_logs(module: &Module, n_each: usize, sampling: f64, seed: u64) -> Vec<ExecutionLog> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut logs = Vec::new();
+        let mut n_correct = 0;
+        let mut n_faulty = 0;
+        let mut attempt = 0u64;
+        while (n_correct < n_each || n_faulty < n_each) && attempt < 10_000 {
+            attempt += 1;
+            let want_faulty = n_faulty < n_each && (n_correct >= n_each || rng.random_bool(0.5));
+            let len = if want_faulty {
+                rng.random_range(7..=12)
+            } else {
+                rng.random_range(0..=6)
+            };
+            let name: Vec<u8> = (0..len).map(|_| rng.random_range(b'a'..=b'z')).collect();
+            let mode = rng.random_range(-5..=5);
+            let inputs: InputMap = [
+                ("mode".to_string(), InputValue::Int(mode)),
+                ("name".to_string(), InputValue::Str(name)),
+            ]
+            .into_iter()
+            .collect();
+            let run = run_logged(module, &inputs, sampling, seed ^ attempt).unwrap();
+            if run.log.is_faulty() {
+                if n_faulty < n_each {
+                    n_faulty += 1;
+                    logs.push(run.log);
+                }
+            } else if n_correct < n_each {
+                n_correct += 1;
+                logs.push(run.log);
+            }
+        }
+        logs
+    }
+
+    #[test]
+    fn analysis_finds_length_predicate_and_failure_point() {
+        let m = module();
+        let logs = gen_logs(&m, 30, 1.0, 42);
+        let statsym = StatSym::default();
+        let analysis = statsym.analyze(&logs);
+        assert_eq!(analysis.n_correct, 30);
+        assert_eq!(analysis.n_faulty, 30);
+        assert_eq!(
+            analysis.failure_location,
+            Some(Location::enter("convert"))
+        );
+        // The top supported predicate bounds len(s FUNCPARAM) around 6.5.
+        let top = analysis
+            .predicates
+            .ranked
+            .iter()
+            .find(|p| !p.is_degenerate())
+            .expect("supported predicate");
+        assert!(top.render().contains("len(s FUNCPARAM)"), "{}", top.render());
+        assert!(top.threshold > 6.0 && top.threshold < 7.0, "{}", top.threshold);
+        assert!(analysis.candidates.is_some());
+    }
+
+    #[test]
+    fn full_pipeline_discovers_vulnerable_path_and_input() {
+        let m = module();
+        let logs = gen_logs(&m, 30, 1.0, 7);
+        let statsym = StatSym::default();
+        let report = statsym.run(&m, &logs);
+        let found = report.found.as_ref().expect("vulnerable path found");
+        assert_eq!(found.fault.func, "convert");
+        assert!(matches!(
+            found.fault.kind,
+            concrete::FaultKind::BufferOverflow { cap: 6, .. }
+        ));
+        // Replay the generated input on the concrete VM.
+        let vm = concrete::Vm::new(&m, concrete::VmConfig::default());
+        let replay = vm.run(&found.inputs).unwrap();
+        assert!(replay.outcome.is_fault());
+        assert_eq!(report.candidate_used, Some(0), "first candidate suffices");
+        assert!(report.total_time() >= report.symex_time);
+    }
+
+    #[test]
+    fn pipeline_works_under_partial_sampling() {
+        let m = module();
+        let logs = gen_logs(&m, 40, 0.5, 99);
+        let statsym = StatSym::default();
+        let report = statsym.run(&m, &logs);
+        assert!(
+            report.found.is_some(),
+            "found nothing; attempts: {:?}",
+            report
+                .attempts
+                .iter()
+                .map(|a| (a.index, a.found))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn guided_explores_fewer_paths_than_pure_bfs() {
+        let m = module();
+        let logs = gen_logs(&m, 30, 1.0, 3);
+        let statsym = StatSym::default();
+        let report = statsym.run(&m, &logs);
+        assert!(report.found.is_some());
+        let guided_paths = report.total_paths_explored();
+
+        let mut pure = Engine::new(&m, EngineConfig::default());
+        let pure_report = pure.run();
+        assert!(pure_report.outcome.is_found());
+        assert!(
+            guided_paths <= pure_report.stats.paths_explored,
+            "guided {} vs pure {}",
+            guided_paths,
+            pure_report.stats.paths_explored
+        );
+    }
+
+    #[test]
+    fn empty_logs_produce_no_candidates() {
+        let m = module();
+        let statsym = StatSym::default();
+        let report = statsym.run(&m, &[]);
+        assert!(report.found.is_none());
+        assert!(report.attempts.is_empty());
+        assert_eq!(report.analysis.n_candidates(), 0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Transition-graph mining (paper §V-B, Eq. 3).
+//!
+//! From (possibly partially sampled) faulty-run traces, build a directed
+//! graph over instrumentation locations with association-rule confidence
+//!
+//! ```text
+//! µ(ei, ej) = o(ei → ej) / o(ei)
+//! ```
+//!
+//! where `o(ei → ej)` counts how often `ej` immediately follows `ei` in
+//! a sampled trace. Low-confidence edges are dropped.
+
+use concrete::Location;
+use std::collections::BTreeMap;
+
+/// A directed edge with its statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    /// Target location.
+    pub to: Location,
+    /// `o(ei → ej)`.
+    pub count: usize,
+    /// Eq. 3 confidence.
+    pub confidence: f64,
+}
+
+/// The mined dynamic transition graph.
+#[derive(Debug, Clone, Default)]
+pub struct TransitionGraph {
+    /// Outgoing edges per location (sorted keys for determinism).
+    edges: BTreeMap<Location, Vec<Edge>>,
+    /// Occurrence count per location.
+    occurrences: BTreeMap<Location, usize>,
+}
+
+/// Mining thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MineConfig {
+    /// Minimum Eq. 3 confidence for an edge to be kept.
+    pub min_confidence: f64,
+    /// Minimum absolute occurrence count for an edge.
+    pub min_support: usize,
+}
+
+impl Default for MineConfig {
+    fn default() -> Self {
+        MineConfig {
+            min_confidence: 0.02,
+            min_support: 1,
+        }
+    }
+}
+
+impl TransitionGraph {
+    /// Mines the graph from event traces (the paper mines faulty
+    /// executions; pass correct traces too when the failure point is
+    /// deep and sampling is sparse).
+    ///
+    /// Counting is per *log file* (trace), as in the paper's Eq. 3: a
+    /// location or adjacent pair contributes at most once per trace.
+    /// (Counting raw record occurrences instead would let hot loop
+    /// locations dilute the confidence of their rare-but-real outgoing
+    /// transitions below any threshold.)
+    pub fn mine<'a>(
+        traces: impl IntoIterator<Item = &'a Vec<Location>>,
+        config: MineConfig,
+    ) -> TransitionGraph {
+        let mut pair_counts: BTreeMap<(Location, Location), usize> = BTreeMap::new();
+        let mut occurrences: BTreeMap<Location, usize> = BTreeMap::new();
+        for trace in traces {
+            let locs: std::collections::BTreeSet<&Location> = trace.iter().collect();
+            for loc in locs {
+                *occurrences.entry(loc.clone()).or_default() += 1;
+            }
+            let pairs: std::collections::BTreeSet<(&Location, &Location)> =
+                trace.windows(2).map(|w| (&w[0], &w[1])).collect();
+            for (a, b) in pairs {
+                *pair_counts.entry((a.clone(), b.clone())).or_default() += 1;
+            }
+        }
+        let mut edges: BTreeMap<Location, Vec<Edge>> = BTreeMap::new();
+        for ((from, to), count) in pair_counts {
+            let o_from = occurrences[&from];
+            let confidence = count as f64 / o_from as f64;
+            if confidence >= config.min_confidence && count >= config.min_support {
+                edges.entry(from).or_default().push(Edge {
+                    to,
+                    count,
+                    confidence,
+                });
+            }
+        }
+        for out in edges.values_mut() {
+            out.sort_by(|a, b| {
+                b.confidence
+                    .partial_cmp(&a.confidence)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.to.cmp(&b.to))
+            });
+        }
+        TransitionGraph { edges, occurrences }
+    }
+
+    /// Outgoing edges of `loc`, highest confidence first.
+    pub fn successors(&self, loc: &Location) -> &[Edge] {
+        self.edges.get(loc).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All nodes (locations with any occurrence).
+    pub fn nodes(&self) -> impl Iterator<Item = &Location> {
+        self.occurrences.keys()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.occurrences.len()
+    }
+
+    /// Total number of kept edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(Vec::len).sum()
+    }
+
+    /// Number of traces containing `loc`.
+    pub fn occurrences(&self, loc: &Location) -> usize {
+        self.occurrences.get(loc).copied().unwrap_or(0)
+    }
+
+    /// Nodes with no incoming edges — candidate program entry points
+    /// (paper §V-B step 1).
+    pub fn entry_nodes(&self) -> Vec<Location> {
+        let mut has_incoming: BTreeMap<&Location, bool> = BTreeMap::new();
+        for loc in self.occurrences.keys() {
+            has_incoming.insert(loc, false);
+        }
+        for (from, outs) in &self.edges {
+            for e in outs {
+                if e.to != *from {
+                    has_incoming.insert(&e.to, true);
+                }
+            }
+        }
+        has_incoming
+            .into_iter()
+            .filter(|&(_loc, inc)| !inc).map(|(loc, _inc)| loc.clone())
+            .collect()
+    }
+
+    /// A copy of the graph keeping only each node's `k` highest-
+    /// confidence outgoing edges. Skeleton construction runs on the
+    /// `top_k(1)` view so it follows the *modal* execution chain, while
+    /// detours search the full graph — this is what pushes rarely-taken
+    /// high-score locations off the skeleton and into detours, as in the
+    /// paper's polymorph/thttpd analyses.
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> TransitionGraph {
+        let mut edges = self.edges.clone();
+        for out in edges.values_mut() {
+            out.truncate(k);
+        }
+        TransitionGraph {
+            edges,
+            occurrences: self.occurrences.clone(),
+        }
+    }
+
+    /// The subgraph induced on `keep`: only kept nodes and the edges
+    /// between them survive. Used to restrict skeleton construction to
+    /// mainline locations while detours search the full graph.
+    #[must_use]
+    pub fn induced(&self, keep: &std::collections::BTreeSet<Location>) -> TransitionGraph {
+        let mut edges = BTreeMap::new();
+        for (from, outs) in &self.edges {
+            if !keep.contains(from) {
+                continue;
+            }
+            let kept: Vec<Edge> = outs.iter().filter(|e| keep.contains(&e.to)).cloned().collect();
+            if !kept.is_empty() {
+                edges.insert(from.clone(), kept);
+            }
+        }
+        let occurrences = self
+            .occurrences
+            .iter()
+            .filter(|(l, _)| keep.contains(*l))
+            .map(|(l, n)| (l.clone(), *n))
+            .collect();
+        TransitionGraph { edges, occurrences }
+    }
+
+    /// Breadth-first shortest path `from → to` (inclusive), if any.
+    pub fn shortest_path(&self, from: &Location, to: &Location) -> Option<Vec<Location>> {
+        if from == to {
+            return Some(vec![from.clone()]);
+        }
+        let mut prev: BTreeMap<Location, Location> = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::from([from.clone()]);
+        let mut seen: std::collections::BTreeSet<Location> = [from.clone()].into();
+        while let Some(cur) = queue.pop_front() {
+            for e in self.successors(&cur) {
+                if seen.insert(e.to.clone()) {
+                    prev.insert(e.to.clone(), cur.clone());
+                    if &e.to == to {
+                        let mut path = vec![to.clone()];
+                        let mut at = to.clone();
+                        while let Some(p) = prev.get(&at) {
+                            path.push(p.clone());
+                            at = p.clone();
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(e.to.clone());
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(name: &str) -> Location {
+        Location::enter(name)
+    }
+
+    fn mine(traces: &[Vec<Location>]) -> TransitionGraph {
+        TransitionGraph::mine(traces.iter(), MineConfig::default())
+    }
+
+    #[test]
+    fn counts_and_confidence() {
+        let traces = vec![
+            vec![l("a"), l("b"), l("c")],
+            vec![l("a"), l("b")],
+            vec![l("a"), l("c")],
+        ];
+        let g = mine(&traces);
+        assert_eq!(g.occurrences(&l("a")), 3);
+        let succ = g.successors(&l("a"));
+        assert_eq!(succ.len(), 2);
+        assert_eq!(succ[0].to, l("b"));
+        assert!((succ[0].confidence - 2.0 / 3.0).abs() < 1e-9);
+        assert!((succ[1].confidence - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_confidence_edges_dropped() {
+        let mut traces = vec![vec![l("a"), l("b")]; 99];
+        traces.push(vec![l("a"), l("z")]);
+        let g = TransitionGraph::mine(
+            traces.iter(),
+            MineConfig {
+                min_confidence: 0.05,
+                min_support: 1,
+            },
+        );
+        let succ = g.successors(&l("a"));
+        assert_eq!(succ.len(), 1);
+        assert_eq!(succ[0].to, l("b"));
+    }
+
+    #[test]
+    fn entry_nodes_have_no_incoming() {
+        let traces = vec![vec![l("main"), l("f"), l("g")]];
+        let g = mine(&traces);
+        assert_eq!(g.entry_nodes(), vec![l("main")]);
+    }
+
+    #[test]
+    fn self_loop_does_not_hide_entry() {
+        let traces = vec![vec![l("main"), l("main"), l("f")]];
+        let g = mine(&traces);
+        assert!(g.entry_nodes().contains(&l("main")));
+    }
+
+    #[test]
+    fn shortest_path_bfs() {
+        let traces = vec![
+            vec![l("a"), l("b"), l("c"), l("d")],
+            vec![l("a"), l("d")],
+        ];
+        let g = mine(&traces);
+        // Direct a -> d edge beats the 3-hop route.
+        assert_eq!(g.shortest_path(&l("a"), &l("d")).unwrap().len(), 2);
+        assert_eq!(g.shortest_path(&l("a"), &l("a")).unwrap().len(), 1);
+        assert!(g.shortest_path(&l("d"), &l("a")).is_none());
+    }
+
+    #[test]
+    fn edge_and_node_counts() {
+        let traces = vec![vec![l("a"), l("b"), l("a"), l("b")]];
+        let g = mine(&traces);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 2); // a->b and b->a
+    }
+}

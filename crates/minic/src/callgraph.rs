@@ -1,0 +1,227 @@
+//! Static call graph extraction.
+//!
+//! The paper's candidate-path analysis works over a Call-Graph-granularity
+//! view of the program (§V): nodes are functions, edges are call relations.
+//! The *dynamic* transition graph is mined from logs by `statsym-core`; the
+//! static call graph here is used for validation, reachability queries, and
+//! the hop-distance guidance of the symbolic executor.
+
+use crate::ast::*;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Static call graph: for each function, the set of direct callees.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// `callees[f]` = user functions called (directly) from `f`.
+    callees: BTreeMap<String, BTreeSet<String>>,
+    /// `callers[f]` = user functions that call `f` directly.
+    callers: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `program`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let p = minic::parse_program("fn f() { return; } fn main() { f(); }")?;
+    /// let cg = minic::CallGraph::build(&p);
+    /// assert!(cg.calls("main", "f"));
+    /// assert!(cg.reachable_from_main().contains("f"));
+    /// # Ok::<(), minic::Error>(())
+    /// ```
+    pub fn build(program: &Program) -> Self {
+        let mut cg = CallGraph::default();
+        for f in &program.functions {
+            cg.callees.entry(f.name.clone()).or_default();
+            cg.callers.entry(f.name.clone()).or_default();
+        }
+        for f in &program.functions {
+            let mut targets = BTreeSet::new();
+            collect_block(&f.body, &mut targets);
+            for t in targets {
+                cg.callers.entry(t.clone()).or_default().insert(f.name.clone());
+                cg.callees.entry(f.name.clone()).or_default().insert(t);
+            }
+        }
+        cg
+    }
+
+    /// True if `caller` has a direct call site targeting `callee`.
+    pub fn calls(&self, caller: &str, callee: &str) -> bool {
+        self.callees
+            .get(caller)
+            .is_some_and(|s| s.contains(callee))
+    }
+
+    /// Direct callees of `f`.
+    pub fn callees(&self, f: &str) -> impl Iterator<Item = &str> {
+        self.callees.get(f).into_iter().flatten().map(|s| s.as_str())
+    }
+
+    /// Direct callers of `f`.
+    pub fn callers(&self, f: &str) -> impl Iterator<Item = &str> {
+        self.callers.get(f).into_iter().flatten().map(|s| s.as_str())
+    }
+
+    /// All function names in the graph.
+    pub fn functions(&self) -> impl Iterator<Item = &str> {
+        self.callees.keys().map(|s| s.as_str())
+    }
+
+    /// The set of functions transitively reachable from `main`
+    /// (including `main` itself if present).
+    pub fn reachable_from_main(&self) -> BTreeSet<String> {
+        self.reachable_from("main")
+    }
+
+    /// The set of functions transitively reachable from `start`.
+    pub fn reachable_from(&self, start: &str) -> BTreeSet<String> {
+        let mut seen = BTreeSet::new();
+        if !self.callees.contains_key(start) {
+            return seen;
+        }
+        let mut queue = VecDeque::from([start.to_owned()]);
+        seen.insert(start.to_owned());
+        while let Some(f) = queue.pop_front() {
+            for callee in self.callees(&f) {
+                if seen.insert(callee.to_owned()) {
+                    queue.push_back(callee.to_owned());
+                }
+            }
+        }
+        seen
+    }
+
+    /// Length (in call edges) of the shortest call chain from `from` to
+    /// `to`, or `None` if unreachable.
+    pub fn call_distance(&self, from: &str, to: &str) -> Option<usize> {
+        if from == to {
+            return Some(0);
+        }
+        let mut dist: BTreeMap<&str, usize> = BTreeMap::new();
+        dist.insert(from, 0);
+        let mut queue = VecDeque::from([from]);
+        while let Some(f) = queue.pop_front() {
+            let d = dist[f];
+            for callee in self.callees(f) {
+                if !dist.contains_key(callee) {
+                    if callee == to {
+                        return Some(d + 1);
+                    }
+                    dist.insert(callee, d + 1);
+                    queue.push_back(callee);
+                }
+            }
+        }
+        None
+    }
+}
+
+fn collect_block(block: &Block, out: &mut BTreeSet<String>) {
+    for stmt in &block.stmts {
+        collect_stmt(stmt, out);
+    }
+}
+
+fn collect_stmt(stmt: &Stmt, out: &mut BTreeSet<String>) {
+    match &stmt.kind {
+        StmtKind::Let { init, .. } => {
+            if let Some(e) = init {
+                collect_expr(e, out);
+            }
+        }
+        StmtKind::Assign { value, .. } => collect_expr(value, out),
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            collect_expr(cond, out);
+            collect_block(then_blk, out);
+            if let Some(b) = else_blk {
+                collect_block(b, out);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            collect_expr(cond, out);
+            collect_block(body, out);
+        }
+        StmtKind::Return(Some(e)) | StmtKind::Assert(e) | StmtKind::Expr(e) => {
+            collect_expr(e, out)
+        }
+        StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
+    }
+}
+
+fn collect_expr(e: &Expr, out: &mut BTreeSet<String>) {
+    match &e.kind {
+        ExprKind::Bin { lhs, rhs, .. } => {
+            collect_expr(lhs, out);
+            collect_expr(rhs, out);
+        }
+        ExprKind::Un { operand, .. } => collect_expr(operand, out),
+        ExprKind::Call { callee, args } => {
+            if Builtin::from_name(callee).is_none() {
+                out.insert(callee.clone());
+            }
+            for a in args {
+                collect_expr(a, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    fn sample() -> Program {
+        parse_program(
+            r#"
+            fn leaf() { return; }
+            fn mid() { leaf(); }
+            fn unused() { leaf(); }
+            fn main() { mid(); }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn edges_and_reachability() {
+        let cg = CallGraph::build(&sample());
+        assert!(cg.calls("main", "mid"));
+        assert!(cg.calls("mid", "leaf"));
+        assert!(!cg.calls("main", "leaf"));
+        let reach = cg.reachable_from_main();
+        assert!(reach.contains("leaf"));
+        assert!(!reach.contains("unused"));
+    }
+
+    #[test]
+    fn callers_are_inverted_edges() {
+        let cg = CallGraph::build(&sample());
+        let callers: Vec<&str> = cg.callers("leaf").collect();
+        assert_eq!(callers, vec!["mid", "unused"]);
+    }
+
+    #[test]
+    fn call_distance_bfs() {
+        let cg = CallGraph::build(&sample());
+        assert_eq!(cg.call_distance("main", "leaf"), Some(2));
+        assert_eq!(cg.call_distance("main", "main"), Some(0));
+        assert_eq!(cg.call_distance("leaf", "main"), None);
+        assert_eq!(cg.call_distance("main", "unused"), None);
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let p = parse_program("fn main() { helper(); } fn helper() { helper(); }").unwrap();
+        let cg = CallGraph::build(&p);
+        assert!(cg.calls("helper", "helper"));
+        assert_eq!(cg.call_distance("main", "helper"), Some(1));
+    }
+}

@@ -1,0 +1,530 @@
+//! Type checker for MiniC.
+//!
+//! The type system is deliberately simple (monomorphic, no inference): it
+//! exists to catch mistakes in the benchmark programs early and to give the
+//! IR lowering pass a fully-annotated AST to work from.
+
+use crate::ast::*;
+use crate::{Error, Result, Span};
+use std::collections::HashMap;
+
+/// Type of an expression, extended with `Unit` for void calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ty {
+    Val(Type),
+    Unit,
+}
+
+impl Ty {
+    fn val(self, span: Span) -> Result<Type> {
+        match self {
+            Ty::Val(t) => Ok(t),
+            Ty::Unit => Err(Error::new(span, "expression has no value (unit)")),
+        }
+    }
+}
+
+/// Checks a parsed program. Called automatically by
+/// [`crate::parse_program`]; exposed for callers that construct ASTs
+/// programmatically.
+///
+/// # Errors
+///
+/// Returns the first type error: unknown names, arity mismatches, wrong
+/// operand types, non-bool conditions, return-type mismatches, duplicate
+/// definitions, or a missing `main`.
+pub fn check_program(program: &Program) -> Result<()> {
+    let mut checker = Checker::new(program)?;
+    for f in &program.functions {
+        checker.check_function(f)?;
+    }
+    if program.function("main").is_none() {
+        return Err(Error::new(Span::default(), "program has no `main` function"));
+    }
+    Ok(())
+}
+
+struct FnSig {
+    params: Vec<Type>,
+    ret: Option<Type>,
+}
+
+struct Checker<'p> {
+    program: &'p Program,
+    fns: HashMap<&'p str, FnSig>,
+    globals: HashMap<&'p str, Type>,
+    /// Locals and params of the function currently being checked.
+    locals: HashMap<String, Type>,
+}
+
+impl<'p> Checker<'p> {
+    fn new(program: &'p Program) -> Result<Self> {
+        let mut fns: HashMap<&str, FnSig> = HashMap::new();
+        for f in &program.functions {
+            if Builtin::from_name(&f.name).is_some() {
+                return Err(Error::new(
+                    f.span,
+                    format!("function `{}` shadows a builtin", f.name),
+                ));
+            }
+            if fns
+                .insert(
+                    &f.name,
+                    FnSig {
+                        params: f.params.iter().map(|p| p.ty).collect(),
+                        ret: f.ret,
+                    },
+                )
+                .is_some()
+            {
+                return Err(Error::new(
+                    f.span,
+                    format!("duplicate function `{}`", f.name),
+                ));
+            }
+        }
+        let mut globals = HashMap::new();
+        for g in &program.globals {
+            if matches!(g.ty, Type::Buf(_)) {
+                return Err(Error::new(g.span, "global buffers are not supported"));
+            }
+            if globals.insert(g.name.as_str(), g.ty).is_some() {
+                return Err(Error::new(g.span, format!("duplicate global `{}`", g.name)));
+            }
+            if let Some(init) = &g.init {
+                match (&init.kind, g.ty) {
+                    (ExprKind::Int(_), Type::Int)
+                    | (ExprKind::Bool(_), Type::Bool)
+                    | (ExprKind::Str(_), Type::Str) => {}
+                    _ => {
+                        return Err(Error::new(
+                            g.span,
+                            "global initializer must be a literal of the declared type",
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(Checker {
+            program,
+            fns,
+            globals,
+            locals: HashMap::new(),
+        })
+    }
+
+    fn check_function(&mut self, f: &Function) -> Result<()> {
+        self.locals.clear();
+        for p in &f.params {
+            if let Type::Buf(Some(_)) = p.ty {
+                return Err(Error::new(
+                    p.span,
+                    "buffer parameters must be unsized (`buf`)",
+                ));
+            }
+            if self.locals.insert(p.name.clone(), p.ty).is_some() {
+                return Err(Error::new(
+                    p.span,
+                    format!("duplicate parameter `{}`", p.name),
+                ));
+            }
+        }
+        self.check_block(&f.body, f)?;
+        Ok(())
+    }
+
+    fn check_block(&mut self, block: &Block, f: &Function) -> Result<()> {
+        for stmt in &block.stmts {
+            self.check_stmt(stmt, f)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt, f: &Function) -> Result<()> {
+        match &stmt.kind {
+            StmtKind::Let { name, ty, init } => {
+                if let Type::Buf(cap) = ty {
+                    if cap.is_none() {
+                        return Err(Error::new(
+                            stmt.span,
+                            "local buffer declarations need a capacity: `let b: buf[N];`",
+                        ));
+                    }
+                    if init.is_some() {
+                        return Err(Error::new(stmt.span, "buffers cannot take an initializer"));
+                    }
+                } else if let Some(init) = init {
+                    let it = self.check_expr(init)?.val(init.span)?;
+                    if !it.compatible(*ty) {
+                        return Err(Error::new(
+                            stmt.span,
+                            format!("let `{name}`: declared `{ty}` but initializer is `{it}`"),
+                        ));
+                    }
+                }
+                // Function-level scoping: later statements in any block see
+                // the binding; redefinition is an error to keep programs
+                // unambiguous for the analyses.
+                if self.locals.insert(name.clone(), *ty).is_some() {
+                    return Err(Error::new(
+                        stmt.span,
+                        format!("`{name}` is already defined in this function"),
+                    ));
+                }
+                Ok(())
+            }
+            StmtKind::Assign { name, value } => {
+                let vt = self.check_expr(value)?.val(value.span)?;
+                let target = self
+                    .locals
+                    .get(name)
+                    .copied()
+                    .or_else(|| self.globals.get(name.as_str()).copied())
+                    .ok_or_else(|| {
+                        Error::new(stmt.span, format!("assignment to unknown variable `{name}`"))
+                    })?;
+                if matches!(target, Type::Buf(_)) {
+                    return Err(Error::new(stmt.span, "buffers cannot be reassigned"));
+                }
+                if !vt.compatible(target) {
+                    return Err(Error::new(
+                        stmt.span,
+                        format!("cannot assign `{vt}` to `{name}: {target}`"),
+                    ));
+                }
+                Ok(())
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.expect_bool(cond)?;
+                self.check_block(then_blk, f)?;
+                if let Some(e) = else_blk {
+                    self.check_block(e, f)?;
+                }
+                Ok(())
+            }
+            StmtKind::While { cond, body } => {
+                self.expect_bool(cond)?;
+                self.check_block(body, f)
+            }
+            StmtKind::Return(value) => match (value, f.ret) {
+                (None, None) => Ok(()),
+                (Some(e), Some(rt)) => {
+                    let et = self.check_expr(e)?.val(e.span)?;
+                    if et.compatible(rt) {
+                        Ok(())
+                    } else {
+                        Err(Error::new(
+                            stmt.span,
+                            format!("function returns `{rt}` but value is `{et}`"),
+                        ))
+                    }
+                }
+                (None, Some(rt)) => Err(Error::new(
+                    stmt.span,
+                    format!("function must return a `{rt}` value"),
+                )),
+                (Some(_), None) => Err(Error::new(
+                    stmt.span,
+                    "function has no return type but returns a value",
+                )),
+            },
+            StmtKind::Assert(cond) => self.expect_bool(cond),
+            StmtKind::Break | StmtKind::Continue => Ok(()),
+            StmtKind::Expr(e) => {
+                if !matches!(e.kind, ExprKind::Call { .. }) {
+                    return Err(Error::new(
+                        stmt.span,
+                        "only calls may be used as statements",
+                    ));
+                }
+                self.check_expr(e)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn expect_bool(&mut self, cond: &Expr) -> Result<()> {
+        let t = self.check_expr(cond)?.val(cond.span)?;
+        if t == Type::Bool {
+            Ok(())
+        } else {
+            Err(Error::new(
+                cond.span,
+                format!("condition must be `bool`, found `{t}`"),
+            ))
+        }
+    }
+
+    fn check_expr(&mut self, e: &Expr) -> Result<Ty> {
+        match &e.kind {
+            ExprKind::Int(_) => Ok(Ty::Val(Type::Int)),
+            ExprKind::Bool(_) => Ok(Ty::Val(Type::Bool)),
+            ExprKind::Str(_) => Ok(Ty::Val(Type::Str)),
+            ExprKind::Var(name) => self
+                .locals
+                .get(name)
+                .copied()
+                .or_else(|| self.globals.get(name.as_str()).copied())
+                .map(Ty::Val)
+                .ok_or_else(|| Error::new(e.span, format!("unknown variable `{name}`"))),
+            ExprKind::Un { op, operand } => {
+                let t = self.check_expr(operand)?.val(operand.span)?;
+                match (op, t) {
+                    (UnOp::Neg, Type::Int) => Ok(Ty::Val(Type::Int)),
+                    (UnOp::Not, Type::Bool) => Ok(Ty::Val(Type::Bool)),
+                    _ => Err(Error::new(
+                        e.span,
+                        format!("unary `{op}` cannot be applied to `{t}`"),
+                    )),
+                }
+            }
+            ExprKind::Bin { op, lhs, rhs } => {
+                let lt = self.check_expr(lhs)?.val(lhs.span)?;
+                let rt = self.check_expr(rhs)?.val(rhs.span)?;
+                if op.is_arithmetic() {
+                    if lt == Type::Int && rt == Type::Int {
+                        Ok(Ty::Val(Type::Int))
+                    } else {
+                        Err(Error::new(
+                            e.span,
+                            format!("`{op}` needs int operands, found `{lt}` and `{rt}`"),
+                        ))
+                    }
+                } else if op.is_comparison() {
+                    let ok = (lt == Type::Int && rt == Type::Int)
+                        || (lt == Type::Bool
+                            && rt == Type::Bool
+                            && matches!(op, BinOp::Eq | BinOp::Ne));
+                    if ok {
+                        Ok(Ty::Val(Type::Bool))
+                    } else {
+                        Err(Error::new(
+                            e.span,
+                            format!("`{op}` cannot compare `{lt}` and `{rt}`"),
+                        ))
+                    }
+                } else {
+                    // && and ||
+                    if lt == Type::Bool && rt == Type::Bool {
+                        Ok(Ty::Val(Type::Bool))
+                    } else {
+                        Err(Error::new(
+                            e.span,
+                            format!("`{op}` needs bool operands, found `{lt}` and `{rt}`"),
+                        ))
+                    }
+                }
+            }
+            ExprKind::Call { callee, args } => self.check_call(e.span, callee, args),
+        }
+    }
+
+    fn check_call(&mut self, span: Span, callee: &str, args: &[Expr]) -> Result<Ty> {
+        let arg_tys: Vec<Type> = args
+            .iter()
+            .map(|a| self.check_expr(a).and_then(|t| t.val(a.span)))
+            .collect::<Result<_>>()?;
+
+        if let Some(b) = Builtin::from_name(callee) {
+            return self.check_builtin(span, b, args, &arg_tys);
+        }
+
+        let sig = self
+            .fns
+            .get(callee)
+            .ok_or_else(|| Error::new(span, format!("unknown function `{callee}`")))?;
+        if sig.params.len() != arg_tys.len() {
+            return Err(Error::new(
+                span,
+                format!(
+                    "`{callee}` expects {} arguments, found {}",
+                    sig.params.len(),
+                    arg_tys.len()
+                ),
+            ));
+        }
+        for (i, (pt, at)) in sig.params.iter().zip(&arg_tys).enumerate() {
+            if !at.compatible(*pt) {
+                return Err(Error::new(
+                    span,
+                    format!("`{callee}` argument {i}: expected `{pt}`, found `{at}`"),
+                ));
+            }
+        }
+        // Suppress unused-field warning; program kept for future diagnostics.
+        let _ = self.program;
+        Ok(sig.ret.map(Ty::Val).unwrap_or(Ty::Unit))
+    }
+
+    fn check_builtin(
+        &self,
+        span: Span,
+        b: Builtin,
+        args: &[Expr],
+        arg_tys: &[Type],
+    ) -> Result<Ty> {
+        let expect = |want: &[Type], ret: Ty| -> Result<Ty> {
+            if arg_tys.len() != want.len() {
+                return Err(Error::new(
+                    span,
+                    format!(
+                        "`{}` expects {} arguments, found {}",
+                        b.name(),
+                        want.len(),
+                        arg_tys.len()
+                    ),
+                ));
+            }
+            for (i, (w, a)) in want.iter().zip(arg_tys).enumerate() {
+                if !a.compatible(*w) {
+                    return Err(Error::new(
+                        span,
+                        format!("`{}` argument {i}: expected `{w}`, found `{a}`", b.name()),
+                    ));
+                }
+            }
+            Ok(ret)
+        };
+        match b {
+            Builtin::Len => expect(&[Type::Str], Ty::Val(Type::Int)),
+            Builtin::CharAt => expect(&[Type::Str, Type::Int], Ty::Val(Type::Int)),
+            Builtin::BufSet => expect(&[Type::Buf(None), Type::Int, Type::Int], Ty::Unit),
+            Builtin::BufGet => expect(&[Type::Buf(None), Type::Int], Ty::Val(Type::Int)),
+            Builtin::BufCap => expect(&[Type::Buf(None)], Ty::Val(Type::Int)),
+            Builtin::InputStr => {
+                expect(&[Type::Str, Type::Int], Ty::Val(Type::Str))?;
+                // Input names must be literals so the symbolic engine can
+                // identify inputs statically.
+                if !matches!(args[0].kind, ExprKind::Str(_)) {
+                    return Err(Error::new(span, "input name must be a string literal"));
+                }
+                if !matches!(args[1].kind, ExprKind::Int(_)) {
+                    return Err(Error::new(span, "input capacity must be an int literal"));
+                }
+                Ok(Ty::Val(Type::Str))
+            }
+            Builtin::InputInt => {
+                expect(&[Type::Str], Ty::Val(Type::Int))?;
+                if !matches!(args[0].kind, ExprKind::Str(_)) {
+                    return Err(Error::new(span, "input name must be a string literal"));
+                }
+                Ok(Ty::Val(Type::Int))
+            }
+            Builtin::Print => {
+                if args.is_empty() {
+                    return Err(Error::new(span, "`print` needs at least one argument"));
+                }
+                Ok(Ty::Unit)
+            }
+            Builtin::Exit => expect(&[Type::Int], Ty::Unit),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_program;
+
+    fn err(src: &str) -> String {
+        parse_program(src).unwrap_err().message
+    }
+
+    #[test]
+    fn accepts_well_typed_program() {
+        parse_program(
+            r#"
+            global count: int = 0;
+            fn helper(s: str, b: buf) -> int {
+                let i: int = 0;
+                while (char_at(s, i) != 0) { buf_set(b, i, char_at(s, i)); i = i + 1; }
+                return i;
+            }
+            fn main() -> int {
+                let input: str = input_str("arg0", 64);
+                let b: buf[32];
+                count = helper(input, b);
+                return count;
+            }
+            "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_main() {
+        assert!(err("fn f() { return; }").contains("main"));
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        assert!(err("fn main() { let x: int = y; }").contains("unknown variable"));
+    }
+
+    #[test]
+    fn rejects_type_mismatch_in_assign() {
+        assert!(err("fn main() { let x: int = 0; x = true; }").contains("cannot assign"));
+    }
+
+    #[test]
+    fn rejects_non_bool_condition() {
+        assert!(err("fn main() { if (1) { return; } }").contains("must be `bool`"));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        assert!(err("fn f(x: int) { return; } fn main() { f(); }").contains("expects 1"));
+    }
+
+    #[test]
+    fn rejects_return_type_mismatch() {
+        assert!(err("fn main() -> int { return true; }").contains("returns `int`"));
+    }
+
+    #[test]
+    fn rejects_buffer_reassignment() {
+        assert!(err("fn main() { let b: buf[4]; b = b; }").contains("reassign"));
+    }
+
+    #[test]
+    fn rejects_sized_buffer_param() {
+        assert!(err("fn f(b: buf[4]) { return; } fn main() { return; }").contains("unsized"));
+    }
+
+    #[test]
+    fn rejects_non_literal_input_name() {
+        assert!(
+            err(r#"fn main() { let s: str = "x"; let t: str = input_str(s, 4); print(t); }"#)
+                .contains("literal")
+        );
+    }
+
+    #[test]
+    fn rejects_shadowing_builtin() {
+        assert!(err("fn len(s: str) -> int { return 0; } fn main() { return; }")
+            .contains("builtin"));
+    }
+
+    #[test]
+    fn rejects_duplicate_local() {
+        assert!(
+            err("fn main() { let x: int = 0; let x: int = 1; }").contains("already defined")
+        );
+    }
+
+    #[test]
+    fn rejects_global_buffer() {
+        assert!(err("global b: buf[4]; fn main() { return; }").contains("global buffers"));
+    }
+
+    #[test]
+    fn rejects_bare_expression_statement() {
+        // Literal-headed statements are already rejected by the grammar.
+        assert!(err("fn main() { 1 + 2; }").contains("expected statement"));
+        // Variable-headed non-call expressions reach the checker.
+        assert!(err("fn main() { let x: int = 0; x; }").contains("only calls"));
+    }
+}

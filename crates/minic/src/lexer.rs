@@ -1,0 +1,299 @@
+//! Hand-written lexer for MiniC.
+//!
+//! Supports `//` line comments, decimal integer literals, string and char
+//! literals with a small escape set, identifiers/keywords, and the operator
+//! set listed in [`crate::token::TokenKind`].
+
+use crate::token::{Token, TokenKind};
+use crate::{Error, Result, Span};
+
+/// Tokenizes `src` into a vector of tokens terminated by [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns an [`Error`] on unterminated literals, bad escapes, integer
+/// overflow, or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let span = self.span();
+            let Some(b) = self.peek() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    span,
+                });
+                return Ok(out);
+            };
+            let kind = match b {
+                b'0'..=b'9' => self.number(span)?,
+                b'"' => self.string(span)?,
+                b'\'' => self.char_lit(span)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
+                _ => self.punct(span)?,
+            };
+            out.push(Token { kind, span });
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn number(&mut self, span: Span) -> Result<TokenKind> {
+        let mut v: i64 = 0;
+        while let Some(b @ b'0'..=b'9') = self.peek() {
+            v = v
+                .checked_mul(10)
+                .and_then(|v| v.checked_add((b - b'0') as i64))
+                .ok_or_else(|| Error::new(span, "integer literal overflows i64"))?;
+            self.bump();
+        }
+        Ok(TokenKind::Int(v))
+    }
+
+    fn escape(&mut self, span: Span) -> Result<u8> {
+        match self.bump() {
+            Some(b'n') => Ok(b'\n'),
+            Some(b't') => Ok(b'\t'),
+            Some(b'\\') => Ok(b'\\'),
+            Some(b'"') => Ok(b'"'),
+            Some(b'\'') => Ok(b'\''),
+            Some(b'0') => Ok(0),
+            other => Err(Error::new(
+                span,
+                format!("invalid escape sequence: \\{:?}", other.map(|b| b as char)),
+            )),
+        }
+    }
+
+    fn string(&mut self, span: Span) -> Result<TokenKind> {
+        self.bump(); // opening quote
+        let mut s = Vec::new();
+        loop {
+            match self.bump() {
+                None | Some(b'\n') => return Err(Error::new(span, "unterminated string literal")),
+                Some(b'"') => break,
+                Some(b'\\') => s.push(self.escape(span)?),
+                Some(b) => s.push(b),
+            }
+        }
+        let s = String::from_utf8(s)
+            .map_err(|_| Error::new(span, "string literal is not valid UTF-8"))?;
+        Ok(TokenKind::Str(s))
+    }
+
+    fn char_lit(&mut self, span: Span) -> Result<TokenKind> {
+        self.bump(); // opening quote
+        let b = match self.bump() {
+            None => return Err(Error::new(span, "unterminated character literal")),
+            Some(b'\\') => self.escape(span)?,
+            Some(b) => b,
+        };
+        match self.bump() {
+            Some(b'\'') => Ok(TokenKind::Char(b)),
+            _ => Err(Error::new(span, "unterminated character literal")),
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Safety of unwrap: identifier bytes are ASCII by construction.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_owned()))
+    }
+
+    fn punct(&mut self, span: Span) -> Result<TokenKind> {
+        let b = self.bump().expect("punct called at end of input");
+        let two = |l: &mut Self, second: u8, yes: TokenKind, no: TokenKind| {
+            if l.peek() == Some(second) {
+                l.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        Ok(match b {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semi,
+            b':' => TokenKind::Colon,
+            b'+' => TokenKind::Plus,
+            b'-' => two(self, b'>', TokenKind::Arrow, TokenKind::Minus),
+            b'*' => TokenKind::Star,
+            b'/' => TokenKind::Slash,
+            b'%' => TokenKind::Percent,
+            b'=' => two(self, b'=', TokenKind::EqEq, TokenKind::Assign),
+            b'!' => two(self, b'=', TokenKind::NotEq, TokenKind::Bang),
+            b'<' => two(self, b'=', TokenKind::Le, TokenKind::Lt),
+            b'>' => two(self, b'=', TokenKind::Ge, TokenKind::Gt),
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    return Err(Error::new(span, "expected `&&`"));
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    return Err(Error::new(span, "expected `||`"));
+                }
+            }
+            other => {
+                return Err(Error::new(
+                    span,
+                    format!("unexpected character `{}`", other as char),
+                ))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_function() {
+        let k = kinds("fn f(x: int) -> int { return x + 1; }");
+        assert_eq!(k[0], TokenKind::KwFn);
+        assert_eq!(k[1], TokenKind::Ident("f".into()));
+        assert!(k.contains(&TokenKind::Arrow));
+        assert_eq!(*k.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn lexes_operators_longest_match() {
+        assert_eq!(
+            kinds("<= < >= > == = != ! && ||"),
+            vec![
+                TokenKind::Le,
+                TokenKind::Lt,
+                TokenKind::Ge,
+                TokenKind::Gt,
+                TokenKind::EqEq,
+                TokenKind::Assign,
+                TokenKind::NotEq,
+                TokenKind::Bang,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_string_and_char_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb" '\0' 'z'"#),
+            vec![
+                TokenKind::Str("a\nb".into()),
+                TokenKind::Char(0),
+                TokenKind::Char(b'z'),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = lex("// header\nfn").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::KwFn);
+        assert_eq!(toks[0].span.line, 2);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn rejects_lone_ampersand() {
+        assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn rejects_integer_overflow() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Program-scale statistics, mirroring the paper's Table I.
+//!
+//! Table I reports, per application: Source Lines of Code (SLOC), external
+//! call sites (libc/system calls — MiniC builtins here), internal
+//! (user-level) call sites, global variables, and function parameters.
+
+use crate::ast::*;
+
+/// The statistics the paper's Table I reports for each program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProgramStats {
+    /// Non-blank, non-comment-only source lines.
+    pub sloc: usize,
+    /// Call sites targeting builtins ("Ext. Call").
+    pub external_calls: usize,
+    /// Call sites targeting user-defined functions ("Inter. Call").
+    pub internal_calls: usize,
+    /// Number of global variables ("G.V.").
+    pub globals: usize,
+    /// Total formal parameters across all functions ("Params.").
+    pub params: usize,
+    /// Number of function definitions (not in Table I but useful context).
+    pub functions: usize,
+    /// Number of branch statements (`if`/`while`), a proxy for path count.
+    pub branches: usize,
+}
+
+/// Computes [`ProgramStats`] for a checked program.
+///
+/// # Example
+///
+/// ```
+/// let p = minic::parse_program("fn main() -> int { print(1); return 0; }")?;
+/// let s = minic::program_stats(&p);
+/// assert_eq!(s.external_calls, 1);
+/// assert_eq!(s.functions, 1);
+/// # Ok::<(), minic::Error>(())
+/// ```
+pub fn program_stats(program: &Program) -> ProgramStats {
+    let mut stats = ProgramStats {
+        sloc: program
+            .source
+            .lines()
+            .filter(|l| {
+                let t = l.trim();
+                !t.is_empty() && !t.starts_with("//")
+            })
+            .count(),
+        globals: program.globals.len(),
+        functions: program.functions.len(),
+        ..ProgramStats::default()
+    };
+    for f in &program.functions {
+        stats.params += f.params.len();
+        visit_block(&f.body, &mut stats);
+    }
+    stats
+}
+
+fn visit_block(block: &Block, stats: &mut ProgramStats) {
+    for stmt in &block.stmts {
+        visit_stmt(stmt, stats);
+    }
+}
+
+fn visit_stmt(stmt: &Stmt, stats: &mut ProgramStats) {
+    match &stmt.kind {
+        StmtKind::Let { init, .. } => {
+            if let Some(e) = init {
+                visit_expr(e, stats);
+            }
+        }
+        StmtKind::Assign { value, .. } => visit_expr(value, stats),
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            stats.branches += 1;
+            visit_expr(cond, stats);
+            visit_block(then_blk, stats);
+            if let Some(e) = else_blk {
+                visit_block(e, stats);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            stats.branches += 1;
+            visit_expr(cond, stats);
+            visit_block(body, stats);
+        }
+        StmtKind::Return(Some(e)) | StmtKind::Assert(e) | StmtKind::Expr(e) => {
+            visit_expr(e, stats)
+        }
+        StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
+    }
+}
+
+fn visit_expr(e: &Expr, stats: &mut ProgramStats) {
+    match &e.kind {
+        ExprKind::Bin { lhs, rhs, .. } => {
+            visit_expr(lhs, stats);
+            visit_expr(rhs, stats);
+        }
+        ExprKind::Un { operand, .. } => visit_expr(operand, stats),
+        ExprKind::Call { callee, args } => {
+            if Builtin::from_name(callee).is_some() {
+                stats.external_calls += 1;
+            } else {
+                stats.internal_calls += 1;
+            }
+            for a in args {
+                visit_expr(a, stats);
+            }
+        }
+        ExprKind::Int(_) | ExprKind::Bool(_) | ExprKind::Str(_) | ExprKind::Var(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn counts_calls_globals_params_branches() {
+        let p = parse_program(
+            r#"
+            global g1: int = 0;
+            global g2: str = "";
+            fn helper(a: int, b: int) -> int {
+                if (a < b) { return a; }
+                return b;
+            }
+            fn main() -> int {
+                let i: int = 0;
+                while (i < 3) {
+                    print(helper(i, 2)); // 1 ext + 1 internal per visit
+                    i = i + 1;
+                }
+                return helper(g1, 0);
+            }
+            "#,
+        )
+        .unwrap();
+        let s = program_stats(&p);
+        assert_eq!(s.globals, 2);
+        assert_eq!(s.params, 2);
+        assert_eq!(s.functions, 2);
+        assert_eq!(s.internal_calls, 2);
+        assert_eq!(s.external_calls, 1);
+        assert_eq!(s.branches, 2);
+        assert!(s.sloc >= 10);
+    }
+
+    #[test]
+    fn sloc_skips_blank_and_comment_lines() {
+        let p = parse_program("// comment\n\nfn main() { return; }\n").unwrap();
+        assert_eq!(program_stats(&p).sloc, 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Token definitions for the MiniC lexer.
+
+use crate::Span;
+use std::fmt;
+
+/// A lexical token paired with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Where the token starts in the source.
+    pub span: Span,
+}
+
+/// The set of MiniC tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Integer literal (decimal), e.g. `512`.
+    Int(i64),
+    /// String literal, e.g. `"hello"`. Escapes `\n`, `\t`, `\\`, `\"`, `\0`
+    /// are resolved during lexing.
+    Str(String),
+    /// Character literal, e.g. `'a'`; carries its byte value.
+    Char(u8),
+    /// Identifier or keyword candidate.
+    Ident(String),
+
+    // Keywords.
+    KwGlobal,
+    KwFn,
+    KwLet,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwReturn,
+    KwAssert,
+    KwTrue,
+    KwFalse,
+    KwInt,
+    KwBool,
+    KwStr,
+    KwBuf,
+    KwBreak,
+    KwContinue,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Arrow,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Bang,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword token for `ident`, if it is a reserved word.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "global" => TokenKind::KwGlobal,
+            "fn" => TokenKind::KwFn,
+            "let" => TokenKind::KwLet,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "return" => TokenKind::KwReturn,
+            "assert" => TokenKind::KwAssert,
+            "true" => TokenKind::KwTrue,
+            "false" => TokenKind::KwFalse,
+            "int" => TokenKind::KwInt,
+            "bool" => TokenKind::KwBool,
+            "str" => TokenKind::KwStr,
+            "buf" => TokenKind::KwBuf,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "{s:?}"),
+            TokenKind::Char(c) => write!(f, "'{}'", *c as char),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::KwGlobal => write!(f, "global"),
+            TokenKind::KwFn => write!(f, "fn"),
+            TokenKind::KwLet => write!(f, "let"),
+            TokenKind::KwIf => write!(f, "if"),
+            TokenKind::KwElse => write!(f, "else"),
+            TokenKind::KwWhile => write!(f, "while"),
+            TokenKind::KwReturn => write!(f, "return"),
+            TokenKind::KwAssert => write!(f, "assert"),
+            TokenKind::KwTrue => write!(f, "true"),
+            TokenKind::KwFalse => write!(f, "false"),
+            TokenKind::KwInt => write!(f, "int"),
+            TokenKind::KwBool => write!(f, "bool"),
+            TokenKind::KwStr => write!(f, "str"),
+            TokenKind::KwBuf => write!(f, "buf"),
+            TokenKind::KwBreak => write!(f, "break"),
+            TokenKind::KwContinue => write!(f, "continue"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBrace => write!(f, "{{"),
+            TokenKind::RBrace => write!(f, "}}"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Semi => write!(f, ";"),
+            TokenKind::Colon => write!(f, ":"),
+            TokenKind::Arrow => write!(f, "->"),
+            TokenKind::Assign => write!(f, "="),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::Percent => write!(f, "%"),
+            TokenKind::Bang => write!(f, "!"),
+            TokenKind::EqEq => write!(f, "=="),
+            TokenKind::NotEq => write!(f, "!="),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::AndAnd => write!(f, "&&"),
+            TokenKind::OrOr => write!(f, "||"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_covers_reserved_words() {
+        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::KwWhile));
+        assert_eq!(TokenKind::keyword("buf"), Some(TokenKind::KwBuf));
+        assert_eq!(TokenKind::keyword("not_a_kw"), None);
+    }
+
+    #[test]
+    fn display_is_nonempty_for_all_punct() {
+        let toks = [
+            TokenKind::Arrow,
+            TokenKind::AndAnd,
+            TokenKind::OrOr,
+            TokenKind::NotEq,
+            TokenKind::Eof,
+        ];
+        for t in toks {
+            assert!(!t.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Control-flow graph analyses over lowered functions.
+//!
+//! The paper operates at call-graph granularity but notes (§V) that the
+//! framework "can be easily extended to include finer granularity CFG
+//! nodes". This module provides the block-level view: predecessors and
+//! successors, reachability, unreachable-block detection, and loop-header
+//! (back-edge) identification — useful both for diagnostics and for
+//! future basic-block-level instrumentation.
+
+use crate::ir::{BlockId, FuncBody};
+use std::collections::{BTreeSet, VecDeque};
+
+/// The control-flow graph of one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Builds the CFG for `func`.
+    pub fn build(func: &FuncBody) -> Cfg {
+        let n = func.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (i, block) in func.blocks.iter().enumerate() {
+            for s in block.term.0.successors() {
+                succs[i].push(s);
+                preds[s.index()].push(BlockId(i as u32));
+            }
+        }
+        Cfg { succs, preds }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True when the function has no blocks (never produced by lowering).
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Successor blocks of `b`.
+    pub fn successors(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessor blocks of `b`.
+    pub fn predecessors(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Blocks reachable from the entry, in BFS order.
+    pub fn reachable(&self) -> Vec<BlockId> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let mut seen = BTreeSet::from([BlockId(0)]);
+        let mut order = Vec::new();
+        let mut queue = VecDeque::from([BlockId(0)]);
+        while let Some(b) = queue.pop_front() {
+            order.push(b);
+            for &s in self.successors(b) {
+                if seen.insert(s) {
+                    queue.push_back(s);
+                }
+            }
+        }
+        order
+    }
+
+    /// Blocks that no path from the entry reaches. Lowering produces
+    /// these only for source-level dead code (e.g. statements after a
+    /// `return` inside a block are skipped, but an `if` with both arms
+    /// returning leaves its join block unreachable).
+    pub fn unreachable_blocks(&self) -> Vec<BlockId> {
+        let reach: BTreeSet<BlockId> = self.reachable().into_iter().collect();
+        (0..self.len() as u32)
+            .map(BlockId)
+            .filter(|b| !reach.contains(b))
+            .collect()
+    }
+
+    /// Back edges `(from, to)` where `to` is an ancestor of `from` in the
+    /// DFS tree — each `to` is a loop header.
+    pub fn back_edges(&self) -> Vec<(BlockId, BlockId)> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let mut color = vec![Color::White; self.len()];
+        let mut out = Vec::new();
+        if self.is_empty() {
+            return out;
+        }
+        // Iterative DFS with an explicit finish marker.
+        let mut stack = vec![(BlockId(0), false)];
+        while let Some((b, finished)) = stack.pop() {
+            if finished {
+                color[b.index()] = Color::Black;
+                continue;
+            }
+            if color[b.index()] != Color::White {
+                continue;
+            }
+            color[b.index()] = Color::Grey;
+            stack.push((b, true));
+            for &s in self.successors(b) {
+                match color[s.index()] {
+                    Color::Grey => out.push((b, s)),
+                    Color::White => stack.push((s, false)),
+                    Color::Black => {}
+                }
+            }
+        }
+        out
+    }
+
+    /// Loop headers: targets of back edges, deduplicated.
+    pub fn loop_headers(&self) -> Vec<BlockId> {
+        let mut headers: Vec<BlockId> = self.back_edges().into_iter().map(|(_, to)| to).collect();
+        headers.sort_unstable();
+        headers.dedup();
+        headers
+    }
+
+    /// True when `func` contains a loop.
+    pub fn has_loop(&self) -> bool {
+        !self.back_edges().is_empty()
+    }
+
+    /// Immediate dominators (Cooper–Harvey–Kennedy iterative algorithm).
+    /// `idom[entry] == entry`; unreachable blocks have no entry in the
+    /// returned map.
+    pub fn immediate_dominators(&self) -> std::collections::BTreeMap<BlockId, BlockId> {
+        use std::collections::BTreeMap;
+        let order = self.reachable(); // reverse-postorder approximation: BFS order
+        let mut rpo_index: BTreeMap<BlockId, usize> = BTreeMap::new();
+        for (i, b) in order.iter().enumerate() {
+            rpo_index.insert(*b, i);
+        }
+        let mut idom: BTreeMap<BlockId, BlockId> = BTreeMap::new();
+        if order.is_empty() {
+            return idom;
+        }
+        let entry = order[0];
+        idom.insert(entry, entry);
+        let intersect = |idom: &BTreeMap<BlockId, BlockId>, mut a: BlockId, mut b: BlockId| {
+            while a != b {
+                while rpo_index[&a] > rpo_index[&b] {
+                    a = idom[&a];
+                }
+                while rpo_index[&b] > rpo_index[&a] {
+                    b = idom[&b];
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in order.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in self.predecessors(b) {
+                    if !idom.contains_key(&p) {
+                        continue; // predecessor not yet processed (or unreachable)
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if let Some(n) = new_idom {
+                    if idom.get(&b) != Some(&n) {
+                        idom.insert(b, n);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        idom
+    }
+
+    /// True if `a` dominates `b` (every entry→`b` path passes `a`).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let idom = self.immediate_dominators();
+        let entry = BlockId(0);
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == entry {
+                return a == entry;
+            }
+            match idom.get(&cur) {
+                Some(&d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_of(src: &str, func: &str) -> Cfg {
+        let p = minic::parse_program(src).unwrap();
+        let m = crate::lower(&p).unwrap();
+        Cfg::build(m.function_by_name(func).unwrap())
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let cfg = cfg_of("fn main() -> int { let a: int = 1; return a + 1; }", "main");
+        assert!(!cfg.has_loop());
+        assert!(cfg.unreachable_blocks().is_empty());
+        assert_eq!(cfg.reachable().len(), cfg.len());
+    }
+
+    #[test]
+    fn while_loop_has_header_and_backedge() {
+        let cfg = cfg_of(
+            "fn main() { let i: int = 0; while (i < 5) { i = i + 1; } }",
+            "main",
+        );
+        assert!(cfg.has_loop());
+        assert_eq!(cfg.loop_headers().len(), 1);
+        let header = cfg.loop_headers()[0];
+        // The header has two predecessors: entry and the loop body.
+        assert_eq!(cfg.predecessors(header).len(), 2);
+    }
+
+    #[test]
+    fn nested_loops_have_two_headers() {
+        let cfg = cfg_of(
+            r#"fn main() {
+                let i: int = 0;
+                while (i < 3) {
+                    let j: int = 0;
+                    while (j < 3) { j = j + 1; }
+                    i = i + 1;
+                }
+            }"#,
+            "main",
+        );
+        assert_eq!(cfg.loop_headers().len(), 2);
+    }
+
+    #[test]
+    fn both_arms_returning_leaves_join_unreachable() {
+        let cfg = cfg_of(
+            r#"fn f(x: int) -> int {
+                if (x > 0) { return 1; } else { return 2; }
+            }
+            fn main() { print(f(1)); }"#,
+            "f",
+        );
+        // The join block after the if is never entered.
+        assert!(!cfg.unreachable_blocks().is_empty());
+    }
+
+    #[test]
+    fn branch_successors_and_predecessors_are_consistent() {
+        let cfg = cfg_of(
+            "fn main() { let x: int = 1; if (x > 0) { print(1); } else { print(2); } }",
+            "main",
+        );
+        for b in 0..cfg.len() as u32 {
+            let b = BlockId(b);
+            for &s in cfg.successors(b) {
+                assert!(cfg.predecessors(s).contains(&b));
+            }
+            for &p in cfg.predecessors(b) {
+                assert!(cfg.successors(p).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn dominators_of_a_diamond() {
+        // entry -> {then, else} -> join: entry dominates everything; the
+        // join is dominated by entry only (not by either arm).
+        let cfg = cfg_of(
+            "fn main() { let x: int = 1; if (x > 0) { print(1); } else { print(2); } print(3); }",
+            "main",
+        );
+        let idom = cfg.immediate_dominators();
+        let entry = BlockId(0);
+        assert_eq!(idom[&entry], entry);
+        for b in cfg.reachable() {
+            assert!(cfg.dominates(entry, b), "entry dominates {b}");
+        }
+        // Find the join block: the reachable block with two predecessors.
+        let join = cfg
+            .reachable()
+            .into_iter()
+            .find(|&b| cfg.predecessors(b).len() == 2 && !cfg.loop_headers().contains(&b))
+            .expect("join block");
+        assert_eq!(idom[&join], entry, "join's idom is the branch block");
+    }
+
+    #[test]
+    fn loop_header_dominates_its_body() {
+        let cfg = cfg_of(
+            "fn main() { let i: int = 0; while (i < 5) { i = i + 1; } print(i); }",
+            "main",
+        );
+        let header = cfg.loop_headers()[0];
+        for (from, to) in cfg.back_edges() {
+            assert_eq!(to, header);
+            assert!(cfg.dominates(header, from), "header dominates latch");
+        }
+    }
+
+    #[test]
+    fn benchapp_fault_functions_contain_loops() {
+        // Every benchmark's vulnerable function is loop-based (the
+        // paper's explosion source); spot-check one here without a
+        // cyclic dependency on benchapps.
+        let cfg = cfg_of(
+            r#"fn convert(s: str) {
+                let b: buf[4];
+                let i: int = 0;
+                while (char_at(s, i) != 0) { buf_set(b, i, 1); i = i + 1; }
+            }
+            fn main() { convert("x"); }"#,
+            "convert",
+        );
+        assert!(cfg.has_loop());
+    }
+}

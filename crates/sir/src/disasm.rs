@@ -1,0 +1,152 @@
+//! Human-readable SIR disassembly, for debugging lowering and the engines.
+
+use crate::ir::*;
+use std::fmt::Write as _;
+
+/// Renders an entire module as text.
+///
+/// # Example
+///
+/// ```
+/// let p = minic::parse_program("fn main() -> int { return 1 + 2; }")?;
+/// let m = sir::lower(&p)?;
+/// let text = sir::disassemble(&m);
+/// assert!(text.contains("fn main"));
+/// assert!(text.contains("ret"));
+/// # Ok::<(), minic::Error>(())
+/// ```
+pub fn disassemble(module: &Module) -> String {
+    let mut out = String::new();
+    for (i, g) in module.globals.iter().enumerate() {
+        let _ = writeln!(out, "global g{i} {} : {} = {:?}", g.name, g.ty, g.init);
+    }
+    for (i, inp) in module.inputs.iter().enumerate() {
+        let _ = writeln!(out, "input i{i} {:?} : {:?}", inp.name, inp.kind);
+    }
+    for f in &module.funcs {
+        let params: Vec<String> = f
+            .params
+            .iter()
+            .map(|(n, t)| format!("{n}: {t}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "\nfn {}({}) [regs={}]",
+            f.name,
+            params.join(", "),
+            f.num_regs
+        );
+        for (bi, block) in f.blocks.iter().enumerate() {
+            let _ = writeln!(out, "b{bi}:");
+            for (inst, span) in &block.insts {
+                let _ = writeln!(out, "    {}    ; {span}", render_inst(inst));
+            }
+            let (term, span) = &block.term;
+            let _ = writeln!(out, "    {}    ; {span}", render_term(term));
+        }
+    }
+    out
+}
+
+fn render_inst(inst: &Inst) -> String {
+    match inst {
+        Inst::Const { dst, value } => format!("{dst} = const {value:?}"),
+        Inst::Move { dst, src } => format!("{dst} = {src}"),
+        Inst::Bin { op, dst, a, b } => format!("{dst} = {a} {op} {b}"),
+        Inst::Not { dst, src } => format!("{dst} = not {src}"),
+        Inst::Neg { dst, src } => format!("{dst} = neg {src}"),
+        Inst::LoadGlobal { dst, global } => format!("{dst} = load {global}"),
+        Inst::StoreGlobal { global, src } => format!("store {global}, {src}"),
+        Inst::Call { dst, func, args } => {
+            let args: Vec<String> = args.iter().map(|r| r.to_string()).collect();
+            match dst {
+                Some(d) => format!("{d} = call {func}({})", args.join(", ")),
+                None => format!("call {func}({})", args.join(", ")),
+            }
+        }
+        Inst::AllocBuf { dst, cap } => format!("{dst} = allocbuf {cap}"),
+        Inst::BufSet { buf, idx, val } => format!("bufset {buf}[{idx}] = {val}"),
+        Inst::BufGet { dst, buf, idx } => format!("{dst} = bufget {buf}[{idx}]"),
+        Inst::BufCap { dst, buf } => format!("{dst} = bufcap {buf}"),
+        Inst::StrAt { dst, s, idx } => format!("{dst} = strat {s}[{idx}]"),
+        Inst::StrLen { dst, s } => format!("{dst} = strlen {s}"),
+        Inst::Input { dst, input } => format!("{dst} = input {input}"),
+        Inst::Print { args } => {
+            let args: Vec<String> = args.iter().map(|r| r.to_string()).collect();
+            format!("print {}", args.join(", "))
+        }
+        Inst::Exit { code } => format!("exit {code}"),
+        Inst::Assert { cond } => format!("assert {cond}"),
+    }
+}
+
+fn render_term(term: &Terminator) -> String {
+    match term {
+        Terminator::Jump(b) => format!("jmp {b}"),
+        Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } => format!("br {cond} ? {then_bb} : {else_bb}"),
+        Terminator::Return(Some(r)) => format!("ret {r}"),
+        Terminator::Return(None) => "ret".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+
+    #[test]
+    fn disassembly_mentions_all_functions_and_inputs() {
+        let p = minic::parse_program(
+            r#"
+            global g: int = 1;
+            fn helper(x: int) -> int { return x; }
+            fn main() { let s: str = input_str("req", 16); print(helper(g), s); }
+            "#,
+        )
+        .unwrap();
+        let m = lower(&p).unwrap();
+        let text = disassemble(&m);
+        assert!(text.contains("fn helper"));
+        assert!(text.contains("fn main"));
+        assert!(text.contains("input i0 \"req\""));
+        assert!(text.contains("global g0 g"));
+        assert!(text.contains("br ") || text.contains("jmp ") || text.contains("ret"));
+    }
+
+    #[test]
+    fn every_instruction_variant_renders() {
+        // Smoke test over a program that exercises most instructions.
+        let p = minic::parse_program(
+            r#"
+            global g: int = 0;
+            fn main() {
+                let b: buf[8];
+                let i: int = input_int("n");
+                buf_set(b, 0, i);
+                let v: int = buf_get(b, 0);
+                let c: int = buf_cap(b);
+                let s: str = "ab";
+                let l: int = len(s);
+                let ch: int = char_at(s, 0);
+                g = v + c + l + ch;
+                assert(g > -1000);
+                if (!(g == 0) && g > -5) { print(g); }
+                exit(0);
+            }
+            "#,
+        )
+        .unwrap();
+        let m = lower(&p).unwrap();
+        let text = disassemble(&m);
+        for needle in [
+            "allocbuf", "bufset", "bufget", "bufcap", "strlen", "strat", "input", "assert",
+            "print", "exit", "store", "load",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+}

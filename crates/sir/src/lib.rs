@@ -1,0 +1,38 @@
+//! SIR — the StatSym Intermediate Representation.
+//!
+//! SIR is a register-based bytecode with explicit basic blocks, lowered
+//! from the MiniC AST. It plays the role LLVM bitcode plays for KLEE in
+//! the paper: both the concrete VM (`concrete`) and the symbolic executor
+//! (`symex`) interpret the same SIR module, guaranteeing that statistical
+//! logs and symbolic exploration observe identical program structure.
+//!
+//! * [`ir`] — instruction set, module/function/block containers.
+//! * [`mod@lower`] — AST → SIR lowering (short-circuit `&&`/`||` become
+//!   control flow, so every path constraint is an atomic comparison).
+//! * [`mod@verify`] — structural validator run after lowering.
+//! * [`disasm`] — human-readable disassembly for debugging.
+//!
+//! # Example
+//!
+//! ```
+//! let program = minic::parse_program("fn main() -> int { return 2 + 3; }")?;
+//! let module = sir::lower(&program)?;
+//! assert!(module.function_by_name("main").is_some());
+//! sir::verify(&module).expect("lowering produces valid SIR");
+//! # Ok::<(), minic::Error>(())
+//! ```
+
+pub mod cfg;
+pub mod disasm;
+pub mod ir;
+pub mod lower;
+pub mod verify;
+
+pub use cfg::Cfg;
+pub use disasm::disassemble;
+pub use ir::{
+    BasicBlock, BlockId, ConstValue, FuncBody, FuncId, GlobalDef, GlobalId, Inst, InputDef,
+    InputId, InputKind, Module, Reg, Terminator,
+};
+pub use lower::lower;
+pub use verify::{verify, VerifyError};

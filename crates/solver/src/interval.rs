@@ -1,0 +1,310 @@
+//! Closed integer intervals with saturating arithmetic.
+
+use std::fmt;
+
+/// A closed interval `[lo, hi]` over `i64`, or empty when `lo > hi`.
+///
+/// Arithmetic saturates at the `i64` bounds; the solver treats saturation
+/// conservatively (it can only widen, never wrongly narrow, a domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Lower bound (inclusive).
+    pub lo: i64,
+    /// Upper bound (inclusive).
+    pub hi: i64,
+}
+
+#[allow(clippy::should_implement_trait)] // interval ops are deliberate inherent methods
+impl Interval {
+    /// The full `i64` range.
+    pub const TOP: Interval = Interval {
+        lo: i64::MIN,
+        hi: i64::MAX,
+    };
+
+    /// A canonical empty interval.
+    pub const EMPTY: Interval = Interval { lo: 1, hi: 0 };
+
+    /// Creates `[lo, hi]`.
+    pub fn new(lo: i64, hi: i64) -> Interval {
+        Interval { lo, hi }
+    }
+
+    /// The singleton `[v, v]`.
+    pub fn point(v: i64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// True when the interval contains no values.
+    pub fn is_empty(self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// True when the interval is a single value.
+    pub fn is_point(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// True when `v` lies inside.
+    pub fn contains(self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Number of values, saturating at `u64::MAX`.
+    pub fn width(self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            (self.hi as i128 - self.lo as i128 + 1).min(u64::MAX as i128) as u64
+        }
+    }
+
+    /// Intersection.
+    #[must_use]
+    pub fn intersect(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// Smallest interval containing both.
+    #[must_use]
+    pub fn hull(self, other: Interval) -> Interval {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Interval sum.
+    #[must_use]
+    pub fn add(self, other: Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval {
+            lo: self.lo.saturating_add(other.lo),
+            hi: self.hi.saturating_add(other.hi),
+        }
+    }
+
+    /// Interval difference.
+    #[must_use]
+    pub fn sub(self, other: Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval {
+            lo: self.lo.saturating_sub(other.hi),
+            hi: self.hi.saturating_sub(other.lo),
+        }
+    }
+
+    /// Interval negation.
+    #[must_use]
+    pub fn neg(self) -> Interval {
+        if self.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval {
+            lo: self.hi.checked_neg().unwrap_or(i64::MAX),
+            hi: self.lo.checked_neg().unwrap_or(i64::MAX),
+        }
+    }
+
+    /// Interval product.
+    #[must_use]
+    pub fn mul(self, other: Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        let candidates = [
+            sat_mul(self.lo, other.lo),
+            sat_mul(self.lo, other.hi),
+            sat_mul(self.hi, other.lo),
+            sat_mul(self.hi, other.hi),
+        ];
+        Interval {
+            lo: *candidates.iter().min().unwrap(),
+            hi: *candidates.iter().max().unwrap(),
+        }
+    }
+
+    /// Interval quotient (truncating division). Division by an interval
+    /// containing 0 conservatively widens toward `TOP` over the nonzero
+    /// part; division by exactly `[0,0]` yields `TOP` (the VM faults on
+    /// it, so the branch is pruned elsewhere).
+    #[must_use]
+    pub fn div(self, other: Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        // Split divisor into negative and positive parts, excluding zero.
+        let mut result = Interval::EMPTY;
+        let neg_part = other.intersect(Interval::new(i64::MIN, -1));
+        let pos_part = other.intersect(Interval::new(1, i64::MAX));
+        for part in [neg_part, pos_part] {
+            if part.is_empty() {
+                continue;
+            }
+            let candidates = [
+                div64(self.lo, part.lo),
+                div64(self.lo, part.hi),
+                div64(self.hi, part.lo),
+                div64(self.hi, part.hi),
+            ];
+            let q = Interval {
+                lo: *candidates.iter().min().unwrap(),
+                hi: *candidates.iter().max().unwrap(),
+            };
+            result = result.hull(q);
+        }
+        if result.is_empty() {
+            // Divisor was exactly [0,0].
+            Interval::TOP
+        } else {
+            result
+        }
+    }
+
+    /// Interval remainder (truncating `%`). Conservative: bounds the
+    /// magnitude by `|divisor| - 1` and by the dividend's own range.
+    #[must_use]
+    pub fn rem(self, other: Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::EMPTY;
+        }
+        let max_abs_div = other.lo.unsigned_abs().max(other.hi.unsigned_abs());
+        if max_abs_div == 0 {
+            return Interval::TOP;
+        }
+        let bound = (max_abs_div - 1).min(i64::MAX as u64) as i64;
+        let mag = Interval::new(-bound, bound);
+        // Remainder sign follows the dividend.
+        let mut out = mag;
+        if self.lo >= 0 {
+            out = out.intersect(Interval::new(0, i64::MAX));
+        }
+        if self.hi <= 0 {
+            out = out.intersect(Interval::new(i64::MIN, 0));
+        }
+        out.intersect(Interval::new(
+            self.lo.min(0).max(-bound),
+            self.hi.max(0).min(bound),
+        ))
+    }
+}
+
+fn sat_mul(a: i64, b: i64) -> i64 {
+    a.saturating_mul(b)
+}
+
+fn div64(a: i64, b: i64) -> i64 {
+    debug_assert!(b != 0);
+    if a == i64::MIN && b == -1 {
+        i64::MAX
+    } else {
+        a / b
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            f.write_str("[]")
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let a = Interval::new(1, 3);
+        let b = Interval::new(10, 20);
+        assert_eq!(a.add(b), Interval::new(11, 23));
+        assert_eq!(b.sub(a), Interval::new(7, 19));
+        assert_eq!(a.neg(), Interval::new(-3, -1));
+        assert_eq!(a.mul(b), Interval::new(10, 60));
+    }
+
+    #[test]
+    fn mul_with_negative_ranges() {
+        let a = Interval::new(-2, 3);
+        let b = Interval::new(-5, 4);
+        assert_eq!(a.mul(b), Interval::new(-15, 12));
+    }
+
+    #[test]
+    fn div_positive_divisor() {
+        let a = Interval::new(10, 21);
+        let b = Interval::new(2, 3);
+        let q = a.div(b);
+        // All concrete quotients must be inside.
+        for x in 10..=21 {
+            for y in 2..=3 {
+                assert!(q.contains(x / y), "{q} missing {}", x / y);
+            }
+        }
+    }
+
+    #[test]
+    fn div_straddling_zero_is_conservative() {
+        let a = Interval::new(10, 20);
+        let b = Interval::new(-2, 2);
+        let q = a.div(b);
+        for y in [-2i64, -1, 1, 2] {
+            for x in 10..=20 {
+                assert!(q.contains(x / y));
+            }
+        }
+    }
+
+    #[test]
+    fn rem_bounds_magnitude() {
+        let a = Interval::new(0, 100);
+        let b = Interval::point(7);
+        let r = a.rem(b);
+        for x in 0..=100 {
+            assert!(r.contains(x % 7));
+        }
+        assert!(r.hi <= 6);
+        assert!(r.lo >= 0);
+    }
+
+    #[test]
+    fn empty_propagates() {
+        assert!(Interval::EMPTY.add(Interval::point(3)).is_empty());
+        assert!(Interval::point(1).intersect(Interval::point(2)).is_empty());
+    }
+
+    #[test]
+    fn width_and_hull() {
+        assert_eq!(Interval::new(3, 7).width(), 5);
+        assert_eq!(Interval::EMPTY.width(), 0);
+        assert_eq!(
+            Interval::new(1, 2).hull(Interval::new(8, 9)),
+            Interval::new(1, 9)
+        );
+        assert_eq!(Interval::TOP.width(), u64::MAX);
+    }
+
+    #[test]
+    fn saturation_at_bounds() {
+        let big = Interval::new(i64::MAX - 1, i64::MAX);
+        let sum = big.add(big);
+        assert_eq!(sum.hi, i64::MAX);
+        assert!(sum.lo <= sum.hi);
+    }
+}

@@ -1,0 +1,665 @@
+//! The decision procedure: interval propagation + backtracking search.
+
+use crate::interval::Interval;
+use crate::term::{CmpOp, Constraint, Term, TermCtx, TermId, VarId};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Resource limits for one `check` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Maximum propagation rounds per fixpoint (defensive bound; real
+    /// fixpoints converge much earlier).
+    pub max_rounds: usize,
+    /// Maximum search-tree nodes before giving up with `Unknown`.
+    pub max_nodes: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            max_rounds: 64,
+            max_nodes: 50_000,
+        }
+    }
+}
+
+/// Counters accumulated across `check` calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverStats {
+    /// Total queries (including cache hits).
+    pub queries: u64,
+    /// Queries answered `Sat`.
+    pub sat: u64,
+    /// Queries answered `Unsat`.
+    pub unsat: u64,
+    /// Queries answered `Unknown`.
+    pub unknown: u64,
+    /// Queries answered from the cache.
+    pub cache_hits: u64,
+    /// Search nodes explored.
+    pub nodes: u64,
+}
+
+/// A satisfying assignment for the variables that appear in the query.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Model {
+    values: HashMap<VarId, i64>,
+}
+
+impl Model {
+    /// The assigned value of `v`, if `v` appeared in the query.
+    pub fn get(&self, v: VarId) -> Option<i64> {
+        self.values.get(&v).copied()
+    }
+
+    /// The assigned value of `v`, falling back to the low end of its
+    /// declared domain — the completion used to materialize test inputs.
+    pub fn get_or_default(&self, v: VarId, ctx: &TermCtx) -> i64 {
+        self.get(v).unwrap_or_else(|| ctx.var_info(v).domain.lo)
+    }
+
+    /// Evaluates `t` under this model (unassigned variables default to
+    /// the low end of their domain). Returns `None` only for division or
+    /// remainder by zero.
+    pub fn value_of(&self, t: TermId, ctx: &TermCtx) -> Option<i64> {
+        Some(match ctx.term(t) {
+            Term::Const(v) => v,
+            Term::Var(v) => self.get_or_default(v, ctx),
+            Term::Add(a, b) => self.value_of(a, ctx)?.wrapping_add(self.value_of(b, ctx)?),
+            Term::Sub(a, b) => self.value_of(a, ctx)?.wrapping_sub(self.value_of(b, ctx)?),
+            Term::Mul(a, b) => self.value_of(a, ctx)?.wrapping_mul(self.value_of(b, ctx)?),
+            Term::Div(a, b) => {
+                let d = self.value_of(b, ctx)?;
+                if d == 0 {
+                    return None;
+                }
+                self.value_of(a, ctx)?.wrapping_div(d)
+            }
+            Term::Rem(a, b) => {
+                let d = self.value_of(b, ctx)?;
+                if d == 0 {
+                    return None;
+                }
+                self.value_of(a, ctx)?.wrapping_rem(d)
+            }
+            Term::Neg(a) => self.value_of(a, ctx)?.wrapping_neg(),
+        })
+    }
+
+    /// True if every constraint holds under the model.
+    pub fn satisfies(&self, ctx: &TermCtx, constraints: &[Constraint]) -> bool {
+        constraints.iter().all(|c| {
+            match (self.value_of(c.lhs, ctx), self.value_of(c.rhs, ctx)) {
+                (Some(a), Some(b)) => c.op.concrete(a, b),
+                _ => false,
+            }
+        })
+    }
+}
+
+/// The answer to a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a verified model.
+    Sat(Model),
+    /// Provably unsatisfiable.
+    Unsat,
+    /// Budget exhausted before a decision.
+    Unknown,
+}
+
+impl SatResult {
+    /// True for `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// True for `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SatResult::Unsat)
+    }
+}
+
+/// The solver, with a per-instance query cache.
+#[derive(Debug, Default)]
+pub struct Solver {
+    config: SolverConfig,
+    stats: SolverStats,
+    cache: HashMap<u64, SatResult>,
+}
+
+impl Solver {
+    /// Creates a solver with explicit limits.
+    pub fn with_config(config: SolverConfig) -> Solver {
+        Solver {
+            config,
+            ..Solver::default()
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Clears the query cache (e.g. between unrelated programs).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Approximate memory footprint of the cache, in entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Decides `constraints` (a conjunction) over `ctx`.
+    pub fn check(&mut self, ctx: &TermCtx, constraints: &[Constraint]) -> SatResult {
+        self.stats.queries += 1;
+        if constraints.is_empty() {
+            self.stats.sat += 1;
+            return SatResult::Sat(Model::default());
+        }
+        let key = {
+            let mut sorted: Vec<&Constraint> = constraints.iter().collect();
+            sorted.sort_by_key(|c| (c.lhs, c.rhs, c.op as u8));
+            let mut h = DefaultHasher::new();
+            sorted.hash(&mut h);
+            h.finish()
+        };
+        if let Some(hit) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            match hit {
+                SatResult::Sat(_) => self.stats.sat += 1,
+                SatResult::Unsat => self.stats.unsat += 1,
+                SatResult::Unknown => self.stats.unknown += 1,
+            }
+            return hit.clone();
+        }
+
+        let mut search = Search {
+            ctx,
+            constraints,
+            config: self.config,
+            nodes: 0,
+            budget_hit: false,
+        };
+        let result = search.run();
+        self.stats.nodes += search.nodes;
+        match &result {
+            SatResult::Sat(_) => self.stats.sat += 1,
+            SatResult::Unsat => self.stats.unsat += 1,
+            SatResult::Unknown => self.stats.unknown += 1,
+        }
+        self.cache.insert(key, result.clone());
+        result
+    }
+}
+
+struct Search<'a> {
+    ctx: &'a TermCtx,
+    constraints: &'a [Constraint],
+    config: SolverConfig,
+    nodes: u64,
+    budget_hit: bool,
+}
+
+/// Domains are indexed by `VarId`; only variables relevant to the query
+/// are tracked.
+type Domains = HashMap<VarId, Interval>;
+
+enum PropOutcome {
+    Ok,
+    Contradiction,
+}
+
+impl<'a> Search<'a> {
+    fn run(&mut self) -> SatResult {
+        let mut domains: Domains = HashMap::new();
+        for c in self.constraints {
+            for t in [c.lhs, c.rhs] {
+                for v in self.ctx.vars_of(t) {
+                    domains
+                        .entry(v)
+                        .or_insert_with(|| self.ctx.var_info(v).domain);
+                }
+            }
+        }
+        match self.search(domains) {
+            Some(model) => SatResult::Sat(model),
+            None if self.budget_hit => SatResult::Unknown,
+            None => SatResult::Unsat,
+        }
+    }
+
+    fn search(&mut self, mut domains: Domains) -> Option<Model> {
+        self.nodes += 1;
+        if self.nodes > self.config.max_nodes {
+            self.budget_hit = true;
+            return None;
+        }
+        if let PropOutcome::Contradiction = self.propagate(&mut domains) {
+            return None;
+        }
+        // Pick the unfixed variable with the smallest domain.
+        let branch_var = domains
+            .iter()
+            .filter(|(_, d)| !d.is_point())
+            .min_by_key(|(v, d)| (d.width(), v.0))
+            .map(|(v, d)| (*v, *d));
+        let Some((var, dom)) = branch_var else {
+            // All variables fixed: verify concretely (propagation over
+            // div/rem is conservative, so this check is load-bearing).
+            let model = Model {
+                values: domains.iter().map(|(v, d)| (*v, d.lo)).collect(),
+            };
+            return model
+                .satisfies(self.ctx, self.constraints)
+                .then_some(model);
+        };
+        // Lo-first splitting: try the smallest value, else the rest of
+        // the domain. Complete, and reaches a model in O(#vars) nodes on
+        // the byte-constraint chains symbolic string exploration emits.
+        for part in [
+            Interval::point(dom.lo),
+            Interval::new(dom.lo.saturating_add(1), dom.hi),
+        ] {
+            let mut next = domains.clone();
+            next.insert(var, part);
+            if let Some(m) = self.search(next) {
+                return Some(m);
+            }
+            if self.budget_hit {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Revises all constraints until fixpoint (or the round bound).
+    fn propagate(&mut self, domains: &mut Domains) -> PropOutcome {
+        for _ in 0..self.config.max_rounds {
+            let mut changed = false;
+            for c in self.constraints {
+                match self.revise(c, domains) {
+                    Ok(ch) => changed |= ch,
+                    Err(()) => return PropOutcome::Contradiction,
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        PropOutcome::Ok
+    }
+
+    fn eval(&self, t: TermId, domains: &Domains) -> Interval {
+        match self.ctx.term(t) {
+            Term::Const(v) => Interval::point(v),
+            Term::Var(v) => domains
+                .get(&v)
+                .copied()
+                .unwrap_or(self.ctx.var_info(v).domain),
+            Term::Add(a, b) => self.eval(a, domains).add(self.eval(b, domains)),
+            Term::Sub(a, b) => self.eval(a, domains).sub(self.eval(b, domains)),
+            Term::Mul(a, b) => self.eval(a, domains).mul(self.eval(b, domains)),
+            Term::Div(a, b) => self.eval(a, domains).div(self.eval(b, domains)),
+            Term::Rem(a, b) => self.eval(a, domains).rem(self.eval(b, domains)),
+            Term::Neg(a) => self.eval(a, domains).neg(),
+        }
+    }
+
+    /// One HC4 revise of a single constraint. `Err(())` = contradiction.
+    fn revise(&self, c: &Constraint, domains: &mut Domains) -> Result<bool, ()> {
+        let l = self.eval(c.lhs, domains);
+        let r = self.eval(c.rhs, domains);
+        if l.is_empty() || r.is_empty() {
+            return Err(());
+        }
+        let (l_target, r_target) = match c.op {
+            CmpOp::Le => {
+                if l.lo > r.hi {
+                    return Err(());
+                }
+                (
+                    Interval::new(i64::MIN, r.hi),
+                    Interval::new(l.lo, i64::MAX),
+                )
+            }
+            CmpOp::Lt => {
+                if l.lo >= r.hi {
+                    return Err(());
+                }
+                (
+                    Interval::new(i64::MIN, r.hi.saturating_sub(1)),
+                    Interval::new(l.lo.saturating_add(1), i64::MAX),
+                )
+            }
+            CmpOp::Eq => {
+                let meet = l.intersect(r);
+                if meet.is_empty() {
+                    return Err(());
+                }
+                (meet, meet)
+            }
+            CmpOp::Ne => {
+                if l.is_point() && r.is_point() && l.lo == r.lo {
+                    return Err(());
+                }
+                // Shave an endpoint when the other side is a singleton.
+                let mut lt = l;
+                let mut rt = r;
+                if r.is_point() {
+                    if lt.lo == r.lo {
+                        lt.lo = lt.lo.saturating_add(1);
+                    }
+                    if lt.hi == r.lo {
+                        lt.hi = lt.hi.saturating_sub(1);
+                    }
+                    if lt.is_empty() {
+                        return Err(());
+                    }
+                }
+                if l.is_point() {
+                    if rt.lo == l.lo {
+                        rt.lo = rt.lo.saturating_add(1);
+                    }
+                    if rt.hi == l.lo {
+                        rt.hi = rt.hi.saturating_sub(1);
+                    }
+                    if rt.is_empty() {
+                        return Err(());
+                    }
+                }
+                (lt, rt)
+            }
+        };
+        let mut changed = self.narrow(c.lhs, l_target, domains)?;
+        changed |= self.narrow(c.rhs, r_target, domains)?;
+        Ok(changed)
+    }
+
+    /// Backward (HC4) narrowing: force `eval(t) ⊆ target`.
+    fn narrow(&self, t: TermId, target: Interval, domains: &mut Domains) -> Result<bool, ()> {
+        let cur = self.eval(t, domains);
+        let meet = cur.intersect(target);
+        if meet.is_empty() {
+            return Err(());
+        }
+        if meet == cur {
+            return Ok(false);
+        }
+        match self.ctx.term(t) {
+            Term::Const(_) => Ok(false),
+            Term::Var(v) => {
+                domains.insert(v, meet);
+                Ok(true)
+            }
+            Term::Add(a, b) => {
+                let eb = self.eval(b, domains);
+                let mut ch = self.narrow(a, meet.sub(eb), domains)?;
+                let ea = self.eval(a, domains);
+                ch |= self.narrow(b, meet.sub(ea), domains)?;
+                Ok(ch)
+            }
+            Term::Sub(a, b) => {
+                let eb = self.eval(b, domains);
+                let mut ch = self.narrow(a, meet.add(eb), domains)?;
+                let ea = self.eval(a, domains);
+                ch |= self.narrow(b, ea.sub(meet), domains)?;
+                Ok(ch)
+            }
+            Term::Neg(a) => self.narrow(a, meet.neg(), domains),
+            Term::Mul(a, b) => {
+                let mut ch = false;
+                if let Some(cb) = self.ctx.as_const(b) {
+                    if cb != 0 {
+                        ch |= self.narrow(a, div_range_for_mul(meet, cb), domains)?;
+                    }
+                }
+                if let Some(ca) = self.ctx.as_const(a) {
+                    if ca != 0 {
+                        ch |= self.narrow(b, div_range_for_mul(meet, ca), domains)?;
+                    }
+                }
+                Ok(ch)
+            }
+            // Division/remainder: evaluation-only (no backward narrowing);
+            // the final concrete verification keeps this sound.
+            Term::Div(_, _) | Term::Rem(_, _) => Ok(false),
+        }
+    }
+}
+
+/// The tightest interval `X` such that `x ∈ X ⇒ x * c` may lie in
+/// `target` (for constant `c != 0`).
+fn div_range_for_mul(target: Interval, c: i64) -> Interval {
+    debug_assert!(c != 0);
+    let (lo, hi) = if c > 0 {
+        (ceil_div(target.lo, c), floor_div(target.hi, c))
+    } else {
+        (ceil_div(target.hi, c), floor_div(target.lo, c))
+    };
+    Interval::new(lo, hi)
+}
+
+fn floor_div(a: i64, b: i64) -> i64 {
+    let q = a.wrapping_div(b);
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+fn ceil_div(a: i64, b: i64) -> i64 {
+    let q = a.wrapping_div(b);
+    if (a % b != 0) && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sat(ctx: &TermCtx, cs: &[Constraint]) -> Model {
+        match Solver::default().check(ctx, cs) {
+            SatResult::Sat(m) => {
+                assert!(m.satisfies(ctx, cs), "returned model must satisfy");
+                m
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    fn unsat(ctx: &TermCtx, cs: &[Constraint]) {
+        assert_eq!(Solver::default().check(ctx, cs), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_query_is_sat() {
+        let ctx = TermCtx::new();
+        assert!(Solver::default().check(&ctx, &[]).is_sat());
+    }
+
+    #[test]
+    fn simple_bounds() {
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", 0, 255);
+        let c100 = ctx.int(100);
+        let c200 = ctx.int(200);
+        let m = sat(
+            &ctx,
+            &[
+                Constraint::new(CmpOp::Lt, c100, x),
+                Constraint::new(CmpOp::Lt, x, c200),
+            ],
+        );
+        let v = m.value_of(x, &ctx).unwrap();
+        assert!(v > 100 && v < 200);
+    }
+
+    #[test]
+    fn contradictory_bounds_unsat() {
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", 0, 255);
+        let c10 = ctx.int(10);
+        let c5 = ctx.int(5);
+        unsat(
+            &ctx,
+            &[
+                Constraint::new(CmpOp::Lt, x, c5),
+                Constraint::new(CmpOp::Lt, c10, x),
+            ],
+        );
+    }
+
+    #[test]
+    fn equality_chain_propagates() {
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", 0, 1000);
+        let y = ctx.new_var("y", 0, 1000);
+        let c7 = ctx.int(7);
+        let sum = ctx.add(x, c7);
+        let c42 = ctx.int(42);
+        let m = sat(
+            &ctx,
+            &[
+                Constraint::new(CmpOp::Eq, sum, c42), // x + 7 == 42
+                Constraint::new(CmpOp::Eq, y, x),     // y == x
+            ],
+        );
+        assert_eq!(m.get(var_of(&ctx, x)), Some(35));
+        assert_eq!(m.get(var_of(&ctx, y)), Some(35));
+    }
+
+    fn var_of(ctx: &TermCtx, t: TermId) -> VarId {
+        match ctx.term(t) {
+            Term::Var(v) => v,
+            _ => panic!("not a var"),
+        }
+    }
+
+    #[test]
+    fn ne_constraints_on_bytes() {
+        // Models the strlen pattern: bytes 0..3 nonzero, byte 3 == 0.
+        let mut ctx = TermCtx::new();
+        let zero = ctx.int(0);
+        let bytes: Vec<TermId> = (0..4).map(|i| ctx.new_var(format!("b{i}"), 0, 255)).collect();
+        let mut cs: Vec<Constraint> = bytes[..3]
+            .iter()
+            .map(|&b| Constraint::new(CmpOp::Ne, b, zero))
+            .collect();
+        cs.push(Constraint::new(CmpOp::Eq, bytes[3], zero));
+        let m = sat(&ctx, &cs);
+        for b in &bytes[..3] {
+            assert_ne!(m.value_of(*b, &ctx).unwrap(), 0);
+        }
+        assert_eq!(m.value_of(bytes[3], &ctx).unwrap(), 0);
+    }
+
+    #[test]
+    fn multiplication_by_constant_narrows() {
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", 0, 1_000_000);
+        let c3 = ctx.int(3);
+        let prod = ctx.mul(x, c3);
+        let c300 = ctx.int(300);
+        let m = sat(&ctx, &[Constraint::new(CmpOp::Eq, prod, c300)]);
+        assert_eq!(m.value_of(x, &ctx).unwrap(), 100);
+        // 3x == 301 has no integer solution.
+        let c301 = ctx.int(301);
+        unsat(&ctx, &[Constraint::new(CmpOp::Eq, prod, c301)]);
+    }
+
+    #[test]
+    fn division_needs_search_but_verifies() {
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", 0, 40);
+        let c4 = ctx.int(4);
+        let q = ctx.div(x, c4);
+        let c7 = ctx.int(7);
+        let m = sat(&ctx, &[Constraint::new(CmpOp::Eq, q, c7)]);
+        let v = m.value_of(x, &ctx).unwrap();
+        assert_eq!(v / 4, 7);
+    }
+
+    #[test]
+    fn subtraction_with_negatives() {
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", -100, 100);
+        let y = ctx.new_var("y", -100, 100);
+        let diff = ctx.sub(x, y);
+        let c150 = ctx.int(150);
+        let m = sat(&ctx, &[Constraint::new(CmpOp::Eq, diff, c150)]);
+        let (vx, vy) = (m.value_of(x, &ctx).unwrap(), m.value_of(y, &ctx).unwrap());
+        assert_eq!(vx - vy, 150);
+    }
+
+    #[test]
+    fn negation_narrowing() {
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", -50, 50);
+        let nx = ctx.neg(x);
+        let c30 = ctx.int(30);
+        let m = sat(&ctx, &[Constraint::new(CmpOp::Eq, nx, c30)]);
+        assert_eq!(m.value_of(x, &ctx).unwrap(), -30);
+    }
+
+    #[test]
+    fn cache_hits_are_counted() {
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", 0, 9);
+        let c5 = ctx.int(5);
+        let cs = [Constraint::new(CmpOp::Eq, x, c5)];
+        let mut solver = Solver::default();
+        solver.check(&ctx, &cs);
+        solver.check(&ctx, &cs);
+        assert_eq!(solver.stats().cache_hits, 1);
+        assert_eq!(solver.stats().queries, 2);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        // x * y == large prime-ish over huge domains, with a 1-node budget.
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", 2, 1_000_000_000);
+        let y = ctx.new_var("y", 2, 1_000_000_000);
+        let prod = ctx.mul(x, y);
+        let target = ctx.int(999_999_937);
+        let mut solver = Solver::with_config(SolverConfig {
+            max_nodes: 1,
+            ..SolverConfig::default()
+        });
+        let r = solver.check(&ctx, &[Constraint::new(CmpOp::Eq, prod, target)]);
+        assert_eq!(r, SatResult::Unknown);
+    }
+
+    #[test]
+    fn le_lt_boundaries_exact() {
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", 0, 10);
+        let c10 = ctx.int(10);
+        // x >= 10 (as 10 <= x) has exactly one solution in [0,10].
+        let m = sat(&ctx, &[Constraint::new(CmpOp::Le, c10, x)]);
+        assert_eq!(m.value_of(x, &ctx).unwrap(), 10);
+        // x > 10 is unsat.
+        unsat(&ctx, &[Constraint::new(CmpOp::Lt, c10, x)]);
+    }
+
+    #[test]
+    fn floor_ceil_div_helpers() {
+        assert_eq!(floor_div(7, 2), 3);
+        assert_eq!(floor_div(-7, 2), -4);
+        assert_eq!(ceil_div(7, 2), 4);
+        assert_eq!(ceil_div(-7, 2), -3);
+        assert_eq!(floor_div(6, 3), 2);
+        assert_eq!(ceil_div(6, 3), 2);
+        assert_eq!(floor_div(7, -2), -4);
+        assert_eq!(ceil_div(-7, -2), 4);
+    }
+}

@@ -1,0 +1,391 @@
+//! Interned term DAG and constraint atoms.
+
+use crate::interval::Interval;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Id of an interned term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Id of a solver variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A term over integers. Terms are interned: structurally equal terms
+/// share a [`TermId`], and constructors constant-fold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// Integer constant.
+    Const(i64),
+    /// A bounded variable.
+    Var(VarId),
+    /// `a + b`.
+    Add(TermId, TermId),
+    /// `a - b`.
+    Sub(TermId, TermId),
+    /// `a * b`.
+    Mul(TermId, TermId),
+    /// `a / b` (truncating).
+    Div(TermId, TermId),
+    /// `a % b` (truncating).
+    Rem(TermId, TermId),
+    /// `-a`.
+    Neg(TermId),
+}
+
+/// Metadata for a variable: its name and initial (declared) domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Debug name (e.g. `arg[17]` for string byte 17).
+    pub name: String,
+    /// Declared domain.
+    pub domain: Interval,
+}
+
+/// Comparison operators for constraint atoms. `Gt`/`Ge` are normalized
+/// away by swapping operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `lhs == rhs`.
+    Eq,
+    /// `lhs != rhs`.
+    Ne,
+    /// `lhs < rhs`.
+    Lt,
+    /// `lhs <= rhs`.
+    Le,
+}
+
+impl CmpOp {
+    /// The operator of the negated atom (`!(a < b)` is `b <= a`, handled
+    /// by [`Constraint::negate`], which also swaps operands for `Lt`/`Le`).
+    pub fn concrete(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+        }
+    }
+}
+
+/// An atomic constraint `lhs op rhs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Left operand.
+    pub lhs: TermId,
+    /// Right operand.
+    pub rhs: TermId,
+}
+
+impl Constraint {
+    /// Creates `lhs op rhs`.
+    pub fn new(op: CmpOp, lhs: TermId, rhs: TermId) -> Constraint {
+        Constraint { op, lhs, rhs }
+    }
+
+    /// The logical negation, still an atomic constraint:
+    /// `!(a == b)` → `a != b`, `!(a < b)` → `b <= a`, etc.
+    #[must_use]
+    pub fn negate(self) -> Constraint {
+        match self.op {
+            CmpOp::Eq => Constraint::new(CmpOp::Ne, self.lhs, self.rhs),
+            CmpOp::Ne => Constraint::new(CmpOp::Eq, self.lhs, self.rhs),
+            CmpOp::Lt => Constraint::new(CmpOp::Le, self.rhs, self.lhs),
+            CmpOp::Le => Constraint::new(CmpOp::Lt, self.rhs, self.lhs),
+        }
+    }
+}
+
+/// The interning context: owns all terms and variable metadata.
+///
+/// Append-only: the symbolic executor shares one `TermCtx` across all of
+/// its states; forked states only hold `TermId`s.
+#[derive(Debug, Clone, Default)]
+pub struct TermCtx {
+    terms: Vec<Term>,
+    intern: HashMap<Term, TermId>,
+    vars: Vec<VarInfo>,
+}
+
+impl TermCtx {
+    /// Creates an empty context.
+    pub fn new() -> TermCtx {
+        TermCtx::default()
+    }
+
+    /// Number of interned terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The term behind an id.
+    pub fn term(&self, id: TermId) -> Term {
+        self.terms[id.index()]
+    }
+
+    /// Variable metadata.
+    pub fn var_info(&self, v: VarId) -> &VarInfo {
+        &self.vars[v.index()]
+    }
+
+    /// All variables appearing in `t` (deduplicated, unordered).
+    pub fn vars_of(&self, t: TermId) -> Vec<VarId> {
+        let mut out = Vec::new();
+        let mut stack = vec![t];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            match self.term(id) {
+                Term::Const(_) => {}
+                Term::Var(v) => {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+                Term::Add(a, b) | Term::Sub(a, b) | Term::Mul(a, b) | Term::Div(a, b)
+                | Term::Rem(a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                Term::Neg(a) => stack.push(a),
+            }
+        }
+        out
+    }
+
+    fn intern(&mut self, t: Term) -> TermId {
+        if let Some(&id) = self.intern.get(&t) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(t);
+        self.intern.insert(t, id);
+        id
+    }
+
+    /// Creates a fresh variable with domain `[lo, hi]` and returns its
+    /// term id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new_var(&mut self, name: impl Into<String>, lo: i64, hi: i64) -> TermId {
+        assert!(lo <= hi, "variable domain must be non-empty");
+        let v = VarId(self.vars.len() as u32);
+        self.vars.push(VarInfo {
+            name: name.into(),
+            domain: Interval::new(lo, hi),
+        });
+        self.intern(Term::Var(v))
+    }
+
+    /// Interns an integer constant.
+    pub fn int(&mut self, v: i64) -> TermId {
+        self.intern(Term::Const(v))
+    }
+
+    /// Returns the constant value of `t` if it is a literal.
+    pub fn as_const(&self, t: TermId) -> Option<i64> {
+        match self.term(t) {
+            Term::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `a + b`, constant-folded.
+    pub fn add(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) => self.int(x.wrapping_add(y)),
+            (Some(0), None) => b,
+            (None, Some(0)) => a,
+            _ => self.intern(Term::Add(a, b)),
+        }
+    }
+
+    /// `a - b`, constant-folded.
+    pub fn sub(&mut self, a: TermId, b: TermId) -> TermId {
+        if a == b {
+            return self.int(0);
+        }
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) => self.int(x.wrapping_sub(y)),
+            (None, Some(0)) => a,
+            _ => self.intern(Term::Sub(a, b)),
+        }
+    }
+
+    /// `a * b`, constant-folded.
+    pub fn mul(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) => self.int(x.wrapping_mul(y)),
+            (Some(1), None) => b,
+            (None, Some(1)) => a,
+            (Some(0), _) | (_, Some(0)) => self.int(0),
+            _ => self.intern(Term::Mul(a, b)),
+        }
+    }
+
+    /// `a / b`, constant-folded (constant fold of division by zero is
+    /// left symbolic; the VM faults on the concrete path instead).
+    pub fn div(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) if y != 0 => {
+                let v = if x == i64::MIN && y == -1 { i64::MIN } else { x / y };
+                self.int(v)
+            }
+            (None, Some(1)) => a,
+            _ => self.intern(Term::Div(a, b)),
+        }
+    }
+
+    /// `a % b`, constant-folded.
+    pub fn rem(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) if y != 0 => self.int(x.wrapping_rem(y)),
+            _ => self.intern(Term::Rem(a, b)),
+        }
+    }
+
+    /// `-a`, constant-folded.
+    pub fn neg(&mut self, a: TermId) -> TermId {
+        match self.as_const(a) {
+            Some(x) => self.int(x.wrapping_neg()),
+            None => self.intern(Term::Neg(a)),
+        }
+    }
+
+    /// Renders a term for diagnostics.
+    pub fn render(&self, t: TermId) -> String {
+        match self.term(t) {
+            Term::Const(v) => v.to_string(),
+            Term::Var(v) => self.var_info(v).name.clone(),
+            Term::Add(a, b) => format!("({} + {})", self.render(a), self.render(b)),
+            Term::Sub(a, b) => format!("({} - {})", self.render(a), self.render(b)),
+            Term::Mul(a, b) => format!("({} * {})", self.render(a), self.render(b)),
+            Term::Div(a, b) => format!("({} / {})", self.render(a), self.render(b)),
+            Term::Rem(a, b) => format!("({} % {})", self.render(a), self.render(b)),
+            Term::Neg(a) => format!("(-{})", self.render(a)),
+        }
+    }
+
+    /// Renders a constraint for diagnostics.
+    pub fn render_constraint(&self, c: &Constraint) -> String {
+        let op = match c.op {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+        };
+        format!("{} {} {}", self.render(c.lhs), op, self.render(c.rhs))
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedupes_structurally_equal_terms() {
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", 0, 10);
+        let one_a = ctx.int(1);
+        let one_b = ctx.int(1);
+        assert_eq!(one_a, one_b);
+        let s1 = ctx.add(x, one_a);
+        let s2 = ctx.add(x, one_b);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut ctx = TermCtx::new();
+        let a = ctx.int(6);
+        let b = ctx.int(7);
+        let prod = ctx.mul(a, b);
+        assert_eq!(ctx.as_const(prod), Some(42));
+        let x = ctx.new_var("x", 0, 10);
+        let zero = ctx.int(0);
+        assert_eq!(ctx.add(x, zero), x);
+        assert_eq!(ctx.mul(x, zero), zero);
+        assert_eq!(ctx.sub(x, x), zero);
+        let one = ctx.int(1);
+        assert_eq!(ctx.mul(x, one), x);
+        assert_eq!(ctx.div(x, one), x);
+    }
+
+
+    #[test]
+    fn negate_roundtrips() {
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", 0, 10);
+        let c5 = ctx.int(5);
+        let c = Constraint::new(CmpOp::Lt, x, c5);
+        let n = c.negate();
+        assert_eq!(n, Constraint::new(CmpOp::Le, c5, x));
+        assert_eq!(n.negate(), c);
+        let e = Constraint::new(CmpOp::Eq, x, c5);
+        assert_eq!(e.negate().negate(), e);
+    }
+
+    #[test]
+    fn vars_of_walks_dag() {
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", 0, 10);
+        let y = ctx.new_var("y", 0, 10);
+        let sum = ctx.add(x, y);
+        let expr = ctx.mul(sum, x);
+        let vars = ctx.vars_of(expr);
+        assert_eq!(vars.len(), 2);
+    }
+
+    #[test]
+    fn cmpop_concrete_semantics() {
+        assert!(CmpOp::Eq.concrete(3, 3));
+        assert!(CmpOp::Ne.concrete(3, 4));
+        assert!(CmpOp::Lt.concrete(3, 4));
+        assert!(CmpOp::Le.concrete(4, 4));
+        assert!(!CmpOp::Lt.concrete(4, 4));
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", 0, 10);
+        let one = ctx.int(1);
+        let t = ctx.add(x, one);
+        assert_eq!(ctx.render(t), "(x + 1)");
+        let c = Constraint::new(CmpOp::Le, t, one);
+        assert_eq!(ctx.render_constraint(&c), "(x + 1) <= 1");
+    }
+}

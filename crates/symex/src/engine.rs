@@ -1,0 +1,787 @@
+//! The symbolic execution engine: scheduling loop, budgets, and results.
+
+use crate::executor::{initial_state, step, Disposition, ExecEnv, ExecStats, StepResult};
+use crate::hook::{EventHook, NoGuidance};
+use crate::scheduler::{build_scheduler, SchedulerKind};
+use crate::state::{CondList, State};
+use crate::value::SymValue;
+use concrete::{Fault, InputValue, Location};
+use sir::{InputId, Module};
+use solver::{Constraint, SatResult, Solver, SolverConfig, SolverStats, TermCtx};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Engine resource budgets and policy.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// State selection policy.
+    pub scheduler: SchedulerKind,
+    /// Maximum pending states (live set) before giving up.
+    pub max_live_states: usize,
+    /// Modeled memory budget in bytes across live states and the solver
+    /// cache. Exceeding it reproduces the paper's KLEE out-of-memory
+    /// failures (Table IV).
+    pub memory_budget: usize,
+    /// Wall-clock budget.
+    pub time_budget: Option<Duration>,
+    /// Total instruction budget.
+    pub max_steps: u64,
+    /// Call-depth limit per state.
+    pub max_call_depth: usize,
+    /// Limits for the underlying constraint solver.
+    pub solver: SolverConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            scheduler: SchedulerKind::Bfs,
+            max_live_states: 500_000,
+            memory_budget: 512 << 20,
+            time_budget: None,
+            max_steps: 200_000_000,
+            max_call_depth: 256,
+            solver: SolverConfig::default(),
+        }
+    }
+}
+
+/// Why an exploration stopped without an answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExhaustionReason {
+    /// Modeled memory budget exceeded (the paper's KLEE failure mode).
+    Memory,
+    /// Wall-clock budget exceeded.
+    Time,
+    /// Instruction budget exceeded.
+    Steps,
+    /// Live-state cap exceeded.
+    LiveStates,
+}
+
+impl fmt::Display for ExhaustionReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExhaustionReason::Memory => f.write_str("out of memory"),
+            ExhaustionReason::Time => f.write_str("timeout"),
+            ExhaustionReason::Steps => f.write_str("step budget exhausted"),
+            ExhaustionReason::LiveStates => f.write_str("too many live states"),
+        }
+    }
+}
+
+/// A discovered vulnerable path: the paper's final output (§V-C) — the
+/// complete execution path, its constraints, and a concrete triggering
+/// input.
+#[derive(Debug, Clone)]
+pub struct FoundVulnerability {
+    /// The fault (kind + fault point).
+    pub fault: Fault,
+    /// The function-boundary event trace of the vulnerable path.
+    pub trace: Vec<Location>,
+    /// Hard path constraints of the vulnerable path.
+    pub constraints: Vec<Constraint>,
+    /// Human-readable rendering of `constraints`.
+    pub rendered_constraints: Vec<String>,
+    /// A concrete input assignment that drives the program down this
+    /// path (generated from the solver model; replayable on the VM).
+    pub inputs: concrete::InputMap,
+    /// Fork depth of the faulting state.
+    pub depth: u32,
+}
+
+/// How a run ended.
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// A vulnerable path was found.
+    Found(Box<FoundVulnerability>),
+    /// A budget ran out first.
+    Exhausted(ExhaustionReason),
+    /// Every path was explored without finding a fault.
+    Completed,
+}
+
+impl RunOutcome {
+    /// The discovered vulnerability, if any.
+    pub fn found(&self) -> Option<&FoundVulnerability> {
+        match self {
+            RunOutcome::Found(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// True when a vulnerable path was found.
+    pub fn is_found(&self) -> bool {
+        matches!(self, RunOutcome::Found(_))
+    }
+}
+
+/// Work counters for a whole run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Executor counters (steps, forks, pruning, ...).
+    pub exec: ExecStats,
+    /// Paths that terminated normally.
+    pub paths_completed: u64,
+    /// Total paths examined: completed + pruned + faulting + states
+    /// still pending or suspended when the run stopped.
+    pub paths_explored: u64,
+    /// Total states ever created.
+    pub states_created: u64,
+    /// Peak modeled memory (bytes).
+    pub peak_memory: usize,
+    /// Peak live state count.
+    pub peak_live_states: usize,
+    /// Solver counters.
+    pub solver: SolverStats,
+    /// States suspended by guidance and never resumed.
+    pub left_suspended: u64,
+}
+
+/// Report of one engine run.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Work counters.
+    pub stats: EngineStats,
+    /// Wall-clock duration of the run.
+    pub wall_time: Duration,
+}
+
+/// The symbolic execution engine over a SIR module.
+pub struct Engine<'m> {
+    module: &'m Module,
+    config: EngineConfig,
+    ctx: TermCtx,
+    solver: Solver,
+    hook: Box<dyn EventHook + 'm>,
+    pinned: concrete::InputMap,
+    suppressed: Vec<(String, minic::Span)>,
+}
+
+impl<'m> Engine<'m> {
+    /// Creates a pure (unguided) engine — the KLEE baseline.
+    pub fn new(module: &'m Module, config: EngineConfig) -> Engine<'m> {
+        Engine::with_hook(module, config, Box::new(NoGuidance))
+    }
+
+    /// Creates an engine guided by `hook` (the StatSym mode).
+    pub fn with_hook(
+        module: &'m Module,
+        config: EngineConfig,
+        hook: Box<dyn EventHook + 'm>,
+    ) -> Engine<'m> {
+        Engine {
+            module,
+            config,
+            ctx: TermCtx::new(),
+            solver: Solver::with_config(config.solver),
+            hook,
+            pinned: concrete::InputMap::new(),
+            suppressed: Vec::new(),
+        }
+    }
+
+    /// Suppresses faults at a known fault site (function + span): states
+    /// reaching it terminate as ordinary completed paths instead of
+    /// stopping the search. This enables the paper's §III-C iterative
+    /// discovery of multiple vulnerabilities — each found vulnerable
+    /// path is eliminated and exploration continues for the next.
+    pub fn suppress_fault_site(&mut self, func: impl Into<String>, span: minic::Span) {
+        self.suppressed.push((func.into(), span));
+    }
+
+    /// Pins a named input to a concrete value: the engine treats it as a
+    /// constant instead of a symbolic variable. This mirrors the paper's
+    /// methodology (§VII-A): semantically required program options are
+    /// configured concretely for both StatSym and the KLEE baseline so
+    /// neither wastes time enumerating option-parsing paths.
+    pub fn pin_input(&mut self, name: impl Into<String>, value: concrete::InputValue) {
+        self.pinned.insert(name.into(), value);
+    }
+
+    /// The term context (for rendering constraints after a run).
+    pub fn ctx(&self) -> &TermCtx {
+        &self.ctx
+    }
+
+    /// Explores the program until a fault is found or a budget runs out.
+    pub fn run(&mut self) -> EngineReport {
+        let start = Instant::now();
+        let mut stats = EngineStats::default();
+        let mut sched = build_scheduler(self.config.scheduler);
+        let mut suspended: Vec<State> = Vec::new();
+        let mut inputs_map: HashMap<InputId, SymValue> = HashMap::new();
+        for (i, def) in self.module.inputs.iter().enumerate() {
+            if let Some(v) = self.pinned.get(&def.name) {
+                let sym = match (v, def.kind) {
+                    (InputValue::Int(n), sir::InputKind::Int) => SymValue::Int(self.ctx.int(*n)),
+                    (InputValue::Str(bytes), sir::InputKind::Str { cap }) => {
+                        let mut b = bytes.clone();
+                        b.truncate(cap as usize);
+                        SymValue::Str(crate::value::SymStr::concrete(&mut self.ctx, &b))
+                    }
+                    // Kind mismatch: leave the input symbolic.
+                    _ => continue,
+                };
+                inputs_map.insert(InputId(i as u32), sym);
+            }
+        }
+        let mut next_id: u64 = 0;
+        let mut live_mem: usize = 0;
+        let mut mem_by_state: HashMap<u64, usize> = HashMap::new();
+        let max_call_depth = self.config.max_call_depth;
+        let suppressed = self.suppressed.clone();
+        // Coverage-optimized search: blocks ever executed by any state.
+        let coverage_mode = matches!(self.config.scheduler, SchedulerKind::Coverage);
+        let mut covered: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+        let is_suppressed = |fault: &Fault| {
+            suppressed
+                .iter()
+                .any(|(func, span)| *func == fault.func && *span == fault.span)
+        };
+
+        enum LoopEnd {
+            Found(State, Fault),
+            Exhausted(ExhaustionReason),
+            Completed,
+        }
+
+        let end = {
+            let mut env = ExecEnv {
+                module: self.module,
+                ctx: &mut self.ctx,
+                solver: &mut self.solver,
+                inputs: &mut inputs_map,
+                hook: self.hook.as_mut(),
+                stats: &mut stats.exec,
+                max_call_depth,
+                next_state_id: &mut next_id,
+            };
+
+            let init = initial_state(&mut env);
+            let est = init.est_bytes();
+            live_mem += est;
+            mem_by_state.insert(init.id, est);
+            let pr = env.hook.priority(&init.meta, init.depth);
+            sched.push(init, pr);
+            let _ = &covered;
+
+            'outer: loop {
+                // Budget checks.
+                if let Some(tb) = self.config.time_budget {
+                    if start.elapsed() > tb {
+                        break LoopEnd::Exhausted(ExhaustionReason::Time);
+                    }
+                }
+                if env.stats.steps > self.config.max_steps {
+                    break LoopEnd::Exhausted(ExhaustionReason::Steps);
+                }
+                let solver_mem = env.solver.cache_len() * 160;
+                let total_mem = live_mem + solver_mem;
+                stats.peak_memory = stats.peak_memory.max(total_mem);
+                stats.peak_live_states = stats.peak_live_states.max(sched.len() + suspended.len());
+                if total_mem > self.config.memory_budget {
+                    break LoopEnd::Exhausted(ExhaustionReason::Memory);
+                }
+                if sched.len() + suspended.len() > self.config.max_live_states {
+                    break LoopEnd::Exhausted(ExhaustionReason::LiveStates);
+                }
+
+                let Some(mut state) = sched.pop() else {
+                    if suspended.is_empty() {
+                        break LoopEnd::Completed;
+                    }
+                    // Resume suspended states with guidance disabled: the
+                    // worst case degrades to pure symbolic execution.
+                    for mut s in suspended.drain(..) {
+                        s.guidance_off = true;
+                        s.soft = CondList::new();
+                        sched.push(s, i64::MAX);
+                    }
+                    continue;
+                };
+                if let Some(est) = mem_by_state.remove(&state.id) {
+                    live_mem = live_mem.saturating_sub(est);
+                }
+
+                // Run this state until it forks, terminates, or parks.
+                loop {
+                    if env.stats.steps.is_multiple_of(8192) {
+                        if let Some(tb) = self.config.time_budget {
+                            if start.elapsed() > tb {
+                                break 'outer LoopEnd::Exhausted(ExhaustionReason::Time);
+                            }
+                        }
+                        if env.stats.steps > self.config.max_steps {
+                            break 'outer LoopEnd::Exhausted(ExhaustionReason::Steps);
+                        }
+                    }
+                    match step(&mut env, state) {
+                        StepResult::Continue(s) => {
+                            state = s;
+                            if coverage_mode {
+                                if let Some(f) = state.frames.last() {
+                                    covered.insert((f.func.0, f.block.0));
+                                }
+                            }
+                        }
+                        StepResult::Fork(children) => {
+                            for child in children {
+                                match child.disposition {
+                                    Disposition::Active => {
+                                        let est = child.state.est_bytes();
+                                        live_mem += est;
+                                        mem_by_state.insert(child.state.id, est);
+                                        let pr = if coverage_mode {
+                                            let f = child.state.frame();
+                                            if covered.contains(&(f.func.0, f.block.0)) {
+                                                1_000_000 + child.state.depth as i64
+                                            } else {
+                                                child.state.depth as i64
+                                            }
+                                        } else {
+                                            env.hook
+                                                .priority(&child.state.meta, child.state.depth)
+                                        };
+                                        sched.push(child.state, pr);
+                                    }
+                                    Disposition::Suspended => {
+                                        let est = child.state.est_bytes();
+                                        live_mem += est;
+                                        mem_by_state.insert(child.state.id, est);
+                                        suspended.push(child.state);
+                                    }
+                                    Disposition::Fault(fault) => {
+                                        if is_suppressed(&fault) {
+                                            stats.paths_completed += 1;
+                                            continue;
+                                        }
+                                        break 'outer LoopEnd::Found(child.state, fault);
+                                    }
+                                }
+                            }
+                            continue 'outer;
+                        }
+                        StepResult::Exit(_) => {
+                            stats.paths_completed += 1;
+                            continue 'outer;
+                        }
+                        StepResult::Fault(s, fault) => {
+                            if is_suppressed(&fault) {
+                                stats.paths_completed += 1;
+                                continue 'outer;
+                            }
+                            break 'outer LoopEnd::Found(s, fault);
+                        }
+                        StepResult::Suspend(s) => {
+                            let est = s.est_bytes();
+                            live_mem += est;
+                            mem_by_state.insert(s.id, est);
+                            suspended.push(s);
+                            continue 'outer;
+                        }
+                        StepResult::Kill => continue 'outer,
+                    }
+                }
+            }
+        };
+
+        stats.states_created = next_id + 1;
+        stats.left_suspended = suspended.len() as u64;
+        stats.paths_explored = stats.paths_completed
+            + stats.exec.pruned
+            + sched.len() as u64
+            + suspended.len() as u64;
+        let outcome = match end {
+            LoopEnd::Found(state, fault) => {
+                stats.paths_explored += 1;
+                RunOutcome::Found(Box::new(self.report(state, fault, &inputs_map)))
+            }
+            LoopEnd::Exhausted(r) => RunOutcome::Exhausted(r),
+            LoopEnd::Completed => RunOutcome::Completed,
+        };
+        stats.solver = self.solver.stats();
+        EngineReport {
+            outcome,
+            stats,
+            wall_time: start.elapsed(),
+        }
+    }
+
+    /// Builds the final vulnerable-path report, including a concrete
+    /// triggering input materialized from the solver model.
+    fn report(
+        &mut self,
+        state: State,
+        fault: Fault,
+        inputs_map: &HashMap<InputId, SymValue>,
+    ) -> FoundVulnerability {
+        let constraints = state.path.to_vec();
+        let model = match self.solver.check(&self.ctx, &constraints) {
+            SatResult::Sat(m) => m,
+            // The path was feasibility-checked at every fork; Unknown can
+            // occur only if the budget ran out. Fall back to defaults.
+            _ => solver::Model::default(),
+        };
+        let mut inputs = concrete::InputMap::new();
+        for (i, def) in self.module.inputs.iter().enumerate() {
+            let id = InputId(i as u32);
+            let value = match inputs_map.get(&id) {
+                Some(SymValue::Int(t)) => {
+                    InputValue::Int(model.value_of(*t, &self.ctx).unwrap_or(0))
+                }
+                Some(SymValue::Str(s)) => {
+                    let mut bytes = Vec::new();
+                    for &cell in s.bytes.iter() {
+                        let b = model.value_of(cell, &self.ctx).unwrap_or(0);
+                        if b == 0 {
+                            break;
+                        }
+                        bytes.push(b as u8);
+                    }
+                    InputValue::Str(bytes)
+                }
+                // Input never read on this path: provide a benign default.
+                _ => match def.kind {
+                    sir::InputKind::Int => InputValue::Int(0),
+                    sir::InputKind::Str { .. } => InputValue::Str(Vec::new()),
+                },
+            };
+            inputs.insert(def.name.clone(), value);
+        }
+        let rendered_constraints = constraints
+            .iter()
+            .map(|c| self.ctx.render_constraint(c))
+            .collect();
+        FoundVulnerability {
+            fault,
+            trace: state.trace.to_vec(),
+            constraints,
+            rendered_constraints,
+            inputs,
+            depth: state.depth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concrete::{FaultKind, Vm, VmConfig};
+
+    fn engine_run(src: &str, config: EngineConfig) -> (EngineReport, sir::Module) {
+        let p = minic::parse_program(src).unwrap();
+        let m = sir::lower(&p).unwrap();
+        let report = {
+            let mut eng = Engine::new(&m, config);
+            eng.run()
+        };
+        (report, m)
+    }
+
+    #[test]
+    fn concrete_program_completes_without_fault() {
+        let (r, _) = engine_run(
+            "fn main() -> int { let i: int = 0; while (i < 10) { i = i + 1; } return i; }",
+            EngineConfig::default(),
+        );
+        assert!(matches!(r.outcome, RunOutcome::Completed));
+        assert_eq!(r.stats.paths_completed, 1);
+    }
+
+    #[test]
+    fn finds_assert_violation_and_model_replays() {
+        let src = r#"
+            fn main() {
+                let n: int = input_int("n");
+                if (n > 100) { assert(n < 150); }
+            }
+        "#;
+        let (r, m) = engine_run(src, EngineConfig::default());
+        let found = r.outcome.found().expect("fault expected");
+        assert_eq!(found.fault.kind, FaultKind::AssertFailed);
+        // The generated input must actually crash the concrete VM.
+        let vm = Vm::new(&m, VmConfig::default());
+        let replay = vm.run(&found.inputs).unwrap();
+        assert!(replay.outcome.is_fault(), "model input must reproduce");
+        let n = match found.inputs.get("n") {
+            Some(InputValue::Int(v)) => *v,
+            other => panic!("unexpected input {other:?}"),
+        };
+        assert!(n >= 150, "constraint n >= 150 required, got {n}");
+    }
+
+    #[test]
+    fn finds_string_driven_buffer_overflow() {
+        // The polymorph pattern in miniature: copy a symbolic string into
+        // a fixed 4-byte buffer without a bounds check.
+        let src = r#"
+            fn copy(s: str) {
+                let b: buf[4];
+                let i: int = 0;
+                while (char_at(s, i) != 0) {
+                    buf_set(b, i, char_at(s, i));
+                    i = i + 1;
+                }
+            }
+            fn main() {
+                let s: str = input_str("arg", 8);
+                copy(s);
+            }
+        "#;
+        let (r, m) = engine_run(src, EngineConfig::default());
+        let found = r.outcome.found().expect("overflow expected");
+        assert!(matches!(found.fault.kind, FaultKind::BufferOverflow { cap: 4, .. }));
+        assert_eq!(found.fault.func, "copy");
+        // Trace passes through copy():enter and never leaves it.
+        assert!(found.trace.contains(&Location::enter("copy")));
+        assert!(!found.trace.contains(&Location::leave("copy")));
+        // Replay.
+        let vm = Vm::new(&m, VmConfig::default());
+        let replay = vm.run(&found.inputs).unwrap();
+        let fault = replay.outcome.fault().expect("replay faults");
+        assert!(matches!(fault.kind, FaultKind::BufferOverflow { .. }));
+        // The triggering string must have at least 5 bytes.
+        match found.inputs.get("arg") {
+            Some(InputValue::Str(bytes)) => assert!(bytes.len() >= 5, "len {}", bytes.len()),
+            other => panic!("unexpected input {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_fault_is_not_reported() {
+        let src = r#"
+            fn main() {
+                let n: int = input_int("n");
+                if (n > 10) {
+                    if (n < 5) { assert(false); } // unreachable
+                }
+            }
+        "#;
+        let (r, _) = engine_run(src, EngineConfig::default());
+        assert!(matches!(r.outcome, RunOutcome::Completed));
+        assert!(r.stats.exec.pruned > 0);
+    }
+
+    #[test]
+    fn memory_budget_exhaustion() {
+        // Exponential forking over 24 independent symbolic branches with
+        // a tiny modeled memory budget must exhaust memory (the paper's
+        // pure-KLEE failure mode).
+        let src = r#"
+            fn main() -> int {
+                let s: str = input_str("x", 24);
+                let acc: int = 0;
+                let i: int = 0;
+                while (i < 24) {
+                    if (char_at(s, i) > 64) { acc = acc + 1; } else { acc = acc + 2; }
+                    i = i + 1;
+                }
+                return acc;
+            }
+        "#;
+        let cfg = EngineConfig {
+            memory_budget: 200_000,
+            ..EngineConfig::default()
+        };
+        let (r, _) = engine_run(src, cfg);
+        assert!(
+            matches!(r.outcome, RunOutcome::Exhausted(ExhaustionReason::Memory)),
+            "got {:?}",
+            r.outcome
+        );
+        assert!(r.stats.peak_memory >= 200_000);
+    }
+
+    #[test]
+    fn dfs_reaches_deep_fault_quickly() {
+        // DFS following the loop-continuation branch reaches the overflow
+        // at depth 16 without enumerating shallow exits first.
+        let src = r#"
+            fn main() {
+                let s: str = input_str("a", 32);
+                let b: buf[16];
+                let i: int = 0;
+                while (char_at(s, i) != 0) {
+                    buf_set(b, i, 1);
+                    i = i + 1;
+                }
+            }
+        "#;
+        let bfs = engine_run(src, EngineConfig::default()).0;
+        let dfs = engine_run(
+            src,
+            EngineConfig {
+                scheduler: SchedulerKind::Dfs,
+                ..EngineConfig::default()
+            },
+        )
+        .0;
+        assert!(bfs.outcome.is_found());
+        assert!(dfs.outcome.is_found());
+        assert!(
+            dfs.stats.peak_live_states <= bfs.stats.peak_live_states,
+            "dfs {} vs bfs {}",
+            dfs.stats.peak_live_states,
+            bfs.stats.peak_live_states
+        );
+    }
+
+    #[test]
+    fn random_scheduler_is_deterministic() {
+        let src = r#"
+            fn main() {
+                let s: str = input_str("a", 8);
+                let b: buf[4];
+                let i: int = 0;
+                while (char_at(s, i) != 0) { buf_set(b, i, 1); i = i + 1; }
+            }
+        "#;
+        let cfg = EngineConfig {
+            scheduler: SchedulerKind::Random { seed: 11 },
+            ..EngineConfig::default()
+        };
+        let a = engine_run(src, cfg).0;
+        let b = engine_run(src, cfg).0;
+        assert_eq!(a.stats.exec.steps, b.stats.exec.steps);
+        assert_eq!(a.stats.paths_explored, b.stats.paths_explored);
+    }
+
+    #[test]
+    fn strlen_on_symbolic_string_forks_per_length() {
+        let src = r#"
+            fn main() -> int {
+                let s: str = input_str("x", 3);
+                return len(s);
+            }
+        "#;
+        let (r, _) = engine_run(src, EngineConfig::default());
+        assert!(matches!(r.outcome, RunOutcome::Completed));
+        // Lengths 0, 1, 2, 3 are all feasible -> 4 completed paths.
+        assert_eq!(r.stats.paths_completed, 4);
+        assert_eq!(r.stats.exec.strlen_forks, 1);
+    }
+
+    #[test]
+    fn div_by_symbolic_zero_forks_fault() {
+        let src = r#"
+            fn main() -> int {
+                let d: int = input_int("d");
+                return 100 / d;
+            }
+        "#;
+        let (r, m) = engine_run(src, EngineConfig::default());
+        let found = r.outcome.found().expect("div fault");
+        assert_eq!(found.fault.kind, FaultKind::DivByZero);
+        let vm = Vm::new(&m, VmConfig::default());
+        let replay = vm.run(&found.inputs).unwrap();
+        assert_eq!(replay.outcome.fault().unwrap().kind, FaultKind::DivByZero);
+    }
+
+    #[test]
+    fn step_budget_exhaustion() {
+        let cfg = EngineConfig {
+            max_steps: 100,
+            ..EngineConfig::default()
+        };
+        let (r, _) = engine_run(
+            "fn main() { let i: int = 0; while (i < 100000) { i = i + 1; } }",
+            cfg,
+        );
+        assert!(matches!(
+            r.outcome,
+            RunOutcome::Exhausted(ExhaustionReason::Steps)
+        ));
+    }
+
+    #[test]
+    fn coverage_scheduler_finds_faults_and_prefers_new_blocks() {
+        let src = r#"
+            fn main() {
+                let s: str = input_str("a", 16);
+                let b: buf[8];
+                let i: int = 0;
+                while (char_at(s, i) != 0) {
+                    buf_set(b, i, 1);
+                    i = i + 1;
+                }
+            }
+        "#;
+        let cov = engine_run(
+            src,
+            EngineConfig {
+                scheduler: SchedulerKind::Coverage,
+                ..EngineConfig::default()
+            },
+        )
+        .0;
+        assert!(cov.outcome.is_found());
+        let bfs = engine_run(src, EngineConfig::default()).0;
+        assert!(bfs.outcome.is_found());
+        // Coverage search is at least as frugal with live states here.
+        assert!(cov.stats.peak_live_states <= bfs.stats.peak_live_states);
+    }
+
+    #[test]
+    fn suppressed_fault_sites_are_skipped() {
+        let src = r#"
+            fn main() {
+                let n: int = input_int("n");
+                if (n > 10) { assert(false); }
+                if (n < -10) {
+                    let b: buf[2];
+                    buf_set(b, 5, 1);
+                }
+            }
+        "#;
+        let p = minic::parse_program(src).unwrap();
+        let m = sir::lower(&p).unwrap();
+        // First run: finds one of the two faults.
+        let first = {
+            let mut eng = Engine::new(&m, EngineConfig::default());
+            eng.run()
+        };
+        let f1 = first.outcome.found().expect("first fault").fault.clone();
+        // Second run with the first site suppressed: finds the *other*.
+        let second = {
+            let mut eng = Engine::new(&m, EngineConfig::default());
+            eng.suppress_fault_site(f1.func.clone(), f1.span);
+            eng.run()
+        };
+        let f2 = second.outcome.found().expect("second fault").fault.clone();
+        assert_ne!((&f1.func, f1.span), (&f2.func, f2.span));
+        // Third run with both suppressed: completes.
+        let third = {
+            let mut eng = Engine::new(&m, EngineConfig::default());
+            eng.suppress_fault_site(f1.func.clone(), f1.span);
+            eng.suppress_fault_site(f2.func.clone(), f2.span);
+            eng.run()
+        };
+        assert!(matches!(third.outcome, RunOutcome::Completed));
+    }
+
+    #[test]
+    fn globals_are_tracked_per_state() {
+        let src = r#"
+            global seen: int = 0;
+            fn mark(v: int) { seen = v; }
+            fn main() {
+                let n: int = input_int("n");
+                if (n > 0) { mark(1); } else { mark(2); }
+                assert(seen != 2);
+            }
+        "#;
+        let (r, m) = engine_run(src, EngineConfig::default());
+        let found = r.outcome.found().expect("assert reachable via else");
+        let vm = Vm::new(&m, VmConfig::default());
+        let replay = vm.run(&found.inputs).unwrap();
+        assert_eq!(replay.outcome.fault().unwrap().kind, FaultKind::AssertFailed);
+        match found.inputs.get("n") {
+            Some(InputValue::Int(v)) => assert!(*v <= 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

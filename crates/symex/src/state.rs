@@ -1,0 +1,254 @@
+//! Symbolic execution states.
+
+use crate::value::{SymBuf, SymValue};
+use concrete::Location;
+use sir::{BlockId, FuncId, Reg};
+use solver::Constraint;
+use std::rc::Rc;
+
+/// A persistent (structurally shared) list of path constraints. Forked
+/// children share their parent's prefix, so appending is O(1) and does
+/// not copy the path condition.
+#[derive(Debug, Clone, Default)]
+pub struct CondList {
+    head: Option<Rc<CondNode>>,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct CondNode {
+    c: Constraint,
+    parent: Option<Rc<CondNode>>,
+}
+
+impl CondList {
+    /// The empty condition.
+    pub fn new() -> CondList {
+        CondList::default()
+    }
+
+    /// Number of conjuncts.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no constraints have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns a new list with `c` appended (the receiver is unchanged).
+    #[must_use]
+    pub fn push(&self, c: Constraint) -> CondList {
+        CondList {
+            head: Some(Rc::new(CondNode {
+                c,
+                parent: self.head.clone(),
+            })),
+            len: self.len + 1,
+        }
+    }
+
+    /// Collects the conjuncts, oldest first.
+    pub fn to_vec(&self) -> Vec<Constraint> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut cur = self.head.as_deref();
+        while let Some(node) = cur {
+            out.push(node.c);
+            cur = node.parent.as_deref();
+        }
+        out.reverse();
+        out
+    }
+}
+
+/// A persistent trace of function-boundary events (for the final
+/// vulnerable-path report).
+#[derive(Debug, Clone, Default)]
+pub struct TraceList {
+    head: Option<Rc<TraceNode>>,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct TraceNode {
+    loc: Location,
+    parent: Option<Rc<TraceNode>>,
+}
+
+impl TraceList {
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns a new trace with `loc` appended.
+    #[must_use]
+    pub fn push(&self, loc: Location) -> TraceList {
+        TraceList {
+            head: Some(Rc::new(TraceNode {
+                loc,
+                parent: self.head.clone(),
+            })),
+            len: self.len + 1,
+        }
+    }
+
+    /// Collects the events, oldest first.
+    pub fn to_vec(&self) -> Vec<Location> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut cur = self.head.as_deref();
+        while let Some(node) = cur {
+            out.push(node.loc.clone());
+            cur = node.parent.as_deref();
+        }
+        out.reverse();
+        out
+    }
+}
+
+/// One stack frame of a symbolic state.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// The function being executed.
+    pub func: FuncId,
+    /// Current basic block.
+    pub block: BlockId,
+    /// Next instruction index within the block.
+    pub idx: usize,
+    /// Register file.
+    pub regs: Vec<SymValue>,
+    /// Caller register receiving the return value.
+    pub ret_dst: Option<Reg>,
+}
+
+/// Guidance bookkeeping attached to each state by the statistics-guided
+/// scheduler (paper §V-C): progress along the candidate path and the
+/// number of diverted hops since the last matched node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StateMeta {
+    /// Index of the last candidate-path node this state matched.
+    pub progress: usize,
+    /// Function-boundary events observed since the last match.
+    pub hops: u32,
+}
+
+/// A symbolic execution state: one explored path prefix.
+#[derive(Debug, Clone)]
+pub struct State {
+    /// Unique id (assigned at fork, deterministic).
+    pub id: u64,
+    /// Call stack.
+    pub frames: Vec<Frame>,
+    /// Global variable values.
+    pub globals: Vec<SymValue>,
+    /// Buffer heap (cloned on fork; buffers are mutable).
+    pub heap: Vec<SymBuf>,
+    /// Hard path constraints (branch decisions taken).
+    pub path: CondList,
+    /// Soft constraints injected by statistical guidance. Violating them
+    /// suspends a state instead of killing it (paper footnote 1).
+    pub soft: CondList,
+    /// Function-boundary event trace.
+    pub trace: TraceList,
+    /// Branch (fork) depth.
+    pub depth: u32,
+    /// Guidance bookkeeping.
+    pub meta: StateMeta,
+    /// Set when a suspended state is resumed: guidance is disabled so the
+    /// state cannot be re-suspended (fallback to pure symbolic execution,
+    /// paper footnote 1).
+    pub guidance_off: bool,
+}
+
+impl State {
+    /// The active frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state has terminated (empty stack).
+    pub fn frame(&self) -> &Frame {
+        self.frames.last().expect("state has an active frame")
+    }
+
+    /// The active frame, mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state has terminated (empty stack).
+    pub fn frame_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("state has an active frame")
+    }
+
+    /// All constraints relevant to feasibility: hard path conditions
+    /// followed by soft guidance constraints.
+    pub fn all_constraints(&self) -> Vec<Constraint> {
+        let mut v = self.path.to_vec();
+        v.extend(self.soft.to_vec());
+        v
+    }
+
+    /// Approximate resident size in bytes, used for the engine's memory
+    /// budget (the paper's KLEE runs fail by exhausting memory).
+    pub fn est_bytes(&self) -> usize {
+        let regs: usize = self
+            .frames
+            .iter()
+            .map(|f| 64 + f.regs.iter().map(SymValue::est_bytes).sum::<usize>())
+            .sum();
+        let heap: usize = self.heap.iter().map(|b| 16 + b.cells.len() * 4).sum();
+        let globals: usize = self.globals.iter().map(SymValue::est_bytes).sum();
+        // Persistent lists are shared; attribute one node to this state.
+        let conds = 48 + self.path.len() * 2 + self.soft.len() * 2;
+        regs + heap + globals + conds + 128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solver::{CmpOp, Constraint, TermCtx};
+
+    #[test]
+    fn condlist_is_persistent() {
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", 0, 9);
+        let c0 = ctx.int(0);
+        let c1 = ctx.int(1);
+        let a = Constraint::new(CmpOp::Ne, x, c0);
+        let b = Constraint::new(CmpOp::Eq, x, c1);
+
+        let base = CondList::new().push(a);
+        let left = base.push(b);
+        let right = base.push(b.negate());
+        assert_eq!(base.to_vec(), vec![a]);
+        assert_eq!(left.to_vec(), vec![a, b]);
+        assert_eq!(right.to_vec(), vec![a, b.negate()]);
+        assert_eq!(left.len(), 2);
+    }
+
+    #[test]
+    fn tracelist_orders_oldest_first() {
+        let t = TraceList::default()
+            .push(Location::enter("main"))
+            .push(Location::enter("f"))
+            .push(Location::leave("f"));
+        let v = t.to_vec();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0], Location::enter("main"));
+        assert_eq!(v[2], Location::leave("f"));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_lists() {
+        assert!(CondList::new().is_empty());
+        assert!(CondList::new().to_vec().is_empty());
+        assert!(TraceList::default().to_vec().is_empty());
+    }
+}

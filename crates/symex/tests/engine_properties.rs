@@ -1,0 +1,148 @@
+//! Property tests for the symbolic engine: on programs with small input
+//! domains, the engine is *sound* (generated inputs really crash the VM)
+//! and *complete* (if any input in the domain crashes, the engine finds
+//! a fault; if none does, it reports `Completed`).
+
+use concrete::{InputMap, InputValue, Vm, VmConfig};
+use proptest::prelude::*;
+use symex::{Engine, EngineConfig, RunOutcome, SchedulerKind};
+
+/// Linear guard `a*x + b*y <op> k` with small coefficients.
+#[derive(Debug, Clone, Copy)]
+struct Guard {
+    a: i64,
+    b: i64,
+    k: i64,
+    op: usize,
+}
+
+const OPS: [&str; 6] = ["==", "!=", "<", "<=", ">", ">="];
+
+fn guard() -> impl Strategy<Value = Guard> {
+    (-4i64..=4, -4i64..=4, -20i64..=20, 0usize..6).prop_map(|(a, b, k, op)| Guard { a, b, k, op })
+}
+
+fn holds(g: Guard, x: i64, y: i64) -> bool {
+    let v = g.a * x + g.b * y;
+    match OPS[g.op] {
+        "==" => v == g.k,
+        "!=" => v != g.k,
+        "<" => v < g.k,
+        "<=" => v <= g.k,
+        ">" => v > g.k,
+        _ => v >= g.k,
+    }
+}
+
+/// The generated program bounds x and y to [-5, 5] with early returns,
+/// then asserts the negation of `g1 && g2` — so a fault exists iff some
+/// in-domain (x, y) satisfies both guards.
+fn source(g1: Guard, g2: Guard) -> String {
+    let guard_src = |g: Guard| {
+        format!(
+            "(({}) * x + ({}) * y {} {})",
+            g.a, g.b, OPS[g.op], g.k
+        )
+    };
+    format!(
+        "fn main() {{\n\
+         \x20   let x: int = input_int(\"x\");\n\
+         \x20   let y: int = input_int(\"y\");\n\
+         \x20   if (x < -5 || x > 5) {{ return; }}\n\
+         \x20   if (y < -5 || y > 5) {{ return; }}\n\
+         \x20   if ({}) {{\n\
+         \x20       if ({}) {{ assert(false); }}\n\
+         \x20   }}\n\
+         }}\n",
+        guard_src(g1),
+        guard_src(g2),
+    )
+}
+
+fn brute_force_crashes(g1: Guard, g2: Guard) -> bool {
+    for x in -5i64..=5 {
+        for y in -5i64..=5 {
+            if holds(g1, x, y) && holds(g2, x, y) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    #[test]
+    fn engine_is_sound_and_complete_on_small_domains(g1 in guard(), g2 in guard()) {
+        let src = source(g1, g2);
+        let program = minic::parse_program(&src).expect("generated source parses");
+        let module = sir::lower(&program).expect("lowers");
+        let mut engine = Engine::new(&module, EngineConfig::default());
+        let report = engine.run();
+        let expected_crash = brute_force_crashes(g1, g2);
+        match report.outcome {
+            RunOutcome::Found(found) => {
+                prop_assert!(expected_crash, "engine found a fault brute force says is impossible:\n{src}");
+                // Soundness: the generated input reproduces the crash.
+                let vm = Vm::new(&module, VmConfig::default());
+                let replay = vm.run(&found.inputs).unwrap();
+                prop_assert!(replay.outcome.is_fault(), "input does not replay:\n{src}");
+            }
+            RunOutcome::Completed => {
+                prop_assert!(!expected_crash, "engine missed a reachable fault:\n{src}");
+            }
+            other => prop_assert!(false, "unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schedulers_agree_on_fault_existence(g1 in guard(), g2 in guard(), seed in 0u64..100) {
+        let src = source(g1, g2);
+        let module = sir::lower(&minic::parse_program(&src).unwrap()).unwrap();
+        let mut outcomes = Vec::new();
+        for scheduler in [
+            SchedulerKind::Bfs,
+            SchedulerKind::Dfs,
+            SchedulerKind::Random { seed },
+        ] {
+            let mut engine = Engine::new(&module, EngineConfig { scheduler, ..EngineConfig::default() });
+            outcomes.push(engine.run().outcome.is_found());
+        }
+        prop_assert!(outcomes.iter().all(|&o| o == outcomes[0]), "{outcomes:?}\n{src}");
+    }
+}
+
+#[test]
+fn pinned_inputs_constrain_the_search() {
+    // With x pinned to a non-crashing value, the fault is unreachable.
+    let src = r#"
+        fn main() {
+            let x: int = input_int("x");
+            let y: int = input_int("y");
+            if (x == 7) { assert(y != 3); }
+        }
+    "#;
+    let module = sir::lower(&minic::parse_program(src).unwrap()).unwrap();
+
+    let mut free = Engine::new(&module, EngineConfig::default());
+    assert!(free.run().outcome.is_found(), "unpinned engine finds x=7,y=3");
+
+    let mut pinned = Engine::new(&module, EngineConfig::default());
+    pinned.pin_input("x", InputValue::Int(0));
+    assert!(
+        matches!(pinned.run().outcome, RunOutcome::Completed),
+        "pinning x=0 removes the fault"
+    );
+
+    let mut pinned_hot = Engine::new(&module, EngineConfig::default());
+    pinned_hot.pin_input("x", InputValue::Int(7));
+    let report = pinned_hot.run();
+    let found = report.outcome.found().expect("x=7 keeps the fault reachable");
+    assert_eq!(found.inputs.get("x"), Some(&InputValue::Int(7)));
+    // Replay for good measure.
+    let vm = Vm::new(&module, VmConfig::default());
+    let mut inputs: InputMap = found.inputs.clone();
+    inputs.insert("x".into(), InputValue::Int(7));
+    assert!(vm.run(&inputs).unwrap().outcome.is_fault());
+}

@@ -1,0 +1,260 @@
+//! Focused behavioral tests of the symbolic executor: symbolic-index
+//! concretization, string bounds, guidance worst-case degradation
+//! (paper footnote 1), and trace fidelity.
+
+use concrete::{FaultKind, Location, Vm, VmConfig};
+use solver::{CmpOp, Constraint, TermCtx};
+use symex::{
+    Engine, EngineConfig, EventCtx, EventHook, GuidanceResult, RunOutcome, SchedulerKind,
+    StateMeta,
+};
+
+fn run(src: &str, config: EngineConfig) -> (symex::EngineReport, sir::Module) {
+    let module = sir::lower(&minic::parse_program(src).unwrap()).unwrap();
+    let report = Engine::new(&module, config).run();
+    (report, module)
+}
+
+#[test]
+fn symbolic_buffer_index_forks_a_fault_child() {
+    // The index is an input, not a loop counter: the engine must fork an
+    // out-of-bounds fault child and concretize the in-range access.
+    let src = r#"
+        fn main() -> int {
+            let i: int = input_int("i");
+            let b: buf[10];
+            buf_set(b, i, 65);
+            return buf_get(b, i);
+        }
+    "#;
+    let (report, module) = run(src, EngineConfig::default());
+    let found = report.outcome.found().expect("oob reachable");
+    assert!(matches!(found.fault.kind, FaultKind::BufferOverflow { cap: 10, .. }));
+    let vm = Vm::new(&module, VmConfig::default());
+    let replay = vm.run(&found.inputs).unwrap();
+    assert!(matches!(
+        replay.outcome.fault().unwrap().kind,
+        FaultKind::BufferOverflow { cap: 10, .. }
+    ));
+}
+
+#[test]
+fn negative_symbolic_index_is_found() {
+    let src = r#"
+        fn main() {
+            let i: int = input_int("i");
+            if (i < 5) {
+                let b: buf[10];
+                buf_set(b, i, 1); // fine for 0..=4, faults for negatives
+            }
+        }
+    "#;
+    let (report, module) = run(src, EngineConfig::default());
+    let found = report.outcome.found().expect("negative index fault");
+    let vm = Vm::new(&module, VmConfig::default());
+    assert!(vm.run(&found.inputs).unwrap().outcome.is_fault());
+    match found.inputs.get("i") {
+        Some(concrete::InputValue::Int(v)) => assert!(*v < 0, "i = {v}"),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn string_read_past_capacity_faults() {
+    // Reading s[cap + 1] is beyond even the guaranteed terminator.
+    let src = r#"
+        fn main() -> int {
+            let s: str = input_str("s", 4);
+            return char_at(s, 6);
+        }
+    "#;
+    let (report, _) = run(src, EngineConfig::default());
+    let found = report.outcome.found().expect("definite oob");
+    assert!(matches!(found.fault.kind, FaultKind::StringOob { .. }));
+}
+
+#[test]
+fn terminator_read_is_safe() {
+    // Reading s[cap] is the guaranteed NUL: no fault on any path.
+    let src = r#"
+        fn main() -> int {
+            let s: str = input_str("s", 4);
+            return char_at(s, 4);
+        }
+    "#;
+    let (report, _) = run(src, EngineConfig::default());
+    assert!(matches!(report.outcome, RunOutcome::Completed));
+}
+
+#[test]
+fn trace_records_call_sequence_in_order() {
+    let src = r#"
+        fn inner() { return; }
+        fn outer() { inner(); }
+        fn boom(n: int) { assert(n < 1000); }
+        fn main() {
+            let n: int = input_int("n");
+            outer();
+            boom(n);
+        }
+    "#;
+    let (report, _) = run(src, EngineConfig::default());
+    let found = report.outcome.found().expect("assert violable");
+    let names: Vec<String> = found.trace.iter().map(|l| l.to_string()).collect();
+    assert_eq!(
+        names,
+        vec![
+            "main():enter",
+            "outer():enter",
+            "inner():enter",
+            "inner():leave",
+            "outer():leave",
+            "boom():enter",
+        ],
+        "faulting function never leaves"
+    );
+}
+
+/// A deliberately wrong guidance hook: it suspends every state at its
+/// second function event. Paper footnote 1: "in the (unlikely) worst
+/// case when erroneous statistical inference is made, the performance of
+/// StatSym is equivalent to pure symbolic execution" — the engine must
+/// resume the suspended states and still find the fault.
+struct HostileGuidance;
+
+impl EventHook for HostileGuidance {
+    fn on_event(
+        &mut self,
+        _ev: &EventCtx<'_>,
+        meta: &mut StateMeta,
+        _ctx: &mut TermCtx,
+    ) -> GuidanceResult {
+        meta.hops += 1;
+        GuidanceResult {
+            constraints: Vec::new(),
+            suspend: meta.hops >= 2,
+        }
+    }
+}
+
+#[test]
+fn wrong_guidance_degrades_to_pure_search_and_still_finds() {
+    let src = r#"
+        fn step_a(v: int) -> int { return v + 1; }
+        fn step_b(v: int) -> int { return v * 2; }
+        fn boom(v: int) { assert(v < 50); }
+        fn main() {
+            let v: int = input_int("v");
+            let w: int = step_a(step_b(v));
+            boom(w);
+        }
+    "#;
+    let module = sir::lower(&minic::parse_program(src).unwrap()).unwrap();
+    let mut engine = Engine::with_hook(
+        &module,
+        EngineConfig {
+            scheduler: SchedulerKind::Priority,
+            ..EngineConfig::default()
+        },
+        Box::new(HostileGuidance),
+    );
+    let report = engine.run();
+    let found = report.outcome.found().expect("fault found despite hostile guidance");
+    assert_eq!(found.fault.func, "boom");
+    assert!(
+        report.stats.exec.suspended > 0,
+        "the hostile hook did suspend states"
+    );
+}
+
+/// Guidance that injects a constraint contradicting the only fault path:
+/// the fault-side states are suspended, resumed with guidance off, and
+/// the fault is still found (soft constraints never cause unsoundness).
+struct MisleadingPredicates;
+
+impl EventHook for MisleadingPredicates {
+    fn on_event(
+        &mut self,
+        ev: &EventCtx<'_>,
+        _meta: &mut StateMeta,
+        ctx: &mut TermCtx,
+    ) -> GuidanceResult {
+        let mut constraints = Vec::new();
+        if ev.loc == &Location::enter("check") {
+            // Wrong inference: claims v < 10, but the fault needs v >= 90.
+            if let Some(symex::SymValue::Int(t)) = ev.arg("v") {
+                let bound = ctx.int(10);
+                constraints.push(Constraint::new(CmpOp::Lt, *t, bound));
+            }
+        }
+        GuidanceResult {
+            constraints,
+            suspend: false,
+        }
+    }
+}
+
+#[test]
+fn misleading_soft_constraints_do_not_hide_the_fault() {
+    let src = r#"
+        fn check(v: int) { assert(v < 90); }
+        fn main() {
+            let v: int = input_int("v");
+            check(v);
+        }
+    "#;
+    let module = sir::lower(&minic::parse_program(src).unwrap()).unwrap();
+    let mut engine = Engine::with_hook(
+        &module,
+        EngineConfig {
+            scheduler: SchedulerKind::Priority,
+            ..EngineConfig::default()
+        },
+        Box::new(MisleadingPredicates),
+    );
+    let report = engine.run();
+    let found = report
+        .outcome
+        .found()
+        .expect("fault found after resuming suspended states");
+    match found.inputs.get("v") {
+        Some(concrete::InputValue::Int(v)) => assert!(*v >= 90),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn exit_paths_do_not_leak_into_fault_search() {
+    // exit() before the vulnerable call on some paths must not stop the
+    // engine from finding the fault on others.
+    let src = r#"
+        fn main() {
+            let n: int = input_int("n");
+            if (n == 0) { exit(0); }
+            let b: buf[3];
+            if (n > 3) { buf_set(b, n, 1); }
+        }
+    "#;
+    let (report, module) = run(src, EngineConfig::default());
+    let found = report.outcome.found().expect("fault behind exit");
+    let vm = Vm::new(&module, VmConfig::default());
+    assert!(vm.run(&found.inputs).unwrap().outcome.is_fault());
+}
+
+#[test]
+fn rendered_constraints_are_human_readable() {
+    let src = r#"
+        fn main() {
+            let n: int = input_int("n");
+            if (n > 41) { assert(n != 42 + 0); }
+        }
+    "#;
+    let (report, _) = run(src, EngineConfig::default());
+    let found = report.outcome.found().expect("n == 42 faults");
+    let joined = found.rendered_constraints.join(" && ");
+    assert!(joined.contains('n'), "{joined}");
+    assert!(
+        joined.contains("42") || joined.contains("41"),
+        "constraints mention the threshold: {joined}"
+    );
+}

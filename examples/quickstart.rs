@@ -1,0 +1,50 @@
+//! Quickstart: write a MiniC program, run it concretely, then let the
+//! symbolic engine find the lurking buffer overflow and produce a
+//! concrete crashing input.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use statsym::concrete::{InputValue, Vm, VmConfig};
+use statsym::symex::{Engine, EngineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny vulnerable program: the copy loop never checks the
+    // destination capacity.
+    let source = r#"
+        fn copy_name(name: str) {
+            let buffer: buf[8];
+            let i: int = 0;
+            while (char_at(name, i) != 0) {
+                buf_set(buffer, i, char_at(name, i));
+                i = i + 1;
+            }
+            buf_set(buffer, i, 0);
+        }
+        fn main() {
+            let name: str = input_str("name", 16);
+            copy_name(name);
+        }
+    "#;
+    let program = statsym::minic::parse_program(source)?;
+    let module = statsym::sir::lower(&program)?;
+
+    // 1. Concrete execution: short names are fine.
+    let vm = Vm::new(&module, VmConfig::default());
+    let ok = vm.run(&[("name".into(), InputValue::text("short"))].into_iter().collect())?;
+    println!("concrete run with \"short\": {:?}", ok.outcome);
+
+    // 2. Symbolic execution: the engine discovers the overflow and
+    //    generates a triggering input from the solver model.
+    let mut engine = Engine::new(&module, EngineConfig::default());
+    let report = engine.run();
+    let found = report.outcome.found().expect("engine finds the overflow");
+    println!("fault: {}", found.fault);
+    println!("trace: {:?}", found.trace.iter().map(ToString::to_string).collect::<Vec<_>>());
+    println!("triggering input: {:?}", found.inputs.get("name"));
+
+    // 3. Replay the generated input to confirm it crashes for real.
+    let replay = vm.run(&found.inputs)?;
+    println!("replay outcome: {:?}", replay.outcome);
+    assert!(replay.outcome.is_fault());
+    Ok(())
+}

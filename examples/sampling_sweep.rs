@@ -1,0 +1,32 @@
+//! Sensitivity of StatSym to the monitor's sampling rate (the paper's
+//! Figure 10): lower rates mean cheaper logging but noisier statistics.
+//!
+//! Run with: `cargo run --release --example sampling_sweep`
+
+use statsym::benchapps::{ctree, generate_corpus, CorpusSpec};
+use statsym::core::pipeline::StatSym;
+
+fn main() {
+    let app = ctree();
+    println!("{:>9}  {:>9}  {:>10}  {:>7}  {:>6}", "sampling", "stat(ms)", "symex(ms)", "paths", "found");
+    for pct in [20, 40, 60, 80, 100] {
+        let logs = generate_corpus(
+            &app,
+            CorpusSpec {
+                n_correct: 100,
+                n_faulty: 100,
+                sampling_rate: pct as f64 / 100.0,
+                seed: 7,
+            },
+        );
+        let report = StatSym::default().run(&app.module, &logs);
+        println!(
+            "{:>8}%  {:>9.2}  {:>10.2}  {:>7}  {:>6}",
+            pct,
+            report.analysis.analysis_time.as_secs_f64() * 1e3,
+            report.symex_time.as_secs_f64() * 1e3,
+            report.total_paths_explored(),
+            report.found.is_some()
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! StatSym — facade crate re-exporting the full reproduction workspace.
+//!
+//! See the individual crates for details:
+//! [`minic`] (language), [`sir`] (IR), [`concrete`] (VM + monitor),
+//! [`solver`] (constraints), [`symex`] (symbolic engine),
+//! [`statsym_core`] (the paper's contribution), [`benchapps`] (targets).
+
+pub use benchapps;
+pub use concrete;
+pub use minic;
+pub use sir;
+pub use solver;
+pub use statsym_core as core;
+pub use symex;
