@@ -1,0 +1,49 @@
+//! Telemetry overhead benchmark: pure symbolic execution on the
+//! motivating example (Figure 2 workload) with the no-op recorder, an
+//! in-memory recorder, and a file recorder writing to a sink buffer.
+//!
+//! The engine always carries a recorder reference, so the
+//! `noop_recorder` number *is* the instrumented-but-disabled cost;
+//! compare it against the same benchmark on a pre-telemetry checkout to
+//! bound the overhead (acceptance target: within 2%). The other two
+//! benchmarks price in what enabling recording costs.
+
+use bench::{pure_engine_config, run_pure, run_pure_traced};
+use criterion::{criterion_group, criterion_main, Criterion};
+use statsym_telemetry::{Clock, FileRecorder, MemRecorder};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_noop_overhead(c: &mut Criterion) {
+    let app = benchapps::motivating();
+    let mut group = c.benchmark_group("telemetry/noop_overhead");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+
+    group.bench_function("noop_recorder", |b| {
+        b.iter(|| black_box(run_pure(&app, pure_engine_config())))
+    });
+
+    group.bench_function("mem_recorder", |b| {
+        b.iter(|| {
+            let rec = MemRecorder::new(Clock::steps());
+            let r = run_pure_traced(&app, pure_engine_config(), &rec);
+            black_box((r, rec.finish().len()))
+        })
+    });
+
+    group.bench_function("file_recorder_sink", |b| {
+        b.iter(|| {
+            let rec = FileRecorder::from_writer(Box::new(std::io::sink()), Clock::steps());
+            let r = run_pure_traced(&app, pure_engine_config(), &rec);
+            rec.finish().unwrap();
+            black_box(r)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_noop_overhead);
+criterion_main!(benches);

@@ -10,17 +10,20 @@
 //!    information on the paper workloads (they should not: single
 //!    length thresholds already separate the classes).
 
-use bench::{Table, DEFAULT_MEMORY_BUDGET, PAPER_SEED};
-use benchapps::{generate_corpus, CorpusSpec};
+use bench::{Table, TraceSink, DEFAULT_MEMORY_BUDGET, PAPER_SEED};
+use benchapps::{generate_corpus_traced, CorpusSpec};
 use statsym_core::pipeline::{StatSym, StatSymConfig};
 use statsym_core::{CompoundSet, GuidanceConfig, GuidedHook, LogCorpus, PredicateSet};
-use symex::{Engine, EngineConfig, RunOutcome, SchedulerKind};
+use statsym_telemetry::Recorder;
 use std::time::Duration;
+use symex::{Engine, EngineConfig, RunOutcome, SchedulerKind};
 
 fn main() {
-    tau_sensitivity();
-    scheduler_ablation();
-    compound_predicates();
+    let sink = TraceSink::from_args();
+    tau_sensitivity(sink.recorder());
+    scheduler_ablation(sink.recorder());
+    compound_predicates(sink.recorder());
+    sink.finish();
 }
 
 fn spec() -> CorpusSpec {
@@ -32,12 +35,19 @@ fn spec() -> CorpusSpec {
     }
 }
 
-fn tau_sensitivity() {
+fn tau_sensitivity(rec: &dyn Recorder) {
     let app = benchapps::thttpd();
-    let logs = generate_corpus(&app, spec());
+    let logs = generate_corpus_traced(&app, spec(), rec);
     let mut table = Table::new(
         "Ablation A: hop threshold tau sensitivity (thttpd, 30% sampling)",
-        &["tau", "found", "candidate", "paths", "suspended", "time(ms)"],
+        &[
+            "tau",
+            "found",
+            "candidate",
+            "paths",
+            "suspended",
+            "time(ms)",
+        ],
     );
     for tau in [0u32, 1, 2, 5, 10, 20] {
         let statsym = StatSym::new(StatSymConfig {
@@ -47,7 +57,7 @@ fn tau_sensitivity() {
             },
             ..StatSymConfig::default()
         });
-        let analysis = statsym.analyze(&logs);
+        let analysis = statsym.analyze_traced(&logs, rec);
         let mut found = None;
         let mut paths = 0;
         let mut suspended = 0;
@@ -64,6 +74,7 @@ fn tau_sensitivity() {
                     },
                     Box::new(hook),
                 );
+                engine.set_recorder(rec);
                 for (n, v) in &app.pins {
                     engine.pin_input(n.clone(), v.clone());
                 }
@@ -88,7 +99,7 @@ fn tau_sensitivity() {
     println!("{}", table.render());
 }
 
-fn scheduler_ablation() {
+fn scheduler_ablation(rec: &dyn Recorder) {
     let mut table = Table::new(
         "Ablation B: pure-baseline scheduler comparison (64 MiB modeled budget)",
         &["Benchmark", "BFS", "DFS", "Random", "Coverage"],
@@ -110,6 +121,7 @@ fn scheduler_ablation() {
                     ..EngineConfig::default()
                 },
             );
+            engine.set_recorder(rec);
             for (n, v) in &app.pins {
                 engine.pin_input(n.clone(), v.clone());
             }
@@ -125,15 +137,15 @@ fn scheduler_ablation() {
     println!("{}", table.render());
 }
 
-fn compound_predicates() {
+fn compound_predicates(rec: &dyn Recorder) {
     let mut table = Table::new(
         "Ablation C: compound predicates (gain over best single threshold)",
         &["Benchmark", "#compounds", "best gain", "best single"],
     );
     for app in benchapps::all_apps() {
-        let logs = generate_corpus(&app, spec());
+        let logs = generate_corpus_traced(&app, spec(), rec);
         let corpus = LogCorpus::build(&logs);
-        let simple = PredicateSet::build(&corpus);
+        let simple = PredicateSet::build_traced(&corpus, rec);
         let compound = CompoundSet::build(&logs, &simple, 4);
         let best_single = simple.ranked.first().map(|p| p.score).unwrap_or(0.0);
         let (n, gain) = (

@@ -6,7 +6,14 @@ use bench::Table;
 fn main() {
     let mut table = Table::new(
         "TABLE I: Program source statistics (scaled MiniC re-implementations)",
-        &["Program", "SLOC", "Ext. Call", "Inter. Call", "G.V.", "Params."],
+        &[
+            "Program",
+            "SLOC",
+            "Ext. Call",
+            "Inter. Call",
+            "G.V.",
+            "Params.",
+        ],
     );
     for app in benchapps::all_apps() {
         let s = app.stats();

@@ -1,13 +1,23 @@
 //! Regenerates **Table II**: number of detours and time breakdown
 //! (statistical analysis vs guided symbolic execution) at 100% sampling.
+//!
+//! Pass `--trace <path>` to export a structured JSONL trace of the run
+//! (and `--clock wall` to stamp it with wall-clock time instead of the
+//! deterministic step counter).
 
-use bench::{run_statsym, Table, PAPER_SEED};
+use bench::{run_statsym_traced, Table, TraceSink, PAPER_SEED};
 
 fn main() {
-    print_breakdown(1.0, "TABLE II: detours and time breakdown, sampling rate 100%");
+    let sink = TraceSink::from_args();
+    print_breakdown(
+        1.0,
+        "TABLE II: detours and time breakdown, sampling rate 100%",
+        &sink,
+    );
+    sink.finish();
 }
 
-pub fn print_breakdown(rate: f64, title: &str) {
+pub fn print_breakdown(rate: f64, title: &str, sink: &TraceSink) {
     let mut table = Table::new(
         title,
         &[
@@ -20,7 +30,7 @@ pub fn print_breakdown(rate: f64, title: &str) {
         ],
     );
     for app in benchapps::all_apps() {
-        let r = run_statsym(&app, rate, PAPER_SEED);
+        let r = run_statsym_traced(&app, rate, PAPER_SEED, 100, 100, sink.recorder());
         table.row(&[
             app.name.to_string(),
             r.report.analysis.n_detours().to_string(),

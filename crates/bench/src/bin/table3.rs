@@ -1,9 +1,13 @@
 //! Regenerates **Table III**: number of detours and time breakdown at
 //! 30% sampling.
+//!
+//! Pass `--trace <path>` to export a structured JSONL trace of the run
+//! (and `--clock wall` for wall-clock stamps).
 
-use bench::{run_statsym, Table, PAPER_SEED};
+use bench::{run_statsym_traced, Table, TraceSink, PAPER_SEED};
 
 fn main() {
+    let sink = TraceSink::from_args();
     let rate = 0.3;
     let mut table = Table::new(
         "TABLE III: detours and time breakdown, sampling rate 30%",
@@ -17,7 +21,7 @@ fn main() {
         ],
     );
     for app in benchapps::all_apps() {
-        let r = run_statsym(&app, rate, PAPER_SEED);
+        let r = run_statsym_traced(&app, rate, PAPER_SEED, 100, 100, sink.recorder());
         table.row(&[
             app.name.to_string(),
             r.report.analysis.n_detours().to_string(),
@@ -28,4 +32,5 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+    sink.finish();
 }

@@ -2,11 +2,18 @@
 //! StatSym (KLEE w/ statistics guidance) vs pure symbolic execution, at
 //! 30% sampling. Pure runs that exhaust the memory budget print
 //! `Failed`, as in the paper.
+//!
+//! Pass `--trace <path>` to export a structured JSONL trace of the run
+//! (and `--clock wall` for wall-clock stamps).
 
-use bench::{pure_engine_config, run_pure, run_statsym, Table, DEFAULT_SAMPLING, PAPER_SEED};
+use bench::{
+    pure_engine_config, run_pure_traced, run_statsym_traced, Table, TraceSink, DEFAULT_SAMPLING,
+    PAPER_SEED,
+};
 use symex::RunOutcome;
 
 fn main() {
+    let sink = TraceSink::from_args();
     let mut table = Table::new(
         "TABLE IV: paths explored and time before finding the bug (30% sampling)",
         &[
@@ -18,13 +25,20 @@ fn main() {
         ],
     );
     for app in benchapps::all_apps() {
-        let guided = run_statsym(&app, DEFAULT_SAMPLING, PAPER_SEED);
+        let guided = run_statsym_traced(
+            &app,
+            DEFAULT_SAMPLING,
+            PAPER_SEED,
+            100,
+            100,
+            sink.recorder(),
+        );
         assert!(
             guided.report.found.is_some(),
             "StatSym must find the bug in {}",
             app.name
         );
-        let pure = run_pure(&app, pure_engine_config());
+        let pure = run_pure_traced(&app, pure_engine_config(), sink.recorder());
         let (pure_time, pure_note) = match &pure.report.outcome {
             RunOutcome::Found(_) => (format!("{:.2}", pure.report.wall_time.as_secs_f64()), ""),
             RunOutcome::Exhausted(r) => (format!("Failed ({r})"), ""),
@@ -42,4 +56,5 @@ fn main() {
     println!("{}", table.render());
     println!("Paper: StatSym finds all 4; pure KLEE fails (OOM) on CTree, thttpd, Grep");
     println!("and is ~15x slower on polymorph.");
+    sink.finish();
 }

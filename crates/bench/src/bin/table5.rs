@@ -29,7 +29,10 @@ fn main() {
         .keys()
         .map(|(_, var)| var.to_string())
         .collect();
-    println!("  variables: {}", vars.into_iter().collect::<Vec<_>>().join(", "));
+    println!(
+        "  variables: {}",
+        vars.into_iter().collect::<Vec<_>>().join(", ")
+    );
     println!();
 
     // Table V: top-10 predicates.

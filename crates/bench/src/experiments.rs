@@ -1,9 +1,10 @@
 //! Shared experiment runners used by every table/figure binary.
 
-use benchapps::{generate_corpus, BenchApp, CorpusSpec};
+use benchapps::{generate_corpus_traced, BenchApp, CorpusSpec};
 use statsym_core::pipeline::{StatSym, StatSymConfig, StatSymReport};
-use symex::{Engine, EngineConfig, EngineReport, SchedulerKind};
+use statsym_telemetry::{Recorder, NOOP};
 use std::time::Duration;
+use symex::{Engine, EngineConfig, EngineReport, SchedulerKind};
 
 /// Deterministic seed used by all paper experiments.
 pub const PAPER_SEED: u64 = 2017;
@@ -71,7 +72,20 @@ pub fn run_statsym_sized(
     n_correct: usize,
     n_faulty: usize,
 ) -> ExperimentResult {
-    let logs = generate_corpus(
+    run_statsym_traced(app, sampling_rate, seed, n_correct, n_faulty, &NOOP)
+}
+
+/// [`run_statsym_sized`] with a telemetry recorder threaded through
+/// corpus generation, statistical analysis, and guided execution.
+pub fn run_statsym_traced(
+    app: &BenchApp,
+    sampling_rate: f64,
+    seed: u64,
+    n_correct: usize,
+    n_faulty: usize,
+    rec: &dyn Recorder,
+) -> ExperimentResult {
+    let logs = generate_corpus_traced(
         app,
         CorpusSpec {
             n_correct,
@@ -79,65 +93,17 @@ pub fn run_statsym_sized(
             sampling_rate,
             seed,
         },
+        rec,
     );
     let statsym = StatSym::new(statsym_config());
-    let analysis = statsym.analyze(&logs);
-    let report = run_guided(app, &statsym, analysis);
+    let analysis = statsym.analyze_traced(&logs, rec);
+    // The paper configures required program options for both engines:
+    // pin them on every candidate attempt.
+    let report = statsym.run_with_analysis_pinned_traced(&app.module, analysis, &app.pins, rec);
     ExperimentResult {
         app: app.name,
         n_logs: logs.len(),
         report,
-    }
-}
-
-/// Runs guided symbolic execution from a precomputed analysis, applying
-/// the app's pinned option inputs to every candidate attempt.
-fn run_guided(
-    app: &BenchApp,
-    statsym: &StatSym,
-    analysis: statsym_core::pipeline::AnalysisReport,
-) -> StatSymReport {
-    // Reimplements StatSym::run_with_analysis with input pinning: the
-    // paper configures required program options for both engines.
-    use statsym_core::pipeline::CandidateAttempt;
-    use statsym_core::GuidedHook;
-    let start = std::time::Instant::now();
-    let mut attempts: Vec<CandidateAttempt> = Vec::new();
-    let mut found = None;
-    let mut candidate_used = None;
-    let paths = analysis
-        .candidates
-        .as_ref()
-        .map(|c| c.paths.clone())
-        .unwrap_or_default();
-    for (index, path) in paths.into_iter().enumerate() {
-        let path_len = path.len();
-        let hook = GuidedHook::new(path, statsym.config().guidance);
-        let mut engine = Engine::with_hook(&app.module, statsym.config().engine, Box::new(hook));
-        for (name, value) in &app.pins {
-            engine.pin_input(name.clone(), value.clone());
-        }
-        let report = engine.run();
-        let hit = report.outcome.is_found();
-        attempts.push(CandidateAttempt {
-            index,
-            path_len,
-            found: hit,
-            wall_time: report.wall_time,
-            stats: report.stats,
-        });
-        if let symex::RunOutcome::Found(f) = report.outcome {
-            found = Some(*f);
-            candidate_used = Some(index);
-            break;
-        }
-    }
-    StatSymReport {
-        analysis,
-        attempts,
-        found,
-        candidate_used,
-        symex_time: start.elapsed(),
     }
 }
 
@@ -152,7 +118,13 @@ pub struct PureResult {
 
 /// Runs the unguided baseline on `app` with the same pinned options.
 pub fn run_pure(app: &BenchApp, config: EngineConfig) -> PureResult {
+    run_pure_traced(app, config, &NOOP)
+}
+
+/// [`run_pure`] with a telemetry recorder on the engine.
+pub fn run_pure_traced(app: &BenchApp, config: EngineConfig, rec: &dyn Recorder) -> PureResult {
     let mut engine = Engine::new(&app.module, config);
+    engine.set_recorder(rec);
     for (name, value) in &app.pins {
         engine.pin_input(name.clone(), value.clone());
     }

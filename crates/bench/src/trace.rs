@@ -1,0 +1,84 @@
+//! `--trace <path>` / `--clock steps|wall` support for the bench
+//! binaries: every table/figure binary can export a structured JSONL
+//! trace of the run it just printed.
+//!
+//! With `--clock steps` the trace is stamped with the engine's logical
+//! step counter instead of wall-clock time, making the file
+//! byte-reproducible across runs under a fixed seed.
+
+use statsym_telemetry::{Clock, FileRecorder, Recorder, NOOP};
+
+/// Command-line trace options for a bench binary.
+#[derive(Debug)]
+pub struct TraceSink {
+    path: Option<String>,
+    rec: Option<FileRecorder>,
+}
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: [--trace <path>] [--clock steps|wall]");
+    std::process::exit(2);
+}
+
+impl TraceSink {
+    /// Parses `--trace <path>` and `--clock steps|wall` from the
+    /// process arguments. Defaults to the deterministic step clock so
+    /// fixed-seed runs produce byte-identical trace files.
+    ///
+    /// Exits with status 2 (and a usage message on stderr) on a
+    /// malformed command line or an unwritable trace path.
+    pub fn from_args() -> TraceSink {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut path = None;
+        let mut wall = false;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--trace" => match it.next() {
+                    Some(p) => path = Some(p.clone()),
+                    None => usage_exit("--trace requires a file path"),
+                },
+                "--clock" => match it.next().map(String::as_str) {
+                    Some("steps") => wall = false,
+                    Some("wall") => wall = true,
+                    Some(other) => {
+                        usage_exit(&format!("unknown clock `{other}`; use `steps` or `wall`"))
+                    }
+                    None => usage_exit("--clock requires `steps` or `wall`"),
+                },
+                other => usage_exit(&format!("unknown argument `{other}`")),
+            }
+        }
+        let rec = path.as_deref().map(|p| {
+            let clock = if wall { Clock::wall() } else { Clock::steps() };
+            FileRecorder::create(p, clock)
+                .unwrap_or_else(|e| usage_exit(&format!("cannot open {p}: {e}")))
+        });
+        TraceSink { path, rec }
+    }
+
+    /// The recorder to thread through the experiment: the file recorder
+    /// when `--trace` was given, the no-op recorder otherwise.
+    pub fn recorder(&self) -> &dyn Recorder {
+        match &self.rec {
+            Some(r) => r,
+            None => &NOOP,
+        }
+    }
+
+    /// Flushes the trace (appending the final metrics snapshot) and
+    /// reports where it was written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace file could not be written in full.
+    pub fn finish(self) {
+        if let Some(rec) = self.rec {
+            let path = self.path.unwrap_or_default();
+            rec.finish()
+                .unwrap_or_else(|e| panic!("failed to write trace {path}: {e}"));
+            eprintln!("trace written to {path}");
+        }
+    }
+}

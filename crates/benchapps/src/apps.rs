@@ -267,7 +267,10 @@ fn ctree_inputs(rng: &mut StdRng, want_faulty: bool) -> InputMap {
     let taint = rand_name(rng, len);
     [
         ("opts".to_string(), InputValue::Str(opts)),
-        ("entries".to_string(), InputValue::Int(rng.random_range(1..=8))),
+        (
+            "entries".to_string(),
+            InputValue::Int(rng.random_range(1..=8)),
+        ),
         ("stonesoup_env".to_string(), InputValue::Str(taint)),
     ]
     .into_iter()
@@ -432,7 +435,10 @@ fn grep_inputs(rng: &mut StdRng, want_faulty: bool) -> InputMap {
         ("pattern".to_string(), InputValue::Str(pattern)),
         ("line1".to_string(), InputValue::Str(line1)),
         ("line2".to_string(), InputValue::Str(line2)),
-        ("reps".to_string(), InputValue::Int(rng.random_range(10..=40))),
+        (
+            "reps".to_string(),
+            InputValue::Int(rng.random_range(10..=40)),
+        ),
         ("stonesoup_buffer".to_string(), InputValue::Str(taint)),
     ]
     .into_iter()
@@ -601,7 +607,10 @@ fn thttpd_inputs(rng: &mut StdRng, want_faulty: bool) -> InputMap {
     }
     [
         ("request".to_string(), InputValue::Str(req)),
-        ("nheaders".to_string(), InputValue::Int(rng.random_range(5..=30))),
+        (
+            "nheaders".to_string(),
+            InputValue::Int(rng.random_range(5..=30)),
+        ),
     ]
     .into_iter()
     .collect()
@@ -734,7 +743,11 @@ mod tests {
         }
         // The generators are biased, not exact; require a strong majority.
         assert!(faulty_ok >= 18, "{}: only {faulty_ok}/20 faulty", app.name);
-        assert!(correct_ok >= 18, "{}: only {correct_ok}/20 correct", app.name);
+        assert!(
+            correct_ok >= 18,
+            "{}: only {correct_ok}/20 correct",
+            app.name
+        );
     }
 
     #[test]

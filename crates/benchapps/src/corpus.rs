@@ -2,9 +2,10 @@
 //! and faulty execution logs from randomly generated inputs (§VII-A).
 
 use crate::apps::BenchApp;
-use concrete::{run_logged, ExecutionLog, Verdict};
+use concrete::{run_logged_traced, ExecutionLog, Verdict, VmConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use statsym_telemetry::{Recorder, NOOP};
 
 /// How many logs to collect and how they are sampled.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +40,20 @@ impl Default for CorpusSpec {
 /// mix within a generous attempt budget (a bug in the workload model,
 /// caught by `benchapps` tests).
 pub fn generate_corpus(app: &BenchApp, spec: CorpusSpec) -> Vec<ExecutionLog> {
+    generate_corpus_traced(app, spec, &NOOP)
+}
+
+/// Like [`generate_corpus`] with a telemetry recorder: the monitor's
+/// sampled/dropped record counts accumulate across all runs.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`generate_corpus`].
+pub fn generate_corpus_traced(
+    app: &BenchApp,
+    spec: CorpusSpec,
+    rec: &dyn Recorder,
+) -> Vec<ExecutionLog> {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut logs = Vec::with_capacity(spec.n_correct + spec.n_faulty);
     let mut n_correct = 0;
@@ -55,13 +70,16 @@ pub fn generate_corpus(app: &BenchApp, spec: CorpusSpec) -> Vec<ExecutionLog> {
             spec.n_correct,
             spec.n_faulty
         );
-        let want_faulty = n_faulty < spec.n_faulty && (n_correct >= spec.n_correct || attempt.is_multiple_of(2));
+        let want_faulty =
+            n_faulty < spec.n_faulty && (n_correct >= spec.n_correct || attempt.is_multiple_of(2));
         let inputs = (app.gen_inputs)(&mut rng, want_faulty);
-        let run = run_logged(
+        let run = run_logged_traced(
             &app.module,
             &inputs,
             spec.sampling_rate,
             spec.seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            VmConfig::default(),
+            rec,
         )
         .unwrap_or_else(|e| panic!("{}: {e}", app.name));
         match run.log.verdict {

@@ -37,4 +37,4 @@ pub mod apps;
 pub mod corpus;
 
 pub use apps::{all_apps, by_name, ctree, grep, motivating, polymorph, thttpd, BenchApp};
-pub use corpus::{generate_corpus, CorpusSpec};
+pub use corpus::{generate_corpus, generate_corpus_traced, CorpusSpec};

@@ -50,6 +50,6 @@ pub use event::{FnEvent, Location, Measure, VarId, VarRole};
 pub use fault::{Fault, FaultKind};
 pub use logfile::{parse_log, write_log, ParseLogError};
 pub use monitor::{ExecutionLog, LogRecord, Monitor, Verdict};
-pub use runner::{run_logged, LoggedRun};
+pub use runner::{run_logged, run_logged_traced, run_logged_with, LoggedRun};
 pub use value::{InputValue, Value};
 pub use vm::{ExecHook, InputMap, NoHook, Outcome, RunResult, Vm, VmConfig, VmError};

@@ -210,7 +210,10 @@ mod tests {
                 LogRecord {
                     loc: Location::enter("convert_fileName"),
                     vars: vec![
-                        (VarId::new("original", VarRole::Param, Measure::Length), 517.0),
+                        (
+                            VarId::new("original", VarRole::Param, Measure::Length),
+                            517.0,
+                        ),
                         (VarId::new("track", VarRole::Global, Measure::Value), 3.0),
                     ],
                 },

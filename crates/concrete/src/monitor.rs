@@ -13,6 +13,7 @@ use crate::vm::ExecHook;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use sir::{FuncBody, GlobalDef};
+use statsym_telemetry::{names, Recorder, NOOP};
 
 /// One sampled instrumentation record: a location plus the numeric view
 /// of every variable visible there.
@@ -76,26 +77,49 @@ impl ExecutionLog {
 /// assert_eq!(log.records.len(), 2); // main enter + leave
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
-pub struct Monitor {
+pub struct Monitor<'r> {
     sampling_rate: f64,
     rng: StdRng,
     records: Vec<LogRecord>,
+    rec: &'r dyn Recorder,
 }
 
-impl Monitor {
+impl std::fmt::Debug for Monitor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("sampling_rate", &self.sampling_rate)
+            .field("records", &self.records.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'r> Monitor<'r> {
     /// Creates a monitor sampling each record with probability
     /// `sampling_rate` (clamped to `[0, 1]`), deterministically seeded.
-    pub fn new(sampling_rate: f64, seed: u64) -> Monitor {
+    pub fn new(sampling_rate: f64, seed: u64) -> Monitor<'static> {
+        Monitor::traced(sampling_rate, seed, &NOOP)
+    }
+
+    /// Like [`Monitor::new`] with a telemetry recorder: every record
+    /// attempt is counted as sampled or dropped.
+    pub fn traced(sampling_rate: f64, seed: u64, rec: &dyn Recorder) -> Monitor<'_> {
         Monitor {
             sampling_rate: sampling_rate.clamp(0.0, 1.0),
             rng: StdRng::seed_from_u64(seed),
             records: Vec::new(),
+            rec,
         }
     }
 
     fn sample(&mut self) -> bool {
-        self.sampling_rate >= 1.0 || self.rng.random_bool(self.sampling_rate)
+        let keep = self.sampling_rate >= 1.0 || self.rng.random_bool(self.sampling_rate);
+        let name = if keep {
+            names::MONITOR_SAMPLED
+        } else {
+            names::MONITOR_DROPPED
+        };
+        self.rec.counter_add(name, 1);
+        keep
     }
 
     fn global_vars(globals: &[GlobalDef], gvals: &[Value]) -> Vec<(VarId, f64)> {
@@ -104,7 +128,11 @@ impl Monitor {
             .zip(gvals)
             .filter_map(|(def, val)| {
                 val.numeric_view().map(|(num, is_len)| {
-                    let measure = if is_len { Measure::Length } else { Measure::Value };
+                    let measure = if is_len {
+                        Measure::Length
+                    } else {
+                        Measure::Value
+                    };
                     (VarId::new(def.name.clone(), VarRole::Global, measure), num)
                 })
             })
@@ -128,7 +156,7 @@ impl Monitor {
     }
 }
 
-impl ExecHook for Monitor {
+impl ExecHook for Monitor<'_> {
     fn on_enter(
         &mut self,
         func: &FuncBody,
@@ -142,7 +170,11 @@ impl ExecHook for Monitor {
         let mut vars = Vec::new();
         for ((name, _), val) in func.params.iter().zip(args) {
             if let Some((num, is_len)) = val.numeric_view() {
-                let measure = if is_len { Measure::Length } else { Measure::Value };
+                let measure = if is_len {
+                    Measure::Length
+                } else {
+                    Measure::Value
+                };
                 vars.push((VarId::new(name.clone(), VarRole::Param, measure), num));
             }
         }
@@ -168,7 +200,11 @@ impl ExecHook for Monitor {
         }
         let mut vars = Vec::new();
         if let Some((num, is_len)) = ret.and_then(|v| v.numeric_view()) {
-            let measure = if is_len { Measure::Length } else { Measure::Value };
+            let measure = if is_len {
+                Measure::Length
+            } else {
+                Measure::Value
+            };
             vars.push((VarId::new("ret", VarRole::Return, measure), num));
         }
         vars.extend(Self::global_vars(globals, gvals));
@@ -259,6 +295,31 @@ mod tests {
     #[test]
     fn sampling_is_deterministic_per_seed() {
         assert_eq!(logged(SRC, 0.5, 9), logged(SRC, 0.5, 9));
+    }
+
+    #[test]
+    fn telemetry_counts_sampled_and_dropped_records() {
+        use statsym_telemetry::{names, Clock, MemRecorder};
+
+        let p = minic::parse_program(SRC).unwrap();
+        let m = sir::lower(&p).unwrap();
+        let vm = Vm::new(&m, VmConfig::default());
+
+        // Full sampling: every boundary is sampled, none dropped.
+        let rec = MemRecorder::new(Clock::steps());
+        let mut mon = Monitor::traced(1.0, 1, &rec);
+        let r = vm.run_hooked(&InputMap::new(), &mut mon).unwrap();
+        let kept = mon.finish_with(&r.outcome).records.len() as u64;
+        assert_eq!(rec.metrics().counter(names::MONITOR_SAMPLED), kept);
+        assert_eq!(rec.metrics().counter(names::MONITOR_DROPPED), 0);
+
+        // Zero sampling: every boundary is dropped.
+        let rec0 = MemRecorder::new(Clock::steps());
+        let mut mon0 = Monitor::traced(0.0, 1, &rec0);
+        let r0 = vm.run_hooked(&InputMap::new(), &mut mon0).unwrap();
+        assert!(mon0.finish_with(&r0.outcome).records.is_empty());
+        assert_eq!(rec0.metrics().counter(names::MONITOR_SAMPLED), 0);
+        assert_eq!(rec0.metrics().counter(names::MONITOR_DROPPED), kept);
     }
 
     #[test]

@@ -59,8 +59,32 @@ pub fn run_logged_with(
     seed: u64,
     config: VmConfig,
 ) -> Result<LoggedRun, VmError> {
+    run_logged_traced(
+        module,
+        inputs,
+        sampling_rate,
+        seed,
+        config,
+        &statsym_telemetry::NOOP,
+    )
+}
+
+/// Like [`run_logged_with`] with a telemetry recorder: the monitor's
+/// sampled/dropped record counts are added to the recorder's metrics.
+///
+/// # Errors
+///
+/// Returns [`VmError`] if a required input is missing or ill-kinded.
+pub fn run_logged_traced(
+    module: &Module,
+    inputs: &InputMap,
+    sampling_rate: f64,
+    seed: u64,
+    config: VmConfig,
+    rec: &dyn statsym_telemetry::Recorder,
+) -> Result<LoggedRun, VmError> {
     let vm = Vm::new(module, config);
-    let mut monitor = Monitor::new(sampling_rate, seed);
+    let mut monitor = Monitor::traced(sampling_rate, seed, rec);
     let result = vm.run_hooked(inputs, &mut monitor)?;
     let log = monitor.finish_with(&result.outcome);
     Ok(LoggedRun { result, log })

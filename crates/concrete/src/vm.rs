@@ -3,7 +3,9 @@
 use crate::fault::{Fault, FaultKind};
 use crate::value::{InputValue, Value};
 use minic::BinOp;
-use sir::{BlockId, ConstValue, FuncBody, FuncId, GlobalDef, Inst, InputKind, Module, Reg, Terminator};
+use sir::{
+    BlockId, ConstValue, FuncBody, FuncId, GlobalDef, InputKind, Inst, Module, Reg, Terminator,
+};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -102,7 +104,13 @@ pub trait ExecHook {
     /// Called when `func` returns `ret`. A faulting function never
     /// triggers `on_exit`, matching the paper's observation that the
     /// monitor cannot capture the return of a crashed function.
-    fn on_exit(&mut self, func: &FuncBody, ret: Option<&Value>, globals: &[GlobalDef], gvals: &[Value]);
+    fn on_exit(
+        &mut self,
+        func: &FuncBody,
+        ret: Option<&Value>,
+        globals: &[GlobalDef],
+        gvals: &[Value],
+    );
 }
 
 /// A no-op hook for unmonitored runs.
@@ -210,11 +218,7 @@ impl<'m, 'h> Interp<'m, 'h> {
     fn run(mut self) -> Result<RunResult, VmError> {
         let main_id = self.module.main;
         let main = self.module.func(main_id);
-        let args: Vec<Value> = main
-            .params
-            .iter()
-            .map(|(_, ty)| default_for(*ty))
-            .collect();
+        let args: Vec<Value> = main.params.iter().map(|(_, ty)| default_for(*ty)).collect();
         self.push_frame(main_id, args, None);
 
         let outcome = loop {
@@ -674,10 +678,8 @@ mod tests {
                 self.0.push(format!("leave {}", f.name));
             }
         }
-        let p = minic::parse_program(
-            "fn inner() { return; } fn main() { inner(); return; }",
-        )
-        .unwrap();
+        let p =
+            minic::parse_program("fn inner() { return; } fn main() { inner(); return; }").unwrap();
         let m = sir::lower(&p).unwrap();
         let vm = Vm::new(&m, VmConfig::default());
         let mut spy = Spy(Vec::new());

@@ -21,11 +21,7 @@ enum E {
 }
 
 fn expr_strategy() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        (-50i64..=50).prop_map(E::Const),
-        Just(E::X),
-        Just(E::Y),
-    ];
+    let leaf = prop_oneof![(-50i64..=50).prop_map(E::Const), Just(E::X), Just(E::Y),];
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),

@@ -45,9 +45,12 @@ fn gen_expr() -> impl Strategy<Value = GenExpr> {
     ];
     leaf.prop_recursive(3, 12, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| GenExpr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| GenExpr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| GenExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GenExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GenExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GenExpr::Mul(Box::new(a), Box::new(b))),
         ]
     })
 }
@@ -102,7 +105,10 @@ fn render_stmts(
         match s {
             GenStmt::Let(e) => {
                 let name = format!("v{}", *n_vars);
-                out.push_str(&format!("{pad}let {name}: int = {};\n", render_expr(e, *n_vars)));
+                out.push_str(&format!(
+                    "{pad}let {name}: int = {};\n",
+                    render_expr(e, *n_vars)
+                ));
                 *n_vars += 1;
             }
             GenStmt::Assign(i, e) => {

@@ -113,12 +113,7 @@ fn eval(p: &Predicate, value: f64) -> bool {
 
 /// `|P(a ∧ b | C) − P(a ∧ b | F)|` over records at `loc` that observe
 /// both variables. `None` when either side has no paired records.
-fn joint_score(
-    logs: &[ExecutionLog],
-    loc: &Location,
-    a: &Predicate,
-    b: &Predicate,
-) -> Option<f64> {
+fn joint_score(logs: &[ExecutionLog], loc: &Location, a: &Predicate, b: &Predicate) -> Option<f64> {
     let mut counts = [(0usize, 0usize); 2]; // [correct, faulty] = (sat, total)
     for log in logs {
         let class = match log.verdict {
@@ -132,7 +127,9 @@ fn joint_score(
             }
             let va = rec.vars.iter().find(|(v, _)| *v == a.var).map(|(_, x)| *x);
             let vb = rec.vars.iter().find(|(v, _)| *v == b.var).map(|(_, x)| *x);
-            let (Some(va), Some(vb)) = (va, vb) else { continue };
+            let (Some(va), Some(vb)) = (va, vb) else {
+                continue;
+            };
             counts[class].1 += 1;
             if eval(a, va) && eval(b, vb) {
                 counts[class].0 += 1;
@@ -228,10 +225,7 @@ mod tests {
         );
         // The top simple predicate is perfect, so nothing can beat it at
         // that location.
-        assert!(compound
-            .ranked
-            .iter()
-            .all(|c| c.score > c.best_single));
+        assert!(compound.ranked.iter().all(|c| c.score > c.best_single));
     }
 
     #[test]

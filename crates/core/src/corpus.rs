@@ -176,7 +176,13 @@ mod tests {
     #[test]
     fn failure_location_is_modal_last_faulty_record() {
         let logs = vec![
-            log(Verdict::Faulty, vec![rec(Location::enter("a"), &[]), rec(Location::enter("boom"), &[])]),
+            log(
+                Verdict::Faulty,
+                vec![
+                    rec(Location::enter("a"), &[]),
+                    rec(Location::enter("boom"), &[]),
+                ],
+            ),
             log(Verdict::Faulty, vec![rec(Location::enter("boom"), &[])]),
             log(Verdict::Faulty, vec![rec(Location::enter("other"), &[])]),
         ];

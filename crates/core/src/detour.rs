@@ -105,7 +105,11 @@ pub fn find_detours(
         // Intermediate nodes: out_path minus its skeleton head, plus
         // back_path minus the target head and the skeleton tail.
         let mut nodes: Vec<Location> = out_path[1..].to_vec();
-        nodes.extend(back_path[1..back_path.len().saturating_sub(1)].iter().cloned());
+        nodes.extend(
+            back_path[1..back_path.len().saturating_sub(1)]
+                .iter()
+                .cloned(),
+        );
         if nodes.is_empty() {
             continue;
         }
@@ -160,7 +164,11 @@ mod tests {
     fn preds_with_hot(hot: &[&str]) -> PredicateSet {
         let mut logs = Vec::new();
         for verdict in [Verdict::Correct, Verdict::Faulty] {
-            let v = if verdict == Verdict::Faulty { 100.0 } else { 1.0 };
+            let v = if verdict == Verdict::Faulty {
+                100.0
+            } else {
+                1.0
+            };
             logs.push(ExecutionLog {
                 records: hot
                     .iter()
@@ -217,8 +225,10 @@ mod tests {
     #[test]
     fn backward_detour_introduces_cycle() {
         // h reachable only from b, rejoins at a.
-        let traces = [vec![l("a"), l("b"), l("fail")],
-            vec![l("b"), l("h"), l("a")]];
+        let traces = [
+            vec![l("a"), l("b"), l("fail")],
+            vec![l("b"), l("h"), l("a")],
+        ];
         let (g, preds, _) = setup(&[traces[0].clone()], &["h"]);
         let g2 = TransitionGraph::mine(traces.iter(), MineConfig::default());
         let sk = Skeleton {
@@ -236,8 +246,10 @@ mod tests {
 
     #[test]
     fn low_score_targets_ignored() {
-        let traces = [vec![l("a"), l("b"), l("fail")],
-            vec![l("a"), l("cold"), l("b"), l("fail")]];
+        let traces = [
+            vec![l("a"), l("b"), l("fail")],
+            vec![l("a"), l("cold"), l("b"), l("fail")],
+        ];
         let g = TransitionGraph::mine(traces.iter(), MineConfig::default());
         let preds = preds_with_hot(&[]);
         let sk = Skeleton {

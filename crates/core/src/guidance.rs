@@ -76,8 +76,7 @@ impl EventHook for GuidedHook {
         // Inter-function: match the event against the next candidate
         // nodes within the lookahead window.
         let window_end = (meta.progress + self.config.lookahead).min(self.path.nodes.len());
-        let matched = (meta.progress..window_end)
-            .find(|&k| self.path.nodes[k].loc == *ev.loc);
+        let matched = (meta.progress..window_end).find(|&k| self.path.nodes[k].loc == *ev.loc);
         match matched {
             Some(k) => {
                 meta.progress = k + 1;
@@ -258,7 +257,13 @@ mod tests {
                 predicates: vec![],
             },
         ]);
-        let mut hook = GuidedHook::new(p, GuidanceConfig { tau: 2, lookahead: 4 });
+        let mut hook = GuidedHook::new(
+            p,
+            GuidanceConfig {
+                tau: 2,
+                lookahead: 4,
+            },
+        );
         let mut meta = StateMeta::default();
         let mut ctx = TermCtx::new();
 
@@ -309,7 +314,10 @@ mod tests {
             },
         ]);
         let mut hook = GuidedHook::new(p, GuidanceConfig::default());
-        let mut meta = StateMeta { progress: 1, hops: 0 };
+        let mut meta = StateMeta {
+            progress: 1,
+            hops: 0,
+        };
         let mut ctx = TermCtx::new();
         let target = Location::enter("target");
         let ev = EventCtx {
@@ -327,10 +335,19 @@ mod tests {
     #[test]
     fn priority_orders_by_hops_then_progress() {
         let hook = GuidedHook::new(path(vec![]), GuidanceConfig::default());
-        let close = StateMeta { progress: 5, hops: 0 };
-        let far = StateMeta { progress: 9, hops: 3 };
+        let close = StateMeta {
+            progress: 5,
+            hops: 0,
+        };
+        let far = StateMeta {
+            progress: 9,
+            hops: 3,
+        };
         assert!(hook.priority(&close, 0) < hook.priority(&far, 0));
-        let deep = StateMeta { progress: 9, hops: 0 };
+        let deep = StateMeta {
+            progress: 9,
+            hops: 0,
+        };
         assert!(hook.priority(&deep, 0) < hook.priority(&close, 0));
     }
 
@@ -368,7 +385,9 @@ mod tests {
     #[test]
     fn strlen_gt_predicate_constrains_prefix_bytes() {
         let mut ctx = TermCtx::new();
-        let bytes: Vec<TermId> = (0..8).map(|i| ctx.new_var(format!("s[{i}]"), 0, 255)).collect();
+        let bytes: Vec<TermId> = (0..8)
+            .map(|i| ctx.new_var(format!("s[{i}]"), 0, 255))
+            .collect();
         let s = SymStr {
             bytes: Rc::new(bytes.clone()),
         };

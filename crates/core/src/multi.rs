@@ -42,11 +42,7 @@ impl StatSym {
         logs: &[ExecutionLog],
         max_vulnerabilities: usize,
     ) -> MultiReport {
-        let correct: Vec<ExecutionLog> = logs
-            .iter()
-            .filter(|l| !l.is_faulty())
-            .cloned()
-            .collect();
+        let correct: Vec<ExecutionLog> = logs.iter().filter(|l| !l.is_faulty()).cloned().collect();
         let mut remaining_faulty: Vec<ExecutionLog> =
             logs.iter().filter(|l| l.is_faulty()).cloned().collect();
 

@@ -12,8 +12,9 @@ use crate::skeleton::{Skeleton, SkeletonConfig};
 use crate::transition::{MineConfig, TransitionGraph};
 use concrete::{ExecutionLog, Location};
 use sir::Module;
+use statsym_telemetry::{names, FieldValue, Recorder, Span, NOOP};
+use std::time::Duration;
 use symex::{Engine, EngineConfig, EngineStats, FoundVulnerability, SchedulerKind};
-use std::time::{Duration, Instant};
 
 /// Configuration for the whole pipeline.
 #[derive(Debug, Clone, Copy)]
@@ -144,19 +145,34 @@ impl StatSym {
 
     /// Runs the statistical analysis module only (stages 1–3).
     pub fn analyze(&self, logs: &[ExecutionLog]) -> AnalysisReport {
-        let start = Instant::now();
+        self.analyze_traced(logs, &NOOP)
+    }
+
+    /// Like [`StatSym::analyze`] with a telemetry recorder: each stage
+    /// (log preprocessing, predicate construction, transition mining,
+    /// skeleton/detour/candidate search) runs under its own span.
+    /// `analysis_time` is the wall-clock duration of the outer span.
+    pub fn analyze_traced(&self, logs: &[ExecutionLog], rec: &dyn Recorder) -> AnalysisReport {
+        let outer = Span::start(rec, names::PIPELINE_ANALYZE);
+
+        let sp = Span::start(rec, names::PHASE_LOG_PREPROCESS);
         let corpus = LogCorpus::build(logs);
-        let predicates = PredicateSet::build(&corpus);
+        let _ = sp.finish();
+
+        let predicates = PredicateSet::build_traced(&corpus, rec);
 
         // Mine faulty traces (paper §V-B); fall back to the full corpus
         // when sparse sampling disconnects the graph.
+        let sp = Span::start(rec, names::PHASE_TRANSITION_MINING);
         let graph = TransitionGraph::mine(corpus.faulty_traces.iter(), self.config.mine);
+        let _ = sp.finish();
         let failure_location = corpus.failure_location.clone();
 
         let candidates = failure_location.as_ref().and_then(|failure| {
             // Skeleton: best-scoring among the BFS-shortest entry→failure
             // paths (§VI-B). Falls back to a graph including correct
             // traces when heavy sampling disconnects the faulty graph.
+            let sp = Span::start(rec, names::PHASE_SKELETON);
             let skeleton = Skeleton::build(&graph, &predicates, failure, self.config.skeleton)
                 .or_else(|| {
                     let full = TransitionGraph::mine(
@@ -164,14 +180,16 @@ impl StatSym {
                         self.config.mine,
                     );
                     Skeleton::build(&full, &predicates, failure, self.config.skeleton)
-                })?;
+                });
+            let _ = sp.finish();
+            let skeleton = skeleton?;
+            let sp = Span::start(rec, names::PHASE_DETOURS);
             let detours = find_detours(&graph, &predicates, &skeleton, self.config.detour);
-            Some(CandidateSet::build(
-                skeleton,
-                detours,
-                &predicates,
-                self.config.candidate,
-            ))
+            let _ = sp.finish();
+            let sp = Span::start(rec, names::PHASE_CANDIDATES);
+            let set = CandidateSet::build(skeleton, detours, &predicates, self.config.candidate);
+            let _ = sp.finish();
+            Some(set)
         });
 
         AnalysisReport {
@@ -181,7 +199,7 @@ impl StatSym {
             graph,
             candidates,
             failure_location,
-            analysis_time: start.elapsed(),
+            analysis_time: outer.finish(),
         }
     }
 
@@ -189,13 +207,50 @@ impl StatSym {
     /// execution over ranked candidate paths until a vulnerable path is
     /// verified (Figure 5 step (e)).
     pub fn run(&self, module: &Module, logs: &[ExecutionLog]) -> StatSymReport {
-        let analysis = self.analyze(logs);
-        self.run_with_analysis(module, analysis)
+        self.run_traced(module, logs, &NOOP)
+    }
+
+    /// Like [`StatSym::run`] with a telemetry recorder threaded through
+    /// the whole pipeline, including each per-candidate engine run.
+    pub fn run_traced(
+        &self,
+        module: &Module,
+        logs: &[ExecutionLog],
+        rec: &dyn Recorder,
+    ) -> StatSymReport {
+        let analysis = self.analyze_traced(logs, rec);
+        self.run_with_analysis_traced(module, analysis, rec)
     }
 
     /// Runs guided symbolic execution from a precomputed analysis.
     pub fn run_with_analysis(&self, module: &Module, analysis: AnalysisReport) -> StatSymReport {
-        let start = Instant::now();
+        self.run_with_analysis_traced(module, analysis, &NOOP)
+    }
+
+    /// Like [`StatSym::run_with_analysis`] with a telemetry recorder:
+    /// each candidate attempt runs under a `candidate.attempt` span and
+    /// reports a `candidate.result` event. `symex_time` is the
+    /// wall-clock duration of the outer `pipeline.symex` span.
+    pub fn run_with_analysis_traced(
+        &self,
+        module: &Module,
+        analysis: AnalysisReport,
+        rec: &dyn Recorder,
+    ) -> StatSymReport {
+        self.run_with_analysis_pinned_traced(module, analysis, &concrete::InputMap::new(), rec)
+    }
+
+    /// Like [`StatSym::run_with_analysis_traced`] but pins the given
+    /// inputs to their concrete values on every candidate attempt (the
+    /// paper configures required program options for both engines).
+    pub fn run_with_analysis_pinned_traced(
+        &self,
+        module: &Module,
+        analysis: AnalysisReport,
+        pins: &concrete::InputMap,
+        rec: &dyn Recorder,
+    ) -> StatSymReport {
+        let outer = Span::start(rec, names::PIPELINE_SYMEX);
         let mut attempts = Vec::new();
         let mut found = None;
         let mut candidate_used = None;
@@ -212,10 +267,28 @@ impl StatSym {
                 ..self.config.engine
             };
             let path_len = path.len();
+            let sp = Span::start(rec, names::CANDIDATE_ATTEMPT);
             let hook = GuidedHook::new(path, self.config.guidance);
             let mut engine = Engine::with_hook(module, engine_config, Box::new(hook));
+            engine.set_recorder(rec);
+            for (name, value) in pins {
+                engine.pin_input(name.clone(), value.clone());
+            }
             let report = engine.run();
+            let _ = sp.finish();
             let hit = report.outcome.is_found();
+            rec.event(
+                names::CANDIDATE_RESULT,
+                &[
+                    ("index", FieldValue::from(index)),
+                    ("path_len", FieldValue::from(path_len)),
+                    ("found", FieldValue::from(hit)),
+                    (
+                        "paths_explored",
+                        FieldValue::from(report.stats.paths_explored),
+                    ),
+                ],
+            );
             attempts.push(CandidateAttempt {
                 index,
                 path_len,
@@ -235,7 +308,7 @@ impl StatSym {
             attempts,
             found,
             candidate_used,
-            symex_time: start.elapsed(),
+            symex_time: outer.finish(),
         }
     }
 }
@@ -317,10 +390,7 @@ mod tests {
         let analysis = statsym.analyze(&logs);
         assert_eq!(analysis.n_correct, 30);
         assert_eq!(analysis.n_faulty, 30);
-        assert_eq!(
-            analysis.failure_location,
-            Some(Location::enter("convert"))
-        );
+        assert_eq!(analysis.failure_location, Some(Location::enter("convert")));
         // The top supported predicate bounds len(s FUNCPARAM) around 6.5.
         let top = analysis
             .predicates
@@ -328,8 +398,16 @@ mod tests {
             .iter()
             .find(|p| !p.is_degenerate())
             .expect("supported predicate");
-        assert!(top.render().contains("len(s FUNCPARAM)"), "{}", top.render());
-        assert!(top.threshold > 6.0 && top.threshold < 7.0, "{}", top.threshold);
+        assert!(
+            top.render().contains("len(s FUNCPARAM)"),
+            "{}",
+            top.render()
+        );
+        assert!(
+            top.threshold > 6.0 && top.threshold < 7.0,
+            "{}",
+            top.threshold
+        );
         assert!(analysis.candidates.is_some());
     }
 

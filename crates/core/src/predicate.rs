@@ -92,11 +92,24 @@ impl PredicateSet {
     /// Builds and ranks predicates for every (location, variable) pair
     /// in the corpus (steps (c)–(d) of the paper's algorithm).
     pub fn build(corpus: &LogCorpus) -> PredicateSet {
+        Self::build_traced(corpus, &statsym_telemetry::NOOP)
+    }
+
+    /// Like [`PredicateSet::build`] with a telemetry recorder: threshold
+    /// construction (Eq. 1) and confidence ranking (Eq. 2) each run
+    /// under their own span, and the predicate count is recorded.
+    pub fn build_traced(corpus: &LogCorpus, rec: &dyn statsym_telemetry::Recorder) -> PredicateSet {
+        use statsym_telemetry::{names, Span};
+
+        let sp = Span::start(rec, names::PHASE_PREDICATE_CONSTRUCT);
         let mut ranked: Vec<Predicate> = corpus
             .observations
             .iter()
             .filter_map(|((loc, var), obs)| construct(loc.clone(), var.clone(), obs))
             .collect();
+        let _ = sp.finish();
+
+        let sp = Span::start(rec, names::PHASE_CONFIDENCE_RANK);
         ranked.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
@@ -105,6 +118,8 @@ impl PredicateSet {
                 .then(a.loc.cmp(&b.loc))
                 .then(a.var.cmp(&b.var))
         });
+        let _ = sp.finish();
+        rec.counter_add(names::PIPELINE_PREDICATES_BUILT, ranked.len() as u64);
         PredicateSet { ranked }
     }
 
@@ -270,7 +285,11 @@ mod tests {
         let faulty: Vec<f64> = vec![513.0, 560.0, 600.0];
         let p = mk(&correct, &faulty);
         assert_eq!(p.op, PredOp::Gt);
-        assert!(p.threshold > 480.0 && p.threshold < 513.0, "{}", p.threshold);
+        assert!(
+            p.threshold > 480.0 && p.threshold < 513.0,
+            "{}",
+            p.threshold
+        );
         assert_eq!(p.score, 1.0);
     }
 

@@ -66,8 +66,7 @@ impl Skeleton {
 
         let mut best: Option<Skeleton> = None;
         for entry in &entries {
-            let Some(candidate) = best_shortest_path(graph, preds, entry, failure, config)
-            else {
+            let Some(candidate) = best_shortest_path(graph, preds, entry, failure, config) else {
                 continue;
             };
             let better = match &best {
@@ -141,7 +140,9 @@ fn best_shortest_path(
     let mut best_pred: BTreeMap<Location, Location> = BTreeMap::new();
     best_score.insert(entry.clone(), preds.location_score(entry));
     for u in &order {
-        let Some(&su) = best_score.get(u) else { continue };
+        let Some(&su) = best_score.get(u) else {
+            continue;
+        };
         let du = dist[u];
         for e in graph.successors(u) {
             if dist.get(&e.to) != Some(&(du + 1)) {
@@ -151,8 +152,7 @@ fn best_shortest_path(
             let better = match best_score.get(&e.to) {
                 None => true,
                 Some(&cur) => {
-                    sv > cur
-                        || (sv == cur && best_pred.get(&e.to).is_some_and(|p| u < p))
+                    sv > cur || (sv == cur && best_pred.get(&e.to).is_some_and(|p| u < p))
                 }
             };
             if better {
@@ -195,7 +195,11 @@ mod tests {
     fn preds_with_hot(hot: &[&str]) -> PredicateSet {
         let mut logs = Vec::new();
         for verdict in [Verdict::Correct, Verdict::Faulty] {
-            let v = if verdict == Verdict::Faulty { 100.0 } else { 1.0 };
+            let v = if verdict == Verdict::Faulty {
+                100.0
+            } else {
+                1.0
+            };
             logs.push(ExecutionLog {
                 records: hot
                     .iter()
@@ -232,10 +236,7 @@ mod tests {
     fn bfs_prefers_shorter_even_if_longer_scores_higher() {
         // Skip edge a -> fail exists: the skeleton takes it (BFS), and
         // the hot node is left for the detour machinery.
-        let traces = vec![
-            vec![l("a"), l("hot"), l("fail")],
-            vec![l("a"), l("fail")],
-        ];
+        let traces = vec![vec![l("a"), l("hot"), l("fail")], vec![l("a"), l("fail")]];
         let g = graph_of(&traces);
         let preds = preds_with_hot(&["hot"]);
         let sk = Skeleton::build(&g, &preds, &l("fail"), SkeletonConfig::default()).unwrap();

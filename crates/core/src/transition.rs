@@ -142,7 +142,8 @@ impl TransitionGraph {
         }
         has_incoming
             .into_iter()
-            .filter(|&(_loc, inc)| !inc).map(|(loc, _inc)| loc.clone())
+            .filter(|&(_loc, inc)| !inc)
+            .map(|(loc, _inc)| loc.clone())
             .collect()
     }
 
@@ -174,7 +175,11 @@ impl TransitionGraph {
             if !keep.contains(from) {
                 continue;
             }
-            let kept: Vec<Edge> = outs.iter().filter(|e| keep.contains(&e.to)).cloned().collect();
+            let kept: Vec<Edge> = outs
+                .iter()
+                .filter(|e| keep.contains(&e.to))
+                .cloned()
+                .collect();
             if !kept.is_empty() {
                 edges.insert(from.clone(), kept);
             }
@@ -278,10 +283,7 @@ mod tests {
 
     #[test]
     fn shortest_path_bfs() {
-        let traces = vec![
-            vec![l("a"), l("b"), l("c"), l("d")],
-            vec![l("a"), l("d")],
-        ];
+        let traces = vec![vec![l("a"), l("b"), l("c"), l("d")], vec![l("a"), l("d")]];
         let g = mine(&traces);
         // Direct a -> d edge beats the 3-hop route.
         assert_eq!(g.shortest_path(&l("a"), &l("d")).unwrap().len(), 2);

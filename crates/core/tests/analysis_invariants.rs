@@ -32,7 +32,13 @@ fn candidate_paths_span_entry_to_failure() {
             for path in &cands.paths {
                 let first = &path.nodes.first().expect("non-empty").loc;
                 let last = &path.nodes.last().expect("non-empty").loc;
-                assert_eq!(first.func, "main", "{} @ {rate}: {}", app.name, path.render());
+                assert_eq!(
+                    first.func,
+                    "main",
+                    "{} @ {rate}: {}",
+                    app.name,
+                    path.render()
+                );
                 assert_eq!(last, &failure, "{} @ {rate}", app.name);
             }
         }

@@ -40,7 +40,10 @@ impl CallGraph {
             let mut targets = BTreeSet::new();
             collect_block(&f.body, &mut targets);
             for t in targets {
-                cg.callers.entry(t.clone()).or_default().insert(f.name.clone());
+                cg.callers
+                    .entry(t.clone())
+                    .or_default()
+                    .insert(f.name.clone());
                 cg.callees.entry(f.name.clone()).or_default().insert(t);
             }
         }
@@ -49,19 +52,25 @@ impl CallGraph {
 
     /// True if `caller` has a direct call site targeting `callee`.
     pub fn calls(&self, caller: &str, callee: &str) -> bool {
-        self.callees
-            .get(caller)
-            .is_some_and(|s| s.contains(callee))
+        self.callees.get(caller).is_some_and(|s| s.contains(callee))
     }
 
     /// Direct callees of `f`.
     pub fn callees(&self, f: &str) -> impl Iterator<Item = &str> {
-        self.callees.get(f).into_iter().flatten().map(|s| s.as_str())
+        self.callees
+            .get(f)
+            .into_iter()
+            .flatten()
+            .map(|s| s.as_str())
     }
 
     /// Direct callers of `f`.
     pub fn callers(&self, f: &str) -> impl Iterator<Item = &str> {
-        self.callers.get(f).into_iter().flatten().map(|s| s.as_str())
+        self.callers
+            .get(f)
+            .into_iter()
+            .flatten()
+            .map(|s| s.as_str())
     }
 
     /// All function names in the graph.
@@ -147,9 +156,7 @@ fn collect_stmt(stmt: &Stmt, out: &mut BTreeSet<String>) {
             collect_expr(cond, out);
             collect_block(body, out);
         }
-        StmtKind::Return(Some(e)) | StmtKind::Assert(e) | StmtKind::Expr(e) => {
-            collect_expr(e, out)
-        }
+        StmtKind::Return(Some(e)) | StmtKind::Assert(e) | StmtKind::Expr(e) => collect_expr(e, out),
         StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
     }
 }

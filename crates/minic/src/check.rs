@@ -39,7 +39,10 @@ pub fn check_program(program: &Program) -> Result<()> {
         checker.check_function(f)?;
     }
     if program.function("main").is_none() {
-        return Err(Error::new(Span::default(), "program has no `main` function"));
+        return Err(Error::new(
+            Span::default(),
+            "program has no `main` function",
+        ));
     }
     Ok(())
 }
@@ -181,7 +184,10 @@ impl<'p> Checker<'p> {
                     .copied()
                     .or_else(|| self.globals.get(name.as_str()).copied())
                     .ok_or_else(|| {
-                        Error::new(stmt.span, format!("assignment to unknown variable `{name}`"))
+                        Error::new(
+                            stmt.span,
+                            format!("assignment to unknown variable `{name}`"),
+                        )
                     })?;
                 if matches!(target, Type::Buf(_)) {
                     return Err(Error::new(stmt.span, "buffers cannot be reassigned"));
@@ -360,13 +366,7 @@ impl<'p> Checker<'p> {
         Ok(sig.ret.map(Ty::Val).unwrap_or(Ty::Unit))
     }
 
-    fn check_builtin(
-        &self,
-        span: Span,
-        b: Builtin,
-        args: &[Expr],
-        arg_tys: &[Type],
-    ) -> Result<Ty> {
+    fn check_builtin(&self, span: Span, b: Builtin, args: &[Expr], arg_tys: &[Type]) -> Result<Ty> {
         let expect = |want: &[Type], ret: Ty| -> Result<Ty> {
             if arg_tys.len() != want.len() {
                 return Err(Error::new(
@@ -504,15 +504,14 @@ mod tests {
 
     #[test]
     fn rejects_shadowing_builtin() {
-        assert!(err("fn len(s: str) -> int { return 0; } fn main() { return; }")
-            .contains("builtin"));
+        assert!(
+            err("fn len(s: str) -> int { return 0; } fn main() { return; }").contains("builtin")
+        );
     }
 
     #[test]
     fn rejects_duplicate_local() {
-        assert!(
-            err("fn main() { let x: int = 0; let x: int = 1; }").contains("already defined")
-        );
+        assert!(err("fn main() { let x: int = 0; let x: int = 1; }").contains("already defined"));
     }
 
     #[test]

@@ -264,8 +264,10 @@ impl Parser {
             }
             TokenKind::Ident(_) => {
                 // Either `x = e;` or an expression statement (a call).
-                if matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::Assign))
-                {
+                if matches!(
+                    self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                    Some(TokenKind::Assign)
+                ) {
                     let name = self.ident()?;
                     self.bump(); // `=`
                     let value = self.expr()?;
@@ -485,10 +487,9 @@ mod tests {
 
     #[test]
     fn parses_globals_with_initializers() {
-        let p = parse_program(
-            "global track: int = 3; global name: str = \"x\"; fn main() { return; }",
-        )
-        .unwrap();
+        let p =
+            parse_program("global track: int = 3; global name: str = \"x\"; fn main() { return; }")
+                .unwrap();
         assert_eq!(p.globals.len(), 2);
         assert_eq!(p.globals[0].ty, Type::Int);
     }
@@ -503,10 +504,7 @@ mod tests {
             panic!("expected binary expr");
         };
         assert_eq!(*op, BinOp::Add);
-        assert!(matches!(
-            rhs.kind,
-            ExprKind::Bin { op: BinOp::Mul, .. }
-        ));
+        assert!(matches!(rhs.kind, ExprKind::Bin { op: BinOp::Mul, .. }));
     }
 
     #[test]

@@ -88,9 +88,7 @@ fn visit_stmt(stmt: &Stmt, stats: &mut ProgramStats) {
             visit_expr(cond, stats);
             visit_block(body, stats);
         }
-        StmtKind::Return(Some(e)) | StmtKind::Assert(e) | StmtKind::Expr(e) => {
-            visit_expr(e, stats)
-        }
+        StmtKind::Return(Some(e)) | StmtKind::Assert(e) | StmtKind::Expr(e) => visit_expr(e, stats),
         StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
     }
 }

@@ -24,11 +24,7 @@ pub fn disassemble(module: &Module) -> String {
         let _ = writeln!(out, "input i{i} {:?} : {:?}", inp.name, inp.kind);
     }
     for f in &module.funcs {
-        let params: Vec<String> = f
-            .params
-            .iter()
-            .map(|(n, t)| format!("{n}: {t}"))
-            .collect();
+        let params: Vec<String> = f.params.iter().map(|(n, t)| format!("{n}: {t}")).collect();
         let _ = writeln!(
             out,
             "\nfn {}({}) [regs={}]",

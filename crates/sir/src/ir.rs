@@ -167,7 +167,10 @@ impl Inst {
     /// All registers this instruction reads.
     pub fn sources(&self) -> Vec<Reg> {
         match self {
-            Inst::Const { .. } | Inst::LoadGlobal { .. } | Inst::AllocBuf { .. } | Inst::Input { .. } => vec![],
+            Inst::Const { .. }
+            | Inst::LoadGlobal { .. }
+            | Inst::AllocBuf { .. }
+            | Inst::Input { .. } => vec![],
             Inst::Move { src, .. } | Inst::Not { src, .. } | Inst::Neg { src, .. } => vec![*src],
             Inst::Bin { a, b, .. } => vec![*a, *b],
             Inst::StoreGlobal { src, .. } => vec![*src],

@@ -31,8 +31,8 @@ pub mod verify;
 pub use cfg::Cfg;
 pub use disasm::disassemble;
 pub use ir::{
-    BasicBlock, BlockId, ConstValue, FuncBody, FuncId, GlobalDef, GlobalId, Inst, InputDef,
-    InputId, InputKind, Module, Reg, Terminator,
+    BasicBlock, BlockId, ConstValue, FuncBody, FuncId, GlobalDef, GlobalId, InputDef, InputId,
+    InputKind, Inst, Module, Reg, Terminator,
 };
 pub use lower::lower;
 pub use verify::{verify, VerifyError};

@@ -60,9 +60,7 @@ pub fn lower(program: &Program) -> Result<Module> {
         module.funcs.push(body);
     }
 
-    module.main = *fn_ids
-        .get("main")
-        .expect("checker guarantees main exists");
+    module.main = *fn_ids.get("main").expect("checker guarantees main exists");
     Ok(module)
 }
 
@@ -242,10 +240,7 @@ impl<'a> FnLowerer<'a> {
                     _ => {
                         if let Some(e) = init {
                             let value = self.lower_expr(e)?;
-                            let dst = *self
-                                .vars
-                                .get(name)
-                                .expect("local pre-allocated at entry");
+                            let dst = *self.vars.get(name).expect("local pre-allocated at entry");
                             self.emit(Inst::Move { dst, src: value }, span);
                         }
                     }
@@ -491,7 +486,13 @@ impl<'a> FnLowerer<'a> {
     ) -> Result<Reg> {
         let result = self.fresh();
         let l = self.lower_expr(lhs)?;
-        self.emit(Inst::Move { dst: result, src: l }, span);
+        self.emit(
+            Inst::Move {
+                dst: result,
+                src: l,
+            },
+            span,
+        );
         let rhs_bb = self.new_block();
         let end_bb = self.new_block();
         let (then_bb, else_bb) = match op {
@@ -509,7 +510,13 @@ impl<'a> FnLowerer<'a> {
         );
         self.switch_to(rhs_bb);
         let r = self.lower_expr(rhs)?;
-        self.emit(Inst::Move { dst: result, src: r }, span);
+        self.emit(
+            Inst::Move {
+                dst: result,
+                src: r,
+            },
+            span,
+        );
         self.terminate(Terminator::Jump(end_bb), span);
         self.switch_to(end_bb);
         Ok(result)
@@ -651,10 +658,7 @@ mod tests {
         let m = lower_src("fn main() -> int { return 2 + 3 * 4; }");
         let f = m.function_by_name("main").unwrap();
         assert_eq!(f.blocks.len(), 1);
-        assert!(matches!(
-            f.blocks[0].term.0,
-            Terminator::Return(Some(_))
-        ));
+        assert!(matches!(f.blocks[0].term.0, Terminator::Return(Some(_))));
     }
 
     #[test]
@@ -664,7 +668,11 @@ mod tests {
         );
         let f = m.function_by_name("main").unwrap();
         // &&-lowering introduces extra blocks beyond the plain if/else.
-        assert!(f.blocks.len() >= 4, "expected >=4 blocks, got {}", f.blocks.len());
+        assert!(
+            f.blocks.len() >= 4,
+            "expected >=4 blocks, got {}",
+            f.blocks.len()
+        );
         // No Bin instruction may carry And/Or.
         for b in &f.blocks {
             for (i, _) in &b.insts {
@@ -677,9 +685,7 @@ mod tests {
 
     #[test]
     fn while_loop_has_backedge() {
-        let m = lower_src(
-            "fn main() { let i: int = 0; while (i < 5) { i = i + 1; } return; }",
-        );
+        let m = lower_src("fn main() { let i: int = 0; while (i < 5) { i = i + 1; } return; }");
         let f = m.function_by_name("main").unwrap();
         let mut has_backedge = false;
         for (bi, b) in f.blocks.iter().enumerate() {
@@ -740,7 +746,9 @@ mod tests {
 
     #[test]
     fn params_occupy_leading_registers() {
-        let m = lower_src("fn f(a: int, b: str) -> int { return a; } fn main() { print(f(1, \"x\")); }");
+        let m = lower_src(
+            "fn f(a: int, b: str) -> int { return a; } fn main() { print(f(1, \"x\")); }",
+        );
         let f = m.function_by_name("f").unwrap();
         assert_eq!(f.reg_names[0].as_deref(), Some("a"));
         assert_eq!(f.reg_names[1].as_deref(), Some("b"));
@@ -748,7 +756,9 @@ mod tests {
 
     #[test]
     fn missing_return_gets_default() {
-        let m = lower_src("fn f(x: int) -> int { if (x > 0) { return 1; } } fn main() { print(f(0)); }");
+        let m = lower_src(
+            "fn f(x: int) -> int { if (x > 0) { return 1; } } fn main() { print(f(0)); }",
+        );
         let f = m.function_by_name("f").unwrap();
         // Fall-through path ends in Return(Some(default)).
         let last = f.blocks.last().unwrap();

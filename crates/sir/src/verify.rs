@@ -73,7 +73,10 @@ fn verify_func(module: &Module, f: &FuncBody) -> Result<(), String> {
         if r.0 < f.num_regs {
             Ok(())
         } else {
-            Err(format!("register {r} out of range (num_regs={})", f.num_regs))
+            Err(format!(
+                "register {r} out of range (num_regs={})",
+                f.num_regs
+            ))
         }
     };
     let check_block = |b: BlockId| -> Result<(), String> {
@@ -106,24 +109,20 @@ fn verify_func(module: &Module, f: &FuncBody) -> Result<(), String> {
                         ));
                     }
                     if dst.is_some() && callee.ret.is_none() {
-                        return Err(format!(
-                            "call to void `{}` expects a value",
-                            callee.name
-                        ));
+                        return Err(format!("call to void `{}` expects a value", callee.name));
                     }
                 }
                 Inst::LoadGlobal { global, .. } | Inst::StoreGlobal { global, .. }
-                    if global.index() >= module.globals.len() => {
-                        return Err(format!("global {global} out of range"));
-                    }
-                Inst::Input { input, .. }
-                    if input.index() >= module.inputs.len() => {
-                        return Err(format!("input {input} out of range"));
-                    }
-                Inst::AllocBuf { cap, .. }
-                    if *cap == 0 => {
-                        return Err("zero-capacity buffer".into());
-                    }
+                    if global.index() >= module.globals.len() =>
+                {
+                    return Err(format!("global {global} out of range"));
+                }
+                Inst::Input { input, .. } if input.index() >= module.inputs.len() => {
+                    return Err(format!("input {input} out of range"));
+                }
+                Inst::AllocBuf { cap, .. } if *cap == 0 => {
+                    return Err("zero-capacity buffer".into());
+                }
                 _ => {}
             }
         }

@@ -40,6 +40,11 @@ pub struct SolverStats {
     pub cache_hits: u64,
     /// Search nodes explored.
     pub nodes: u64,
+    /// HC4 propagation iterations (fixpoint rounds) across all queries.
+    pub propagation_rounds: u64,
+    /// Backtracks: a search node falling through to its second domain
+    /// partition after the first failed.
+    pub backtracks: u64,
 }
 
 /// A satisfying assignment for the variables that appear in the query.
@@ -90,12 +95,12 @@ impl Model {
 
     /// True if every constraint holds under the model.
     pub fn satisfies(&self, ctx: &TermCtx, constraints: &[Constraint]) -> bool {
-        constraints.iter().all(|c| {
-            match (self.value_of(c.lhs, ctx), self.value_of(c.rhs, ctx)) {
+        constraints.iter().all(
+            |c| match (self.value_of(c.lhs, ctx), self.value_of(c.rhs, ctx)) {
                 (Some(a), Some(b)) => c.op.concrete(a, b),
                 _ => false,
-            }
-        })
+            },
+        )
     }
 }
 
@@ -156,6 +161,30 @@ impl Solver {
 
     /// Decides `constraints` (a conjunction) over `ctx`.
     pub fn check(&mut self, ctx: &TermCtx, constraints: &[Constraint]) -> SatResult {
+        self.check_traced(ctx, constraints, &statsym_telemetry::NOOP)
+    }
+
+    /// [`Solver::check`] with per-query latency telemetry: the query's
+    /// wall-clock time lands in the `solver.query_us` histogram (only
+    /// under a wall-clock trace; deterministic traces skip it). Counter
+    /// totals are *not* emitted here — callers snapshot [`Solver::stats`]
+    /// and emit deltas, which keeps counts exactly reconcilable.
+    pub fn check_traced(
+        &mut self,
+        ctx: &TermCtx,
+        constraints: &[Constraint],
+        rec: &dyn statsym_telemetry::Recorder,
+    ) -> SatResult {
+        if !rec.enabled() {
+            return self.check_inner(ctx, constraints);
+        }
+        let start = std::time::Instant::now();
+        let result = self.check_inner(ctx, constraints);
+        rec.observe_wall(statsym_telemetry::names::SOLVER_QUERY_US, start.elapsed());
+        result
+    }
+
+    fn check_inner(&mut self, ctx: &TermCtx, constraints: &[Constraint]) -> SatResult {
         self.stats.queries += 1;
         if constraints.is_empty() {
             self.stats.sat += 1;
@@ -183,10 +212,14 @@ impl Solver {
             constraints,
             config: self.config,
             nodes: 0,
+            rounds: 0,
+            backtracks: 0,
             budget_hit: false,
         };
         let result = search.run();
         self.stats.nodes += search.nodes;
+        self.stats.propagation_rounds += search.rounds;
+        self.stats.backtracks += search.backtracks;
         match &result {
             SatResult::Sat(_) => self.stats.sat += 1,
             SatResult::Unsat => self.stats.unsat += 1,
@@ -202,6 +235,8 @@ struct Search<'a> {
     constraints: &'a [Constraint],
     config: SolverConfig,
     nodes: u64,
+    rounds: u64,
+    backtracks: u64,
     budget_hit: bool,
 }
 
@@ -254,17 +289,21 @@ impl<'a> Search<'a> {
             let model = Model {
                 values: domains.iter().map(|(v, d)| (*v, d.lo)).collect(),
             };
-            return model
-                .satisfies(self.ctx, self.constraints)
-                .then_some(model);
+            return model.satisfies(self.ctx, self.constraints).then_some(model);
         };
         // Lo-first splitting: try the smallest value, else the rest of
         // the domain. Complete, and reaches a model in O(#vars) nodes on
         // the byte-constraint chains symbolic string exploration emits.
-        for part in [
+        for (i, part) in [
             Interval::point(dom.lo),
             Interval::new(dom.lo.saturating_add(1), dom.hi),
-        ] {
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if i > 0 {
+                self.backtracks += 1;
+            }
             let mut next = domains.clone();
             next.insert(var, part);
             if let Some(m) = self.search(next) {
@@ -280,6 +319,7 @@ impl<'a> Search<'a> {
     /// Revises all constraints until fixpoint (or the round bound).
     fn propagate(&mut self, domains: &mut Domains) -> PropOutcome {
         for _ in 0..self.config.max_rounds {
+            self.rounds += 1;
             let mut changed = false;
             for c in self.constraints {
                 match self.revise(c, domains) {
@@ -322,10 +362,7 @@ impl<'a> Search<'a> {
                 if l.lo > r.hi {
                     return Err(());
                 }
-                (
-                    Interval::new(i64::MIN, r.hi),
-                    Interval::new(l.lo, i64::MAX),
-                )
+                (Interval::new(i64::MIN, r.hi), Interval::new(l.lo, i64::MAX))
             }
             CmpOp::Lt => {
                 if l.lo >= r.hi {
@@ -549,7 +586,9 @@ mod tests {
         // Models the strlen pattern: bytes 0..3 nonzero, byte 3 == 0.
         let mut ctx = TermCtx::new();
         let zero = ctx.int(0);
-        let bytes: Vec<TermId> = (0..4).map(|i| ctx.new_var(format!("b{i}"), 0, 255)).collect();
+        let bytes: Vec<TermId> = (0..4)
+            .map(|i| ctx.new_var(format!("b{i}"), 0, 255))
+            .collect();
         let mut cs: Vec<Constraint> = bytes[..3]
             .iter()
             .map(|&b| Constraint::new(CmpOp::Ne, b, zero))
@@ -649,6 +688,49 @@ mod tests {
         assert_eq!(m.value_of(x, &ctx).unwrap(), 10);
         // x > 10 is unsat.
         unsat(&ctx, &[Constraint::new(CmpOp::Lt, c10, x)]);
+    }
+
+    #[test]
+    fn propagation_rounds_and_backtracks_are_counted() {
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", 0, 40);
+        let c4 = ctx.int(4);
+        let q = ctx.div(x, c4);
+        let c7 = ctx.int(7);
+        let mut solver = Solver::default();
+        // Division defeats narrowing, forcing the search to enumerate
+        // x lo-first: 28 failed first partitions before x == 28 works.
+        let r = solver.check(&ctx, &[Constraint::new(CmpOp::Eq, q, c7)]);
+        assert!(r.is_sat());
+        let stats = solver.stats();
+        assert!(stats.propagation_rounds > 0, "{stats:?}");
+        assert_eq!(stats.backtracks, 28, "{stats:?}");
+        // A pure-propagation query adds rounds but no backtracks.
+        let before = solver.stats();
+        let c5 = ctx.int(5);
+        solver.check(&ctx, &[Constraint::new(CmpOp::Eq, x, c5)]);
+        let after = solver.stats();
+        assert!(after.propagation_rounds > before.propagation_rounds);
+        assert_eq!(after.backtracks, before.backtracks);
+    }
+
+    #[test]
+    fn check_traced_matches_check() {
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", 0, 9);
+        let c5 = ctx.int(5);
+        let cs = [Constraint::new(CmpOp::Eq, x, c5)];
+        let mut a = Solver::default();
+        let mut b = Solver::default();
+        let rec = statsym_telemetry::MemRecorder::new(statsym_telemetry::Clock::wall());
+        assert_eq!(a.check(&ctx, &cs), b.check_traced(&ctx, &cs, &rec));
+        assert_eq!(a.stats(), b.stats());
+        // Wall-clock trace captured the query latency.
+        let h = rec
+            .metrics()
+            .hist(statsym_telemetry::names::SOLVER_QUERY_US)
+            .expect("latency histogram present");
+        assert_eq!(h.count, 1);
     }
 
     #[test]

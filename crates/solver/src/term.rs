@@ -167,7 +167,10 @@ impl TermCtx {
                         out.push(v);
                     }
                 }
-                Term::Add(a, b) | Term::Sub(a, b) | Term::Mul(a, b) | Term::Div(a, b)
+                Term::Add(a, b)
+                | Term::Sub(a, b)
+                | Term::Mul(a, b)
+                | Term::Div(a, b)
                 | Term::Rem(a, b) => {
                     stack.push(a);
                     stack.push(b);
@@ -255,7 +258,11 @@ impl TermCtx {
     pub fn div(&mut self, a: TermId, b: TermId) -> TermId {
         match (self.as_const(a), self.as_const(b)) {
             (Some(x), Some(y)) if y != 0 => {
-                let v = if x == i64::MIN && y == -1 { i64::MIN } else { x / y };
+                let v = if x == i64::MIN && y == -1 {
+                    i64::MIN
+                } else {
+                    x / y
+                };
                 self.int(v)
             }
             (None, Some(1)) => a,
@@ -343,7 +350,6 @@ mod tests {
         assert_eq!(ctx.mul(x, one), x);
         assert_eq!(ctx.div(x, one), x);
     }
-
 
     #[test]
     fn negate_roundtrips() {

@@ -8,6 +8,7 @@ use crate::value::SymValue;
 use concrete::{Fault, InputValue, Location};
 use sir::{InputId, Module};
 use solver::{Constraint, SatResult, Solver, SolverConfig, SolverStats, TermCtx};
+use statsym_telemetry::{names, FieldValue, Recorder, NOOP};
 use std::collections::HashMap;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -159,6 +160,7 @@ pub struct Engine<'m> {
     hook: Box<dyn EventHook + 'm>,
     pinned: concrete::InputMap,
     suppressed: Vec<(String, minic::Span)>,
+    rec: &'m dyn Recorder,
 }
 
 impl<'m> Engine<'m> {
@@ -181,7 +183,18 @@ impl<'m> Engine<'m> {
             hook,
             pinned: concrete::InputMap::new(),
             suppressed: Vec::new(),
+            rec: &NOOP,
         }
+    }
+
+    /// Attaches a telemetry recorder. The engine wraps each run in an
+    /// `engine.run` span, streams state-lifecycle counters (fork,
+    /// suspend-on-τ, suspend-on-predicate-conflict, resume, kill,
+    /// scheduler picks) and the hop-divergence histogram, advances the
+    /// deterministic trace clock by its step count, and emits its
+    /// [`EngineStats`] as counter deltas when the run ends.
+    pub fn set_recorder(&mut self, rec: &'m dyn Recorder) {
+        self.rec = rec;
     }
 
     /// Suppresses faults at a known fault site (function + span): states
@@ -210,6 +223,10 @@ impl<'m> Engine<'m> {
     /// Explores the program until a fault is found or a budget runs out.
     pub fn run(&mut self) -> EngineReport {
         let start = Instant::now();
+        let rec = self.rec;
+        let run_span = rec.span_open(names::ENGINE_RUN);
+        let solver_before = self.solver.stats();
+        let mut last_tick: u64 = 0;
         let mut stats = EngineStats::default();
         let mut sched = build_scheduler(self.config.scheduler);
         let mut suspended: Vec<State> = Vec::new();
@@ -249,6 +266,11 @@ impl<'m> Engine<'m> {
             Completed,
         }
 
+        // The state popped from the scheduler and currently executing:
+        // it is live too, so peak accounting must include it.
+        let mut in_flight: usize = 0;
+        let mut in_flight_mem: usize = 0;
+
         let end = {
             let mut env = ExecEnv {
                 module: self.module,
@@ -257,9 +279,23 @@ impl<'m> Engine<'m> {
                 inputs: &mut inputs_map,
                 hook: self.hook.as_mut(),
                 stats: &mut stats.exec,
+                rec,
                 max_call_depth,
                 next_state_id: &mut next_id,
             };
+
+            // Peaks are updated at *every* state-set mutation (push, pop,
+            // fork, suspend, resume) — not just at loop checkpoints — so
+            // a fork burst right before the run ends is still counted.
+            macro_rules! note_peaks {
+                () => {{
+                    let total_mem = live_mem + in_flight_mem + env.solver.cache_len() * 160;
+                    stats.peak_memory = stats.peak_memory.max(total_mem);
+                    stats.peak_live_states = stats
+                        .peak_live_states
+                        .max(sched.len() + suspended.len() + in_flight);
+                }};
+            }
 
             let init = initial_state(&mut env);
             let est = init.est_bytes();
@@ -267,10 +303,13 @@ impl<'m> Engine<'m> {
             mem_by_state.insert(init.id, est);
             let pr = env.hook.priority(&init.meta, init.depth);
             sched.push(init, pr);
+            note_peaks!();
             let _ = &covered;
 
             'outer: loop {
                 // Budget checks.
+                rec.tick(env.stats.steps - last_tick);
+                last_tick = env.stats.steps;
                 if let Some(tb) = self.config.time_budget {
                     if start.elapsed() > tb {
                         break LoopEnd::Exhausted(ExhaustionReason::Time);
@@ -279,10 +318,8 @@ impl<'m> Engine<'m> {
                 if env.stats.steps > self.config.max_steps {
                     break LoopEnd::Exhausted(ExhaustionReason::Steps);
                 }
-                let solver_mem = env.solver.cache_len() * 160;
-                let total_mem = live_mem + solver_mem;
-                stats.peak_memory = stats.peak_memory.max(total_mem);
-                stats.peak_live_states = stats.peak_live_states.max(sched.len() + suspended.len());
+                let total_mem = live_mem + env.solver.cache_len() * 160;
+                note_peaks!();
                 if total_mem > self.config.memory_budget {
                     break LoopEnd::Exhausted(ExhaustionReason::Memory);
                 }
@@ -296,20 +333,31 @@ impl<'m> Engine<'m> {
                     }
                     // Resume suspended states with guidance disabled: the
                     // worst case degrades to pure symbolic execution.
+                    let resumed = suspended.len() as u64;
                     for mut s in suspended.drain(..) {
                         s.guidance_off = true;
                         s.soft = CondList::new();
                         sched.push(s, i64::MAX);
                     }
+                    rec.counter_add(names::SYMEX_RESUME, resumed);
+                    note_peaks!();
                     continue;
                 };
+                rec.counter_add(names::SYMEX_SCHED_PICKS, 1);
                 if let Some(est) = mem_by_state.remove(&state.id) {
                     live_mem = live_mem.saturating_sub(est);
+                    in_flight_mem = est;
+                } else {
+                    in_flight_mem = state.est_bytes();
                 }
+                in_flight = 1;
+                note_peaks!();
 
                 // Run this state until it forks, terminates, or parks.
-                loop {
+                let step_end = loop {
                     if env.stats.steps.is_multiple_of(8192) {
+                        rec.tick(env.stats.steps - last_tick);
+                        last_tick = env.stats.steps;
                         if let Some(tb) = self.config.time_budget {
                             if start.elapsed() > tb {
                                 break 'outer LoopEnd::Exhausted(ExhaustionReason::Time);
@@ -328,73 +376,94 @@ impl<'m> Engine<'m> {
                                 }
                             }
                         }
-                        StepResult::Fork(children) => {
-                            for child in children {
-                                match child.disposition {
-                                    Disposition::Active => {
-                                        let est = child.state.est_bytes();
-                                        live_mem += est;
-                                        mem_by_state.insert(child.state.id, est);
-                                        let pr = if coverage_mode {
-                                            let f = child.state.frame();
-                                            if covered.contains(&(f.func.0, f.block.0)) {
-                                                1_000_000 + child.state.depth as i64
-                                            } else {
-                                                child.state.depth as i64
-                                            }
+                        other => break other,
+                    }
+                };
+                // The popped state was consumed; its successors (if any)
+                // are accounted individually below.
+                in_flight = 0;
+                in_flight_mem = 0;
+                match step_end {
+                    StepResult::Continue(_) => unreachable!("inner loop keeps Continue"),
+                    StepResult::Fork(children) => {
+                        for child in children {
+                            match child.disposition {
+                                Disposition::Active => {
+                                    let est = child.state.est_bytes();
+                                    live_mem += est;
+                                    mem_by_state.insert(child.state.id, est);
+                                    let pr = if coverage_mode {
+                                        let f = child.state.frame();
+                                        if covered.contains(&(f.func.0, f.block.0)) {
+                                            1_000_000 + child.state.depth as i64
                                         } else {
-                                            env.hook
-                                                .priority(&child.state.meta, child.state.depth)
-                                        };
-                                        sched.push(child.state, pr);
-                                    }
-                                    Disposition::Suspended => {
-                                        let est = child.state.est_bytes();
-                                        live_mem += est;
-                                        mem_by_state.insert(child.state.id, est);
-                                        suspended.push(child.state);
-                                    }
-                                    Disposition::Fault(fault) => {
-                                        if is_suppressed(&fault) {
-                                            stats.paths_completed += 1;
-                                            continue;
+                                            child.state.depth as i64
                                         }
-                                        break 'outer LoopEnd::Found(child.state, fault);
+                                    } else {
+                                        env.hook.priority(&child.state.meta, child.state.depth)
+                                    };
+                                    sched.push(child.state, pr);
+                                    note_peaks!();
+                                }
+                                Disposition::Suspended => {
+                                    let est = child.state.est_bytes();
+                                    live_mem += est;
+                                    mem_by_state.insert(child.state.id, est);
+                                    rec.counter_add(names::SYMEX_SUSPEND_BRANCH, 1);
+                                    rec.observe(
+                                        names::SYMEX_HOP_DIVERGENCE,
+                                        child.state.meta.hops as u64,
+                                    );
+                                    suspended.push(child.state);
+                                    note_peaks!();
+                                }
+                                Disposition::Fault(fault) => {
+                                    if is_suppressed(&fault) {
+                                        stats.paths_completed += 1;
+                                        continue;
                                     }
+                                    // The faulting state is live until the
+                                    // report is built; count it.
+                                    in_flight = 1;
+                                    in_flight_mem = child.state.est_bytes();
+                                    note_peaks!();
+                                    break 'outer LoopEnd::Found(child.state, fault);
                                 }
                             }
-                            continue 'outer;
                         }
-                        StepResult::Exit(_) => {
+                        continue 'outer;
+                    }
+                    StepResult::Exit(_) => {
+                        stats.paths_completed += 1;
+                        continue 'outer;
+                    }
+                    StepResult::Fault(s, fault) => {
+                        if is_suppressed(&fault) {
                             stats.paths_completed += 1;
                             continue 'outer;
                         }
-                        StepResult::Fault(s, fault) => {
-                            if is_suppressed(&fault) {
-                                stats.paths_completed += 1;
-                                continue 'outer;
-                            }
-                            break 'outer LoopEnd::Found(s, fault);
-                        }
-                        StepResult::Suspend(s) => {
-                            let est = s.est_bytes();
-                            live_mem += est;
-                            mem_by_state.insert(s.id, est);
-                            suspended.push(s);
-                            continue 'outer;
-                        }
-                        StepResult::Kill => continue 'outer,
+                        in_flight = 1;
+                        in_flight_mem = s.est_bytes();
+                        note_peaks!();
+                        break 'outer LoopEnd::Found(s, fault);
                     }
+                    StepResult::Suspend(s) => {
+                        let est = s.est_bytes();
+                        live_mem += est;
+                        mem_by_state.insert(s.id, est);
+                        suspended.push(s);
+                        note_peaks!();
+                        continue 'outer;
+                    }
+                    StepResult::Kill => continue 'outer,
                 }
             }
         };
 
         stats.states_created = next_id + 1;
         stats.left_suspended = suspended.len() as u64;
-        stats.paths_explored = stats.paths_completed
-            + stats.exec.pruned
-            + sched.len() as u64
-            + suspended.len() as u64;
+        stats.paths_explored =
+            stats.paths_completed + stats.exec.pruned + sched.len() as u64 + suspended.len() as u64;
         let outcome = match end {
             LoopEnd::Found(state, fault) => {
                 stats.paths_explored += 1;
@@ -404,6 +473,61 @@ impl<'m> Engine<'m> {
             LoopEnd::Completed => RunOutcome::Completed,
         };
         stats.solver = self.solver.stats();
+
+        rec.tick(stats.exec.steps.saturating_sub(last_tick));
+        if rec.enabled() {
+            // Mirror this run's EngineStats into counters so a trace file
+            // reconciles exactly with the printed report. Counters
+            // accumulate across candidate attempts sharing one recorder.
+            rec.counter_add(names::SYMEX_STEPS, stats.exec.steps);
+            rec.counter_add(names::SYMEX_FORKS, stats.exec.forks);
+            rec.counter_add(names::SYMEX_PRUNED, stats.exec.pruned);
+            rec.counter_add(names::SYMEX_SUSPENDED, stats.exec.suspended);
+            rec.counter_add(names::SYMEX_CONCRETIZATIONS, stats.exec.concretizations);
+            rec.counter_add(names::SYMEX_STRLEN_FORKS, stats.exec.strlen_forks);
+            rec.counter_add(names::SYMEX_PATHS_COMPLETED, stats.paths_completed);
+            rec.counter_add(names::SYMEX_PATHS_EXPLORED, stats.paths_explored);
+            rec.counter_add(names::SYMEX_STATES_CREATED, stats.states_created);
+            rec.counter_add(names::SYMEX_LEFT_SUSPENDED, stats.left_suspended);
+            rec.gauge_max(names::SYMEX_PEAK_LIVE_STATES, stats.peak_live_states as i64);
+            rec.gauge_max(names::SYMEX_PEAK_MEMORY, stats.peak_memory as i64);
+            let sv = &stats.solver;
+            rec.counter_add(names::SOLVER_QUERIES, sv.queries - solver_before.queries);
+            rec.counter_add(names::SOLVER_SAT, sv.sat - solver_before.sat);
+            rec.counter_add(names::SOLVER_UNSAT, sv.unsat - solver_before.unsat);
+            rec.counter_add(names::SOLVER_UNKNOWN, sv.unknown - solver_before.unknown);
+            rec.counter_add(
+                names::SOLVER_CACHE_HITS,
+                sv.cache_hits - solver_before.cache_hits,
+            );
+            rec.counter_add(names::SOLVER_NODES, sv.nodes - solver_before.nodes);
+            rec.counter_add(
+                names::SOLVER_PROPAGATION_ROUNDS,
+                sv.propagation_rounds - solver_before.propagation_rounds,
+            );
+            rec.counter_add(
+                names::SOLVER_BACKTRACKS,
+                sv.backtracks - solver_before.backtracks,
+            );
+            let outcome_str = match &outcome {
+                RunOutcome::Found(_) => "found",
+                RunOutcome::Completed => "completed",
+                RunOutcome::Exhausted(ExhaustionReason::Steps) => "exhausted_steps",
+                RunOutcome::Exhausted(ExhaustionReason::Time) => "exhausted_time",
+                RunOutcome::Exhausted(ExhaustionReason::Memory) => "exhausted_memory",
+                RunOutcome::Exhausted(ExhaustionReason::LiveStates) => "exhausted_live_states",
+            };
+            rec.event(
+                names::ENGINE_OUTCOME,
+                &[
+                    ("outcome", FieldValue::from(outcome_str)),
+                    ("steps", FieldValue::from(stats.exec.steps)),
+                    ("paths_explored", FieldValue::from(stats.paths_explored)),
+                ],
+            );
+        }
+        rec.span_close(run_span);
+
         EngineReport {
             outcome,
             stats,
@@ -534,7 +658,10 @@ mod tests {
         "#;
         let (r, m) = engine_run(src, EngineConfig::default());
         let found = r.outcome.found().expect("overflow expected");
-        assert!(matches!(found.fault.kind, FaultKind::BufferOverflow { cap: 4, .. }));
+        assert!(matches!(
+            found.fault.kind,
+            FaultKind::BufferOverflow { cap: 4, .. }
+        ));
         assert_eq!(found.fault.func, "copy");
         // Trace passes through copy():enter and never leaves it.
         assert!(found.trace.contains(&Location::enter("copy")));
@@ -778,10 +905,63 @@ mod tests {
         let found = r.outcome.found().expect("assert reachable via else");
         let vm = Vm::new(&m, VmConfig::default());
         let replay = vm.run(&found.inputs).unwrap();
-        assert_eq!(replay.outcome.fault().unwrap().kind, FaultKind::AssertFailed);
+        assert_eq!(
+            replay.outcome.fault().unwrap().kind,
+            FaultKind::AssertFailed
+        );
         match found.inputs.get("n") {
             Some(InputValue::Int(v)) => assert!(*v <= 0),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn peak_live_states_is_exact_under_bfs() {
+        // Two sequential strlen fan-outs over cap-3 strings. Under FIFO
+        // BFS all four first-level children fork before any second-level
+        // child is consumed, so exactly 12 queued + 4 freshly pushed
+        // states coexist. Peak tracking must report precisely 16 — no
+        // more (over-counting the consumed parent) and no less (sampling
+        // too coarsely to see the burst).
+        let src = r#"
+            fn main() -> int {
+                let s: str = input_str("x", 3);
+                let a: int = len(s);
+                let t: str = input_str("y", 3);
+                let b: int = len(t);
+                return a + b;
+            }
+        "#;
+        let (r, _) = engine_run(src, EngineConfig::default());
+        assert!(matches!(r.outcome, RunOutcome::Completed));
+        assert_eq!(r.stats.paths_completed, 16);
+        assert_eq!(r.stats.peak_live_states, 16, "peak must be exact");
+    }
+
+    #[test]
+    fn peak_memory_counts_in_flight_state_at_fault() {
+        // The only state that ever holds the 2000-cell buffer is the one
+        // in flight when the fault fires: it allocates the buffer after
+        // being popped and the run ends at the fault, so checkpoint-only
+        // sampling never sees the 8 KB heap. Peak tracking must include
+        // the in-flight state.
+        let src = r#"
+            fn main() {
+                let b: buf[2000];
+                let i: int = input_int("i");
+                buf_set(b, i, 1);
+            }
+        "#;
+        let (r, _) = engine_run(src, EngineConfig::default());
+        let found = r.outcome.found().expect("overflow expected");
+        assert!(matches!(
+            found.fault.kind,
+            FaultKind::BufferOverflow { cap: 2000, .. }
+        ));
+        assert!(
+            r.stats.peak_memory >= 8000,
+            "peak_memory {} must cover the in-flight 2000-cell heap",
+            r.stats.peak_memory
+        );
     }
 }

@@ -6,8 +6,9 @@ use crate::state::{Frame, State};
 use crate::value::{BoolVal, SymBuf, SymStr, SymValue};
 use concrete::{Fault, FaultKind, Location};
 use minic::{BinOp, Span};
-use sir::{ConstValue, FuncId, Inst, InputId, InputKind, Module, Reg, Terminator};
+use sir::{ConstValue, FuncId, InputId, InputKind, Inst, Module, Reg, Terminator};
 use solver::{CmpOp, Constraint, SatResult, Solver, TermCtx, TermId};
+use statsym_telemetry::{names, Recorder};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -20,6 +21,7 @@ pub(crate) struct ExecEnv<'e> {
     pub inputs: &'e mut HashMap<InputId, SymValue>,
     pub hook: &'e mut dyn EventHook,
     pub stats: &'e mut ExecStats,
+    pub rec: &'e dyn Recorder,
     pub max_call_depth: usize,
     pub next_state_id: &'e mut u64,
 }
@@ -85,7 +87,10 @@ impl<'e> ExecEnv<'e> {
 
     /// Feasibility of a conjunction; `Unknown` counts as feasible.
     fn feasible(&mut self, cons: &[Constraint]) -> bool {
-        !self.solver.check(self.ctx, cons).is_unsat()
+        !self
+            .solver
+            .check_traced(self.ctx, cons, self.rec)
+            .is_unsat()
     }
 
     fn feasible_state(&mut self, state: &State) -> bool {
@@ -149,14 +154,21 @@ impl<'e> ExecEnv<'e> {
             let hard = state.path.to_vec();
             return if self.feasible(&hard) {
                 self.stats.suspended += 1;
+                self.rec.counter_add(names::SYMEX_SUSPEND_PREDICATE, 1);
+                self.rec
+                    .observe(names::SYMEX_HOP_DIVERGENCE, state.meta.hops as u64);
                 Some(StepResult::Suspend(std::mem::replace(state, dummy_state())))
             } else {
                 self.stats.pruned += 1;
+                self.rec.counter_add(names::SYMEX_KILL, 1);
                 Some(StepResult::Kill)
             };
         }
         if result.suspend {
             self.stats.suspended += 1;
+            self.rec.counter_add(names::SYMEX_SUSPEND_TAU, 1);
+            self.rec
+                .observe(names::SYMEX_HOP_DIVERGENCE, state.meta.hops as u64);
             return Some(StepResult::Suspend(std::mem::replace(state, dummy_state())));
         }
         None
@@ -211,7 +223,13 @@ pub(crate) fn initial_state(env: &mut ExecEnv<'_>) -> State {
     // advance candidate-path progress). A suspend decision here is
     // ignored — the initial state must run.
     let params = main.params.clone();
-    match env.apply_event(&mut state, Location::enter(&main.name), &params, &args, None) {
+    match env.apply_event(
+        &mut state,
+        Location::enter(&main.name),
+        &params,
+        &args,
+        None,
+    ) {
         Some(StepResult::Suspend(s)) => s,
         _ => state,
     }
@@ -234,7 +252,13 @@ fn default_sym(ctx: &mut TermCtx, ty: minic::Type) -> SymValue {
     }
 }
 
-fn push_frame(module: &Module, state: &mut State, func: FuncId, args: Vec<SymValue>, ret_dst: Option<Reg>) {
+fn push_frame(
+    module: &Module,
+    state: &mut State,
+    func: FuncId,
+    args: Vec<SymValue>,
+    ret_dst: Option<Reg>,
+) {
     let body = module.func(func);
     let mut regs = vec![SymValue::Unit; body.num_regs as usize];
     for (i, a) in args.into_iter().enumerate() {
@@ -565,9 +589,15 @@ fn bounds_checked_access(
     span: Span,
     apply: impl FnOnce(&mut State, usize),
 ) -> StepResult {
-    bounds_checked_common(env, state, idx_t, cap as i64, false, span, move |_, state, i| {
-        apply(state, i)
-    })
+    bounds_checked_common(
+        env,
+        state,
+        idx_t,
+        cap as i64,
+        false,
+        span,
+        move |_, state, i| apply(state, i),
+    )
 }
 
 /// Like [`bounds_checked_access`] but the valid range is `[0, cap]`
@@ -625,7 +655,7 @@ fn bounds_checked_common(
         let hard = bad.path.to_vec();
         if env.feasible(&hard) {
             // Resolve a concrete violating index for the report.
-            let model_idx = match env.solver.check(env.ctx, &hard) {
+            let model_idx = match env.solver.check_traced(env.ctx, &hard, env.rec) {
                 SatResult::Sat(m) => m.value_of(idx_t, env.ctx).unwrap_or(cap),
                 _ => cap,
             };
@@ -651,7 +681,7 @@ fn bounds_checked_common(
     ok.path = ok.path.push(lower).push(upper);
     ok.depth += 1;
     let cons = ok.all_constraints();
-    match env.solver.check(env.ctx, &cons) {
+    match env.solver.check_traced(env.ctx, &cons, env.rec) {
         SatResult::Sat(model) => {
             let i = model.value_of(idx_t, env.ctx).unwrap_or(0).clamp(0, cap);
             let point = env.ctx.int(i);

@@ -55,9 +55,7 @@ pub fn build_scheduler(kind: SchedulerKind) -> Box<dyn Scheduler> {
         SchedulerKind::Bfs => Box::new(BfsScheduler::default()),
         SchedulerKind::Dfs => Box::new(DfsScheduler::default()),
         SchedulerKind::Random { seed } => Box::new(RandomScheduler::new(seed)),
-        SchedulerKind::Priority | SchedulerKind::Coverage => {
-            Box::new(PriorityScheduler::default())
-        }
+        SchedulerKind::Priority | SchedulerKind::Coverage => Box::new(PriorityScheduler::default()),
     }
 }
 

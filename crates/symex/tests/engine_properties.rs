@@ -38,12 +38,7 @@ fn holds(g: Guard, x: i64, y: i64) -> bool {
 /// then asserts the negation of `g1 && g2` — so a fault exists iff some
 /// in-domain (x, y) satisfies both guards.
 fn source(g1: Guard, g2: Guard) -> String {
-    let guard_src = |g: Guard| {
-        format!(
-            "(({}) * x + ({}) * y {} {})",
-            g.a, g.b, OPS[g.op], g.k
-        )
-    };
+    let guard_src = |g: Guard| format!("(({}) * x + ({}) * y {} {})", g.a, g.b, OPS[g.op], g.k);
     format!(
         "fn main() {{\n\
          \x20   let x: int = input_int(\"x\");\n\
@@ -126,7 +121,10 @@ fn pinned_inputs_constrain_the_search() {
     let module = sir::lower(&minic::parse_program(src).unwrap()).unwrap();
 
     let mut free = Engine::new(&module, EngineConfig::default());
-    assert!(free.run().outcome.is_found(), "unpinned engine finds x=7,y=3");
+    assert!(
+        free.run().outcome.is_found(),
+        "unpinned engine finds x=7,y=3"
+    );
 
     let mut pinned = Engine::new(&module, EngineConfig::default());
     pinned.pin_input("x", InputValue::Int(0));
@@ -138,7 +136,10 @@ fn pinned_inputs_constrain_the_search() {
     let mut pinned_hot = Engine::new(&module, EngineConfig::default());
     pinned_hot.pin_input("x", InputValue::Int(7));
     let report = pinned_hot.run();
-    let found = report.outcome.found().expect("x=7 keeps the fault reachable");
+    let found = report
+        .outcome
+        .found()
+        .expect("x=7 keeps the fault reachable");
     assert_eq!(found.inputs.get("x"), Some(&InputValue::Int(7)));
     // Replay for good measure.
     let vm = Vm::new(&module, VmConfig::default());

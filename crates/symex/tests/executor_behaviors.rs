@@ -5,8 +5,7 @@
 use concrete::{FaultKind, Location, Vm, VmConfig};
 use solver::{CmpOp, Constraint, TermCtx};
 use symex::{
-    Engine, EngineConfig, EventCtx, EventHook, GuidanceResult, RunOutcome, SchedulerKind,
-    StateMeta,
+    Engine, EngineConfig, EventCtx, EventHook, GuidanceResult, RunOutcome, SchedulerKind, StateMeta,
 };
 
 fn run(src: &str, config: EngineConfig) -> (symex::EngineReport, sir::Module) {
@@ -29,7 +28,10 @@ fn symbolic_buffer_index_forks_a_fault_child() {
     "#;
     let (report, module) = run(src, EngineConfig::default());
     let found = report.outcome.found().expect("oob reachable");
-    assert!(matches!(found.fault.kind, FaultKind::BufferOverflow { cap: 10, .. }));
+    assert!(matches!(
+        found.fault.kind,
+        FaultKind::BufferOverflow { cap: 10, .. }
+    ));
     let vm = Vm::new(&module, VmConfig::default());
     let replay = vm.run(&found.inputs).unwrap();
     assert!(matches!(
@@ -159,7 +161,10 @@ fn wrong_guidance_degrades_to_pure_search_and_still_finds() {
         Box::new(HostileGuidance),
     );
     let report = engine.run();
-    let found = report.outcome.found().expect("fault found despite hostile guidance");
+    let found = report
+        .outcome
+        .found()
+        .expect("fault found despite hostile guidance");
     assert_eq!(found.fault.func, "boom");
     assert!(
         report.stats.exec.suspended > 0,

@@ -1,0 +1,781 @@
+//! The trace event model and its JSONL wire format.
+//!
+//! A trace is a sequence of self-describing lines, one JSON object per
+//! line, written in a *canonical* form: fixed key order, no whitespace,
+//! integers only (no floats — they cannot round-trip bytewise). The
+//! emitter and parser are exact inverses on canonical input, which the
+//! round-trip tests pin down byte for byte.
+
+use std::fmt;
+
+/// Identifier of an open span. `SpanId(0)` is the reserved "no span"
+/// value used for root parents and by the no-op recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The reserved null span.
+    pub const NONE: SpanId = SpanId(0);
+}
+
+/// A structured field value attached to an event.
+///
+/// Deliberately float-free: every value is an integer or a string, so
+/// canonical re-emission is byte-identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldValue {
+    /// A signed integer (negative values).
+    Int(i64),
+    /// An unsigned integer (all non-negative values parse as this).
+    Uint(u64),
+    /// A string.
+    Str(String),
+}
+
+impl FieldValue {
+    /// The value as `u64`, if non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            FieldValue::Uint(v) => Some(*v),
+            FieldValue::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if numeric.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            FieldValue::Int(v) => Some(*v),
+            FieldValue::Uint(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if textual.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            FieldValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::Uint(v)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> FieldValue {
+        if v >= 0 {
+            FieldValue::Uint(v as u64)
+        } else {
+            FieldValue::Int(v)
+        }
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::Uint(v as u64)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Str(if v { "true" } else { "false" }.to_string())
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+/// One line of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Trace header: clock label (`wall_us` / `steps`) and format version.
+    Meta {
+        /// Clock label.
+        clock: String,
+        /// Format version (currently 1).
+        version: u64,
+    },
+    /// A span opened at tick `t`.
+    SpanOpen {
+        /// Open tick.
+        t: u64,
+        /// Span id (unique, increasing within a trace).
+        id: u64,
+        /// Enclosing span id (0 = root).
+        parent: u64,
+        /// Span name (e.g. `phase.transition_mining`).
+        name: String,
+    },
+    /// A span closed at tick `t`.
+    SpanClose {
+        /// Close tick.
+        t: u64,
+        /// The id from the matching [`TraceEvent::SpanOpen`].
+        id: u64,
+    },
+    /// A point event with structured fields.
+    Event {
+        /// Emission tick.
+        t: u64,
+        /// Event name (e.g. `candidate.result`).
+        name: String,
+        /// Fields in emission order.
+        fields: Vec<(String, FieldValue)>,
+    },
+    /// Final value of a monotone counter.
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Accumulated value.
+        value: u64,
+    },
+    /// Final value of a gauge (recorded maxima, e.g. peak memory).
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// Final value.
+        value: i64,
+    },
+    /// Final state of a log-scale histogram.
+    Hist {
+        /// Histogram name.
+        name: String,
+        /// Number of observations.
+        count: u64,
+        /// Sum of observed values.
+        sum: u64,
+        /// Sparse `(bucket, count)` pairs; bucket `b > 0` covers values
+        /// in `[2^(b-1), 2^b - 1]`, bucket 0 holds zeros.
+        buckets: Vec<(u32, u64)>,
+    },
+}
+
+/// A trace parsing failure: the offending line (1-based) and reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number within the parsed text.
+    pub line: usize,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_field_value(out: &mut String, v: &FieldValue) {
+    match v {
+        FieldValue::Int(i) => out.push_str(&i.to_string()),
+        FieldValue::Uint(u) => out.push_str(&u.to_string()),
+        FieldValue::Str(s) => push_json_str(out, s),
+    }
+}
+
+impl TraceEvent {
+    /// Renders the canonical single-line JSON form (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(64);
+        match self {
+            TraceEvent::Meta { clock, version } => {
+                s.push_str("{\"k\":\"meta\",\"clock\":");
+                push_json_str(&mut s, clock);
+                s.push_str(&format!(",\"version\":{version}}}"));
+            }
+            TraceEvent::SpanOpen {
+                t,
+                id,
+                parent,
+                name,
+            } => {
+                s.push_str(&format!(
+                    "{{\"k\":\"span_open\",\"t\":{t},\"id\":{id},\"parent\":{parent},\"name\":"
+                ));
+                push_json_str(&mut s, name);
+                s.push('}');
+            }
+            TraceEvent::SpanClose { t, id } => {
+                s.push_str(&format!("{{\"k\":\"span_close\",\"t\":{t},\"id\":{id}}}"));
+            }
+            TraceEvent::Event { t, name, fields } => {
+                s.push_str(&format!("{{\"k\":\"event\",\"t\":{t},\"name\":"));
+                push_json_str(&mut s, name);
+                s.push_str(",\"fields\":{");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    push_json_str(&mut s, k);
+                    s.push(':');
+                    push_field_value(&mut s, v);
+                }
+                s.push_str("}}");
+            }
+            TraceEvent::Counter { name, value } => {
+                s.push_str("{\"k\":\"counter\",\"name\":");
+                push_json_str(&mut s, name);
+                s.push_str(&format!(",\"value\":{value}}}"));
+            }
+            TraceEvent::Gauge { name, value } => {
+                s.push_str("{\"k\":\"gauge\",\"name\":");
+                push_json_str(&mut s, name);
+                s.push_str(&format!(",\"value\":{value}}}"));
+            }
+            TraceEvent::Hist {
+                name,
+                count,
+                sum,
+                buckets,
+            } => {
+                s.push_str("{\"k\":\"hist\",\"name\":");
+                push_json_str(&mut s, name);
+                s.push_str(&format!(",\"count\":{count},\"sum\":{sum},\"buckets\":["));
+                for (i, (b, n)) in buckets.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!("[{b},{n}]"));
+                }
+                s.push_str("]}");
+            }
+        }
+        s
+    }
+
+    /// Parses one JSONL line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] (with `line` set to 0; [`parse_trace`]
+    /// fills in the real line number) on malformed JSON or an unknown
+    /// `k` discriminator.
+    pub fn parse_line(line: &str) -> Result<TraceEvent, ParseError> {
+        let err = |reason: &str| ParseError {
+            line: 0,
+            reason: reason.to_string(),
+        };
+        let json = json::parse(line).map_err(|e| err(&e))?;
+        let obj = json.as_object().ok_or_else(|| err("expected an object"))?;
+        let get = |key: &str| -> Result<&json::Value, ParseError> {
+            obj.iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| err(&format!("missing key `{key}`")))
+        };
+        let get_u64 = |key: &str| -> Result<u64, ParseError> {
+            get(key)?
+                .as_u64()
+                .ok_or_else(|| err(&format!("`{key}` must be a non-negative integer")))
+        };
+        let get_i64 = |key: &str| -> Result<i64, ParseError> {
+            get(key)?
+                .as_i64()
+                .ok_or_else(|| err(&format!("`{key}` must be an integer")))
+        };
+        let get_str = |key: &str| -> Result<String, ParseError> {
+            get(key)?
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| err(&format!("`{key}` must be a string")))
+        };
+        let kind = get_str("k")?;
+        match kind.as_str() {
+            "meta" => Ok(TraceEvent::Meta {
+                clock: get_str("clock")?,
+                version: get_u64("version")?,
+            }),
+            "span_open" => Ok(TraceEvent::SpanOpen {
+                t: get_u64("t")?,
+                id: get_u64("id")?,
+                parent: get_u64("parent")?,
+                name: get_str("name")?,
+            }),
+            "span_close" => Ok(TraceEvent::SpanClose {
+                t: get_u64("t")?,
+                id: get_u64("id")?,
+            }),
+            "event" => {
+                let fields_val = get("fields")?;
+                let fields_obj = fields_val
+                    .as_object()
+                    .ok_or_else(|| err("`fields` must be an object"))?;
+                let mut fields = Vec::with_capacity(fields_obj.len());
+                for (k, v) in fields_obj {
+                    let fv = match v {
+                        json::Value::Uint(u) => FieldValue::Uint(*u),
+                        json::Value::Int(i) => FieldValue::Int(*i),
+                        json::Value::Str(s) => FieldValue::Str(s.clone()),
+                        _ => return Err(err("field values must be integers or strings")),
+                    };
+                    fields.push((k.clone(), fv));
+                }
+                Ok(TraceEvent::Event {
+                    t: get_u64("t")?,
+                    name: get_str("name")?,
+                    fields,
+                })
+            }
+            "counter" => Ok(TraceEvent::Counter {
+                name: get_str("name")?,
+                value: get_u64("value")?,
+            }),
+            "gauge" => Ok(TraceEvent::Gauge {
+                name: get_str("name")?,
+                value: get_i64("value")?,
+            }),
+            "hist" => {
+                let arr = get("buckets")?
+                    .as_array()
+                    .ok_or_else(|| err("`buckets` must be an array"))?;
+                let mut buckets = Vec::with_capacity(arr.len());
+                for pair in arr {
+                    let pair = pair
+                        .as_array()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| err("each bucket must be a [bucket, count] pair"))?;
+                    let b = pair[0]
+                        .as_u64()
+                        .and_then(|b| u32::try_from(b).ok())
+                        .ok_or_else(|| err("bucket index must fit u32"))?;
+                    let n = pair[1]
+                        .as_u64()
+                        .ok_or_else(|| err("bucket count must be u64"))?;
+                    buckets.push((b, n));
+                }
+                Ok(TraceEvent::Hist {
+                    name: get_str("name")?,
+                    count: get_u64("count")?,
+                    sum: get_u64("sum")?,
+                    buckets,
+                })
+            }
+            other => Err(err(&format!("unknown event kind `{other}`"))),
+        }
+    }
+}
+
+/// Parses a whole JSONL trace (empty lines are skipped).
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] with its 1-based line number.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match TraceEvent::parse_line(line) {
+            Ok(ev) => out.push(ev),
+            Err(mut e) => {
+                e.line = i + 1;
+                return Err(e);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Renders events back to canonical JSONL (one line each, trailing
+/// newline after every line). `parse_trace` ∘ `render_trace` is the
+/// identity on canonical traces, byte for byte.
+pub fn render_trace(events: &[TraceEvent]) -> String {
+    let mut s = String::new();
+    for ev in events {
+        s.push_str(&ev.to_json_line());
+        s.push('\n');
+    }
+    s
+}
+
+/// A minimal JSON reader: just enough to parse the canonical trace
+/// format (objects, arrays, strings, integers) plus standard escapes
+/// and whitespace tolerance. Floats are intentionally rejected — the
+/// emitter never produces them, and they cannot round-trip bytewise.
+mod json {
+    /// A parsed JSON value (integer-only numbers).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// Non-negative integer.
+        Uint(u64),
+        /// Negative integer.
+        Int(i64),
+        /// String.
+        Str(String),
+        /// Array.
+        Array(Vec<Value>),
+        /// Object with preserved key order.
+        Object(Vec<(String, Value)>),
+        /// `true`/`false`.
+        Bool(bool),
+        /// `null`.
+        Null,
+    }
+
+    impl Value {
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Uint(v) => Some(*v),
+                _ => None,
+            }
+        }
+
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::Uint(v) => i64::try_from(*v).ok(),
+                Value::Int(v) => Some(*v),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn bump(&mut self) -> Option<u8> {
+            let b = self.peek()?;
+            self.pos += 1;
+            Some(b)
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.bump() == Some(b) {
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected `{}` at byte {}",
+                    b as char,
+                    self.pos.saturating_sub(1)
+                ))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.keyword("true", Value::Bool(true)),
+                Some(b'f') => self.keyword("false", Value::Bool(false)),
+                Some(b'n') => self.keyword("null", Value::Null),
+                Some(b'-') | Some(b'0'..=b'9') => self.number(),
+                other => Err(format!("unexpected byte {other:?} at {}", self.pos)),
+            }
+        }
+
+        fn keyword(&mut self, kw: &str, v: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+                self.pos += kw.len();
+                Ok(v)
+            } else {
+                Err(format!("invalid keyword at byte {}", self.pos))
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut entries = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let val = self.value()?;
+                entries.push((key, val));
+                self.skip_ws();
+                match self.bump() {
+                    Some(b',') => continue,
+                    Some(b'}') => return Ok(Value::Object(entries)),
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.bump() {
+                    Some(b',') => continue,
+                    Some(b']') => return Ok(Value::Array(items)),
+                    _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut s = String::new();
+            loop {
+                match self.bump() {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => return Ok(s),
+                    Some(b'\\') => match self.bump() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let mut code: u32 = 0;
+                            for _ in 0..4 {
+                                let d = self
+                                    .bump()
+                                    .and_then(|b| (b as char).to_digit(16))
+                                    .ok_or("bad \\u escape")?;
+                                code = code * 16 + d;
+                            }
+                            s.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        }
+                        _ => return Err("bad escape".to_string()),
+                    },
+                    Some(b) if b < 0x80 => s.push(b as char),
+                    Some(b) => {
+                        // Re-decode the UTF-8 sequence starting at b.
+                        let start = self.pos - 1;
+                        let width = match b {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            0xF0..=0xF7 => 4,
+                            _ => return Err("invalid UTF-8".to_string()),
+                        };
+                        let end = start + width;
+                        let chunk = self
+                            .bytes
+                            .get(start..end)
+                            .ok_or("truncated UTF-8 sequence")?;
+                        let text = std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8")?;
+                        s.push_str(text);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+                return Err("floats are not part of the trace format".to_string());
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+            if let Some(stripped) = text.strip_prefix('-') {
+                let _ = stripped;
+                text.parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|_| "integer out of range".to_string())
+            } else {
+                text.parse::<u64>()
+                    .map(Value::Uint)
+                    .map_err(|_| "integer out of range".to_string())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ev: TraceEvent) {
+        let line = ev.to_json_line();
+        let back = TraceEvent::parse_line(&line).expect(&line);
+        assert_eq!(back, ev, "{line}");
+        assert_eq!(back.to_json_line(), line);
+    }
+
+    #[test]
+    fn all_event_kinds_roundtrip() {
+        roundtrip(TraceEvent::Meta {
+            clock: "steps".into(),
+            version: 1,
+        });
+        roundtrip(TraceEvent::SpanOpen {
+            t: 0,
+            id: 1,
+            parent: 0,
+            name: "pipeline.analyze".into(),
+        });
+        roundtrip(TraceEvent::SpanClose { t: 42, id: 1 });
+        roundtrip(TraceEvent::Event {
+            t: 7,
+            name: "candidate.result".into(),
+            fields: vec![
+                ("index".into(), FieldValue::Uint(0)),
+                ("delta".into(), FieldValue::Int(-5)),
+                ("found".into(), FieldValue::Str("true".into())),
+            ],
+        });
+        roundtrip(TraceEvent::Counter {
+            name: "solver.queries".into(),
+            value: u64::MAX,
+        });
+        roundtrip(TraceEvent::Gauge {
+            name: "symex.peak_memory_bytes".into(),
+            value: -1,
+        });
+        roundtrip(TraceEvent::Hist {
+            name: "solver.query_us".into(),
+            count: 3,
+            sum: 10,
+            buckets: vec![(0, 1), (2, 2)],
+        });
+    }
+
+    #[test]
+    fn strings_with_escapes_roundtrip() {
+        roundtrip(TraceEvent::Event {
+            t: 0,
+            name: "weird \"name\"\twith\nescapes \\ λ".into(),
+            fields: vec![("k\u{1}".into(), FieldValue::Str("v\u{7f}λ中".into()))],
+        });
+    }
+
+    #[test]
+    fn parse_trace_reports_line_numbers() {
+        let text = "{\"k\":\"span_close\",\"t\":1,\"id\":1}\n\nnot json\n";
+        let err = parse_trace(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn floats_are_rejected() {
+        assert!(
+            TraceEvent::parse_line("{\"k\":\"counter\",\"name\":\"x\",\"value\":1.5}").is_err()
+        );
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        assert!(TraceEvent::parse_line("{\"k\":\"bogus\"}").is_err());
+    }
+
+    #[test]
+    fn render_trace_is_parse_inverse() {
+        let evs = vec![
+            TraceEvent::Meta {
+                clock: "steps".into(),
+                version: 1,
+            },
+            TraceEvent::Counter {
+                name: "a".into(),
+                value: 1,
+            },
+        ];
+        let text = render_trace(&evs);
+        let back = parse_trace(&text).unwrap();
+        assert_eq!(back, evs);
+        assert_eq!(render_trace(&back), text);
+    }
+}

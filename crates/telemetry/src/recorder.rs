@@ -1,0 +1,524 @@
+//! The [`Recorder`] trait and its three implementations.
+//!
+//! A recorder is passed *by reference* down the call stack — no
+//! globals, no thread-locals — so the single-threaded determinism
+//! guarantees of the engine (DESIGN.md §5) are untouched. All methods
+//! take `&self`; implementations use interior mutability.
+//!
+//! * [`NoopRecorder`] — a ZST that discards everything; `enabled()`
+//!   returns `false` so callers can skip field construction entirely.
+//! * [`MemRecorder`] — buffers events in memory; `finish()` hands back
+//!   the full event list (with the metrics snapshot appended).
+//! * [`FileRecorder`] — streams canonical JSONL, one event per line,
+//!   to any `Write` sink (usually a file opened via `create`).
+
+use std::cell::{Cell, RefCell};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use crate::clock::Clock;
+use crate::event::{FieldValue, SpanId, TraceEvent};
+use crate::metrics::Metrics;
+
+/// Trace format version stamped into the meta event.
+pub const TRACE_VERSION: u64 = 1;
+
+/// The instrumentation sink threaded through the pipeline.
+pub trait Recorder {
+    /// False for the no-op recorder: callers may skip building event
+    /// fields altogether when this is false.
+    fn enabled(&self) -> bool;
+
+    /// Opens a span; the returned id must be passed to
+    /// [`Recorder::span_close`].
+    fn span_open(&self, name: &str) -> SpanId;
+
+    /// Closes a span previously opened with [`Recorder::span_open`].
+    fn span_close(&self, id: SpanId);
+
+    /// Emits a point event with structured fields.
+    fn event(&self, name: &str, fields: &[(&str, FieldValue)]);
+
+    /// Adds `delta` to a monotone counter.
+    fn counter_add(&self, name: &str, delta: u64);
+
+    /// Raises a gauge to `v` if larger (peak tracking).
+    fn gauge_max(&self, name: &str, v: i64);
+
+    /// Records a value into a log-scale histogram.
+    fn observe(&self, name: &str, v: u64);
+
+    /// Records a wall-clock duration (µs) into a histogram — but only
+    /// when the trace clock is non-deterministic. Under a step-count
+    /// clock this is a no-op, keeping traces byte-reproducible.
+    fn observe_wall(&self, name: &str, d: Duration);
+
+    /// Advances the deterministic clock by `delta` logical ticks (the
+    /// executor reports its step count here). No-op for wall clocks.
+    fn tick(&self, delta: u64);
+}
+
+/// The recorder that records nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+/// A shared `&'static` no-op recorder for default arguments.
+pub static NOOP: NoopRecorder = NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn span_open(&self, _name: &str) -> SpanId {
+        SpanId::NONE
+    }
+
+    fn span_close(&self, _id: SpanId) {}
+
+    fn event(&self, _name: &str, _fields: &[(&str, FieldValue)]) {}
+
+    fn counter_add(&self, _name: &str, _delta: u64) {}
+
+    fn gauge_max(&self, _name: &str, _v: i64) {}
+
+    fn observe(&self, _name: &str, _v: u64) {}
+
+    fn observe_wall(&self, _name: &str, _d: Duration) {}
+
+    fn tick(&self, _delta: u64) {}
+}
+
+/// State shared by the real recorders: clock, span bookkeeping, and
+/// the metrics registry.
+#[derive(Debug)]
+struct SinkCore {
+    clock: Clock,
+    next_span: Cell<u64>,
+    stack: RefCell<Vec<u64>>,
+    metrics: Metrics,
+}
+
+impl SinkCore {
+    fn new(clock: Clock) -> SinkCore {
+        SinkCore {
+            clock,
+            next_span: Cell::new(1),
+            stack: RefCell::new(Vec::new()),
+            metrics: Metrics::new(),
+        }
+    }
+
+    fn meta_event(&self) -> TraceEvent {
+        TraceEvent::Meta {
+            clock: self.clock.label().to_string(),
+            version: TRACE_VERSION,
+        }
+    }
+
+    fn open(&self, name: &str) -> (SpanId, TraceEvent) {
+        let id = self.next_span.get();
+        self.next_span.set(id + 1);
+        let parent = self.stack.borrow().last().copied().unwrap_or(0);
+        self.stack.borrow_mut().push(id);
+        let ev = TraceEvent::SpanOpen {
+            t: self.clock.now(),
+            id,
+            parent,
+            name: name.to_string(),
+        };
+        (SpanId(id), ev)
+    }
+
+    fn close(&self, id: SpanId) -> Option<TraceEvent> {
+        if id == SpanId::NONE {
+            return None;
+        }
+        // Tolerate out-of-order closes: drop the id wherever it sits so
+        // one missed close cannot corrupt the whole parent chain.
+        let mut stack = self.stack.borrow_mut();
+        if let Some(pos) = stack.iter().rposition(|&s| s == id.0) {
+            stack.truncate(pos);
+        }
+        Some(TraceEvent::SpanClose {
+            t: self.clock.now(),
+            id: id.0,
+        })
+    }
+
+    fn point(&self, name: &str, fields: &[(&str, FieldValue)]) -> TraceEvent {
+        TraceEvent::Event {
+            t: self.clock.now(),
+            name: name.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// A recorder that buffers the whole trace in memory.
+#[derive(Debug)]
+pub struct MemRecorder {
+    core: SinkCore,
+    events: RefCell<Vec<TraceEvent>>,
+}
+
+impl MemRecorder {
+    /// A memory recorder stamping events with the given clock. The
+    /// trace meta event is emitted immediately.
+    pub fn new(clock: Clock) -> MemRecorder {
+        let core = SinkCore::new(clock);
+        let events = RefCell::new(vec![core.meta_event()]);
+        MemRecorder { core, events }
+    }
+
+    /// Read-only access to the metrics registry (for reconciliation
+    /// tests and the run report).
+    pub fn metrics(&self) -> &Metrics {
+        &self.core.metrics
+    }
+
+    /// The events captured so far (without the metrics snapshot).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.borrow().clone()
+    }
+
+    /// Consumes the recorder, appending the final metrics snapshot to
+    /// the event list.
+    pub fn finish(self) -> Vec<TraceEvent> {
+        let mut events = self.events.into_inner();
+        events.extend(self.core.metrics.snapshot());
+        events
+    }
+}
+
+impl Recorder for MemRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_open(&self, name: &str) -> SpanId {
+        let (id, ev) = self.core.open(name);
+        self.events.borrow_mut().push(ev);
+        id
+    }
+
+    fn span_close(&self, id: SpanId) {
+        if let Some(ev) = self.core.close(id) {
+            self.events.borrow_mut().push(ev);
+        }
+    }
+
+    fn event(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        let ev = self.core.point(name, fields);
+        self.events.borrow_mut().push(ev);
+    }
+
+    fn counter_add(&self, name: &str, delta: u64) {
+        self.core.metrics.counter_add(name, delta);
+    }
+
+    fn gauge_max(&self, name: &str, v: i64) {
+        self.core.metrics.gauge_max(name, v);
+    }
+
+    fn observe(&self, name: &str, v: u64) {
+        self.core.metrics.observe(name, v);
+    }
+
+    fn observe_wall(&self, name: &str, d: Duration) {
+        if !self.core.clock.is_deterministic() {
+            self.core.metrics.observe(name, d.as_micros() as u64);
+        }
+    }
+
+    fn tick(&self, delta: u64) {
+        self.core.clock.advance(delta);
+    }
+}
+
+/// A recorder that streams canonical JSONL to a `Write` sink.
+///
+/// Writes are best-effort while the run is in flight; the first I/O
+/// error is remembered and surfaced by [`FileRecorder::finish`].
+pub struct FileRecorder {
+    core: SinkCore,
+    out: RefCell<BufWriter<Box<dyn Write>>>,
+    error: RefCell<Option<io::Error>>,
+}
+
+impl std::fmt::Debug for FileRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileRecorder")
+            .field("core", &self.core)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FileRecorder {
+    /// Creates (truncating) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `File::create` failure.
+    pub fn create<P: AsRef<Path>>(path: P, clock: Clock) -> io::Result<FileRecorder> {
+        let file = File::create(path)?;
+        Ok(FileRecorder::from_writer(Box::new(file), clock))
+    }
+
+    /// Wraps an arbitrary writer (used by tests to trace into memory).
+    pub fn from_writer(w: Box<dyn Write>, clock: Clock) -> FileRecorder {
+        let core = SinkCore::new(clock);
+        let rec = FileRecorder {
+            core,
+            out: RefCell::new(BufWriter::new(w)),
+            error: RefCell::new(None),
+        };
+        let meta = rec.core.meta_event();
+        rec.write(&meta);
+        rec
+    }
+
+    fn write(&self, ev: &TraceEvent) {
+        if self.error.borrow().is_some() {
+            return;
+        }
+        let mut out = self.out.borrow_mut();
+        let line = ev.to_json_line();
+        if let Err(e) = out
+            .write_all(line.as_bytes())
+            .and_then(|()| out.write_all(b"\n"))
+        {
+            *self.error.borrow_mut() = Some(e);
+        }
+    }
+
+    /// Flushes the metrics snapshot and the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error hit at any point during the trace.
+    pub fn finish(self) -> io::Result<()> {
+        for ev in self.core.metrics.snapshot() {
+            self.write(&ev);
+        }
+        if let Some(e) = self.error.into_inner() {
+            return Err(e);
+        }
+        self.out.into_inner().flush()
+    }
+}
+
+impl Recorder for FileRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_open(&self, name: &str) -> SpanId {
+        let (id, ev) = self.core.open(name);
+        self.write(&ev);
+        id
+    }
+
+    fn span_close(&self, id: SpanId) {
+        if let Some(ev) = self.core.close(id) {
+            self.write(&ev);
+        }
+    }
+
+    fn event(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        let ev = self.core.point(name, fields);
+        self.write(&ev);
+    }
+
+    fn counter_add(&self, name: &str, delta: u64) {
+        self.core.metrics.counter_add(name, delta);
+    }
+
+    fn gauge_max(&self, name: &str, v: i64) {
+        self.core.metrics.gauge_max(name, v);
+    }
+
+    fn observe(&self, name: &str, v: u64) {
+        self.core.metrics.observe(name, v);
+    }
+
+    fn observe_wall(&self, name: &str, d: Duration) {
+        if !self.core.clock.is_deterministic() {
+            self.core.metrics.observe(name, d.as_micros() as u64);
+        }
+    }
+
+    fn tick(&self, delta: u64) {
+        self.core.clock.advance(delta);
+    }
+}
+
+/// An RAII-free span helper that also measures wall-clock elapsed time,
+/// independent of what clock stamps the trace. This is how the pipeline
+/// keeps reporting `Duration`s (`analysis_time`, `symex_time`) while
+/// the trace itself may run on the deterministic step clock.
+#[must_use = "call finish() to close the span and read its duration"]
+pub struct Span<'r> {
+    rec: &'r dyn Recorder,
+    id: SpanId,
+    start: Instant,
+}
+
+impl<'r> Span<'r> {
+    /// Opens a named span on `rec` and starts a wall-clock stopwatch.
+    pub fn start(rec: &'r dyn Recorder, name: &str) -> Span<'r> {
+        Span {
+            rec,
+            id: rec.span_open(name),
+            start: Instant::now(),
+        }
+    }
+
+    /// Closes the span and returns the wall-clock time it covered.
+    pub fn finish(self) -> Duration {
+        self.rec.span_close(self.id);
+        self.start.elapsed()
+    }
+}
+
+/// Shared byte buffer usable as a [`FileRecorder`] sink in tests.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuf(std::rc::Rc<RefCell<Vec<u8>>>);
+
+impl SharedBuf {
+    /// An empty shared buffer.
+    pub fn new() -> SharedBuf {
+        SharedBuf::default()
+    }
+
+    /// The bytes written so far.
+    pub fn contents(&self) -> Vec<u8> {
+        self.0.borrow().clone()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::parse_trace;
+
+    #[test]
+    fn noop_recorder_is_disabled_and_null() {
+        assert!(!NOOP.enabled());
+        assert_eq!(NOOP.span_open("x"), SpanId::NONE);
+        NOOP.span_close(SpanId::NONE);
+        NOOP.counter_add("c", 1);
+        NOOP.tick(10);
+        assert_eq!(std::mem::size_of::<NoopRecorder>(), 0);
+    }
+
+    #[test]
+    fn mem_recorder_tracks_span_nesting() {
+        let rec = MemRecorder::new(Clock::steps());
+        let outer = rec.span_open("outer");
+        rec.tick(3);
+        let inner = rec.span_open("inner");
+        rec.event("hit", &[("n", FieldValue::Uint(1))]);
+        rec.span_close(inner);
+        rec.tick(2);
+        rec.span_close(outer);
+        rec.counter_add("c", 7);
+
+        let events = rec.finish();
+        assert_eq!(
+            events,
+            vec![
+                TraceEvent::Meta {
+                    clock: "steps".into(),
+                    version: TRACE_VERSION
+                },
+                TraceEvent::SpanOpen {
+                    t: 0,
+                    id: 1,
+                    parent: 0,
+                    name: "outer".into()
+                },
+                TraceEvent::SpanOpen {
+                    t: 3,
+                    id: 2,
+                    parent: 1,
+                    name: "inner".into()
+                },
+                TraceEvent::Event {
+                    t: 3,
+                    name: "hit".into(),
+                    fields: vec![("n".into(), FieldValue::Uint(1))]
+                },
+                TraceEvent::SpanClose { t: 3, id: 2 },
+                TraceEvent::SpanClose { t: 5, id: 1 },
+                TraceEvent::Counter {
+                    name: "c".into(),
+                    value: 7
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn observe_wall_is_suppressed_under_steps_clock() {
+        let det = MemRecorder::new(Clock::steps());
+        det.observe_wall("lat", Duration::from_micros(10));
+        assert!(det.metrics().hist("lat").is_none());
+
+        let wall = MemRecorder::new(Clock::wall());
+        wall.observe_wall("lat", Duration::from_micros(10));
+        assert_eq!(wall.metrics().hist("lat").unwrap().count, 1);
+    }
+
+    #[test]
+    fn file_recorder_streams_parseable_jsonl() {
+        let buf = SharedBuf::new();
+        let rec = FileRecorder::from_writer(Box::new(buf.clone()), Clock::steps());
+        let s = rec.span_open("run");
+        rec.tick(4);
+        rec.event("done", &[("ok", FieldValue::Str("true".into()))]);
+        rec.span_close(s);
+        rec.counter_add("total", 4);
+        rec.finish().unwrap();
+
+        let text = String::from_utf8(buf.contents()).unwrap();
+        let events = parse_trace(&text).unwrap();
+        assert_eq!(events.len(), 5);
+        assert!(matches!(events[0], TraceEvent::Meta { .. }));
+        assert!(matches!(
+            events.last().unwrap(),
+            TraceEvent::Counter { name, value: 4 } if name == "total"
+        ));
+    }
+
+    #[test]
+    fn span_helper_returns_wall_duration() {
+        let rec = MemRecorder::new(Clock::steps());
+        let span = Span::start(&rec, "timed");
+        let d = span.finish();
+        assert!(d.as_nanos() > 0 || d.is_zero());
+        let events = rec.finish();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::SpanOpen { name, .. } if name == "timed")));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::SpanClose { .. })));
+    }
+}

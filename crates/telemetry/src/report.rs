@@ -1,0 +1,280 @@
+//! Run-report renderer: turns a parsed trace into the per-phase
+//! breakdown the paper prints in Tables II/III.
+//!
+//! The summary aggregates spans by name (count, total ticks, nesting
+//! depth from the parent chain) and appends final metric values. The
+//! rendering is fully deterministic: span rows appear in first-open
+//! order, metrics in the sorted order the registry dumped them in, and
+//! all numbers are integers.
+
+use std::collections::HashMap;
+
+use crate::event::TraceEvent;
+
+/// Aggregated statistics for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Span name.
+    pub name: String,
+    /// Nesting depth of the first occurrence (0 = root).
+    pub depth: usize,
+    /// Number of times a span with this name was opened.
+    pub count: u64,
+    /// Total ticks spent inside (sum of close − open over closed
+    /// spans; unclosed spans contribute nothing).
+    pub total_ticks: u64,
+}
+
+/// A digest of one trace, ready to render.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Clock label from the meta event (`wall_us` / `steps`).
+    pub clock: String,
+    /// Span aggregates in first-open order.
+    pub spans: Vec<SpanStat>,
+    /// Final counter values in dump order.
+    pub counters: Vec<(String, u64)>,
+    /// Final gauge values in dump order.
+    pub gauges: Vec<(String, i64)>,
+    /// Histograms in dump order: `(name, count, sum)`.
+    pub hists: Vec<(String, u64, u64)>,
+    /// Point events grouped by name, in first-seen order.
+    pub event_counts: Vec<(String, u64)>,
+}
+
+impl TraceSummary {
+    /// Builds a summary from a parsed event stream.
+    pub fn from_events(events: &[TraceEvent]) -> TraceSummary {
+        let mut summary = TraceSummary::default();
+        // Per-open-span bookkeeping: id -> (name index, open tick, depth).
+        let mut open: HashMap<u64, (usize, u64, usize)> = HashMap::new();
+        let mut depth_of: HashMap<u64, usize> = HashMap::new();
+        let mut name_index: HashMap<String, usize> = HashMap::new();
+        let mut event_index: HashMap<String, usize> = HashMap::new();
+
+        for ev in events {
+            match ev {
+                TraceEvent::Meta { clock, .. } => summary.clock = clock.clone(),
+                TraceEvent::SpanOpen {
+                    t,
+                    id,
+                    parent,
+                    name,
+                } => {
+                    let depth = if *parent == 0 {
+                        0
+                    } else {
+                        depth_of.get(parent).map_or(0, |d| d + 1)
+                    };
+                    depth_of.insert(*id, depth);
+                    let idx = *name_index.entry(name.clone()).or_insert_with(|| {
+                        summary.spans.push(SpanStat {
+                            name: name.clone(),
+                            depth,
+                            count: 0,
+                            total_ticks: 0,
+                        });
+                        summary.spans.len() - 1
+                    });
+                    summary.spans[idx].count += 1;
+                    open.insert(*id, (idx, *t, depth));
+                }
+                TraceEvent::SpanClose { t, id } => {
+                    if let Some((idx, opened, _)) = open.remove(id) {
+                        summary.spans[idx].total_ticks += t.saturating_sub(opened);
+                    }
+                }
+                TraceEvent::Event { name, .. } => {
+                    let idx = *event_index.entry(name.clone()).or_insert_with(|| {
+                        summary.event_counts.push((name.clone(), 0));
+                        summary.event_counts.len() - 1
+                    });
+                    summary.event_counts[idx].1 += 1;
+                }
+                TraceEvent::Counter { name, value } => {
+                    summary.counters.push((name.clone(), *value));
+                }
+                TraceEvent::Gauge { name, value } => {
+                    summary.gauges.push((name.clone(), *value));
+                }
+                TraceEvent::Hist {
+                    name, count, sum, ..
+                } => {
+                    summary.hists.push((name.clone(), *count, *sum));
+                }
+            }
+        }
+        summary
+    }
+
+    /// Total ticks of the named span (0 if absent).
+    pub fn span_ticks(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .find(|s| s.name == name)
+            .map_or(0, |s| s.total_ticks)
+    }
+
+    /// Final value of the named counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Final value of the named gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Renders the Table II/III-style run report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let unit = if self.clock.is_empty() {
+            "ticks".to_string()
+        } else {
+            self.clock.clone()
+        };
+        out.push_str(&format!("run report (clock: {unit})\n"));
+
+        if !self.spans.is_empty() {
+            out.push_str("\nphases:\n");
+            let name_w = self
+                .spans
+                .iter()
+                .map(|s| s.name.len() + 2 * s.depth)
+                .max()
+                .unwrap_or(0)
+                .max(5);
+            out.push_str(&format!(
+                "  {:<name_w$}  {:>8}  {:>12}\n",
+                "phase", "count", unit
+            ));
+            for s in &self.spans {
+                let label = format!("{}{}", "  ".repeat(s.depth), s.name);
+                out.push_str(&format!(
+                    "  {label:<name_w$}  {:>8}  {:>12}\n",
+                    s.count, s.total_ticks
+                ));
+            }
+        }
+
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<32}  {v:>12}\n"));
+            }
+        }
+
+        if !self.gauges.is_empty() {
+            out.push_str("\ngauges (peaks):\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<32}  {v:>12}\n"));
+            }
+        }
+
+        if !self.hists.is_empty() {
+            out.push_str("\nhistograms:\n");
+            for (name, count, sum) in &self.hists {
+                let mean = if *count > 0 { sum / count } else { 0 };
+                out.push_str(&format!(
+                    "  {name:<32}  count {count:>8}  sum {sum:>12}  mean {mean:>8}\n"
+                ));
+            }
+        }
+
+        if !self.event_counts.is_empty() {
+            out.push_str("\nevents:\n");
+            for (name, n) in &self.event_counts {
+                out.push_str(&format!("  {name:<32}  {n:>12}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FieldValue;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Meta {
+                clock: "steps".into(),
+                version: 1,
+            },
+            TraceEvent::SpanOpen {
+                t: 0,
+                id: 1,
+                parent: 0,
+                name: "pipeline.analyze".into(),
+            },
+            TraceEvent::SpanOpen {
+                t: 1,
+                id: 2,
+                parent: 1,
+                name: "phase.skeleton".into(),
+            },
+            TraceEvent::SpanClose { t: 4, id: 2 },
+            TraceEvent::SpanClose { t: 6, id: 1 },
+            TraceEvent::SpanOpen {
+                t: 6,
+                id: 3,
+                parent: 0,
+                name: "pipeline.analyze".into(),
+            },
+            TraceEvent::SpanClose { t: 8, id: 3 },
+            TraceEvent::Event {
+                t: 8,
+                name: "candidate.result".into(),
+                fields: vec![("found".into(), FieldValue::Str("true".into()))],
+            },
+            TraceEvent::Counter {
+                name: "solver.queries".into(),
+                value: 12,
+            },
+            TraceEvent::Gauge {
+                name: "symex.peak_live_states".into(),
+                value: 4,
+            },
+            TraceEvent::Hist {
+                name: "solver.query_us".into(),
+                count: 2,
+                sum: 9,
+                buckets: vec![(2, 1), (3, 1)],
+            },
+        ]
+    }
+
+    #[test]
+    fn summary_aggregates_spans_by_name() {
+        let s = TraceSummary::from_events(&sample_events());
+        assert_eq!(s.clock, "steps");
+        assert_eq!(s.spans.len(), 2);
+        assert_eq!(s.spans[0].name, "pipeline.analyze");
+        assert_eq!(s.spans[0].count, 2);
+        assert_eq!(s.spans[0].total_ticks, 8);
+        assert_eq!(s.spans[0].depth, 0);
+        assert_eq!(s.spans[1].name, "phase.skeleton");
+        assert_eq!(s.spans[1].depth, 1);
+        assert_eq!(s.span_ticks("phase.skeleton"), 3);
+        assert_eq!(s.counter("solver.queries"), 12);
+        assert_eq!(s.counter("nope"), 0);
+        assert_eq!(s.gauge("symex.peak_live_states"), Some(4));
+        assert_eq!(s.event_counts, vec![("candidate.result".to_string(), 1)]);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_indented() {
+        let s = TraceSummary::from_events(&sample_events());
+        let a = s.render();
+        let b = s.render();
+        assert_eq!(a, b);
+        assert!(a.contains("run report (clock: steps)"));
+        assert!(a.contains("  phase.skeleton") || a.contains("    phase.skeleton"));
+        assert!(a.contains("solver.queries"));
+        assert!(a.contains("mean"));
+    }
+}

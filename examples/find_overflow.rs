@@ -35,7 +35,10 @@ fn main() {
     println!("candidate paths: {}", report.analysis.n_candidates());
 
     let found = report.found.as_ref().expect("StatSym finds the overflow");
-    println!("\nvulnerable path found via candidate #{}:", report.candidate_used.unwrap());
+    println!(
+        "\nvulnerable path found via candidate #{}:",
+        report.candidate_used.unwrap()
+    );
     for loc in &found.trace {
         println!("  {loc}");
     }
@@ -51,6 +54,9 @@ fn main() {
     // Confirm the generated input crashes the real program.
     let vm = statsym::concrete::Vm::new(&app.module, Default::default());
     let replay = vm.run(&found.inputs).unwrap();
-    assert!(replay.outcome.is_fault(), "generated input must reproduce the crash");
+    assert!(
+        replay.outcome.is_fault(),
+        "generated input must reproduce the crash"
+    );
     println!("replay: fault reproduced");
 }

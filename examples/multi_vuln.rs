@@ -4,10 +4,10 @@
 //!
 //! Run with: `cargo run --release --example multi_vuln`
 
-use statsym::concrete::{run_logged, InputMap, InputValue};
-use statsym::core::pipeline::StatSym;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use statsym::concrete::{run_logged, InputMap, InputValue};
+use statsym::core::pipeline::StatSym;
 
 const SRC: &str = r#"
     global requests: int = 0;
@@ -37,8 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut logs = Vec::new();
     for i in 0..150 {
         let (timeout, hlen) = match i % 3 {
-            0 => (rng.random_range(0..300), rng.random_range(0..=5)),   // clean
-            1 => (rng.random_range(0..300), rng.random_range(6..=12)),  // bug 1
+            0 => (rng.random_range(0..300), rng.random_range(0..=5)), // clean
+            1 => (rng.random_range(0..300), rng.random_range(6..=12)), // bug 1
             _ => (rng.random_range(300..900), rng.random_range(0..=5)), // bug 2
         };
         let header: Vec<u8> = (0..hlen).map(|_| rng.random_range(b'a'..=b'z')).collect();
@@ -52,10 +52,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let report = StatSym::default().run_iterative(&module, &logs, 4);
-    println!("discovered {} distinct vulnerable paths:", report.found.len());
+    println!(
+        "discovered {} distinct vulnerable paths:",
+        report.found.len()
+    );
     for (i, f) in report.found.iter().enumerate() {
         println!("\n#{}: {}", i + 1, f.fault);
-        println!("   trace: {}", f.trace.iter().map(ToString::to_string).collect::<Vec<_>>().join(" -> "));
+        println!(
+            "   trace: {}",
+            f.trace
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" -> ")
+        );
         println!("   input: {:?}", f.inputs);
         // Replay each one.
         let vm = statsym::concrete::Vm::new(&module, Default::default());

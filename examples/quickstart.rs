@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Concrete execution: short names are fine.
     let vm = Vm::new(&module, VmConfig::default());
-    let ok = vm.run(&[("name".into(), InputValue::text("short"))].into_iter().collect())?;
+    let ok = vm.run(
+        &[("name".into(), InputValue::text("short"))]
+            .into_iter()
+            .collect(),
+    )?;
     println!("concrete run with \"short\": {:?}", ok.outcome);
 
     // 2. Symbolic execution: the engine discovers the overflow and
@@ -39,7 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = engine.run();
     let found = report.outcome.found().expect("engine finds the overflow");
     println!("fault: {}", found.fault);
-    println!("trace: {:?}", found.trace.iter().map(ToString::to_string).collect::<Vec<_>>());
+    println!(
+        "trace: {:?}",
+        found
+            .trace
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
     println!("triggering input: {:?}", found.inputs.get("name"));
 
     // 3. Replay the generated input to confirm it crashes for real.

@@ -8,7 +8,10 @@ use statsym::core::pipeline::StatSym;
 
 fn main() {
     let app = ctree();
-    println!("{:>9}  {:>9}  {:>10}  {:>7}  {:>6}", "sampling", "stat(ms)", "symex(ms)", "paths", "found");
+    println!(
+        "{:>9}  {:>9}  {:>10}  {:>7}  {:>6}",
+        "sampling", "stat(ms)", "symex(ms)", "paths", "found"
+    );
     for pct in [20, 40, 60, 80, 100] {
         let logs = generate_corpus(
             &app,

@@ -11,4 +11,5 @@ pub use minic;
 pub use sir;
 pub use solver;
 pub use statsym_core as core;
+pub use statsym_telemetry as telemetry;
 pub use symex;

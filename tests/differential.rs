@@ -87,8 +87,7 @@ fn fault_class(kind: &FaultKind) -> &'static str {
 #[test]
 fn engine_models_replay_concretely() {
     for (name, src) in PROGRAMS {
-        let program = statsym::minic::parse_program(src)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let program = statsym::minic::parse_program(src).unwrap_or_else(|e| panic!("{name}: {e}"));
         let module = statsym::sir::lower(&program).unwrap();
         for scheduler in [
             SchedulerKind::Bfs,

@@ -63,15 +63,15 @@ fn check_app(name: &str, expected_fault_func: &str) {
         .outcome
         .fault()
         .unwrap_or_else(|| panic!("{name}: generated input did not crash"));
-    assert_eq!(fault.func, expected_fault_func, "{name}: replayed fault site");
+    assert_eq!(
+        fault.func, expected_fault_func,
+        "{name}: replayed fault site"
+    );
 
     // The reported trace must be a plausible event sequence: starts at
     // main and ends inside the fault function without leaving it.
     assert_eq!(found.trace.first().map(|l| l.func.as_str()), Some("main"));
-    assert!(found
-        .trace
-        .iter()
-        .any(|l| l.func == expected_fault_func));
+    assert!(found.trace.iter().any(|l| l.func == expected_fault_func));
 }
 
 #[test]
