@@ -1,0 +1,67 @@
+//! Solver cache-key micro-benchmark: the legacy sort-and-rehash key
+//! against [`TermCtx::query_fingerprint`].
+//!
+//! `check_inner` computes a cache key for *every* feasibility query, so
+//! the key is on the engine's hottest path. The legacy key collected the
+//! query into a `Vec<&Constraint>`, sorted it, and streamed the whole
+//! vector through `DefaultHasher` — O(n log n) with an allocation per
+//! query. The fingerprint is a commutative fold over precomputed
+//! per-constraint structural hashes: O(n), allocation-free, and
+//! order-independent by construction. This bench prices both on query
+//! sizes spanning a shallow branch check to a deep path condition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use solver::{CmpOp, Constraint, TermCtx};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::hint::black_box;
+
+/// The pre-fingerprint cache key, verbatim: sort a borrowed copy of the
+/// query, then hash the sorted sequence.
+fn legacy_key(constraints: &[Constraint]) -> u64 {
+    let mut sorted: Vec<&Constraint> = constraints.iter().collect();
+    sorted.sort_by_key(|c| (c.lhs, c.rhs, c.op as u8));
+    let mut h = DefaultHasher::new();
+    sorted.hash(&mut h);
+    h.finish()
+}
+
+/// A path-condition-shaped query: a chain of comparisons over derived
+/// terms, the way the executor accumulates branch constraints.
+fn query(ctx: &mut TermCtx, n: usize) -> Vec<Constraint> {
+    let vars: Vec<_> = (0..8)
+        .map(|i| ctx.new_var(format!("v{i}"), 0, 255))
+        .collect();
+    (0..n)
+        .map(|i| {
+            let a = vars[i % vars.len()];
+            let b = vars[(i + 3) % vars.len()];
+            let k = ctx.int(i as i64 % 7);
+            let lhs = ctx.add(a, k);
+            let op = match i % 3 {
+                0 => CmpOp::Lt,
+                1 => CmpOp::Le,
+                _ => CmpOp::Ne,
+            };
+            Constraint::new(op, lhs, b)
+        })
+        .collect()
+}
+
+fn bench_cache_key(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/cache_key");
+    for n in [4usize, 32, 256] {
+        let mut ctx = TermCtx::new();
+        let q = query(&mut ctx, n);
+        group.bench_function(format!("legacy_sort_hash/{n}"), |b| {
+            b.iter(|| black_box(legacy_key(black_box(&q))))
+        });
+        group.bench_function(format!("query_fingerprint/{n}"), |b| {
+            b.iter(|| black_box(ctx.query_fingerprint(black_box(&q))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_key);
+criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! Portfolio scaling bench: sequential vs parallel candidate-path
+//! execution on a late-ranked-hit workload, emitting
+//! `BENCH_portfolio.json`.
+//!
+//! The workload prepends `DECOYS` hopeless candidates ahead of the real
+//! ranking: each injects the *inverted* length separator at the fault
+//! function's entry (`len(buffer) < σ` instead of `> σ`), confining
+//! exploration to the sub-threshold input space. That space is
+//! exponentially large (every char forks the toupper branch), the
+//! faulting branch is suspended on the soft-constraint conflict, and the
+//! attempt deterministically exhausts its step budget without finding.
+//! The sequential loop must burn through every decoy before reaching
+//! the winner; the portfolio runs them concurrently, shares solver
+//! verdicts across workers, and returns the identical result.
+//!
+//! Pass `--out <path>` to redirect the JSON report (default
+//! `BENCH_portfolio.json` in the current directory).
+
+use bench::{statsym_config, PAPER_SEED};
+use benchapps::{generate_corpus, CorpusSpec};
+use concrete::Measure;
+use statsym_core::pipeline::{StatSym, StatSymConfig};
+use statsym_core::portfolio::run_portfolio;
+use statsym_core::{AnalysisReport, CandidatePath, GuidanceConfig, PathNode, PredOp};
+use statsym_telemetry::NOOP;
+use std::time::Instant;
+use symex::EngineConfig;
+
+/// Hopeless candidates ranked ahead of the real ones.
+const DECOYS: usize = 6;
+/// Per-candidate step budget: decoys exhaust it, the winner does not.
+const MAX_STEPS: u64 = 60_000;
+/// Worker counts benchmarked against the sequential loop.
+const WORKER_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn config(workers: usize) -> StatSymConfig {
+    let base = statsym_config();
+    StatSymConfig {
+        workers,
+        engine: EngineConfig {
+            max_steps: MAX_STEPS,
+            ..base.engine
+        },
+        // The pinned pre-fault prefix (pattern matching over concrete
+        // lines) emits many function events; a large τ keeps decoy
+        // states alive until they reach the poisoned fault region.
+        guidance: GuidanceConfig {
+            tau: 1_000_000,
+            ..base.guidance
+        },
+        ..base
+    }
+}
+
+/// A candidate whose single node inverts the analysis' top length
+/// separator at the fault function's entry: the injected soft constraint
+/// `len(buffer) < σ` suspends the faulting branch and steers the whole
+/// attempt into the exponential sub-threshold subspace, which cannot be
+/// drained within the step budget.
+fn decoy(analysis: &AnalysisReport) -> CandidatePath {
+    let failure = analysis
+        .failure_location
+        .clone()
+        .expect("analysis pinpoints the failure");
+    let template = analysis
+        .predicates
+        .ranked
+        .iter()
+        .find(|p| !p.is_degenerate() && p.loc == failure && p.var.measure == Measure::Length)
+        .expect("a length predicate at the failure point");
+    let mut poison = template.clone();
+    poison.op = PredOp::Lt;
+    CandidatePath {
+        nodes: vec![PathNode {
+            loc: failure,
+            predicates: vec![poison],
+        }],
+        score: 9.0,
+    }
+}
+
+fn main() {
+    let mut out = String::from("BENCH_portfolio.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = p.clone(),
+                None => {
+                    eprintln!("error: --out requires a file path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let app = benchapps::grep();
+    let logs = generate_corpus(
+        &app,
+        CorpusSpec {
+            n_correct: 100,
+            n_faulty: 100,
+            sampling_rate: 1.0,
+            seed: PAPER_SEED,
+        },
+    );
+    let mut analysis = StatSym::new(config(1)).analyze(&logs);
+    let d = decoy(&analysis);
+    let paths = &mut analysis.candidates.as_mut().expect("candidates").paths;
+    for _ in 0..DECOYS {
+        paths.insert(0, d.clone());
+    }
+    let n_candidates = paths.len();
+
+    // Sequential baseline through the pipeline's workers == 1 loop.
+    let seq_start = Instant::now();
+    let seq = StatSym::new(config(1)).run_with_analysis_pinned_traced(
+        &app.module,
+        analysis.clone(),
+        &app.pins,
+        &NOOP,
+    );
+    let seq_wall = seq_start.elapsed().as_secs_f64();
+    assert_eq!(
+        seq.candidate_used,
+        Some(DECOYS),
+        "the first real candidate must win"
+    );
+
+    println!(
+        "portfolio scaling bench: {} ({n_candidates} candidates, {DECOYS} decoys)",
+        app.name
+    );
+    println!("  sequential: {seq_wall:.3}s, winner rank {}", DECOYS);
+
+    let mut rows = Vec::new();
+    for workers in WORKER_COUNTS {
+        let cfg = config(workers);
+        let paths = &analysis.candidates.as_ref().expect("candidates").paths;
+        let start = Instant::now();
+        let outcome = run_portfolio(&app.module, paths, &cfg, &app.pins, &NOOP);
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(
+            outcome.candidate_used,
+            Some(DECOYS),
+            "portfolio must select the same winner"
+        );
+        let cache = outcome.cache;
+        let consults = cache.hits + cache.misses;
+        let hit_rate = if consults == 0 {
+            0.0
+        } else {
+            cache.hits as f64 / consults as f64
+        };
+        let speedup = seq_wall / wall;
+        println!(
+            "  workers {workers}: {wall:.3}s, speedup {speedup:.2}x, \
+             shared cache {}/{consults} hits ({:.1}%)",
+            cache.hits,
+            100.0 * hit_rate
+        );
+        rows.push(format!(
+            "    {{\"workers\": {workers}, \"wall_s\": {wall:.4}, \"speedup\": {speedup:.3}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_stores\": {}, \
+             \"cache_entries\": {}, \"cache_contention\": {}, \"hit_rate\": {hit_rate:.4}}}",
+            cache.hits, cache.misses, cache.stores, cache.entries, cache.contention
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"app\": \"{}\",\n  \"seed\": {PAPER_SEED},\n  \"decoys\": {DECOYS},\n  \
+         \"candidates\": {n_candidates},\n  \"max_steps\": {MAX_STEPS},\n  \
+         \"winner_rank\": {DECOYS},\n  \"sequential_wall_s\": {seq_wall:.4},\n  \
+         \"parallel\": [\n{}\n  ]\n}}\n",
+        app.name,
+        rows.join(",\n")
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("report written to {out}");
+}

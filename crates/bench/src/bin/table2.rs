@@ -1,11 +1,13 @@
 //! Regenerates **Table II**: number of detours and time breakdown
 //! (statistical analysis vs guided symbolic execution) at 100% sampling.
 //!
-//! Pass `--trace <path>` to export a structured JSONL trace of the run
+//! Pass `--workers <n>` to run the guided execution stage as a parallel
+//! candidate portfolio (identical results, lower wall time), and
+//! `--trace <path>` to export a structured JSONL trace of the run
 //! (and `--clock wall` to stamp it with wall-clock time instead of the
 //! deterministic step counter).
 
-use bench::{run_statsym_traced, Table, TraceSink, PAPER_SEED};
+use bench::{run_statsym_workers_traced, Table, TraceSink, PAPER_SEED};
 
 fn main() {
     let sink = TraceSink::from_args();
@@ -30,7 +32,15 @@ pub fn print_breakdown(rate: f64, title: &str, sink: &TraceSink) {
         ],
     );
     for app in benchapps::all_apps() {
-        let r = run_statsym_traced(&app, rate, PAPER_SEED, 100, 100, sink.recorder());
+        let r = run_statsym_workers_traced(
+            &app,
+            rate,
+            PAPER_SEED,
+            100,
+            100,
+            sink.workers(),
+            sink.recorder(),
+        );
         table.row(&[
             app.name.to_string(),
             r.report.analysis.n_detours().to_string(),

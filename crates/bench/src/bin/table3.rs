@@ -1,10 +1,12 @@
 //! Regenerates **Table III**: number of detours and time breakdown at
 //! 30% sampling.
 //!
-//! Pass `--trace <path>` to export a structured JSONL trace of the run
+//! Pass `--workers <n>` to run the guided execution stage as a parallel
+//! candidate portfolio (identical results, lower wall time), and
+//! `--trace <path>` to export a structured JSONL trace of the run
 //! (and `--clock wall` for wall-clock stamps).
 
-use bench::{run_statsym_traced, Table, TraceSink, PAPER_SEED};
+use bench::{run_statsym_workers_traced, Table, TraceSink, PAPER_SEED};
 
 fn main() {
     let sink = TraceSink::from_args();
@@ -21,7 +23,15 @@ fn main() {
         ],
     );
     for app in benchapps::all_apps() {
-        let r = run_statsym_traced(&app, rate, PAPER_SEED, 100, 100, sink.recorder());
+        let r = run_statsym_workers_traced(
+            &app,
+            rate,
+            PAPER_SEED,
+            100,
+            100,
+            sink.workers(),
+            sink.recorder(),
+        );
         table.row(&[
             app.name.to_string(),
             r.report.analysis.n_detours().to_string(),

@@ -3,12 +3,14 @@
 //! 30% sampling. Pure runs that exhaust the memory budget print
 //! `Failed`, as in the paper.
 //!
-//! Pass `--trace <path>` to export a structured JSONL trace of the run
+//! Pass `--workers <n>` to run the guided execution stage as a parallel
+//! candidate portfolio (identical results, lower wall time), and
+//! `--trace <path>` to export a structured JSONL trace of the run
 //! (and `--clock wall` for wall-clock stamps).
 
 use bench::{
-    pure_engine_config, run_pure_traced, run_statsym_traced, Table, TraceSink, DEFAULT_SAMPLING,
-    PAPER_SEED,
+    pure_engine_config, run_pure_traced, run_statsym_workers_traced, Table, TraceSink,
+    DEFAULT_SAMPLING, PAPER_SEED,
 };
 use symex::RunOutcome;
 
@@ -25,12 +27,13 @@ fn main() {
         ],
     );
     for app in benchapps::all_apps() {
-        let guided = run_statsym_traced(
+        let guided = run_statsym_workers_traced(
             &app,
             DEFAULT_SAMPLING,
             PAPER_SEED,
             100,
             100,
+            sink.workers(),
             sink.recorder(),
         );
         assert!(

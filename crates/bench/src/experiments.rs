@@ -85,6 +85,22 @@ pub fn run_statsym_traced(
     n_faulty: usize,
     rec: &dyn Recorder,
 ) -> ExperimentResult {
+    run_statsym_workers_traced(app, sampling_rate, seed, n_correct, n_faulty, 1, rec)
+}
+
+/// [`run_statsym_traced`] with an explicit worker count for the guided
+/// execution stage: `1` runs the sequential candidate loop, more runs
+/// the candidates as a parallel portfolio with identical results (the
+/// bench binaries expose this as `--workers`).
+pub fn run_statsym_workers_traced(
+    app: &BenchApp,
+    sampling_rate: f64,
+    seed: u64,
+    n_correct: usize,
+    n_faulty: usize,
+    workers: usize,
+    rec: &dyn Recorder,
+) -> ExperimentResult {
     let logs = generate_corpus_traced(
         app,
         CorpusSpec {
@@ -95,7 +111,10 @@ pub fn run_statsym_traced(
         },
         rec,
     );
-    let statsym = StatSym::new(statsym_config());
+    let statsym = StatSym::new(StatSymConfig {
+        workers,
+        ..statsym_config()
+    });
     let analysis = statsym.analyze_traced(&logs, rec);
     // The paper configures required program options for both engines:
     // pin them on every candidate attempt.

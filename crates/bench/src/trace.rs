@@ -13,18 +13,20 @@ use statsym_telemetry::{Clock, FileRecorder, Recorder, NOOP};
 pub struct TraceSink {
     path: Option<String>,
     rec: Option<FileRecorder>,
+    workers: usize,
 }
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: [--trace <path>] [--clock steps|wall]");
+    eprintln!("usage: [--trace <path>] [--clock steps|wall] [--workers <n>]");
     std::process::exit(2);
 }
 
 impl TraceSink {
-    /// Parses `--trace <path>` and `--clock steps|wall` from the
-    /// process arguments. Defaults to the deterministic step clock so
-    /// fixed-seed runs produce byte-identical trace files.
+    /// Parses `--trace <path>`, `--clock steps|wall`, and `--workers <n>`
+    /// from the process arguments. Defaults to the deterministic step
+    /// clock so fixed-seed runs produce byte-identical trace files, and
+    /// to a single worker (the sequential candidate loop).
     ///
     /// Exits with status 2 (and a usage message on stderr) on a
     /// malformed command line or an unwritable trace path.
@@ -32,6 +34,7 @@ impl TraceSink {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut path = None;
         let mut wall = false;
+        let mut workers = 1usize;
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -47,6 +50,11 @@ impl TraceSink {
                     }
                     None => usage_exit("--clock requires `steps` or `wall`"),
                 },
+                "--workers" => match it.next().map(|n| n.parse::<usize>()) {
+                    Some(Ok(n)) if n >= 1 => workers = n,
+                    Some(_) => usage_exit("--workers requires a positive integer"),
+                    None => usage_exit("--workers requires a worker count"),
+                },
                 other => usage_exit(&format!("unknown argument `{other}`")),
             }
         }
@@ -55,7 +63,13 @@ impl TraceSink {
             FileRecorder::create(p, clock)
                 .unwrap_or_else(|e| usage_exit(&format!("cannot open {p}: {e}")))
         });
-        TraceSink { path, rec }
+        TraceSink { path, rec, workers }
+    }
+
+    /// Worker threads for the guided execution stage (`--workers`,
+    /// default 1: the sequential candidate loop).
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// The recorder to thread through the experiment: the file recorder

@@ -44,6 +44,7 @@ pub mod detour;
 pub mod guidance;
 pub mod multi;
 pub mod pipeline;
+pub mod portfolio;
 pub mod predicate;
 pub mod skeleton;
 pub mod transition;
@@ -55,6 +56,7 @@ pub use detour::{Detour, DetourKind};
 pub use guidance::{GuidanceConfig, GuidedHook};
 pub use multi::MultiReport;
 pub use pipeline::{AnalysisReport, StatSym, StatSymConfig, StatSymReport};
+pub use portfolio::PortfolioOutcome;
 pub use predicate::{PredOp, Predicate, PredicateSet};
 pub use skeleton::Skeleton;
 pub use transition::TransitionGraph;

@@ -33,6 +33,15 @@ pub struct StatSymConfig {
     /// to [`SchedulerKind::Priority`]; `time_budget` plays the role of
     /// the paper's 15-minute per-candidate timeout.
     pub engine: EngineConfig,
+    /// Worker threads for the guided execution stage. `1` (the default)
+    /// attempts candidates sequentially in rank order; `> 1` runs the
+    /// ranked candidates as a parallel portfolio (see [`crate::portfolio`])
+    /// with results identical to the sequential path.
+    pub workers: usize,
+    /// In portfolio mode, cancel in-flight attempts on worse-ranked
+    /// candidates once a better-ranked candidate verifies the fault.
+    /// Has no effect at `workers == 1`.
+    pub cancel_on_found: bool,
 }
 
 impl Default for StatSymConfig {
@@ -48,6 +57,8 @@ impl Default for StatSymConfig {
                 time_budget: Some(Duration::from_secs(900)),
                 ..EngineConfig::default()
             },
+            workers: 1,
+            cancel_on_found: true,
         }
     }
 }
@@ -251,24 +262,55 @@ impl StatSym {
         rec: &dyn Recorder,
     ) -> StatSymReport {
         let outer = Span::start(rec, names::PIPELINE_SYMEX);
+
+        // Borrow the ranked candidates in place; only the path actually
+        // attempted is cloned (into its GuidedHook), never the full list.
+        let paths: &[CandidatePath] = analysis
+            .candidates
+            .as_ref()
+            .map_or(&[][..], |c| c.paths.as_slice());
+
+        let (attempts, found, candidate_used) = if self.config.workers > 1 && paths.len() > 1 {
+            let out = crate::portfolio::run_portfolio(module, paths, &self.config, pins, rec);
+            (out.attempts, out.found, out.candidate_used)
+        } else {
+            self.run_sequential(module, paths, pins, rec)
+        };
+
+        StatSymReport {
+            analysis,
+            attempts,
+            found,
+            candidate_used,
+            symex_time: outer.finish(),
+        }
+    }
+
+    /// The sequential (workers == 1) candidate loop: attempts candidates
+    /// in rank order, stopping at the first verified fault.
+    fn run_sequential(
+        &self,
+        module: &Module,
+        paths: &[CandidatePath],
+        pins: &concrete::InputMap,
+        rec: &dyn Recorder,
+    ) -> (
+        Vec<CandidateAttempt>,
+        Option<FoundVulnerability>,
+        Option<usize>,
+    ) {
         let mut attempts = Vec::new();
         let mut found = None;
         let mut candidate_used = None;
 
-        let paths: Vec<CandidatePath> = analysis
-            .candidates
-            .as_ref()
-            .map(|c| c.paths.clone())
-            .unwrap_or_default();
-
-        for (index, path) in paths.into_iter().enumerate() {
+        for (index, path) in paths.iter().enumerate() {
             let engine_config = EngineConfig {
                 scheduler: SchedulerKind::Priority,
                 ..self.config.engine
             };
             let path_len = path.len();
             let sp = Span::start(rec, names::CANDIDATE_ATTEMPT);
-            let hook = GuidedHook::new(path, self.config.guidance);
+            let hook = GuidedHook::new(path.clone(), self.config.guidance);
             let mut engine = Engine::with_hook(module, engine_config, Box::new(hook));
             engine.set_recorder(rec);
             for (name, value) in pins {
@@ -303,13 +345,7 @@ impl StatSym {
             }
         }
 
-        StatSymReport {
-            analysis,
-            attempts,
-            found,
-            candidate_used,
-            symex_time: outer.finish(),
-        }
+        (attempts, found, candidate_used)
     }
 }
 
@@ -466,6 +502,118 @@ mod tests {
             guided_paths,
             pure_report.stats.paths_explored
         );
+    }
+
+    /// A decoy candidate whose single node injects a structurally
+    /// unsatisfiable predicate at the fault function's entry: every state
+    /// reaching `convert` is suspended, and the resumed guidance-off
+    /// search needs more steps than the real candidate's guided run
+    /// (measured: 102 vs 91 on this fixture), so under a budget between
+    /// the two the decoy deterministically exhausts without finding.
+    fn decoy_candidate() -> CandidatePath {
+        use crate::candidate::PathNode;
+        use crate::predicate::{PredOp, Predicate};
+        use concrete::{Measure, VarId, VarRole};
+        CandidatePath {
+            nodes: vec![PathNode {
+                loc: Location::enter("convert"),
+                predicates: vec![Predicate {
+                    loc: Location::enter("convert"),
+                    var: VarId::new("track", VarRole::Global, Measure::Value),
+                    op: PredOp::Gt,
+                    threshold: 1e9,
+                    score: 1.0,
+                    support: 5,
+                }],
+            }],
+            score: 9.0,
+        }
+    }
+
+    /// Asserts a portfolio report carries the exact result and per-attempt
+    /// metadata of its sequential counterpart. Wall times and solver
+    /// *work* counters (search nodes, cache hits, peak memory) are
+    /// legitimately different — shared verdicts skip local search — but
+    /// everything exploration-visible must match.
+    fn assert_matches_sequential(seq: &StatSymReport, par: &StatSymReport, label: &str) {
+        assert_eq!(par.candidate_used, seq.candidate_used, "{label}");
+        match (&seq.found, &par.found) {
+            (None, None) => {}
+            (Some(s), Some(p)) => {
+                assert_eq!(p.fault, s.fault, "{label}");
+                assert_eq!(p.inputs, s.inputs, "{label}");
+                assert_eq!(p.trace, s.trace, "{label}");
+                assert_eq!(p.rendered_constraints, s.rendered_constraints, "{label}");
+                assert_eq!(p.depth, s.depth, "{label}");
+            }
+            (s, p) => panic!("{label}: found mismatch: seq {s:?} vs par {p:?}"),
+        }
+        assert_eq!(par.attempts.len(), seq.attempts.len(), "{label}");
+        for (p, s) in par.attempts.iter().zip(&seq.attempts) {
+            let at = format!("{label}, attempt {}", s.index);
+            assert_eq!(p.index, s.index, "{at}");
+            assert_eq!(p.path_len, s.path_len, "{at}");
+            assert_eq!(p.found, s.found, "{at}");
+            assert_eq!(p.stats.exec, s.stats.exec, "{at}");
+            assert_eq!(p.stats.paths_completed, s.stats.paths_completed, "{at}");
+            assert_eq!(p.stats.paths_explored, s.stats.paths_explored, "{at}");
+            assert_eq!(p.stats.states_created, s.stats.states_created, "{at}");
+            assert_eq!(p.stats.left_suspended, s.stats.left_suspended, "{at}");
+            assert_eq!(p.stats.peak_live_states, s.stats.peak_live_states, "{at}");
+            assert_eq!(p.stats.solver.queries, s.stats.solver.queries, "{at}");
+            assert_eq!(p.stats.solver.sat, s.stats.solver.sat, "{at}");
+            assert_eq!(p.stats.solver.unsat, s.stats.solver.unsat, "{at}");
+            assert_eq!(p.stats.solver.unknown, s.stats.solver.unknown, "{at}");
+        }
+    }
+
+    #[test]
+    fn portfolio_matches_sequential_when_first_candidate_wins() {
+        let m = module();
+        let logs = gen_logs(&m, 30, 1.0, 7);
+        let analysis = StatSym::default().analyze(&logs);
+        let seq = StatSym::default().run_with_analysis(&m, analysis.clone());
+        assert_eq!(seq.candidate_used, Some(0));
+        for workers in [2, 8] {
+            let cfg = StatSymConfig {
+                workers,
+                ..StatSymConfig::default()
+            };
+            let par = StatSym::new(cfg).run_with_analysis(&m, analysis.clone());
+            assert_matches_sequential(&seq, &par, &format!("workers={workers}"));
+        }
+    }
+
+    #[test]
+    fn portfolio_matches_sequential_on_late_ranked_winner() {
+        let m = module();
+        let logs = gen_logs(&m, 30, 1.0, 7);
+        let mut analysis = StatSym::default().analyze(&logs);
+        let cs = analysis.candidates.as_mut().unwrap();
+        cs.paths.insert(0, decoy_candidate());
+        cs.paths.insert(0, decoy_candidate());
+
+        // Between the guided run's 91 steps and the decoys' 102: decoys
+        // exhaust, the real candidate (rank 2) finds. Step budgets are
+        // deterministic, so every worker count sees identical outcomes.
+        let base = StatSymConfig::default();
+        let cfg = |workers| StatSymConfig {
+            workers,
+            engine: EngineConfig {
+                max_steps: 95,
+                ..base.engine
+            },
+            ..base
+        };
+
+        let seq = StatSym::new(cfg(1)).run_with_analysis(&m, analysis.clone());
+        assert_eq!(seq.candidate_used, Some(2), "decoys must not win");
+        assert_eq!(seq.attempts.len(), 3);
+        assert!(!seq.attempts[0].found && !seq.attempts[1].found);
+        for workers in [2, 8] {
+            let par = StatSym::new(cfg(workers)).run_with_analysis(&m, analysis.clone());
+            assert_matches_sequential(&seq, &par, &format!("workers={workers}"));
+        }
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Parallel candidate-path portfolio execution (DESIGN.md §9).
+//!
+//! Sequentially, StatSym attempts ranked candidate paths one at a time
+//! and stops at the first verified fault. When the first hit sits deep
+//! in the ranking — or earlier attempts burn their whole budget before
+//! failing — that loop is embarrassingly serial. The portfolio executor
+//! runs the same attempts concurrently on [`std::thread::scope`]
+//! workers while preserving the sequential result bit for bit:
+//!
+//! * **Work queue.** A shared [`AtomicUsize`] hands candidates out in
+//!   rank order; each worker claims the next unclaimed index.
+//! * **Cancellation.** Every candidate gets its own [`AtomicBool`]
+//!   token, polled by the engine at each scheduling decision. When a
+//!   candidate verifies the fault, the lowest found rank so far becomes
+//!   the *watermark*: tokens strictly above the watermark are tripped
+//!   and ranks above it are no longer handed out. Candidates at or
+//!   below the watermark are never cancelled, so every attempt the
+//!   sequential loop would have made still runs to natural completion.
+//! * **Deterministic selection.** The winner is the lowest-ranked
+//!   candidate whose attempt verified the fault — the same candidate
+//!   the sequential loop stops at, carrying the identical
+//!   [`FoundVulnerability`] (the engine is deterministic, and shared
+//!   solver-cache verdicts never change an engine's exploration; see
+//!   `solver::SharedCache`). The reported attempt list covers exactly
+//!   ranks `0..=winner`, in rank order, as the sequential loop reports.
+//! * **Shared solver cache.** All workers publish Sat/Unsat verdicts
+//!   into one sharded [`SharedCache`] keyed by structural constraint
+//!   hashes, so overlapping path prefixes across candidates are solved
+//!   once per portfolio instead of once per attempt.
+//!
+//! Recorders are single-threaded by design, so workers run detached
+//! and the main thread replays each reported attempt's spans, counters,
+//! and events in rank order after the join — a portfolio trace
+//! reconciles with its report exactly like a sequential one. Work done
+//! by cancelled or losing attempts is reported separately under
+//! `portfolio.*` metrics and never pollutes the engine counters.
+
+use crate::candidate::CandidatePath;
+use crate::guidance::GuidedHook;
+use crate::pipeline::{CandidateAttempt, StatSymConfig};
+use sir::Module;
+use solver::{SharedCache, SharedCacheStats, SolverStats};
+use statsym_telemetry::{names, FieldValue, Recorder};
+use symex::{outcome_label, record_run_telemetry, Engine, EngineConfig, EngineReport};
+use symex::{FoundVulnerability, RunOutcome, SchedulerKind};
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// Result of one portfolio execution, shaped exactly like the
+/// corresponding fields of a sequential `StatSymReport`.
+#[derive(Debug)]
+pub struct PortfolioOutcome {
+    /// Attempts over ranks `0..=winner` (all ranks when nothing was
+    /// found), in rank order — the same set the sequential loop reports.
+    pub attempts: Vec<CandidateAttempt>,
+    /// The verified vulnerable path, if any candidate found it.
+    pub found: Option<FoundVulnerability>,
+    /// Rank of the winning candidate.
+    pub candidate_used: Option<usize>,
+    /// Shared solver-cache counters for the whole portfolio.
+    pub cache: SharedCacheStats,
+}
+
+/// Runs the ranked candidates as a parallel portfolio and returns the
+/// sequential-equivalent outcome. See the module docs for the protocol.
+pub fn run_portfolio(
+    module: &Module,
+    paths: &[CandidatePath],
+    config: &StatSymConfig,
+    pins: &concrete::InputMap,
+    rec: &dyn Recorder,
+) -> PortfolioOutcome {
+    let n = paths.len();
+    let workers = config.workers.min(n).max(1);
+
+    let span = rec.span_open(names::PORTFOLIO);
+    rec.counter_add(names::PORTFOLIO_WORKERS, workers as u64);
+
+    // Four shards per worker keeps shard-lock collisions rare without
+    // bloating the cache for small portfolios.
+    let shared = Arc::new(SharedCache::new(workers * 4));
+    let next = AtomicUsize::new(0);
+    // Lowest rank verified so far; `n` means "none yet". Only ranks
+    // strictly above this watermark are ever cancelled or skipped.
+    let best = AtomicUsize::new(n);
+    let tokens: Vec<Arc<AtomicBool>> = (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
+    let slots: Vec<Mutex<Option<EngineReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let rank = next.fetch_add(1, Ordering::Relaxed);
+                if rank >= n {
+                    break;
+                }
+                if config.cancel_on_found && rank > best.load(Ordering::Acquire) {
+                    // A better-ranked candidate already won; every rank
+                    // this worker could still claim is above it too.
+                    break;
+                }
+                let engine_config = EngineConfig {
+                    scheduler: SchedulerKind::Priority,
+                    ..config.engine
+                };
+                let hook = GuidedHook::new(paths[rank].clone(), config.guidance);
+                let mut engine = Engine::with_hook(module, engine_config, Box::new(hook));
+                engine.set_shared_cache(shared.clone());
+                if config.cancel_on_found {
+                    engine.set_cancel_token(tokens[rank].clone());
+                }
+                for (name, value) in pins {
+                    engine.pin_input(name.clone(), value.clone());
+                }
+                let report = engine.run();
+                if report.outcome.is_found() {
+                    let mut cur = best.load(Ordering::Acquire);
+                    while rank < cur {
+                        match best.compare_exchange_weak(
+                            cur,
+                            rank,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        ) {
+                            Ok(_) => break,
+                            Err(now) => cur = now,
+                        }
+                    }
+                    if config.cancel_on_found {
+                        let watermark = best.load(Ordering::Acquire);
+                        for token in tokens.iter().skip(watermark + 1) {
+                            token.store(true, Ordering::Release);
+                        }
+                    }
+                }
+                *slots[rank].lock().expect("portfolio worker panicked") = Some(report);
+            });
+        }
+    });
+
+    let reports: Vec<Option<EngineReport>> = slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("portfolio worker panicked"))
+        .collect();
+    let winner = reports
+        .iter()
+        .position(|r| r.as_ref().is_some_and(|r| r.outcome.is_found()));
+    let limit = winner.unwrap_or(n);
+
+    let mut attempts = Vec::new();
+    let mut found = None;
+    let mut cancelled: u64 = 0;
+    for (rank, slot) in reports.into_iter().enumerate() {
+        if rank <= limit {
+            // Ranks at or below the winner are never cancelled or
+            // skipped, so the attempt always completed.
+            let report = slot.expect("candidates at or below the winning rank run to completion");
+            replay_attempt(rec, rank, paths[rank].len(), &report);
+            attempts.push(CandidateAttempt {
+                index: rank,
+                path_len: paths[rank].len(),
+                found: report.outcome.is_found(),
+                wall_time: report.wall_time,
+                stats: report.stats,
+            });
+            if let RunOutcome::Found(f) = report.outcome {
+                found = Some(*f);
+            }
+        } else if let Some(report) = slot {
+            // Overshoot: an attempt the sequential loop would never have
+            // started. Its work is visible only under portfolio.* so the
+            // engine counters still reconcile with the reported attempts.
+            let was_cancelled = matches!(
+                report.outcome,
+                RunOutcome::Exhausted(symex::ExhaustionReason::Cancelled)
+            );
+            cancelled += u64::from(was_cancelled);
+            rec.event(
+                names::PORTFOLIO_ATTEMPT,
+                &[
+                    ("index", FieldValue::from(rank)),
+                    ("outcome", FieldValue::from(outcome_label(&report.outcome))),
+                    ("steps", FieldValue::from(report.stats.exec.steps)),
+                ],
+            );
+        }
+    }
+
+    rec.counter_add(names::PORTFOLIO_CANCELLED, cancelled);
+    let cache = shared.stats();
+    rec.counter_add(names::PORTFOLIO_CACHE_HITS, cache.hits);
+    rec.counter_add(names::PORTFOLIO_CACHE_MISSES, cache.misses);
+    rec.counter_add(names::PORTFOLIO_CACHE_STORES, cache.stores);
+    rec.counter_add(names::PORTFOLIO_CACHE_CONTENTION, cache.contention);
+    rec.counter_add(names::PORTFOLIO_CACHE_ENTRIES, cache.entries);
+    rec.span_close(span);
+
+    PortfolioOutcome {
+        attempts,
+        found,
+        candidate_used: winner,
+        cache,
+    }
+}
+
+/// Replays one reported attempt into the main-thread recorder with the
+/// same span/event shape the sequential loop produces live: a
+/// `candidate.attempt` span wrapping an `engine.run` span whose counters
+/// mirror the attempt's stats, followed by a `candidate.result` event.
+fn replay_attempt(rec: &dyn Recorder, rank: usize, path_len: usize, report: &EngineReport) {
+    if !rec.enabled() {
+        return;
+    }
+    let attempt_span = rec.span_open(names::CANDIDATE_ATTEMPT);
+    let run_span = rec.span_open(names::ENGINE_RUN);
+    rec.tick(report.stats.exec.steps);
+    // Each portfolio attempt ran on a fresh solver, so its stats are
+    // already deltas — no prior snapshot to subtract.
+    record_run_telemetry(rec, &report.stats, &SolverStats::default(), &report.outcome);
+    rec.span_close(run_span);
+    rec.span_close(attempt_span);
+    rec.event(
+        names::CANDIDATE_RESULT,
+        &[
+            ("index", FieldValue::from(rank)),
+            ("path_len", FieldValue::from(path_len)),
+            ("found", FieldValue::from(report.outcome.is_found())),
+            (
+                "paths_explored",
+                FieldValue::from(report.stats.paths_explored),
+            ),
+        ],
+    );
+}

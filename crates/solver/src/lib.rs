@@ -33,10 +33,12 @@
 //! }
 //! ```
 
+pub mod cache;
 pub mod interval;
 pub mod solve;
 pub mod term;
 
+pub use cache::{CachedVerdict, LocalVerdictCache, QueryCache, SharedCache, SharedCacheStats};
 pub use interval::Interval;
 pub use solve::{Model, SatResult, Solver, SolverConfig, SolverStats};
 pub use term::{CmpOp, Constraint, Term, TermCtx, TermId, VarId};

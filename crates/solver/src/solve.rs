@@ -1,10 +1,10 @@
 //! The decision procedure: interval propagation + backtracking search.
 
+use crate::cache::{CachedVerdict, QueryCache};
 use crate::interval::Interval;
 use crate::term::{CmpOp, Constraint, Term, TermCtx, TermId, VarId};
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Resource limits for one `check` call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,8 +36,13 @@ pub struct SolverStats {
     pub unsat: u64,
     /// Queries answered `Unknown`.
     pub unknown: u64,
-    /// Queries answered from the cache.
+    /// Queries answered from the private (per-solver) cache.
     pub cache_hits: u64,
+    /// Queries answered from the injected shared cache.
+    pub shared_hits: u64,
+    /// Queries that consulted the shared cache without getting an
+    /// answer (no entry, or a `Sat` verdict when a model was required).
+    pub shared_misses: u64,
     /// Search nodes explored.
     pub nodes: u64,
     /// HC4 propagation iterations (fixpoint rounds) across all queries.
@@ -127,12 +132,25 @@ impl SatResult {
     }
 }
 
-/// The solver, with a per-instance query cache.
-#[derive(Debug, Default)]
+/// The solver, with a per-instance query cache and an optional injected
+/// shared verdict cache (see [`crate::cache`]).
+#[derive(Default)]
 pub struct Solver {
     config: SolverConfig,
     stats: SolverStats,
     cache: HashMap<u64, SatResult>,
+    shared: Option<Arc<dyn QueryCache + Send + Sync>>,
+}
+
+impl std::fmt::Debug for Solver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Solver")
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .field("cache_len", &self.cache.len())
+            .field("shared", &self.shared.is_some())
+            .finish()
+    }
 }
 
 impl Solver {
@@ -154,14 +172,30 @@ impl Solver {
         self.cache.clear();
     }
 
+    /// Injects a shared verdict cache, consulted on private-cache misses
+    /// and fed every definitive local result. See [`crate::cache`] for
+    /// the soundness rules (model-free verdicts only, never `Unknown`).
+    pub fn set_query_cache(&mut self, cache: Arc<dyn QueryCache + Send + Sync>) {
+        self.shared = Some(cache);
+    }
+
     /// Approximate memory footprint of the cache, in entries.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
     }
 
-    /// Decides `constraints` (a conjunction) over `ctx`.
+    /// Decides `constraints` (a conjunction) over `ctx`, producing a
+    /// verified model when satisfiable.
     pub fn check(&mut self, ctx: &TermCtx, constraints: &[Constraint]) -> SatResult {
         self.check_traced(ctx, constraints, &statsym_telemetry::NOOP)
+    }
+
+    /// Decides satisfiability only: the caller promises not to read the
+    /// model out of a `Sat` answer. This unlocks shared-cache `Sat`
+    /// verdicts (which are model-free by construction); `Sat` results
+    /// answered from the shared cache carry an empty model.
+    pub fn check_sat(&mut self, ctx: &TermCtx, constraints: &[Constraint]) -> SatResult {
+        self.check_sat_traced(ctx, constraints, &statsym_telemetry::NOOP)
     }
 
     /// [`Solver::check`] with per-query latency telemetry: the query's
@@ -175,28 +209,47 @@ impl Solver {
         constraints: &[Constraint],
         rec: &dyn statsym_telemetry::Recorder,
     ) -> SatResult {
+        self.dispatch_traced(ctx, constraints, rec, true)
+    }
+
+    /// [`Solver::check_sat`] with per-query latency telemetry.
+    pub fn check_sat_traced(
+        &mut self,
+        ctx: &TermCtx,
+        constraints: &[Constraint],
+        rec: &dyn statsym_telemetry::Recorder,
+    ) -> SatResult {
+        self.dispatch_traced(ctx, constraints, rec, false)
+    }
+
+    fn dispatch_traced(
+        &mut self,
+        ctx: &TermCtx,
+        constraints: &[Constraint],
+        rec: &dyn statsym_telemetry::Recorder,
+        needs_model: bool,
+    ) -> SatResult {
         if !rec.enabled() {
-            return self.check_inner(ctx, constraints);
+            return self.check_inner(ctx, constraints, needs_model);
         }
         let start = std::time::Instant::now();
-        let result = self.check_inner(ctx, constraints);
+        let result = self.check_inner(ctx, constraints, needs_model);
         rec.observe_wall(statsym_telemetry::names::SOLVER_QUERY_US, start.elapsed());
         result
     }
 
-    fn check_inner(&mut self, ctx: &TermCtx, constraints: &[Constraint]) -> SatResult {
+    fn check_inner(
+        &mut self,
+        ctx: &TermCtx,
+        constraints: &[Constraint],
+        needs_model: bool,
+    ) -> SatResult {
         self.stats.queries += 1;
         if constraints.is_empty() {
             self.stats.sat += 1;
             return SatResult::Sat(Model::default());
         }
-        let key = {
-            let mut sorted: Vec<&Constraint> = constraints.iter().collect();
-            sorted.sort_by_key(|c| (c.lhs, c.rhs, c.op as u8));
-            let mut h = DefaultHasher::new();
-            sorted.hash(&mut h);
-            h.finish()
-        };
+        let key = ctx.query_fingerprint(constraints);
         if let Some(hit) = self.cache.get(&key) {
             self.stats.cache_hits += 1;
             match hit {
@@ -205,6 +258,32 @@ impl Solver {
                 SatResult::Unknown => self.stats.unknown += 1,
             }
             return hit.clone();
+        }
+        if let Some(shared) = &self.shared {
+            match shared.lookup(key) {
+                Some(CachedVerdict::Unsat) => {
+                    // Unsat carries no model, so it answers every query.
+                    // Mirror it into the private cache: repeats become
+                    // ordinary private hits, exactly as without sharing.
+                    self.stats.shared_hits += 1;
+                    self.stats.unsat += 1;
+                    self.cache.insert(key, SatResult::Unsat);
+                    return SatResult::Unsat;
+                }
+                Some(CachedVerdict::Sat) if !needs_model => {
+                    // Deliberately NOT mirrored into the private cache:
+                    // the private cache stores full results, and a later
+                    // model-needing call must re-solve, not read an
+                    // empty model.
+                    self.stats.shared_hits += 1;
+                    self.stats.sat += 1;
+                    return SatResult::Sat(Model::default());
+                }
+                // A model is required but the shared cache only has the
+                // verdict — solve locally (deterministic, so the model
+                // matches what a sequential run would produce).
+                Some(CachedVerdict::Sat) | None => self.stats.shared_misses += 1,
+            }
         }
 
         let mut search = Search {
@@ -226,6 +305,11 @@ impl Solver {
             SatResult::Unknown => self.stats.unknown += 1,
         }
         self.cache.insert(key, result.clone());
+        if let Some(shared) = &self.shared {
+            if let Some(verdict) = CachedVerdict::from_result(&result) {
+                shared.publish(key, verdict);
+            }
+        }
         result
     }
 }
@@ -731,6 +815,115 @@ mod tests {
             .hist(statsym_telemetry::names::SOLVER_QUERY_US)
             .expect("latency histogram present");
         assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn shared_cache_answers_unsat_across_solvers() {
+        use crate::cache::SharedCache;
+        use std::sync::Arc;
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", 0, 255);
+        let c5 = ctx.int(5);
+        let c10 = ctx.int(10);
+        let cs = [
+            Constraint::new(CmpOp::Lt, x, c5),
+            Constraint::new(CmpOp::Lt, c10, x),
+        ];
+        let shared: Arc<SharedCache> = Arc::new(SharedCache::new(4));
+        let mut a = Solver::default();
+        a.set_query_cache(shared.clone());
+        assert_eq!(a.check(&ctx, &cs), SatResult::Unsat);
+        assert_eq!(a.stats().shared_misses, 1);
+
+        // A different solver over a *different* context with the same
+        // structural constraints answers from the shared cache.
+        let mut ctx2 = TermCtx::new();
+        let x2 = ctx2.new_var("x", 0, 255);
+        let c5b = ctx2.int(5);
+        let c10b = ctx2.int(10);
+        let cs2 = [
+            Constraint::new(CmpOp::Lt, x2, c5b),
+            Constraint::new(CmpOp::Lt, c10b, x2),
+        ];
+        let mut b = Solver::default();
+        b.set_query_cache(shared.clone());
+        assert_eq!(b.check(&ctx2, &cs2), SatResult::Unsat);
+        assert_eq!(b.stats().shared_hits, 1);
+        assert_eq!(b.stats().nodes, 0, "no local search on a shared hit");
+    }
+
+    #[test]
+    fn shared_sat_hit_is_model_free_only() {
+        use crate::cache::SharedCache;
+        use std::sync::Arc;
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", 0, 255);
+        let c5 = ctx.int(5);
+        let cs = [Constraint::new(CmpOp::Eq, x, c5)];
+        let shared: Arc<SharedCache> = Arc::new(SharedCache::new(1));
+        let mut a = Solver::default();
+        a.set_query_cache(shared.clone());
+        assert!(a.check_sat(&ctx, &cs).is_sat());
+
+        // check_sat on another solver: answered from the shared cache.
+        let mut b = Solver::default();
+        b.set_query_cache(shared.clone());
+        assert!(b.check_sat(&ctx, &cs).is_sat());
+        assert_eq!(b.stats().shared_hits, 1);
+
+        // check (model required) must NOT use the shared Sat verdict:
+        // it solves locally and returns a real, verified model.
+        let mut c = Solver::default();
+        c.set_query_cache(shared);
+        match c.check(&ctx, &cs) {
+            SatResult::Sat(m) => {
+                assert!(m.satisfies(&ctx, &cs));
+                assert_eq!(m.value_of(x, &ctx), Some(5));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+        assert_eq!(c.stats().shared_hits, 0);
+        assert_eq!(c.stats().shared_misses, 1);
+    }
+
+    #[test]
+    fn unknown_results_are_not_shared() {
+        use crate::cache::SharedCache;
+        use std::sync::Arc;
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", 2, 1_000_000_000);
+        let y = ctx.new_var("y", 2, 1_000_000_000);
+        let prod = ctx.mul(x, y);
+        let target = ctx.int(999_999_937);
+        let shared: Arc<SharedCache> = Arc::new(SharedCache::new(1));
+        let mut solver = Solver::with_config(SolverConfig {
+            max_nodes: 1,
+            ..SolverConfig::default()
+        });
+        solver.set_query_cache(shared.clone());
+        let r = solver.check(&ctx, &[Constraint::new(CmpOp::Eq, prod, target)]);
+        assert_eq!(r, SatResult::Unknown);
+        assert_eq!(shared.entries(), 0, "Unknown must not be published");
+    }
+
+    #[test]
+    fn check_sat_matches_check_verdicts_without_sharing() {
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", 0, 9);
+        let c5 = ctx.int(5);
+        let c20 = ctx.int(20);
+        for cs in [
+            vec![Constraint::new(CmpOp::Eq, x, c5)],
+            vec![Constraint::new(CmpOp::Eq, x, c20)],
+        ] {
+            let mut a = Solver::default();
+            let mut b = Solver::default();
+            assert_eq!(a.check(&ctx, &cs).is_sat(), b.check_sat(&ctx, &cs).is_sat());
+            assert_eq!(
+                a.check(&ctx, &cs).is_unsat(),
+                b.check_sat(&ctx, &cs).is_unsat()
+            );
+        }
     }
 
     #[test]

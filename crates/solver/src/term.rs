@@ -114,15 +114,52 @@ impl Constraint {
     }
 }
 
+/// SplitMix64 finalizer: the bit mixer behind all structural hashes.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over raw bytes (variable names).
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Order-sensitive combine for binary nodes.
+#[inline]
+fn combine2(tag: u64, a: u64, b: u64) -> u64 {
+    mix64(
+        tag.wrapping_add(a.wrapping_mul(0x9e3779b97f4a7c15))
+            .wrapping_add(b.wrapping_mul(0xc2b2ae3d27d4eb4f)),
+    )
+}
+
 /// The interning context: owns all terms and variable metadata.
 ///
 /// Append-only: the symbolic executor shares one `TermCtx` across all of
 /// its states; forked states only hold `TermId`s.
+///
+/// Every interned term carries a precomputed *structural* hash
+/// ([`TermCtx::term_hash`]): variables hash by (name, declared domain)
+/// rather than by `VarId`, so hashes agree across independently built
+/// contexts that intern structurally identical terms — the property the
+/// cross-engine shared solver cache relies on. Hashes are computed
+/// incrementally at intern time (children are already interned), so
+/// fingerprinting a query is allocation- and traversal-free.
 #[derive(Debug, Clone, Default)]
 pub struct TermCtx {
     terms: Vec<Term>,
     intern: HashMap<Term, TermId>,
     vars: Vec<VarInfo>,
+    /// Structural hash per interned term, parallel to `terms`.
+    hashes: Vec<u64>,
 }
 
 impl TermCtx {
@@ -186,9 +223,66 @@ impl TermCtx {
             return id;
         }
         let id = TermId(self.terms.len() as u32);
+        let h = self.structural_hash(t);
         self.terms.push(t);
+        self.hashes.push(h);
         self.intern.insert(t, id);
         id
+    }
+
+    /// Structural hash of a term whose children are already interned.
+    fn structural_hash(&self, t: Term) -> u64 {
+        match t {
+            Term::Const(v) => mix64(0x01u64 ^ (v as u64)),
+            Term::Var(v) => {
+                let info = &self.vars[v.index()];
+                combine2(
+                    0x02u64.wrapping_add(fnv1a(info.name.as_bytes())),
+                    info.domain.lo as u64,
+                    info.domain.hi as u64,
+                )
+            }
+            Term::Add(a, b) => combine2(0x03, self.term_hash(a), self.term_hash(b)),
+            Term::Sub(a, b) => combine2(0x04, self.term_hash(a), self.term_hash(b)),
+            Term::Mul(a, b) => combine2(0x05, self.term_hash(a), self.term_hash(b)),
+            Term::Div(a, b) => combine2(0x06, self.term_hash(a), self.term_hash(b)),
+            Term::Rem(a, b) => combine2(0x07, self.term_hash(a), self.term_hash(b)),
+            Term::Neg(a) => combine2(0x08, self.term_hash(a), 0),
+        }
+    }
+
+    /// Precomputed structural hash of an interned term. Two terms hash
+    /// equal iff they are structurally identical (modulo 64-bit
+    /// collisions), even across different `TermCtx` instances.
+    #[inline]
+    pub fn term_hash(&self, t: TermId) -> u64 {
+        self.hashes[t.index()]
+    }
+
+    /// Structural hash of one constraint atom.
+    #[inline]
+    pub fn constraint_hash(&self, c: &Constraint) -> u64 {
+        combine2(
+            0x10u64.wrapping_add(c.op as u64),
+            self.term_hash(c.lhs),
+            self.term_hash(c.rhs),
+        )
+    }
+
+    /// Order-independent fingerprint of a conjunction of constraints:
+    /// a commutative fold (sum ⊕ xor, plus the length) of per-constraint
+    /// structural hashes. No allocation, no sorting — O(n) lookups into
+    /// precomputed hashes. Used as the solver's query-cache key, both
+    /// private and shared.
+    pub fn query_fingerprint(&self, constraints: &[Constraint]) -> u64 {
+        let mut sum = 0u64;
+        let mut xor = 0u64;
+        for c in constraints {
+            let h = self.constraint_hash(c);
+            sum = sum.wrapping_add(h);
+            xor ^= h.rotate_left(17);
+        }
+        mix64(sum ^ xor.wrapping_mul(0x9e3779b97f4a7c15)).wrapping_add(constraints.len() as u64)
     }
 
     /// Creates a fresh variable with domain `[lo, hi]` and returns its
@@ -382,6 +476,59 @@ mod tests {
         assert!(CmpOp::Lt.concrete(3, 4));
         assert!(CmpOp::Le.concrete(4, 4));
         assert!(!CmpOp::Lt.concrete(4, 4));
+    }
+
+    #[test]
+    fn term_hashes_are_structural_across_contexts() {
+        let mut a = TermCtx::new();
+        let mut b = TermCtx::new();
+        // Different interning orders, same structures.
+        let bx = b.new_var("x", 0, 10);
+        let ax = a.new_var("x", 0, 10);
+        let a1 = a.int(1);
+        let b9 = b.int(9);
+        let b1 = b.int(1);
+        let asum = a.add(ax, a1);
+        let bsum = b.add(bx, b1);
+        assert_ne!(asum.0, bsum.0, "ids diverge across contexts");
+        assert_eq!(a.term_hash(asum), b.term_hash(bsum));
+        assert_eq!(a.term_hash(ax), b.term_hash(bx));
+        assert_ne!(a.term_hash(a1), b.term_hash(b9));
+        // Same name, different domain: different variable.
+        let mut c = TermCtx::new();
+        let cx = c.new_var("x", 0, 99);
+        assert_ne!(a.term_hash(ax), c.term_hash(cx));
+    }
+
+    #[test]
+    fn query_fingerprint_is_order_independent() {
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", 0, 10);
+        let y = ctx.new_var("y", 0, 10);
+        let c5 = ctx.int(5);
+        let a = Constraint::new(CmpOp::Lt, x, c5);
+        let b = Constraint::new(CmpOp::Ne, y, c5);
+        let ab = ctx.query_fingerprint(&[a, b]);
+        let ba = ctx.query_fingerprint(&[b, a]);
+        assert_eq!(ab, ba);
+        assert_ne!(ab, ctx.query_fingerprint(&[a]));
+        assert_ne!(ab, ctx.query_fingerprint(&[a, b, b]));
+        assert_ne!(
+            ctx.query_fingerprint(&[a, a, b]),
+            ctx.query_fingerprint(&[a, b, b])
+        );
+    }
+
+    #[test]
+    fn constraint_hash_distinguishes_op_and_operand_order() {
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", 0, 10);
+        let c5 = ctx.int(5);
+        let lt = ctx.constraint_hash(&Constraint::new(CmpOp::Lt, x, c5));
+        let le = ctx.constraint_hash(&Constraint::new(CmpOp::Le, x, c5));
+        let gt = ctx.constraint_hash(&Constraint::new(CmpOp::Lt, c5, x));
+        assert_ne!(lt, le);
+        assert_ne!(lt, gt);
     }
 
     #[test]

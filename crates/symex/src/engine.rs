@@ -7,10 +7,12 @@ use crate::state::{CondList, State};
 use crate::value::SymValue;
 use concrete::{Fault, InputValue, Location};
 use sir::{InputId, Module};
-use solver::{Constraint, SatResult, Solver, SolverConfig, SolverStats, TermCtx};
+use solver::{Constraint, QueryCache, SatResult, Solver, SolverConfig, SolverStats, TermCtx};
 use statsym_telemetry::{names, FieldValue, Recorder, NOOP};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Engine resource budgets and policy.
@@ -59,6 +61,9 @@ pub enum ExhaustionReason {
     Steps,
     /// Live-state cap exceeded.
     LiveStates,
+    /// An external cancel token was tripped (portfolio execution: a
+    /// better-ranked candidate already reported a find).
+    Cancelled,
 }
 
 impl fmt::Display for ExhaustionReason {
@@ -68,6 +73,7 @@ impl fmt::Display for ExhaustionReason {
             ExhaustionReason::Time => f.write_str("timeout"),
             ExhaustionReason::Steps => f.write_str("step budget exhausted"),
             ExhaustionReason::LiveStates => f.write_str("too many live states"),
+            ExhaustionReason::Cancelled => f.write_str("cancelled"),
         }
     }
 }
@@ -161,6 +167,7 @@ pub struct Engine<'m> {
     pinned: concrete::InputMap,
     suppressed: Vec<(String, minic::Span)>,
     rec: &'m dyn Recorder,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl<'m> Engine<'m> {
@@ -184,7 +191,25 @@ impl<'m> Engine<'m> {
             pinned: concrete::InputMap::new(),
             suppressed: Vec::new(),
             rec: &NOOP,
+            cancel: None,
         }
+    }
+
+    /// Attaches a cooperative cancellation token. The engine polls it at
+    /// every scheduling decision and every 8192 executed instructions
+    /// (the same cadence as the step-budget check); when tripped, the
+    /// run ends promptly with
+    /// `RunOutcome::Exhausted(ExhaustionReason::Cancelled)`.
+    pub fn set_cancel_token(&mut self, token: Arc<AtomicBool>) {
+        self.cancel = Some(token);
+    }
+
+    /// Injects a shared solver verdict cache (see `solver::cache`):
+    /// definitive Sat/Unsat verdicts cross engine boundaries while
+    /// models stay local, keeping exploration identical to an unshared
+    /// run.
+    pub fn set_shared_cache(&mut self, cache: Arc<dyn QueryCache + Send + Sync>) {
+        self.solver.set_query_cache(cache);
     }
 
     /// Attaches a telemetry recorder. The engine wraps each run in an
@@ -246,6 +271,8 @@ impl<'m> Engine<'m> {
                 inputs_map.insert(InputId(i as u32), sym);
             }
         }
+        let cancel = self.cancel.clone();
+        let cancelled = || cancel.as_ref().is_some_and(|t| t.load(Ordering::Relaxed));
         let mut next_id: u64 = 0;
         let mut live_mem: usize = 0;
         let mut mem_by_state: HashMap<u64, usize> = HashMap::new();
@@ -310,6 +337,9 @@ impl<'m> Engine<'m> {
                 // Budget checks.
                 rec.tick(env.stats.steps - last_tick);
                 last_tick = env.stats.steps;
+                if cancelled() {
+                    break LoopEnd::Exhausted(ExhaustionReason::Cancelled);
+                }
                 if let Some(tb) = self.config.time_budget {
                     if start.elapsed() > tb {
                         break LoopEnd::Exhausted(ExhaustionReason::Time);
@@ -358,6 +388,9 @@ impl<'m> Engine<'m> {
                     if env.stats.steps.is_multiple_of(8192) {
                         rec.tick(env.stats.steps - last_tick);
                         last_tick = env.stats.steps;
+                        if cancelled() {
+                            break 'outer LoopEnd::Exhausted(ExhaustionReason::Cancelled);
+                        }
                         if let Some(tb) = self.config.time_budget {
                             if start.elapsed() > tb {
                                 break 'outer LoopEnd::Exhausted(ExhaustionReason::Time);
@@ -475,57 +508,7 @@ impl<'m> Engine<'m> {
         stats.solver = self.solver.stats();
 
         rec.tick(stats.exec.steps.saturating_sub(last_tick));
-        if rec.enabled() {
-            // Mirror this run's EngineStats into counters so a trace file
-            // reconciles exactly with the printed report. Counters
-            // accumulate across candidate attempts sharing one recorder.
-            rec.counter_add(names::SYMEX_STEPS, stats.exec.steps);
-            rec.counter_add(names::SYMEX_FORKS, stats.exec.forks);
-            rec.counter_add(names::SYMEX_PRUNED, stats.exec.pruned);
-            rec.counter_add(names::SYMEX_SUSPENDED, stats.exec.suspended);
-            rec.counter_add(names::SYMEX_CONCRETIZATIONS, stats.exec.concretizations);
-            rec.counter_add(names::SYMEX_STRLEN_FORKS, stats.exec.strlen_forks);
-            rec.counter_add(names::SYMEX_PATHS_COMPLETED, stats.paths_completed);
-            rec.counter_add(names::SYMEX_PATHS_EXPLORED, stats.paths_explored);
-            rec.counter_add(names::SYMEX_STATES_CREATED, stats.states_created);
-            rec.counter_add(names::SYMEX_LEFT_SUSPENDED, stats.left_suspended);
-            rec.gauge_max(names::SYMEX_PEAK_LIVE_STATES, stats.peak_live_states as i64);
-            rec.gauge_max(names::SYMEX_PEAK_MEMORY, stats.peak_memory as i64);
-            let sv = &stats.solver;
-            rec.counter_add(names::SOLVER_QUERIES, sv.queries - solver_before.queries);
-            rec.counter_add(names::SOLVER_SAT, sv.sat - solver_before.sat);
-            rec.counter_add(names::SOLVER_UNSAT, sv.unsat - solver_before.unsat);
-            rec.counter_add(names::SOLVER_UNKNOWN, sv.unknown - solver_before.unknown);
-            rec.counter_add(
-                names::SOLVER_CACHE_HITS,
-                sv.cache_hits - solver_before.cache_hits,
-            );
-            rec.counter_add(names::SOLVER_NODES, sv.nodes - solver_before.nodes);
-            rec.counter_add(
-                names::SOLVER_PROPAGATION_ROUNDS,
-                sv.propagation_rounds - solver_before.propagation_rounds,
-            );
-            rec.counter_add(
-                names::SOLVER_BACKTRACKS,
-                sv.backtracks - solver_before.backtracks,
-            );
-            let outcome_str = match &outcome {
-                RunOutcome::Found(_) => "found",
-                RunOutcome::Completed => "completed",
-                RunOutcome::Exhausted(ExhaustionReason::Steps) => "exhausted_steps",
-                RunOutcome::Exhausted(ExhaustionReason::Time) => "exhausted_time",
-                RunOutcome::Exhausted(ExhaustionReason::Memory) => "exhausted_memory",
-                RunOutcome::Exhausted(ExhaustionReason::LiveStates) => "exhausted_live_states",
-            };
-            rec.event(
-                names::ENGINE_OUTCOME,
-                &[
-                    ("outcome", FieldValue::from(outcome_str)),
-                    ("steps", FieldValue::from(stats.exec.steps)),
-                    ("paths_explored", FieldValue::from(stats.paths_explored)),
-                ],
-            );
-        }
+        record_run_telemetry(rec, &stats, &solver_before, &outcome);
         rec.span_close(run_span);
 
         EngineReport {
@@ -589,6 +572,90 @@ impl<'m> Engine<'m> {
             depth: state.depth,
         }
     }
+}
+
+/// Stable string label for a run outcome, as emitted in the
+/// `engine.outcome` trace event.
+pub fn outcome_label(outcome: &RunOutcome) -> &'static str {
+    match outcome {
+        RunOutcome::Found(_) => "found",
+        RunOutcome::Completed => "completed",
+        RunOutcome::Exhausted(ExhaustionReason::Steps) => "exhausted_steps",
+        RunOutcome::Exhausted(ExhaustionReason::Time) => "exhausted_time",
+        RunOutcome::Exhausted(ExhaustionReason::Memory) => "exhausted_memory",
+        RunOutcome::Exhausted(ExhaustionReason::LiveStates) => "exhausted_live_states",
+        RunOutcome::Exhausted(ExhaustionReason::Cancelled) => "cancelled",
+    }
+}
+
+/// Mirrors one finished run's [`EngineStats`] into recorder counters and
+/// emits the `engine.outcome` event, so a trace file reconciles exactly
+/// with the printed report. Counters accumulate across candidate attempts
+/// sharing one recorder.
+///
+/// `solver_before` is the solver's stats snapshot taken before the run:
+/// solver counters are emitted as deltas so a solver reused across runs
+/// is not double-counted. Pass `SolverStats::default()` for a fresh
+/// solver.
+///
+/// This is called by [`Engine::run`] itself; the portfolio executor also
+/// calls it directly to replay worker-thread runs into the main-thread
+/// recorder after the workers join (recorders are single-threaded).
+pub fn record_run_telemetry(
+    rec: &dyn Recorder,
+    stats: &EngineStats,
+    solver_before: &SolverStats,
+    outcome: &RunOutcome,
+) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.counter_add(names::SYMEX_STEPS, stats.exec.steps);
+    rec.counter_add(names::SYMEX_FORKS, stats.exec.forks);
+    rec.counter_add(names::SYMEX_PRUNED, stats.exec.pruned);
+    rec.counter_add(names::SYMEX_SUSPENDED, stats.exec.suspended);
+    rec.counter_add(names::SYMEX_CONCRETIZATIONS, stats.exec.concretizations);
+    rec.counter_add(names::SYMEX_STRLEN_FORKS, stats.exec.strlen_forks);
+    rec.counter_add(names::SYMEX_PATHS_COMPLETED, stats.paths_completed);
+    rec.counter_add(names::SYMEX_PATHS_EXPLORED, stats.paths_explored);
+    rec.counter_add(names::SYMEX_STATES_CREATED, stats.states_created);
+    rec.counter_add(names::SYMEX_LEFT_SUSPENDED, stats.left_suspended);
+    rec.gauge_max(names::SYMEX_PEAK_LIVE_STATES, stats.peak_live_states as i64);
+    rec.gauge_max(names::SYMEX_PEAK_MEMORY, stats.peak_memory as i64);
+    let sv = &stats.solver;
+    rec.counter_add(names::SOLVER_QUERIES, sv.queries - solver_before.queries);
+    rec.counter_add(names::SOLVER_SAT, sv.sat - solver_before.sat);
+    rec.counter_add(names::SOLVER_UNSAT, sv.unsat - solver_before.unsat);
+    rec.counter_add(names::SOLVER_UNKNOWN, sv.unknown - solver_before.unknown);
+    rec.counter_add(
+        names::SOLVER_CACHE_HITS,
+        sv.cache_hits - solver_before.cache_hits,
+    );
+    rec.counter_add(
+        names::SOLVER_SHARED_HITS,
+        sv.shared_hits - solver_before.shared_hits,
+    );
+    rec.counter_add(
+        names::SOLVER_SHARED_MISSES,
+        sv.shared_misses - solver_before.shared_misses,
+    );
+    rec.counter_add(names::SOLVER_NODES, sv.nodes - solver_before.nodes);
+    rec.counter_add(
+        names::SOLVER_PROPAGATION_ROUNDS,
+        sv.propagation_rounds - solver_before.propagation_rounds,
+    );
+    rec.counter_add(
+        names::SOLVER_BACKTRACKS,
+        sv.backtracks - solver_before.backtracks,
+    );
+    rec.event(
+        names::ENGINE_OUTCOME,
+        &[
+            ("outcome", FieldValue::from(outcome_label(outcome))),
+            ("steps", FieldValue::from(stats.exec.steps)),
+            ("paths_explored", FieldValue::from(stats.paths_explored)),
+        ],
+    );
 }
 
 #[cfg(test)]
@@ -913,6 +980,117 @@ mod tests {
             Some(InputValue::Int(v)) => assert!(*v <= 0),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn pre_tripped_cancel_token_exits_before_any_work() {
+        let src = r#"
+            fn main() {
+                let i: int = 0;
+                while (i < 100000) { i = i + 1; }
+            }
+        "#;
+        let p = minic::parse_program(src).unwrap();
+        let m = sir::lower(&p).unwrap();
+        let mut eng = Engine::new(&m, EngineConfig::default());
+        let token = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        eng.set_cancel_token(token);
+        let r = eng.run();
+        assert!(
+            matches!(
+                r.outcome,
+                RunOutcome::Exhausted(ExhaustionReason::Cancelled)
+            ),
+            "got {:?}",
+            r.outcome
+        );
+        // The token is checked before the first scheduler pop: no state
+        // was ever selected, so no instruction ran.
+        assert_eq!(r.stats.exec.steps, 0);
+    }
+
+    #[test]
+    fn cancel_token_interrupts_a_long_straight_line_run() {
+        // A long concrete loop between scheduling points: the inner
+        // every-8192-steps check must observe the token without waiting
+        // for the state to terminate.
+        let src = r#"
+            fn main() {
+                let i: int = 0;
+                while (i < 100000000) { i = i + 1; }
+            }
+        "#;
+        let p = minic::parse_program(src).unwrap();
+        let m = sir::lower(&p).unwrap();
+        let mut eng = Engine::new(&m, EngineConfig::default());
+        let token = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        eng.set_cancel_token(token.clone());
+        let flipper = std::thread::spawn({
+            let token = token.clone();
+            move || {
+                std::thread::sleep(Duration::from_millis(30));
+                token.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+        });
+        let r = eng.run();
+        flipper.join().unwrap();
+        assert!(
+            matches!(
+                r.outcome,
+                RunOutcome::Exhausted(ExhaustionReason::Cancelled)
+            ),
+            "got {:?}",
+            r.outcome
+        );
+        // It made progress, then stopped well short of the loop's end.
+        assert!(r.stats.exec.steps > 0);
+    }
+
+    #[test]
+    fn cancelled_outcome_renders_and_reconciles_in_telemetry() {
+        use statsym_telemetry::{names, Clock, MemRecorder, TraceEvent};
+        let src = r#"
+            fn main() {
+                let i: int = 0;
+                while (i < 100000) { i = i + 1; }
+            }
+        "#;
+        let p = minic::parse_program(src).unwrap();
+        let m = sir::lower(&p).unwrap();
+        let rec = MemRecorder::new(Clock::steps());
+        let stats = {
+            let mut eng = Engine::new(&m, EngineConfig::default());
+            eng.set_recorder(&rec);
+            let token = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+            eng.set_cancel_token(token);
+            eng.run().stats
+        };
+        let events = rec.finish();
+        let outcome = events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Event { name, fields, .. } if name == names::ENGINE_OUTCOME => fields
+                    .iter()
+                    .find(|(k, _)| k == "outcome")
+                    .map(|(_, v)| format!("{v:?}")),
+                _ => None,
+            })
+            .expect("engine.outcome event present");
+        assert!(outcome.contains("cancelled"), "outcome was {outcome}");
+        // Counters still reconcile with the returned EngineStats.
+        let counter = |name: &str| {
+            events
+                .iter()
+                .find_map(|e| match e {
+                    TraceEvent::Counter { name: n, value } if n == name => Some(*value),
+                    _ => None,
+                })
+                .unwrap_or(0)
+        };
+        assert_eq!(counter(names::SYMEX_STEPS), stats.exec.steps);
+        assert_eq!(counter(names::SYMEX_PATHS_EXPLORED), stats.paths_explored);
+        assert_eq!(counter(names::SOLVER_QUERIES), stats.solver.queries);
+        assert_eq!(ExhaustionReason::Cancelled.to_string(), "cancelled");
     }
 
     #[test]

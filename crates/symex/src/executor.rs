@@ -86,10 +86,13 @@ impl<'e> ExecEnv<'e> {
     }
 
     /// Feasibility of a conjunction; `Unknown` counts as feasible.
+    /// Model-free (`check_sat_traced`), so shared-cache `Sat` verdicts
+    /// can answer it — `Sat` and `Unknown` are interchangeable here,
+    /// which is what makes verdict sharing exploration-invariant.
     fn feasible(&mut self, cons: &[Constraint]) -> bool {
         !self
             .solver
-            .check_traced(self.ctx, cons, self.rec)
+            .check_sat_traced(self.ctx, cons, self.rec)
             .is_unsat()
     }
 

@@ -44,8 +44,8 @@ pub mod state;
 pub mod value;
 
 pub use engine::{
-    Engine, EngineConfig, EngineReport, EngineStats, ExhaustionReason, FoundVulnerability,
-    RunOutcome,
+    outcome_label, record_run_telemetry, Engine, EngineConfig, EngineReport, EngineStats,
+    ExhaustionReason, FoundVulnerability, RunOutcome,
 };
 pub use executor::ExecStats;
 pub use hook::{EventCtx, EventHook, GuidanceResult, NoGuidance};

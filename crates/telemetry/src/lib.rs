@@ -113,8 +113,12 @@ pub mod names {
     pub const SOLVER_UNSAT: &str = "solver.unsat";
     /// Unknown verdicts (budget exhausted).
     pub const SOLVER_UNKNOWN: &str = "solver.unknown";
-    /// Query cache hits.
+    /// Private (per-solver) query cache hits.
     pub const SOLVER_CACHE_HITS: &str = "solver.cache_hits";
+    /// Queries answered by the cross-engine shared verdict cache.
+    pub const SOLVER_SHARED_HITS: &str = "solver.shared_hits";
+    /// Shared-cache consultations that did not answer the query.
+    pub const SOLVER_SHARED_MISSES: &str = "solver.shared_misses";
     /// Search-tree nodes visited.
     pub const SOLVER_NODES: &str = "solver.nodes";
     /// HC4 propagation iterations.
@@ -123,6 +127,25 @@ pub mod names {
     pub const SOLVER_BACKTRACKS: &str = "solver.backtracks";
     /// Per-query latency histogram (wall-clock traces only).
     pub const SOLVER_QUERY_US: &str = "solver.query_us";
+
+    /// Span: one portfolio (parallel candidate) execution.
+    pub const PORTFOLIO: &str = "portfolio";
+    /// Event: one candidate attempt finished inside a portfolio run.
+    pub const PORTFOLIO_ATTEMPT: &str = "portfolio.attempt";
+    /// Worker threads a portfolio ran with.
+    pub const PORTFOLIO_WORKERS: &str = "portfolio.workers";
+    /// Attempts cancelled because a better-ranked candidate found first.
+    pub const PORTFOLIO_CANCELLED: &str = "portfolio.cancelled";
+    /// Shared-cache hits observed across all portfolio workers.
+    pub const PORTFOLIO_CACHE_HITS: &str = "portfolio.cache.hits";
+    /// Shared-cache misses observed across all portfolio workers.
+    pub const PORTFOLIO_CACHE_MISSES: &str = "portfolio.cache.misses";
+    /// Shared-cache verdicts published across all portfolio workers.
+    pub const PORTFOLIO_CACHE_STORES: &str = "portfolio.cache.stores";
+    /// Shared-cache shard-lock contention events.
+    pub const PORTFOLIO_CACHE_CONTENTION: &str = "portfolio.cache.contention";
+    /// Entries resident in the shared cache at the end of the run.
+    pub const PORTFOLIO_CACHE_ENTRIES: &str = "portfolio.cache.entries";
 
     /// Monitor records kept at sampling rate p.
     pub const MONITOR_SAMPLED: &str = "monitor.records_sampled";
