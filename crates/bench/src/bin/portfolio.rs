@@ -14,15 +14,18 @@
 //! verdicts across workers, and returns the identical result.
 //!
 //! Pass `--out <path>` to redirect the JSON report (default
-//! `BENCH_portfolio.json` in the current directory).
+//! `BENCH_portfolio.json` in the current directory), `--decoys <n>` to
+//! shrink or grow the workload, and the shared trace flags (`--trace
+//! <path>`, `--clock steps|wall`, `--workers <n>`) to export a JSONL
+//! trace — with `--workers` the sweep collapses to that single count,
+//! which is how CI runs a small traced portfolio workload.
 
-use bench::{statsym_config, PAPER_SEED};
+use bench::{statsym_config, TraceSink, PAPER_SEED};
 use benchapps::{generate_corpus, CorpusSpec};
 use concrete::Measure;
 use statsym_core::pipeline::{StatSym, StatSymConfig};
 use statsym_core::portfolio::run_portfolio;
 use statsym_core::{AnalysisReport, CandidatePath, GuidanceConfig, PathNode, PredOp};
-use statsym_telemetry::NOOP;
 use std::time::Instant;
 use symex::EngineConfig;
 
@@ -80,8 +83,10 @@ fn decoy(analysis: &AnalysisReport) -> CandidatePath {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let sink = TraceSink::extract(&mut args);
     let mut out = String::from("BENCH_portfolio.json");
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut decoys = DECOYS;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -92,13 +97,30 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--decoys" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) => decoys = n,
+                _ => {
+                    eprintln!("error: --decoys requires a non-negative integer");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("error: unknown argument `{other}`");
-                eprintln!("usage: [--out <path>]");
+                eprintln!(
+                    "usage: [--out <path>] [--decoys <n>] \
+                     [--trace <path>] [--clock steps|wall] [--workers <n>]"
+                );
                 std::process::exit(2);
             }
         }
     }
+    let rec = sink.recorder();
+    // An explicit --workers collapses the sweep to that single count —
+    // the shape CI uses for its small traced workload.
+    let worker_counts: Vec<usize> = match sink.explicit_workers() {
+        Some(w) => vec![w],
+        None => WORKER_COUNTS.to_vec(),
+    };
 
     let app = benchapps::grep();
     let logs = generate_corpus(
@@ -113,7 +135,7 @@ fn main() {
     let mut analysis = StatSym::new(config(1)).analyze(&logs);
     let d = decoy(&analysis);
     let paths = &mut analysis.candidates.as_mut().expect("candidates").paths;
-    for _ in 0..DECOYS {
+    for _ in 0..decoys {
         paths.insert(0, d.clone());
     }
     let n_candidates = paths.len();
@@ -124,31 +146,31 @@ fn main() {
         &app.module,
         analysis.clone(),
         &app.pins,
-        &NOOP,
+        rec,
     );
     let seq_wall = seq_start.elapsed().as_secs_f64();
     assert_eq!(
         seq.candidate_used,
-        Some(DECOYS),
+        Some(decoys),
         "the first real candidate must win"
     );
 
     println!(
-        "portfolio scaling bench: {} ({n_candidates} candidates, {DECOYS} decoys)",
+        "portfolio scaling bench: {} ({n_candidates} candidates, {decoys} decoys)",
         app.name
     );
-    println!("  sequential: {seq_wall:.3}s, winner rank {}", DECOYS);
+    println!("  sequential: {seq_wall:.3}s, winner rank {}", decoys);
 
     let mut rows = Vec::new();
-    for workers in WORKER_COUNTS {
+    for workers in worker_counts {
         let cfg = config(workers);
         let paths = &analysis.candidates.as_ref().expect("candidates").paths;
         let start = Instant::now();
-        let outcome = run_portfolio(&app.module, paths, &cfg, &app.pins, &NOOP);
+        let outcome = run_portfolio(&app.module, paths, &cfg, &app.pins, rec);
         let wall = start.elapsed().as_secs_f64();
         assert_eq!(
             outcome.candidate_used,
-            Some(DECOYS),
+            Some(decoys),
             "portfolio must select the same winner"
         );
         let cache = outcome.cache;
@@ -174,13 +196,14 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"app\": \"{}\",\n  \"seed\": {PAPER_SEED},\n  \"decoys\": {DECOYS},\n  \
+        "{{\n  \"app\": \"{}\",\n  \"seed\": {PAPER_SEED},\n  \"decoys\": {decoys},\n  \
          \"candidates\": {n_candidates},\n  \"max_steps\": {MAX_STEPS},\n  \
-         \"winner_rank\": {DECOYS},\n  \"sequential_wall_s\": {seq_wall:.4},\n  \
+         \"winner_rank\": {decoys},\n  \"sequential_wall_s\": {seq_wall:.4},\n  \
          \"parallel\": [\n{}\n  ]\n}}\n",
         app.name,
         rows.join(",\n")
     );
     std::fs::write(&out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!("report written to {out}");
+    sink.finish();
 }

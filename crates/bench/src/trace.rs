@@ -13,7 +13,7 @@ use statsym_telemetry::{Clock, FileRecorder, Recorder, NOOP};
 pub struct TraceSink {
     path: Option<String>,
     rec: Option<FileRecorder>,
-    workers: usize,
+    workers: Option<usize>,
 }
 
 fn usage_exit(msg: &str) -> ! {
@@ -29,20 +29,38 @@ impl TraceSink {
     /// to a single worker (the sequential candidate loop).
     ///
     /// Exits with status 2 (and a usage message on stderr) on a
-    /// malformed command line or an unwritable trace path.
+    /// malformed command line, an unrecognized flag, or an unwritable
+    /// trace path. Binaries with their own flags should call
+    /// [`TraceSink::extract`] instead.
     pub fn from_args() -> TraceSink {
-        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut args: Vec<String> = std::env::args().skip(1).collect();
+        let sink = TraceSink::extract(&mut args);
+        if let Some(other) = args.first() {
+            usage_exit(&format!("unknown argument `{other}`"));
+        }
+        sink
+    }
+
+    /// Pulls the trace flags (`--trace`, `--clock`, `--workers`) out of
+    /// `args`, leaving every unrecognized argument in place for the
+    /// caller to parse — how binaries combine their own flags with the
+    /// shared trace options.
+    ///
+    /// Exits with status 2 on a malformed trace flag or an unwritable
+    /// trace path.
+    pub fn extract(args: &mut Vec<String>) -> TraceSink {
         let mut path = None;
         let mut wall = false;
-        let mut workers = 1usize;
-        let mut it = args.iter();
+        let mut workers = None;
+        let mut rest = Vec::new();
+        let mut it = std::mem::take(args).into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--trace" => match it.next() {
-                    Some(p) => path = Some(p.clone()),
+                    Some(p) => path = Some(p),
                     None => usage_exit("--trace requires a file path"),
                 },
-                "--clock" => match it.next().map(String::as_str) {
+                "--clock" => match it.next().as_deref() {
                     Some("steps") => wall = false,
                     Some("wall") => wall = true,
                     Some(other) => {
@@ -51,13 +69,14 @@ impl TraceSink {
                     None => usage_exit("--clock requires `steps` or `wall`"),
                 },
                 "--workers" => match it.next().map(|n| n.parse::<usize>()) {
-                    Some(Ok(n)) if n >= 1 => workers = n,
+                    Some(Ok(n)) if n >= 1 => workers = Some(n),
                     Some(_) => usage_exit("--workers requires a positive integer"),
                     None => usage_exit("--workers requires a worker count"),
                 },
-                other => usage_exit(&format!("unknown argument `{other}`")),
+                _ => rest.push(a),
             }
         }
+        *args = rest;
         let rec = path.as_deref().map(|p| {
             let clock = if wall { Clock::wall() } else { Clock::steps() };
             FileRecorder::create(p, clock)
@@ -69,6 +88,12 @@ impl TraceSink {
     /// Worker threads for the guided execution stage (`--workers`,
     /// default 1: the sequential candidate loop).
     pub fn workers(&self) -> usize {
+        self.workers.unwrap_or(1)
+    }
+
+    /// The worker count only when `--workers` was passed explicitly —
+    /// for binaries whose default is a sweep rather than a single count.
+    pub fn explicit_workers(&self) -> Option<usize> {
         self.workers
     }
 

@@ -42,6 +42,13 @@ pub struct StatSymConfig {
     /// candidates once a better-ranked candidate verifies the fault.
     /// Has no effect at `workers == 1`.
     pub cancel_on_found: bool,
+    /// In portfolio mode, share Sat/Unsat solver verdicts between
+    /// workers through one sharded cache. Never changes what a worker
+    /// explores — only how much solver work it spends — so turn it off
+    /// when solver-work counters must be independent of scheduling
+    /// (e.g. byte-reproducible trace comparisons). Has no effect at
+    /// `workers == 1`.
+    pub share_cache: bool,
 }
 
 impl Default for StatSymConfig {
@@ -59,6 +66,7 @@ impl Default for StatSymConfig {
             },
             workers: 1,
             cancel_on_found: true,
+            share_cache: true,
         }
     }
 }
@@ -329,6 +337,7 @@ impl StatSym {
                         "paths_explored",
                         FieldValue::from(report.stats.paths_explored),
                     ),
+                    ("steps", FieldValue::from(report.stats.exec.steps)),
                 ],
             );
             attempts.push(CandidateAttempt {

@@ -26,27 +26,37 @@
 //! * **Shared solver cache.** All workers publish Sat/Unsat verdicts
 //!   into one sharded [`SharedCache`] keyed by structural constraint
 //!   hashes, so overlapping path prefixes across candidates are solved
-//!   once per portfolio instead of once per attempt.
+//!   once per portfolio instead of once per attempt. Gated by
+//!   [`StatSymConfig::share_cache`]: turning it off makes every
+//!   worker's solver *work* counters independent of scheduling, which
+//!   is what the byte-reproducible-trace tests rely on.
 //!
-//! Recorders are single-threaded by design, so workers run detached
-//! and the main thread replays each reported attempt's spans, counters,
-//! and events in rank order after the join — a portfolio trace
-//! reconciles with its report exactly like a sequential one. Work done
-//! by cancelled or losing attempts is reported separately under
-//! `portfolio.*` metrics and never pollutes the engine counters.
+//! **Concurrent recording (DESIGN.md §10).** Each worker owns a private
+//! [`BufferedRecorder`] and the engine records into it natively — the
+//! same spans, events, counters, and histograms a sequential attempt
+//! would record, including per-callsite solver profiles and anything a
+//! cancelled run did before it stopped. After the join, the main thread
+//! splices the buffers into the real recorder in rank order via
+//! [`Recorder::merge_buffer`]: ranks up to the winner merge verbatim
+//! (so the trace reconciles with the reported attempts exactly like a
+//! sequential trace), while overshoot attempts — work the sequential
+//! loop would never have started — merge under the
+//! `portfolio.overshoot.` prefix so they never pollute the engine's own
+//! counters.
 
 use crate::candidate::CandidatePath;
 use crate::guidance::GuidedHook;
 use crate::pipeline::{CandidateAttempt, StatSymConfig};
 use sir::Module;
-use solver::{SharedCache, SharedCacheStats, SolverStats};
-use statsym_telemetry::{names, FieldValue, Recorder};
-use symex::{outcome_label, record_run_telemetry, Engine, EngineConfig, EngineReport};
+use solver::{SharedCache, SharedCacheStats};
+use statsym_telemetry::{names, BufferedRecorder, FieldValue, Recorder, TraceBuffer};
+use symex::{outcome_label, Engine, EngineConfig, EngineReport};
 use symex::{FoundVulnerability, RunOutcome, SchedulerKind};
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Result of one portfolio execution, shaped exactly like the
 /// corresponding fields of a sequential `StatSymReport`.
@@ -59,8 +69,19 @@ pub struct PortfolioOutcome {
     pub found: Option<FoundVulnerability>,
     /// Rank of the winning candidate.
     pub candidate_used: Option<usize>,
-    /// Shared solver-cache counters for the whole portfolio.
+    /// Shared solver-cache counters for the whole portfolio (all zero
+    /// when [`StatSymConfig::share_cache`] is off).
     pub cache: SharedCacheStats,
+}
+
+/// Everything a worker ships back to the main thread for one rank.
+struct WorkerDone {
+    report: EngineReport,
+    /// The worker's private trace, if the run was recorded.
+    trace: Option<TraceBuffer>,
+    /// For cancelled runs: wall time from the cancel token tripping to
+    /// the engine actually stopping.
+    cancel_latency: Option<Duration>,
 }
 
 /// Runs the ranked candidates as a parallel portfolio and returns the
@@ -86,7 +107,11 @@ pub fn run_portfolio(
     // strictly above this watermark are ever cancelled or skipped.
     let best = AtomicUsize::new(n);
     let tokens: Vec<Arc<AtomicBool>> = (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
-    let slots: Vec<Mutex<Option<EngineReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // When each token first tripped — the start point of cancel latency.
+    let trips: Vec<Mutex<Option<Instant>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<WorkerDone>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let record = rec.enabled();
+    let clock_mode = rec.clock_mode();
 
     thread::scope(|s| {
         for _ in 0..workers {
@@ -104,16 +129,38 @@ pub fn run_portfolio(
                     scheduler: SchedulerKind::Priority,
                     ..config.engine
                 };
-                let hook = GuidedHook::new(paths[rank].clone(), config.guidance);
-                let mut engine = Engine::with_hook(module, engine_config, Box::new(hook));
-                engine.set_shared_cache(shared.clone());
-                if config.cancel_on_found {
-                    engine.set_cancel_token(tokens[rank].clone());
-                }
-                for (name, value) in pins {
-                    engine.pin_input(name.clone(), value.clone());
-                }
-                let report = engine.run();
+                // The worker's private recorder: the engine records into
+                // it exactly as it would into the main-thread sink.
+                let wrec = record.then(|| BufferedRecorder::new(clock_mode));
+                let attempt_span = wrec.as_ref().map(|w| w.span_open(names::CANDIDATE_ATTEMPT));
+                let report = {
+                    let hook = GuidedHook::new(paths[rank].clone(), config.guidance);
+                    let mut engine = Engine::with_hook(module, engine_config, Box::new(hook));
+                    if let Some(w) = wrec.as_ref() {
+                        engine.set_recorder(w);
+                    }
+                    if config.share_cache {
+                        engine.set_shared_cache(shared.clone());
+                    }
+                    if config.cancel_on_found {
+                        engine.set_cancel_token(tokens[rank].clone());
+                    }
+                    for (name, value) in pins {
+                        engine.pin_input(name.clone(), value.clone());
+                    }
+                    engine.run()
+                };
+                let cancel_latency = if matches!(
+                    report.outcome,
+                    RunOutcome::Exhausted(symex::ExhaustionReason::Cancelled)
+                ) {
+                    trips[rank]
+                        .lock()
+                        .expect("portfolio worker panicked")
+                        .map(|at| at.elapsed())
+                } else {
+                    None
+                };
                 if report.outcome.is_found() {
                     let mut cur = best.load(Ordering::Acquire);
                     while rank < cur {
@@ -129,23 +176,49 @@ pub fn run_portfolio(
                     }
                     if config.cancel_on_found {
                         let watermark = best.load(Ordering::Acquire);
-                        for token in tokens.iter().skip(watermark + 1) {
-                            token.store(true, Ordering::Release);
+                        for (token, trip) in tokens.iter().zip(&trips).skip(watermark + 1) {
+                            // Stamp the trip time before the token so a
+                            // cancelled worker always finds it set.
+                            let mut at = trip.lock().expect("portfolio worker panicked");
+                            if at.is_none() {
+                                *at = Some(Instant::now());
+                                token.store(true, Ordering::Release);
+                            }
                         }
                     }
                 }
-                *slots[rank].lock().expect("portfolio worker panicked") = Some(report);
+                if let Some(w) = wrec.as_ref() {
+                    w.span_close(attempt_span.expect("span opened iff recording"));
+                    w.event(
+                        names::CANDIDATE_RESULT,
+                        &[
+                            ("index", FieldValue::from(rank)),
+                            ("path_len", FieldValue::from(paths[rank].len())),
+                            ("found", FieldValue::from(report.outcome.is_found())),
+                            (
+                                "paths_explored",
+                                FieldValue::from(report.stats.paths_explored),
+                            ),
+                            ("steps", FieldValue::from(report.stats.exec.steps)),
+                        ],
+                    );
+                }
+                *slots[rank].lock().expect("portfolio worker panicked") = Some(WorkerDone {
+                    report,
+                    trace: wrec.map(BufferedRecorder::finish),
+                    cancel_latency,
+                });
             });
         }
     });
 
-    let reports: Vec<Option<EngineReport>> = slots
+    let reports: Vec<Option<WorkerDone>> = slots
         .into_iter()
         .map(|m| m.into_inner().expect("portfolio worker panicked"))
         .collect();
     let winner = reports
         .iter()
-        .position(|r| r.as_ref().is_some_and(|r| r.outcome.is_found()));
+        .position(|r| r.as_ref().is_some_and(|r| r.report.outcome.is_found()));
     let limit = winner.unwrap_or(n);
 
     let mut attempts = Vec::new();
@@ -154,25 +227,30 @@ pub fn run_portfolio(
     for (rank, slot) in reports.into_iter().enumerate() {
         if rank <= limit {
             // Ranks at or below the winner are never cancelled or
-            // skipped, so the attempt always completed.
-            let report = slot.expect("candidates at or below the winning rank run to completion");
-            replay_attempt(rec, rank, paths[rank].len(), &report);
+            // skipped, so the attempt always completed. Its buffer
+            // merges verbatim: the trace shows exactly what the
+            // sequential loop would have recorded live.
+            let done = slot.expect("candidates at or below the winning rank run to completion");
+            if let Some(buf) = &done.trace {
+                rec.merge_buffer(buf, None);
+            }
             attempts.push(CandidateAttempt {
                 index: rank,
                 path_len: paths[rank].len(),
-                found: report.outcome.is_found(),
-                wall_time: report.wall_time,
-                stats: report.stats,
+                found: done.report.outcome.is_found(),
+                wall_time: done.report.wall_time,
+                stats: done.report.stats,
             });
-            if let RunOutcome::Found(f) = report.outcome {
+            if let RunOutcome::Found(f) = done.report.outcome {
                 found = Some(*f);
             }
-        } else if let Some(report) = slot {
+        } else if let Some(done) = slot {
             // Overshoot: an attempt the sequential loop would never have
-            // started. Its work is visible only under portfolio.* so the
+            // started. Its full trace is preserved, but every span,
+            // event, and metric lands under portfolio.overshoot.* so the
             // engine counters still reconcile with the reported attempts.
             let was_cancelled = matches!(
-                report.outcome,
+                done.report.outcome,
                 RunOutcome::Exhausted(symex::ExhaustionReason::Cancelled)
             );
             cancelled += u64::from(was_cancelled);
@@ -180,10 +258,19 @@ pub fn run_portfolio(
                 names::PORTFOLIO_ATTEMPT,
                 &[
                     ("index", FieldValue::from(rank)),
-                    ("outcome", FieldValue::from(outcome_label(&report.outcome))),
-                    ("steps", FieldValue::from(report.stats.exec.steps)),
+                    (
+                        "outcome",
+                        FieldValue::from(outcome_label(&done.report.outcome)),
+                    ),
+                    ("steps", FieldValue::from(done.report.stats.exec.steps)),
                 ],
             );
+            if let Some(buf) = &done.trace {
+                rec.merge_buffer(buf, Some(names::PORTFOLIO_OVERSHOOT_PREFIX));
+            }
+            if let Some(d) = done.cancel_latency {
+                rec.observe_wall(names::PORTFOLIO_CANCEL_LATENCY_US, d);
+            }
         }
     }
 
@@ -202,34 +289,4 @@ pub fn run_portfolio(
         candidate_used: winner,
         cache,
     }
-}
-
-/// Replays one reported attempt into the main-thread recorder with the
-/// same span/event shape the sequential loop produces live: a
-/// `candidate.attempt` span wrapping an `engine.run` span whose counters
-/// mirror the attempt's stats, followed by a `candidate.result` event.
-fn replay_attempt(rec: &dyn Recorder, rank: usize, path_len: usize, report: &EngineReport) {
-    if !rec.enabled() {
-        return;
-    }
-    let attempt_span = rec.span_open(names::CANDIDATE_ATTEMPT);
-    let run_span = rec.span_open(names::ENGINE_RUN);
-    rec.tick(report.stats.exec.steps);
-    // Each portfolio attempt ran on a fresh solver, so its stats are
-    // already deltas — no prior snapshot to subtract.
-    record_run_telemetry(rec, &report.stats, &SolverStats::default(), &report.outcome);
-    rec.span_close(run_span);
-    rec.span_close(attempt_span);
-    rec.event(
-        names::CANDIDATE_RESULT,
-        &[
-            ("index", FieldValue::from(rank)),
-            ("path_len", FieldValue::from(path_len)),
-            ("found", FieldValue::from(report.outcome.is_found())),
-            (
-                "paths_explored",
-                FieldValue::from(report.stats.paths_explored),
-            ),
-        ],
-    );
 }

@@ -1,0 +1,220 @@
+//! `statsym-inspect critical-path`: which candidate attempt bounded a
+//! portfolio run, and how much work was wasted getting there.
+//!
+//! Works on any trace with `candidate.attempt` spans — sequential runs
+//! degenerate to "the critical path is the whole loop". For portfolio
+//! traces the merged buffers preserve each worker's own span durations,
+//! so the longest attempt is the parallel wall-clock bound, the sum of
+//! attempts is the sequential-equivalent cost, and their ratio is the
+//! achieved parallelism. Overshoot attempts (merged under
+//! `portfolio.overshoot.`) count toward wasted work: the sequential
+//! loop would never have run them.
+
+use statsym_telemetry::{names, FieldValue, TraceEvent};
+
+/// One reconstructed candidate attempt.
+#[derive(Debug, Clone)]
+struct Attempt {
+    /// Candidate rank, from the paired `candidate.result` event.
+    index: Option<u64>,
+    /// Whether this attempt verified the fault.
+    found: bool,
+    /// Executor steps spent, from the result event.
+    steps: u64,
+    /// Span duration in trace ticks.
+    ticks: u64,
+    /// True for `portfolio.overshoot.`-prefixed attempts.
+    overshoot: bool,
+}
+
+fn field<'e>(fields: &'e [(String, FieldValue)], key: &str) -> Option<&'e FieldValue> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Reconstructs the per-attempt timeline from a parsed trace.
+fn attempts(events: &[TraceEvent]) -> Vec<Attempt> {
+    let overshoot_attempt = format!(
+        "{}{}",
+        names::PORTFOLIO_OVERSHOOT_PREFIX,
+        names::CANDIDATE_ATTEMPT
+    );
+    let overshoot_result = format!(
+        "{}{}",
+        names::PORTFOLIO_OVERSHOOT_PREFIX,
+        names::CANDIDATE_RESULT
+    );
+    // Attempt spans currently open: (span id, open tick, overshoot).
+    let mut open: Vec<(u64, u64, bool)> = Vec::new();
+    let mut out: Vec<Attempt> = Vec::new();
+    // Attempts closed but not yet matched to their result event, per
+    // kind — each worker emits the result right after its span closes,
+    // and rank-ordered merging preserves that adjacency.
+    let mut unmatched: Vec<usize> = Vec::new();
+    for ev in events {
+        match ev {
+            TraceEvent::SpanOpen { t, id, name, .. }
+                if name == names::CANDIDATE_ATTEMPT || *name == overshoot_attempt =>
+            {
+                open.push((*id, *t, *name == overshoot_attempt));
+            }
+            TraceEvent::SpanClose { t, id } => {
+                if let Some(pos) = open.iter().rposition(|(oid, _, _)| oid == id) {
+                    let (_, opened, overshoot) = open.remove(pos);
+                    unmatched.push(out.len());
+                    out.push(Attempt {
+                        index: None,
+                        found: false,
+                        steps: 0,
+                        ticks: t.saturating_sub(opened),
+                        overshoot,
+                    });
+                }
+            }
+            TraceEvent::Event { name, fields, .. }
+                if name == names::CANDIDATE_RESULT || *name == overshoot_result =>
+            {
+                if let Some(at) = unmatched.pop() {
+                    let a = &mut out[at];
+                    a.index = field(fields, "index").and_then(FieldValue::as_u64);
+                    a.found = field(fields, "found").and_then(FieldValue::as_str) == Some("true");
+                    a.steps = field(fields, "steps")
+                        .and_then(FieldValue::as_u64)
+                        .unwrap_or(0);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Renders the critical-path analysis for a parsed trace.
+pub fn critical_path(events: &[TraceEvent]) -> String {
+    let attempts = attempts(events);
+    if attempts.is_empty() {
+        return "no candidate attempts in trace\n".to_string();
+    }
+
+    let workers = events.iter().find_map(|e| match e {
+        TraceEvent::Counter { name, value } if name == names::PORTFOLIO_WORKERS => Some(*value),
+        _ => None,
+    });
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "critical path over {} attempt(s){}\n\n",
+        attempts.len(),
+        workers.map_or(String::new(), |w| format!(" ({w} portfolio workers)")),
+    ));
+    out.push_str(&format!(
+        "  {:<6} {:>10} {:>12} {:>7} {:>10}\n",
+        "rank", "steps", "ticks", "found", "kind"
+    ));
+    for a in &attempts {
+        out.push_str(&format!(
+            "  {:<6} {:>10} {:>12} {:>7} {:>10}\n",
+            a.index.map_or("?".to_string(), |i| i.to_string()),
+            a.steps,
+            a.ticks,
+            if a.found { "yes" } else { "no" },
+            if a.overshoot { "overshoot" } else { "ranked" },
+        ));
+    }
+
+    let total_ticks: u64 = attempts.iter().map(|a| a.ticks).sum();
+    let bound = attempts
+        .iter()
+        .max_by_key(|a| a.ticks)
+        .expect("non-empty attempts");
+    let total_steps: u64 = attempts.iter().map(|a| a.steps).sum();
+    let useful_steps: u64 = attempts
+        .iter()
+        .filter(|a| a.found && !a.overshoot)
+        .map(|a| a.steps)
+        .sum();
+    let wasted = if total_steps == 0 {
+        0.0
+    } else {
+        100.0 * (total_steps - useful_steps) as f64 / total_steps as f64
+    };
+
+    out.push_str(&format!(
+        "\n  bounding attempt: rank {} ({} ticks, {:.1}% of summed attempt time)\n",
+        bound.index.map_or("?".to_string(), |i| i.to_string()),
+        bound.ticks,
+        if total_ticks == 0 {
+            0.0
+        } else {
+            100.0 * bound.ticks as f64 / total_ticks as f64
+        },
+    ));
+    if bound.ticks > 0 {
+        out.push_str(&format!(
+            "  parallelism (summed / bounding): {:.2}x\n",
+            total_ticks as f64 / bound.ticks as f64
+        ));
+    }
+    out.push_str(&format!(
+        "  wasted work: {wasted:.1}% of {total_steps} steps \
+         (everything but the winning attempt)\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statsym_telemetry::{names, Clock, FieldValue};
+    use statsym_telemetry::{BufferedRecorder, ClockMode, MemRecorder, Recorder};
+
+    fn record_attempt(rec: &dyn Recorder, index: u64, steps: u64, found: bool) {
+        let sp = rec.span_open(names::CANDIDATE_ATTEMPT);
+        rec.tick(steps);
+        rec.span_close(sp);
+        rec.event(
+            names::CANDIDATE_RESULT,
+            &[
+                ("index", FieldValue::from(index)),
+                ("path_len", FieldValue::from(1u64)),
+                ("found", FieldValue::from(found)),
+                ("paths_explored", FieldValue::from(1u64)),
+                ("steps", FieldValue::from(steps)),
+            ],
+        );
+    }
+
+    #[test]
+    fn reconstructs_ranked_and_overshoot_attempts() {
+        let rec = MemRecorder::new(Clock::steps());
+        let root = rec.span_open(names::PORTFOLIO);
+        rec.counter_add(names::PORTFOLIO_WORKERS, 4);
+        for (i, steps, found) in [(0u64, 100u64, false), (1, 40, true)] {
+            let w = BufferedRecorder::new(ClockMode::Steps);
+            record_attempt(&w, i, steps, found);
+            rec.merge_buffer(&w.finish(), None);
+        }
+        let w = BufferedRecorder::new(ClockMode::Steps);
+        record_attempt(&w, 2, 60, false);
+        rec.merge_buffer(&w.finish(), Some(names::PORTFOLIO_OVERSHOOT_PREFIX));
+        rec.span_close(root);
+
+        let text = critical_path(&rec.finish());
+        assert!(
+            text.contains("3 attempt(s) (4 portfolio workers)"),
+            "{text}"
+        );
+        assert!(text.contains("bounding attempt: rank 0"), "{text}");
+        // 100 + 40 + 60 = 200 steps total; the winner used 40.
+        assert!(text.contains("wasted work: 80.0% of 200 steps"), "{text}");
+        assert!(text.contains("overshoot"), "{text}");
+        assert!(
+            text.contains("parallelism (summed / bounding): 2.00x"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_reports_no_attempts() {
+        assert_eq!(critical_path(&[]), "no candidate attempts in trace\n");
+    }
+}

@@ -1,0 +1,48 @@
+//! Trace analytics for StatSym JSONL traces (`statsym-inspect`).
+//!
+//! Four views over a recorded run:
+//!
+//! * [`report`](mod@crate) — the Table II/III-style run report
+//!   ([`statsym_telemetry::TraceSummary::render`]).
+//! * [`diff`] — per-phase / per-counter deltas between two traces (or
+//!   two numeric JSON reports such as `BENCH_portfolio.json`), with a
+//!   configurable regression threshold. The CI perf gate.
+//! * [`critical`] — which candidate attempt bounded the wall time of a
+//!   portfolio run, and how much of the total work was wasted on
+//!   attempts that did not produce the winning path.
+//! * [`top`] — the solver hot-spot profile from the per-callsite
+//!   `solver.site.*` counters and query-latency histograms.
+//!
+//! Traces are loaded with the *strict* parser: unbalanced or duplicate
+//! spans are rejected with line-numbered errors rather than silently
+//! skewing the analytics.
+
+pub mod critical;
+pub mod diff;
+pub mod numjson;
+pub mod top;
+
+use statsym_telemetry::{parse_trace_strict, TraceEvent, TraceSummary};
+
+/// Reads and strictly parses a JSONL trace, prefixing errors with the
+/// file path (`path:line: reason`).
+///
+/// # Errors
+///
+/// Returns a rendered error for unreadable files and for malformed or
+/// structurally invalid (unbalanced / duplicate-span) traces.
+pub fn load_trace(path: &str) -> Result<Vec<TraceEvent>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read trace: {e}"))?;
+    parse_trace_strict(&text).map_err(|e| format!("{path}:{}: {}", e.line, e.reason))
+}
+
+/// Renders the run report for the trace at `path`.
+///
+/// # Errors
+///
+/// Propagates [`load_trace`] failures.
+pub fn report(path: &str) -> Result<String, String> {
+    let events = load_trace(path)?;
+    Ok(TraceSummary::from_events(&events).render())
+}

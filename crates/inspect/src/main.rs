@@ -1,0 +1,139 @@
+//! `statsym-inspect` — trace analytics over StatSym JSONL traces.
+//!
+//! ```text
+//! statsym-inspect report <trace.jsonl>
+//! statsym-inspect diff <old> <new> [--threshold <pct>%] [--ignore <prefix>]... [--min-delta <n>]
+//! statsym-inspect critical-path <trace.jsonl>
+//! statsym-inspect top <trace.jsonl> [--limit <n>]
+//! ```
+//!
+//! Exit codes: 0 success (and no regressions), 1 `diff` found at least
+//! one regression, 2 usage or parse error.
+
+use statsym_inspect::diff::{diff_files, parse_threshold, DiffConfig};
+use statsym_inspect::{critical, load_trace, report, top};
+
+const USAGE: &str = "\
+usage: statsym-inspect <command> [args]
+
+commands:
+  report <trace.jsonl>
+      Render the run report (phases, counters, gauges, histograms).
+  diff <old> <new> [--threshold <pct>%] [--ignore <prefix>]... [--min-delta <n>]
+      Compare two traces (or two numeric JSON reports). Exits 1 when a
+      metric grew past the threshold (default 10%).
+  critical-path <trace.jsonl>
+      Show which candidate attempt bounded the run and the wasted-work
+      ratio of a portfolio execution.
+  top <trace.jsonl> [--limit <n>]
+      Rank solver callsites by search nodes (per-site profile).
+";
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("report") => {
+            let [path] = positional::<1>(&args[1..], "report <trace.jsonl>");
+            match report(&path) {
+                Ok(text) => {
+                    print!("{text}");
+                    0
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        Some("diff") => run_diff(&args[1..]),
+        Some("critical-path") => {
+            let [path] = positional::<1>(&args[1..], "critical-path <trace.jsonl>");
+            match load_trace(&path) {
+                Ok(events) => {
+                    print!("{}", critical::critical_path(&events));
+                    0
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        Some("top") => {
+            let mut limit = 16usize;
+            let mut rest = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--limit" => match it.next().map(|n| n.parse::<usize>()) {
+                        Some(Ok(n)) if n >= 1 => limit = n,
+                        _ => usage_exit("--limit requires a positive integer"),
+                    },
+                    _ => rest.push(a.clone()),
+                }
+            }
+            let [path] = positional::<1>(&rest, "top <trace.jsonl> [--limit <n>]");
+            match load_trace(&path) {
+                Ok(events) => {
+                    print!("{}", top::top(&events, limit));
+                    0
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        Some(other) => usage_exit(&format!("unknown command `{other}`")),
+        None => usage_exit("missing command"),
+    };
+    std::process::exit(code);
+}
+
+/// Exactly `N` positional arguments, or a usage error.
+fn positional<const N: usize>(args: &[String], usage: &str) -> [String; N] {
+    if args.len() != N || args.iter().any(|a| a.starts_with("--")) {
+        usage_exit(&format!("expected: {usage}"));
+    }
+    std::array::from_fn(|i| args[i].clone())
+}
+
+fn run_diff(args: &[String]) -> i32 {
+    let mut cfg = DiffConfig::default();
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => match it.next() {
+                Some(t) => match parse_threshold(t) {
+                    Ok(v) => cfg.threshold_pct = v,
+                    Err(e) => usage_exit(&e),
+                },
+                None => usage_exit("--threshold requires a percentage"),
+            },
+            "--ignore" => match it.next() {
+                Some(p) => cfg.ignore.push(p.clone()),
+                None => usage_exit("--ignore requires a metric-name prefix"),
+            },
+            "--min-delta" => match it.next().map(|n| n.parse::<f64>()) {
+                Some(Ok(v)) if v >= 0.0 => cfg.min_delta = v,
+                _ => usage_exit("--min-delta requires a non-negative number"),
+            },
+            other if other.starts_with("--") => usage_exit(&format!("unknown diff flag `{other}`")),
+            _ => paths.push(a.clone()),
+        }
+    }
+    let [old, new]: [String; 2] = match paths.try_into() {
+        Ok(p) => p,
+        Err(_) => usage_exit("expected: diff <old> <new>"),
+    };
+    match diff_files(&old, &new, &cfg) {
+        Ok(d) => {
+            print!("{}", d.rendered);
+            i32::from(d.regressions > 0)
+        }
+        Err(e) => fail(&e),
+    }
+}

@@ -1,0 +1,187 @@
+//! `statsym-inspect top`: the solver hot-spot profile.
+//!
+//! The engine tags every solver call with its callsite (`feasibility`,
+//! `fault_model`, `concretize`, `report_model`), and the solver emits
+//! per-site query counts, search-node deltas, and — under a wall clock
+//! — query-latency histograms (`solver.site.<site>.*`). This view ranks
+//! the sites by search nodes (the scheduling-independent work proxy)
+//! and shows what fraction of total solver work each one explains.
+//! Overshoot copies of the counters (`portfolio.overshoot.solver.site.*`)
+//! are listed as their own rows: work the sequential loop never did.
+
+use statsym_telemetry::{names, TraceEvent, TraceSummary};
+
+#[derive(Debug, Default, Clone)]
+struct Site {
+    queries: u64,
+    nodes: u64,
+    lat_count: u64,
+    lat_sum_us: u64,
+}
+
+/// Renders the per-callsite solver profile for a parsed trace.
+pub fn top(events: &[TraceEvent], limit: usize) -> String {
+    let s = TraceSummary::from_events(events);
+    let overshoot_prefix = format!(
+        "{}{}",
+        names::PORTFOLIO_OVERSHOOT_PREFIX,
+        names::SOLVER_SITE_PREFIX
+    );
+
+    // site label -> stats; overshoot sites get an "overshoot:" label.
+    let mut sites: Vec<(String, Site)> = Vec::new();
+    let site_mut = |label: String, sites: &mut Vec<(String, Site)>| -> usize {
+        match sites.iter().position(|(n, _)| *n == label) {
+            Some(i) => i,
+            None => {
+                sites.push((label, Site::default()));
+                sites.len() - 1
+            }
+        }
+    };
+    let classify = |name: &str| -> Option<(String, &'static str)> {
+        let (label_prefix, rest) = if let Some(rest) = name.strip_prefix(names::SOLVER_SITE_PREFIX)
+        {
+            ("", rest)
+        } else if let Some(rest) = name.strip_prefix(&overshoot_prefix) {
+            ("overshoot:", rest)
+        } else {
+            return None;
+        };
+        let (site, metric) = rest.rsplit_once('.')?;
+        Some((
+            format!("{label_prefix}{site}"),
+            match metric {
+                "queries" => "queries",
+                "nodes" => "nodes",
+                "query_us" => "query_us",
+                _ => return None,
+            },
+        ))
+    };
+
+    for (name, v) in &s.counters {
+        if let Some((label, metric)) = classify(name) {
+            let i = site_mut(label, &mut sites);
+            match metric {
+                "queries" => sites[i].1.queries += v,
+                "nodes" => sites[i].1.nodes += v,
+                _ => {}
+            }
+        }
+    }
+    for (name, count, sum) in &s.hists {
+        if let Some((label, "query_us")) = classify(name) {
+            let i = site_mut(label, &mut sites);
+            sites[i].1.lat_count += count;
+            sites[i].1.lat_sum_us += sum;
+        }
+    }
+
+    if sites.is_empty() {
+        return "no solver.site.* metrics in trace (recorded before profiling hooks?)\n"
+            .to_string();
+    }
+    sites.sort_by(|a, b| b.1.nodes.cmp(&a.1.nodes).then(a.0.cmp(&b.0)));
+
+    let total_nodes: u64 = s.counter(names::SOLVER_NODES);
+    let attributed: u64 = sites
+        .iter()
+        .filter(|(n, _)| !n.starts_with("overshoot:"))
+        .map(|(_, st)| st.nodes)
+        .sum();
+
+    let mut out = String::new();
+    out.push_str("solver hot spots by search nodes\n\n");
+    out.push_str(&format!(
+        "  {:<28} {:>10} {:>12} {:>12} {:>12}\n",
+        "site", "queries", "nodes", "nodes/query", "mean µs"
+    ));
+    for (label, st) in sites.iter().take(limit) {
+        let per_query = if st.queries == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}", st.nodes as f64 / st.queries as f64)
+        };
+        let mean_us = match st.lat_sum_us.checked_div(st.lat_count) {
+            None => "-".to_string(),
+            Some(mean) => format!("{mean}"),
+        };
+        out.push_str(&format!(
+            "  {label:<28} {:>10} {:>12} {per_query:>12} {mean_us:>12}\n",
+            st.queries, st.nodes
+        ));
+    }
+    if sites.len() > limit {
+        out.push_str(&format!("  … {} more site(s)\n", sites.len() - limit));
+    }
+    out.push_str(&format!(
+        "\n  total solver nodes: {total_nodes} \
+         ({:.1}% attributed to ranked-attempt sites)\n",
+        if total_nodes == 0 {
+            0.0
+        } else {
+            100.0 * attributed as f64 / total_nodes as f64
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter(name: &str, value: u64) -> TraceEvent {
+        TraceEvent::Counter {
+            name: name.into(),
+            value,
+        }
+    }
+
+    #[test]
+    fn ranks_sites_by_nodes_and_attributes_totals() {
+        let events = vec![
+            counter("solver.site.feasibility.queries", 50),
+            counter("solver.site.feasibility.nodes", 900),
+            counter("solver.site.concretize.queries", 5),
+            counter("solver.site.concretize.nodes", 40),
+            counter("portfolio.overshoot.solver.site.feasibility.queries", 9),
+            counter("portfolio.overshoot.solver.site.feasibility.nodes", 111),
+            counter(names::SOLVER_NODES, 1000),
+            TraceEvent::Hist {
+                name: "solver.site.feasibility.query_us".into(),
+                count: 50,
+                sum: 500,
+                buckets: vec![(4, 50)],
+            },
+        ];
+        let text = top(&events, 10);
+        let feas = text.find("  feasibility").expect("feasibility row");
+        let over = text.find("overshoot:feasibility").expect("overshoot row");
+        let conc = text.find("  concretize").expect("concretize row");
+        assert!(feas < over && over < conc, "{text}");
+        // 900 + 40 attributed out of 1000 total.
+        assert!(
+            text.contains("(94.0% attributed to ranked-attempt sites)"),
+            "{text}"
+        );
+        // Mean latency 500/50 = 10µs.
+        assert!(text.contains("10"), "{text}");
+    }
+
+    #[test]
+    fn empty_profile_is_reported() {
+        assert!(top(&[], 10).contains("no solver.site.*"));
+    }
+
+    #[test]
+    fn limit_truncates_rows() {
+        let events = vec![
+            counter("solver.site.a.nodes", 3),
+            counter("solver.site.b.nodes", 2),
+            counter("solver.site.c.nodes", 1),
+        ];
+        let text = top(&events, 2);
+        assert!(text.contains("… 1 more site(s)"), "{text}");
+    }
+}

@@ -1,0 +1,177 @@
+//! End-to-end tests of the `statsym-inspect` binary: exit codes, the
+//! golden run report, and the diff gate on both trace and JSON inputs.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn inspect(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_statsym-inspect"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn report_matches_golden_file() {
+    let out = inspect(&["report", fixture("base.jsonl").to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let rendered = stdout(&out);
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/report.txt");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden_path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect("golden file exists");
+    assert_eq!(
+        rendered, golden,
+        "report drifted from tests/golden/report.txt; \
+         re-bless with BLESS=1 cargo test -p statsym-inspect --test cli"
+    );
+}
+
+#[test]
+fn diff_identical_traces_exits_zero() {
+    let base = fixture("base.jsonl");
+    let out = inspect(&["diff", base.to_str().unwrap(), base.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("0 regression(s)"));
+}
+
+#[test]
+fn diff_flags_injected_regression_with_exit_one() {
+    let out = inspect(&[
+        "diff",
+        fixture("base.jsonl").to_str().unwrap(),
+        fixture("regressed.jsonl").to_str().unwrap(),
+        "--threshold",
+        "20%",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("REGRESSION"), "{text}");
+    // engine.run grew 140 -> 230 ticks; solver nodes 1000 -> 1300.
+    assert!(text.contains("phase engine.run"), "{text}");
+    assert!(text.contains("counter solver.nodes"), "{text}");
+}
+
+#[test]
+fn diff_threshold_above_growth_passes() {
+    let out = inspect(&[
+        "diff",
+        fixture("base.jsonl").to_str().unwrap(),
+        fixture("regressed.jsonl").to_str().unwrap(),
+        "--threshold",
+        "500%",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+}
+
+#[test]
+fn diff_ignore_prefixes_suppress_the_gate() {
+    let out = inspect(&[
+        "diff",
+        fixture("base.jsonl").to_str().unwrap(),
+        fixture("regressed.jsonl").to_str().unwrap(),
+        "--threshold",
+        "20%",
+        "--ignore",
+        "engine.run",
+        "--ignore",
+        "solver",
+        "--ignore",
+        "symex.steps",
+        "--ignore",
+        "candidate.attempt",
+        "--ignore",
+        "pipeline.symex",
+        "--ignore",
+        "portfolio",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("[ignored]"));
+}
+
+#[test]
+fn diff_compares_numeric_json_reports() {
+    let dir = std::env::temp_dir().join(format!("statsym-inspect-json-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let old = dir.join("old.json");
+    let new = dir.join("new.json");
+    std::fs::write(&old, r#"{"wall_s": 1.0, "parallel": [{"wall_s": 0.5}]}"#).unwrap();
+    std::fs::write(&new, r#"{"wall_s": 1.6, "parallel": [{"wall_s": 0.5}]}"#).unwrap();
+    let out = inspect(&[
+        "diff",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--threshold",
+        "20%",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(stdout(&out).contains("value wall_s"), "{}", stdout(&out));
+    let out = inspect(&[
+        "diff",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--threshold",
+        "100%",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_trace_fails_with_line_number_and_exit_two() {
+    let out = inspect(&["report", fixture("unbalanced.jsonl").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    // Duplicate span id 1 reopened on line 3.
+    assert!(err.contains(":3:"), "{err}");
+    assert!(err.contains("span"), "{err}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    for args in [
+        &[][..],
+        &["frobnicate"][..],
+        &["diff", "only-one-file"][..],
+        &["diff", "a", "b", "--threshold", "nope"][..],
+        &["top", "x", "--limit", "0"][..],
+    ] {
+        let out = inspect(args);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+    }
+}
+
+#[test]
+fn critical_path_and_top_render_fixture() {
+    let base = fixture("base.jsonl");
+    let out = inspect(&["critical-path", base.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(
+        text.contains("2 attempt(s) (4 portfolio workers)"),
+        "{text}"
+    );
+    assert!(text.contains("bounding attempt: rank 0"), "{text}");
+
+    let out = inspect(&["top", base.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("feasibility"), "{text}");
+    assert!(text.contains("94.0% attributed"), "{text}");
+}

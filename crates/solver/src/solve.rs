@@ -209,7 +209,7 @@ impl Solver {
         constraints: &[Constraint],
         rec: &dyn statsym_telemetry::Recorder,
     ) -> SatResult {
-        self.dispatch_traced(ctx, constraints, rec, true)
+        self.dispatch_traced(ctx, constraints, rec, true, None)
     }
 
     /// [`Solver::check_sat`] with per-query latency telemetry.
@@ -219,7 +219,33 @@ impl Solver {
         constraints: &[Constraint],
         rec: &dyn statsym_telemetry::Recorder,
     ) -> SatResult {
-        self.dispatch_traced(ctx, constraints, rec, false)
+        self.dispatch_traced(ctx, constraints, rec, false, None)
+    }
+
+    /// [`Solver::check_traced`] tagged with the callsite issuing the
+    /// query. Besides the global latency histogram, the query lands in
+    /// the per-site hot-spot profile: `solver.site.<site>.queries` and
+    /// `.nodes` counters plus a `.query_us` latency histogram
+    /// (wall-clock traces only). `statsym-inspect top` renders these.
+    pub fn check_traced_at(
+        &mut self,
+        ctx: &TermCtx,
+        constraints: &[Constraint],
+        rec: &dyn statsym_telemetry::Recorder,
+        site: &'static str,
+    ) -> SatResult {
+        self.dispatch_traced(ctx, constraints, rec, true, Some(site))
+    }
+
+    /// [`Solver::check_sat_traced`] tagged with the issuing callsite.
+    pub fn check_sat_traced_at(
+        &mut self,
+        ctx: &TermCtx,
+        constraints: &[Constraint],
+        rec: &dyn statsym_telemetry::Recorder,
+        site: &'static str,
+    ) -> SatResult {
+        self.dispatch_traced(ctx, constraints, rec, false, Some(site))
     }
 
     fn dispatch_traced(
@@ -228,13 +254,25 @@ impl Solver {
         constraints: &[Constraint],
         rec: &dyn statsym_telemetry::Recorder,
         needs_model: bool,
+        site: Option<&'static str>,
     ) -> SatResult {
         if !rec.enabled() {
             return self.check_inner(ctx, constraints, needs_model);
         }
+        let nodes_before = self.stats.nodes;
         let start = std::time::Instant::now();
         let result = self.check_inner(ctx, constraints, needs_model);
-        rec.observe_wall(statsym_telemetry::names::SOLVER_QUERY_US, start.elapsed());
+        let elapsed = start.elapsed();
+        rec.observe_wall(statsym_telemetry::names::SOLVER_QUERY_US, elapsed);
+        if let Some(site) = site {
+            use statsym_telemetry::names::SOLVER_SITE_PREFIX;
+            rec.counter_add(&format!("{SOLVER_SITE_PREFIX}{site}.queries"), 1);
+            rec.counter_add(
+                &format!("{SOLVER_SITE_PREFIX}{site}.nodes"),
+                self.stats.nodes - nodes_before,
+            );
+            rec.observe_wall(&format!("{SOLVER_SITE_PREFIX}{site}.query_us"), elapsed);
+        }
         result
     }
 

@@ -527,12 +527,16 @@ impl<'m> Engine<'m> {
         inputs_map: &HashMap<InputId, SymValue>,
     ) -> FoundVulnerability {
         let constraints = state.path.to_vec();
-        let model = match self.solver.check(&self.ctx, &constraints) {
-            SatResult::Sat(m) => m,
-            // The path was feasibility-checked at every fork; Unknown can
-            // occur only if the budget ran out. Fall back to defaults.
-            _ => solver::Model::default(),
-        };
+        let model =
+            match self
+                .solver
+                .check_traced_at(&self.ctx, &constraints, self.rec, "report_model")
+            {
+                SatResult::Sat(m) => m,
+                // The path was feasibility-checked at every fork; Unknown can
+                // occur only if the budget ran out. Fall back to defaults.
+                _ => solver::Model::default(),
+            };
         let mut inputs = concrete::InputMap::new();
         for (i, def) in self.module.inputs.iter().enumerate() {
             let id = InputId(i as u32);
@@ -598,9 +602,10 @@ pub fn outcome_label(outcome: &RunOutcome) -> &'static str {
 /// is not double-counted. Pass `SolverStats::default()` for a fresh
 /// solver.
 ///
-/// This is called by [`Engine::run`] itself; the portfolio executor also
-/// calls it directly to replay worker-thread runs into the main-thread
-/// recorder after the workers join (recorders are single-threaded).
+/// This is called by [`Engine::run`] itself; portfolio workers get it
+/// for free by pointing the engine at their private `BufferedRecorder`
+/// (the buffers are merged into the main trace after the join, so no
+/// replay step exists anymore).
 pub fn record_run_telemetry(
     rec: &dyn Recorder,
     stats: &EngineStats,
@@ -654,6 +659,15 @@ pub fn record_run_telemetry(
             ("outcome", FieldValue::from(outcome_label(outcome))),
             ("steps", FieldValue::from(stats.exec.steps)),
             ("paths_explored", FieldValue::from(stats.paths_explored)),
+            ("forks", FieldValue::from(stats.exec.forks)),
+            (
+                "solver_queries",
+                FieldValue::from(sv.queries - solver_before.queries),
+            ),
+            (
+                "solver_nodes",
+                FieldValue::from(sv.nodes - solver_before.nodes),
+            ),
         ],
     );
 }

@@ -92,7 +92,7 @@ impl<'e> ExecEnv<'e> {
     fn feasible(&mut self, cons: &[Constraint]) -> bool {
         !self
             .solver
-            .check_sat_traced(self.ctx, cons, self.rec)
+            .check_sat_traced_at(self.ctx, cons, self.rec, "feasibility")
             .is_unsat()
     }
 
@@ -658,7 +658,10 @@ fn bounds_checked_common(
         let hard = bad.path.to_vec();
         if env.feasible(&hard) {
             // Resolve a concrete violating index for the report.
-            let model_idx = match env.solver.check_traced(env.ctx, &hard, env.rec) {
+            let model_idx = match env
+                .solver
+                .check_traced_at(env.ctx, &hard, env.rec, "fault_model")
+            {
                 SatResult::Sat(m) => m.value_of(idx_t, env.ctx).unwrap_or(cap),
                 _ => cap,
             };
@@ -684,7 +687,10 @@ fn bounds_checked_common(
     ok.path = ok.path.push(lower).push(upper);
     ok.depth += 1;
     let cons = ok.all_constraints();
-    match env.solver.check_traced(env.ctx, &cons, env.rec) {
+    match env
+        .solver
+        .check_traced_at(env.ctx, &cons, env.rec, "concretize")
+    {
         SatResult::Sat(model) => {
             let i = model.value_of(idx_t, env.ctx).unwrap_or(0).clamp(0, cap);
             let point = env.ctx.int(i);

@@ -416,6 +416,79 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
     Ok(out)
 }
 
+/// Parses a whole JSONL trace and validates span structure: every
+/// `span_open` id must be fresh (no duplicates) and every `span_close`
+/// must match an open, still-unclosed span. Spans left open at end of
+/// trace are an error too (reported at their open line). Use this for
+/// untrusted input — `statsym-inspect` runs it on every file — where a
+/// skewed span tree would otherwise produce a silently wrong
+/// `TraceSummary`.
+///
+/// # Errors
+///
+/// Returns the first structural [`ParseError`] with its 1-based line
+/// number.
+pub fn parse_trace_strict(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
+    let mut out = Vec::new();
+    // span id -> (open line, still open?)
+    let mut spans: std::collections::HashMap<u64, (usize, bool)> = std::collections::HashMap::new();
+    let fail = |line: usize, reason: String| Err(ParseError { line, reason });
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let ev = match TraceEvent::parse_line(line) {
+            Ok(ev) => ev,
+            Err(mut e) => {
+                e.line = lineno;
+                return Err(e);
+            }
+        };
+        match &ev {
+            TraceEvent::SpanOpen { id, .. } => {
+                if *id == 0 {
+                    return fail(lineno, "span_open with reserved id 0".to_string());
+                }
+                if let Some((first, _)) = spans.get(id) {
+                    return fail(
+                        lineno,
+                        format!("duplicate span id {id} (first opened at line {first})"),
+                    );
+                }
+                spans.insert(*id, (lineno, true));
+            }
+            TraceEvent::SpanClose { id, .. } => match spans.get_mut(id) {
+                None => {
+                    return fail(lineno, format!("span_close for never-opened span id {id}"));
+                }
+                Some((open_line, open)) => {
+                    if !*open {
+                        return fail(
+                            lineno,
+                            format!(
+                                "span_close for already-closed span id {id} \
+                                 (opened at line {open_line})"
+                            ),
+                        );
+                    }
+                    *open = false;
+                }
+            },
+            _ => {}
+        }
+        out.push(ev);
+    }
+    if let Some((&id, &(open_line, _))) = spans
+        .iter()
+        .filter(|(_, (_, open))| *open)
+        .min_by_key(|(_, (line, _))| *line)
+    {
+        return fail(open_line, format!("span id {id} is never closed"));
+    }
+    Ok(out)
+}
+
 /// Renders events back to canonical JSONL (one line each, trailing
 /// newline after every line). `parse_trace` ∘ `render_trace` is the
 /// identity on canonical traces, byte for byte.
@@ -747,6 +820,60 @@ mod tests {
         let err = parse_trace(text).unwrap_err();
         assert_eq!(err.line, 3);
         assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn strict_parse_accepts_balanced_spans() {
+        let text = "{\"k\":\"span_open\",\"t\":0,\"id\":1,\"parent\":0,\"name\":\"a\"}\n\
+                    {\"k\":\"span_open\",\"t\":1,\"id\":2,\"parent\":1,\"name\":\"b\"}\n\
+                    {\"k\":\"span_close\",\"t\":2,\"id\":2}\n\
+                    {\"k\":\"span_close\",\"t\":3,\"id\":1}\n";
+        assert_eq!(parse_trace_strict(text).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn strict_parse_rejects_duplicate_span_id() {
+        let text = "{\"k\":\"span_open\",\"t\":0,\"id\":1,\"parent\":0,\"name\":\"a\"}\n\
+                    {\"k\":\"span_close\",\"t\":1,\"id\":1}\n\
+                    {\"k\":\"span_open\",\"t\":2,\"id\":1,\"parent\":0,\"name\":\"b\"}\n";
+        let err = parse_trace_strict(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.reason.contains("duplicate span id 1"));
+        assert!(err.reason.contains("line 1"));
+    }
+
+    #[test]
+    fn strict_parse_rejects_unmatched_close() {
+        let err = parse_trace_strict("{\"k\":\"span_close\",\"t\":1,\"id\":7}\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("never-opened"));
+
+        let text = "{\"k\":\"span_open\",\"t\":0,\"id\":1,\"parent\":0,\"name\":\"a\"}\n\
+                    {\"k\":\"span_close\",\"t\":1,\"id\":1}\n\
+                    {\"k\":\"span_close\",\"t\":2,\"id\":1}\n";
+        let err = parse_trace_strict(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.reason.contains("already-closed"));
+    }
+
+    #[test]
+    fn strict_parse_rejects_unclosed_span_at_eof() {
+        let text = "{\"k\":\"span_open\",\"t\":0,\"id\":1,\"parent\":0,\"name\":\"a\"}\n\
+                    {\"k\":\"span_open\",\"t\":1,\"id\":2,\"parent\":1,\"name\":\"b\"}\n\
+                    {\"k\":\"span_close\",\"t\":2,\"id\":2}\n";
+        let err = parse_trace_strict(text).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("never closed"));
+    }
+
+    #[test]
+    fn strict_parse_rejects_reserved_id_zero() {
+        let err = parse_trace_strict(
+            "{\"k\":\"span_open\",\"t\":0,\"id\":0,\"parent\":0,\"name\":\"a\"}\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("reserved id 0"));
     }
 
     #[test]

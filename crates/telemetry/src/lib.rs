@@ -26,10 +26,13 @@ mod recorder;
 mod report;
 
 pub use clock::{Clock, ClockMode};
-pub use event::{parse_trace, render_trace, FieldValue, ParseError, SpanId, TraceEvent};
+pub use event::{
+    parse_trace, parse_trace_strict, render_trace, FieldValue, ParseError, SpanId, TraceEvent,
+};
 pub use metrics::{bucket_of, Hist, Metrics, HIST_BUCKETS};
 pub use recorder::{
-    FileRecorder, MemRecorder, NoopRecorder, Recorder, SharedBuf, Span, NOOP, TRACE_VERSION,
+    BufferedRecorder, FileRecorder, MemRecorder, NoopRecorder, Recorder, SharedBuf, Span,
+    TraceBuffer, NOOP, TRACE_VERSION,
 };
 pub use report::{SpanStat, TraceSummary};
 
@@ -127,6 +130,13 @@ pub mod names {
     pub const SOLVER_BACKTRACKS: &str = "solver.backtracks";
     /// Per-query latency histogram (wall-clock traces only).
     pub const SOLVER_QUERY_US: &str = "solver.query_us";
+    /// Prefix for per-callsite solver profiles: the engine tags each
+    /// query with the site that issued it (`feasibility`, `concretize`,
+    /// `fault_model`, `report_model`), and the solver emits
+    /// `solver.site.<site>.queries`, `.nodes`, and a `.query_us`
+    /// latency histogram under this prefix. `statsym-inspect top`
+    /// renders them as the hot-spot profile.
+    pub const SOLVER_SITE_PREFIX: &str = "solver.site.";
 
     /// Span: one portfolio (parallel candidate) execution.
     pub const PORTFOLIO: &str = "portfolio";
@@ -146,6 +156,14 @@ pub mod names {
     pub const PORTFOLIO_CACHE_CONTENTION: &str = "portfolio.cache.contention";
     /// Entries resident in the shared cache at the end of the run.
     pub const PORTFOLIO_CACHE_ENTRIES: &str = "portfolio.cache.entries";
+    /// Name prefix applied when an overshoot attempt's worker buffer is
+    /// merged into the trace: all of its spans, events, and metrics
+    /// land under this prefix so engine counters still reconcile with
+    /// the reported (sequential-equivalent) attempts.
+    pub const PORTFOLIO_OVERSHOOT_PREFIX: &str = "portfolio.overshoot.";
+    /// Latency (µs) from the cancellation token tripping to the worker
+    /// observing it (wall-clock traces only).
+    pub const PORTFOLIO_CANCEL_LATENCY_US: &str = "portfolio.cancel_latency_us";
 
     /// Monitor records kept at sampling rate p.
     pub const MONITOR_SAMPLED: &str = "monitor.records_sampled";

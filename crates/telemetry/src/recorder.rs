@@ -18,9 +18,9 @@ use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
-use crate::clock::Clock;
+use crate::clock::{Clock, ClockMode};
 use crate::event::{FieldValue, SpanId, TraceEvent};
-use crate::metrics::Metrics;
+use crate::metrics::{Hist, Metrics};
 
 /// Trace format version stamped into the meta event.
 pub const TRACE_VERSION: u64 = 1;
@@ -58,6 +58,23 @@ pub trait Recorder {
     /// Advances the deterministic clock by `delta` logical ticks (the
     /// executor reports its step count here). No-op for wall clocks.
     fn tick(&self, delta: u64);
+
+    /// The clock mode this recorder stamps events with. Portfolio
+    /// workers use this to build matching [`BufferedRecorder`]s.
+    fn clock_mode(&self) -> ClockMode {
+        ClockMode::Steps
+    }
+
+    /// Splices a worker's [`TraceBuffer`] into this trace: span ids are
+    /// remapped past the ids already issued, root spans are re-parented
+    /// under the currently open span, timestamps are offset to "now",
+    /// and the buffer's metrics fold into this recorder's registry.
+    /// With `prefix`, every span/event/metric name is prefixed — how
+    /// overshoot work is kept out of the engine's own counters.
+    /// No-op for recorders without a sink.
+    fn merge_buffer(&self, buf: &TraceBuffer, prefix: Option<&str>) {
+        let _ = (buf, prefix);
+    }
 }
 
 /// The recorder that records nothing.
@@ -158,6 +175,187 @@ impl SinkCore {
                 .collect(),
         }
     }
+
+    /// The merge half of the concurrent-recording protocol (DESIGN.md
+    /// §10). Rewrites a worker buffer into this sink's id/parent/time
+    /// frame and folds its metrics in; returns the rewritten events for
+    /// the caller to append to its output.
+    fn splice(&self, buf: &TraceBuffer, prefix: Option<&str>) -> Vec<TraceEvent> {
+        let offset = self.clock.now();
+        // Worker ids started at 1; remap id x -> base + (x - 1) so the
+        // merged trace never reuses an id this sink already issued.
+        let base = self.next_span.get();
+        self.next_span.set(base + buf.spans_used);
+        let adopt = self.stack.borrow().last().copied().unwrap_or(0);
+        let remap = |id: u64| base + (id - 1);
+        let rename = |name: &str| match prefix {
+            Some(p) => format!("{p}{name}"),
+            None => name.to_string(),
+        };
+
+        let mut out = Vec::with_capacity(buf.events.len());
+        for ev in &buf.events {
+            out.push(match ev {
+                TraceEvent::SpanOpen {
+                    t,
+                    id,
+                    parent,
+                    name,
+                } => TraceEvent::SpanOpen {
+                    t: t + offset,
+                    id: remap(*id),
+                    // Worker root spans become children of whatever
+                    // span is open here (the portfolio span).
+                    parent: if *parent == 0 { adopt } else { remap(*parent) },
+                    name: rename(name),
+                },
+                TraceEvent::SpanClose { t, id } => TraceEvent::SpanClose {
+                    t: t + offset,
+                    id: remap(*id),
+                },
+                TraceEvent::Event { t, name, fields } => TraceEvent::Event {
+                    t: t + offset,
+                    name: rename(name),
+                    fields: fields.clone(),
+                },
+                // Buffers carry metrics out of band, never inline.
+                other => other.clone(),
+            });
+        }
+        // Rank-ordered merge: the next buffer (or main-thread event)
+        // lands after everything this worker recorded.
+        self.clock.advance(buf.end_tick);
+
+        for (name, v) in &buf.counters {
+            self.metrics.counter_add(&rename(name), *v);
+        }
+        for (name, v) in &buf.gauges {
+            self.metrics.gauge_max(&rename(name), *v);
+        }
+        for (name, h) in &buf.hists {
+            self.metrics.merge_hist(&rename(name), h);
+        }
+        out
+    }
+}
+
+/// The finished contents of a [`BufferedRecorder`]: plain data, `Send`,
+/// carried from a worker thread back to the main thread for merging.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    /// Span/event stream in recording order, ids local to this buffer
+    /// (starting at 1), timestamps relative to the buffer's own clock.
+    pub events: Vec<TraceEvent>,
+    /// Number of span ids the buffer issued.
+    pub spans_used: u64,
+    /// The buffer clock's final tick (total logical time covered).
+    pub end_tick: u64,
+    /// Final counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Final gauge values, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Final histograms, sorted by name.
+    pub hists: Vec<(String, Hist)>,
+}
+
+/// A private per-worker recorder for concurrent tracing (DESIGN.md
+/// §10).
+///
+/// Each portfolio worker owns one `BufferedRecorder` outright — no
+/// locks, no sharing — records into it exactly as the sequential loop
+/// records into the main sink, then ships the resulting
+/// [`TraceBuffer`] (plain `Send` data) back for a deterministic
+/// rank-ordered [`Recorder::merge_buffer`] on the main thread.
+///
+/// Unlike [`MemRecorder`] it emits no meta event (the merged trace
+/// already has one) and its span ids / timestamps are buffer-local
+/// until [`SinkCore::splice`] rewrites them.
+#[derive(Debug)]
+pub struct BufferedRecorder {
+    core: SinkCore,
+    events: RefCell<Vec<TraceEvent>>,
+}
+
+impl BufferedRecorder {
+    /// A fresh buffer stamping events with a clock of the given mode
+    /// (match the destination recorder via [`Recorder::clock_mode`]).
+    pub fn new(mode: ClockMode) -> BufferedRecorder {
+        BufferedRecorder {
+            core: SinkCore::new(Clock::with_mode(mode)),
+            events: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Read-only access to the metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.core.metrics
+    }
+
+    /// Consumes the recorder into its mergeable buffer.
+    pub fn finish(self) -> TraceBuffer {
+        TraceBuffer {
+            events: self.events.into_inner(),
+            spans_used: self.core.next_span.get() - 1,
+            end_tick: self.core.clock.now(),
+            counters: self.core.metrics.dump_counters(),
+            gauges: self.core.metrics.dump_gauges(),
+            hists: self.core.metrics.dump_hists(),
+        }
+    }
+}
+
+impl Recorder for BufferedRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_open(&self, name: &str) -> SpanId {
+        let (id, ev) = self.core.open(name);
+        self.events.borrow_mut().push(ev);
+        id
+    }
+
+    fn span_close(&self, id: SpanId) {
+        if let Some(ev) = self.core.close(id) {
+            self.events.borrow_mut().push(ev);
+        }
+    }
+
+    fn event(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        let ev = self.core.point(name, fields);
+        self.events.borrow_mut().push(ev);
+    }
+
+    fn counter_add(&self, name: &str, delta: u64) {
+        self.core.metrics.counter_add(name, delta);
+    }
+
+    fn gauge_max(&self, name: &str, v: i64) {
+        self.core.metrics.gauge_max(name, v);
+    }
+
+    fn observe(&self, name: &str, v: u64) {
+        self.core.metrics.observe(name, v);
+    }
+
+    fn observe_wall(&self, name: &str, d: Duration) {
+        if !self.core.clock.is_deterministic() {
+            self.core.metrics.observe(name, d.as_micros() as u64);
+        }
+    }
+
+    fn tick(&self, delta: u64) {
+        self.core.clock.advance(delta);
+    }
+
+    fn clock_mode(&self) -> ClockMode {
+        self.core.clock.mode()
+    }
+
+    fn merge_buffer(&self, buf: &TraceBuffer, prefix: Option<&str>) {
+        let spliced = self.core.splice(buf, prefix);
+        self.events.borrow_mut().extend(spliced);
+    }
 }
 
 /// A recorder that buffers the whole trace in memory.
@@ -238,6 +436,15 @@ impl Recorder for MemRecorder {
 
     fn tick(&self, delta: u64) {
         self.core.clock.advance(delta);
+    }
+
+    fn clock_mode(&self) -> ClockMode {
+        self.core.clock.mode()
+    }
+
+    fn merge_buffer(&self, buf: &TraceBuffer, prefix: Option<&str>) {
+        let spliced = self.core.splice(buf, prefix);
+        self.events.borrow_mut().extend(spliced);
     }
 }
 
@@ -355,6 +562,16 @@ impl Recorder for FileRecorder {
 
     fn tick(&self, delta: u64) {
         self.core.clock.advance(delta);
+    }
+
+    fn clock_mode(&self) -> ClockMode {
+        self.core.clock.mode()
+    }
+
+    fn merge_buffer(&self, buf: &TraceBuffer, prefix: Option<&str>) {
+        for ev in self.core.splice(buf, prefix) {
+            self.write(&ev);
+        }
     }
 }
 
@@ -505,6 +722,122 @@ mod tests {
             events.last().unwrap(),
             TraceEvent::Counter { name, value: 4 } if name == "total"
         ));
+    }
+
+    fn worker_buffer() -> TraceBuffer {
+        let w = BufferedRecorder::new(ClockMode::Steps);
+        let s = w.span_open("candidate.attempt");
+        w.tick(10);
+        let inner = w.span_open("engine.run");
+        w.event("hit", &[("n", FieldValue::Uint(1))]);
+        w.span_close(inner);
+        w.span_close(s);
+        w.counter_add("engine.steps", 10);
+        w.gauge_max("peak", 4);
+        w.observe("lat", 3);
+        w.finish()
+    }
+
+    #[test]
+    fn buffered_recorder_captures_local_ids_and_ticks() {
+        let buf = worker_buffer();
+        assert_eq!(buf.spans_used, 2);
+        assert_eq!(buf.end_tick, 10);
+        assert_eq!(buf.counters, vec![("engine.steps".into(), 10)]);
+        assert!(matches!(
+            &buf.events[0],
+            TraceEvent::SpanOpen { t: 0, id: 1, parent: 0, name } if name == "candidate.attempt"
+        ));
+    }
+
+    #[test]
+    fn merge_remaps_ids_reparents_and_offsets_time() {
+        let rec = MemRecorder::new(Clock::steps());
+        let root = rec.span_open("portfolio");
+        rec.tick(5);
+        rec.merge_buffer(&worker_buffer(), None);
+        rec.merge_buffer(&worker_buffer(), None);
+        rec.span_close(root);
+
+        let events = rec.finish();
+        // First buffer: ids 2,3 under parent 1, offset 5.
+        assert!(matches!(
+            &events[2],
+            TraceEvent::SpanOpen { t: 5, id: 2, parent: 1, name } if name == "candidate.attempt"
+        ));
+        assert!(matches!(
+            &events[3],
+            TraceEvent::SpanOpen { t: 15, id: 3, parent: 2, name } if name == "engine.run"
+        ));
+        // Second buffer: ids 4,5, offset advanced by first buffer's 10.
+        assert!(matches!(
+            &events[7],
+            TraceEvent::SpanOpen {
+                t: 15,
+                id: 4,
+                parent: 1,
+                ..
+            }
+        ));
+        // Root closes after both buffers' ticks.
+        assert!(matches!(events[12], TraceEvent::SpanClose { t: 25, id: 1 }));
+        // Metrics folded: counters add, gauges max, hists merge.
+        assert!(events.iter().any(
+            |e| matches!(e, TraceEvent::Counter { name, value: 20 } if name == "engine.steps")
+        ));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Gauge { name, value: 4 } if name == "peak")));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Hist { name, count: 2, .. } if name == "lat")));
+    }
+
+    #[test]
+    fn merge_with_prefix_renames_spans_events_and_metrics() {
+        let rec = MemRecorder::new(Clock::steps());
+        rec.merge_buffer(&worker_buffer(), Some("portfolio.overshoot."));
+        let events = rec.finish();
+        assert!(matches!(
+            &events[1],
+            TraceEvent::SpanOpen { name, .. } if name == "portfolio.overshoot.candidate.attempt"
+        ));
+        assert!(events.iter().any(
+            |e| matches!(e, TraceEvent::Event { name, .. } if name == "portfolio.overshoot.hit")
+        ));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Counter { name, value: 10 } if name == "portfolio.overshoot.engine.steps"
+        )));
+        // The unprefixed counter must NOT exist.
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Counter { name, .. } if name == "engine.steps")));
+    }
+
+    #[test]
+    fn merged_trace_matches_inline_recording() {
+        // Recording through a BufferedRecorder + merge must be
+        // byte-identical to recording the same calls inline.
+        let inline = MemRecorder::new(Clock::steps());
+        let root = inline.span_open("portfolio");
+        let s = inline.span_open("candidate.attempt");
+        inline.tick(10);
+        inline.counter_add("engine.steps", 10);
+        inline.span_close(s);
+        inline.span_close(root);
+
+        let merged = MemRecorder::new(Clock::steps());
+        let root = merged.span_open("portfolio");
+        let w = BufferedRecorder::new(merged.clock_mode());
+        let s = w.span_open("candidate.attempt");
+        w.tick(10);
+        w.counter_add("engine.steps", 10);
+        w.span_close(s);
+        merged.merge_buffer(&w.finish(), None);
+        merged.span_close(root);
+
+        assert_eq!(inline.finish(), merged.finish());
     }
 
     #[test]

@@ -117,10 +117,18 @@ impl TraceSummary {
 
     /// Final value of the named counter (0 if absent).
     pub fn counter(&self, name: &str) -> u64 {
+        self.counter_opt(name).unwrap_or(0)
+    }
+
+    /// Final value of the named counter, or `None` if the trace never
+    /// recorded it — distinct from an observed zero, which matters to
+    /// `statsym-inspect diff` (a vanished counter is a schema change,
+    /// not a regression to 0).
+    pub fn counter_opt(&self, name: &str) -> Option<u64> {
         self.counters
             .iter()
             .find(|(n, _)| n == name)
-            .map_or(0, |(_, v)| *v)
+            .map(|(_, v)| *v)
     }
 
     /// Final value of the named gauge.
@@ -262,6 +270,8 @@ mod tests {
         assert_eq!(s.span_ticks("phase.skeleton"), 3);
         assert_eq!(s.counter("solver.queries"), 12);
         assert_eq!(s.counter("nope"), 0);
+        assert_eq!(s.counter_opt("solver.queries"), Some(12));
+        assert_eq!(s.counter_opt("nope"), None);
         assert_eq!(s.gauge("symex.peak_live_states"), Some(4));
         assert_eq!(s.event_counts, vec![("candidate.result".to_string(), 1)]);
     }

@@ -1,0 +1,135 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access and no registry cache,
+//! so the workspace vendors the slice of the criterion API its bench
+//! targets use. Statistical sampling is replaced by a single timed
+//! pass per benchmark (enough to smoke-test the workloads and print a
+//! rough number); the real criterion harness can be swapped back in by
+//! restoring the registry dependency.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the stub takes one sample.
+    pub fn sample_size(&mut self, _n: usize) -> &mut BenchmarkGroup {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub does not warm up.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut BenchmarkGroup {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub takes one sample.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut BenchmarkGroup {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut BenchmarkGroup
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name.into()), f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` times the workload.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times one execution of `f` (the stub's single sample).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    let per_iter = b.elapsed.checked_div(b.iters.max(1)).unwrap_or_default();
+    println!("bench {label:<48} {per_iter:>12?} (single sample, offline criterion stub)");
+}
+
+/// Declares a function running each listed benchmark in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benches_run() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        g.bench_function("one", |b| {
+            b.iter(|| ran += 1);
+        });
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no registry cache,
+//! so the workspace vendors the tiny subset of the `rand` API it
+//! actually uses: a seedable deterministic generator (`rngs::StdRng`),
+//! `SeedableRng::seed_from_u64`, and the `RngExt` helpers
+//! `random_range` / `random_bool`. The generator is xoshiro256++
+//! seeded through SplitMix64 — deterministic across platforms, which
+//! is all the fixtures and schedulers in this repository rely on
+//! (they never depend on matching upstream `rand`'s exact stream).
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (high half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 32-byte seed.
+    fn from_seed(seed: [u8; 32]) -> Self;
+
+    /// Builds a generator from a `u64` seed, expanded with SplitMix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = SplitMix64(state);
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_mut(8) {
+            chunk.copy_from_slice(&sm.next().to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Namespace mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard seeded generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks(8).enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(b);
+            }
+            // An all-zero state would be a fixed point; nudge it.
+            if s == [0; 4] {
+                s = [0x9e37_79b9_7f4a_7c15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A range usable with [`RngExt::random_range`]: exposes inclusive
+/// integer bounds widened to `i128`.
+pub trait SampleRange<T> {
+    /// The `(low, high)` inclusive bounds; panics if the range is empty.
+    fn bounds_inclusive(self) -> (i128, i128);
+
+    /// Narrows a sampled `i128` back to `T`.
+    fn narrow(v: i128) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn bounds_inclusive(self) -> (i128, i128) {
+                assert!(self.start < self.end, "cannot sample empty range");
+                (self.start as i128, self.end as i128 - 1)
+            }
+
+            fn narrow(v: i128) -> $t {
+                v as $t
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn bounds_inclusive(self) -> (i128, i128) {
+                assert!(self.start() <= self.end(), "cannot sample empty range");
+                (*self.start() as i128, *self.end() as i128)
+            }
+
+            fn narrow(v: i128) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing sampling helpers (mirrors `rand::Rng`).
+pub trait RngExt: RngCore {
+    /// A uniform sample from an integer range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi) = range.bounds_inclusive();
+        let width = (hi - lo + 1) as u128;
+        // Widening multiply maps 64 random bits onto the width with
+        // bias below width / 2^64 — immaterial for test fixtures.
+        let offset = ((u128::from(self.next_u64()) * width) >> 64) as i128;
+        R::narrow(lo + offset)
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            true
+        } else if p <= 0.0 {
+            false
+        } else {
+            (self.next_u64() as f64) < p * (u64::MAX as f64)
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1000), b.random_range(0..1000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same: Vec<i64> = (0..16).map(|_| a.random_range(0i64..1_000_000)).collect();
+        let diff: Vec<i64> = (0..16).map(|_| c.random_range(0i64..1_000_000)).collect();
+        assert_ne!(same, diff);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..2000 {
+            let v = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let b = rng.random_range(b'a'..=b'z');
+            assert!(b.is_ascii_lowercase());
+            let u = rng.random_range(10usize..24);
+            assert!((10..24).contains(&u));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "{hits}");
+        assert!(rng.random_bool(1.0));
+        assert!(!rng.random_bool(0.0));
+    }
+}
