@@ -48,7 +48,7 @@ use crate::candidate::CandidatePath;
 use crate::guidance::GuidedHook;
 use crate::pipeline::{CandidateAttempt, StatSymConfig};
 use sir::Module;
-use solver::{SharedCache, SharedCacheStats};
+use solver::{QueryCache, SharedCache, SharedCacheStats};
 use statsym_telemetry::{names, BufferedRecorder, FieldValue, Recorder, TraceBuffer};
 use symex::{outcome_label, Engine, EngineConfig, EngineReport};
 use symex::{FoundVulnerability, RunOutcome, SchedulerKind};
@@ -93,15 +93,31 @@ pub fn run_portfolio(
     pins: &concrete::InputMap,
     rec: &dyn Recorder,
 ) -> PortfolioOutcome {
+    // Four shards per worker keeps shard-lock collisions rare without
+    // bloating the cache for small portfolios.
+    let workers = config.workers.min(paths.len()).max(1);
+    let shared = Arc::new(SharedCache::new(workers * 4));
+    run_portfolio_with_cache(module, paths, config, pins, rec, shared)
+}
+
+/// [`run_portfolio`] with the shared verdict cache supplied by the
+/// caller instead of constructed internally. The cache is advisory —
+/// any conforming [`QueryCache`] (including fault-injecting wrappers
+/// that drop lookups or publishes) yields the same exploration and the
+/// same outcome; only the traffic counters differ.
+pub fn run_portfolio_with_cache(
+    module: &Module,
+    paths: &[CandidatePath],
+    config: &StatSymConfig,
+    pins: &concrete::InputMap,
+    rec: &dyn Recorder,
+    shared: Arc<dyn QueryCache + Send + Sync>,
+) -> PortfolioOutcome {
     let n = paths.len();
     let workers = config.workers.min(n).max(1);
 
     let span = rec.span_open(names::PORTFOLIO);
     rec.counter_add(names::PORTFOLIO_WORKERS, workers as u64);
-
-    // Four shards per worker keeps shard-lock collisions rare without
-    // bloating the cache for small portfolios.
-    let shared = Arc::new(SharedCache::new(workers * 4));
     let next = AtomicUsize::new(0);
     // Lowest rank verified so far; `n` means "none yet". Only ranks
     // strictly above this watermark are ever cancelled or skipped.

@@ -157,6 +157,120 @@ fn usage_errors_exit_two() {
     }
 }
 
+/// Writes `name` under a per-process temp dir and returns its path.
+fn temp_trace(dir: &Path, name: &str, body: &str) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+#[test]
+fn diff_empty_traces_are_valid_and_schema_only() {
+    let dir = std::env::temp_dir().join(format!("statsym-inspect-empty-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // A zero-byte file is a degenerate but well-formed trace: no spans
+    // to balance, no metrics to compare.
+    let empty = temp_trace(&dir, "empty.jsonl", "");
+    let out = inspect(&["diff", empty.to_str().unwrap(), empty.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("0 regression(s)"), "{}", stdout(&out));
+
+    // Empty vs populated: every metric is a schema change (no baseline),
+    // never a regression — in either direction.
+    let base = fixture("base.jsonl");
+    for (a, b) in [(&empty, &base), (&base, &empty)] {
+        let out = inspect(&["diff", a.to_str().unwrap(), b.to_str().unwrap()]);
+        assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+        let text = stdout(&out);
+        assert!(text.contains("(absent)"), "{text}");
+        assert!(text.contains("0 regression(s)"), "{text}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn diff_distinguishes_zero_counter_from_absent_counter() {
+    let dir = std::env::temp_dir().join(format!("statsym-inspect-zero-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let meta = r#"{"k":"meta","clock":"steps","version":1}"#;
+    let zero = temp_trace(
+        &dir,
+        "zero.jsonl",
+        &format!("{meta}\n{{\"k\":\"counter\",\"name\":\"cache.hits\",\"value\":0}}\n"),
+    );
+    let absent = temp_trace(&dir, "absent.jsonl", &format!("{meta}\n"));
+    let grown = temp_trace(
+        &dir,
+        "grown.jsonl",
+        &format!("{meta}\n{{\"k\":\"counter\",\"name\":\"cache.hits\",\"value\":4}}\n"),
+    );
+
+    // Zero -> absent is a schema change (a vanished counter is not a
+    // regression to zero), and absent -> zero has no baseline.
+    for (a, b) in [(&zero, &absent), (&absent, &zero)] {
+        let out = inspect(&["diff", a.to_str().unwrap(), b.to_str().unwrap()]);
+        assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+        let text = stdout(&out);
+        assert!(text.contains("[schema]"), "{text}");
+        assert!(text.contains("1 schema change(s)"), "{text}");
+    }
+    // Zero -> nonzero is infinite relative growth: a real regression.
+    let out = inspect(&["diff", zero.to_str().unwrap(), grown.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(stdout(&out).contains("+inf%"), "{}", stdout(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn diff_threshold_boundary_is_strict_and_nan_is_rejected() {
+    let dir = std::env::temp_dir().join(format!("statsym-inspect-thr-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let meta = r#"{"k":"meta","clock":"steps","version":1}"#;
+    let old = temp_trace(
+        &dir,
+        "old.jsonl",
+        &format!("{meta}\n{{\"k\":\"counter\",\"name\":\"steps\",\"value\":100}}\n"),
+    );
+    let new = temp_trace(
+        &dir,
+        "new.jsonl",
+        &format!("{meta}\n{{\"k\":\"counter\",\"name\":\"steps\",\"value\":110}}\n"),
+    );
+    // Exactly-at-threshold growth (10%) does not trip a 10% gate…
+    let out = inspect(&[
+        "diff",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--threshold",
+        "10%",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    // …but any threshold strictly below it does.
+    let out = inspect(&[
+        "diff",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--threshold",
+        "9.9%",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    // Non-finite thresholds are usage errors, not silent always/never
+    // gates: NaN compares false with everything and would wave every
+    // regression through.
+    for bad in ["nan", "NaN", "inf", "-inf", "-5%"] {
+        let out = inspect(&[
+            "diff",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--threshold",
+            bad,
+        ]);
+        assert_eq!(out.status.code(), Some(2), "--threshold {bad}");
+        assert!(stderr(&out).contains("threshold"), "{}", stderr(&out));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn critical_path_and_top_render_fixture() {
     let base = fixture("base.jsonl");

@@ -63,6 +63,17 @@ pub trait QueryCache {
 
     /// Number of cached entries.
     fn entries(&self) -> usize;
+
+    /// Traffic counters, readable through a trait object so callers
+    /// holding an `Arc<dyn QueryCache>` (e.g. the portfolio, or a
+    /// fault-injection wrapper) can still report cache stats.
+    /// Implementations without counters report entries only.
+    fn stats(&self) -> SharedCacheStats {
+        SharedCacheStats {
+            entries: self.entries() as u64,
+            ..SharedCacheStats::default()
+        }
+    }
 }
 
 /// Counters describing shared-cache traffic.
@@ -165,6 +176,10 @@ impl QueryCache for SharedCache {
                 Err(TryLockError::Poisoned(e)) => e.into_inner().len(),
             })
             .sum()
+    }
+
+    fn stats(&self) -> SharedCacheStats {
+        SharedCache::stats(self)
     }
 }
 

@@ -288,10 +288,16 @@ impl<'m> Engine<'m> {
         };
 
         enum LoopEnd {
-            Found(State, Fault),
+            Found(Box<State>, Fault, solver::Model),
             Exhausted(ExhaustionReason),
             Completed,
         }
+
+        // Faulting paths whose triggering model the solver could not
+        // produce within budget. Reported as suspended work, never as
+        // found vulnerabilities: a Found with fabricated inputs would
+        // not replay concretely.
+        let mut unconfirmed: u64 = 0;
 
         // The state popped from the scheduler and currently executing:
         // it is live too, so peak accounting must include it.
@@ -321,6 +327,24 @@ impl<'m> Engine<'m> {
                     stats.peak_live_states = stats
                         .peak_live_states
                         .max(sched.len() + suspended.len() + in_flight);
+                }};
+            }
+
+            // Solves the faulting state's path for a triggering model
+            // *before* committing to a Found outcome. `None` means the
+            // solver budget ran out (or, vacuously, the path turned out
+            // infeasible): the fault cannot be confirmed and must not be
+            // reported with made-up inputs.
+            macro_rules! confirm_model {
+                ($state:expr) => {{
+                    let constraints = $state.path.to_vec();
+                    match env
+                        .solver
+                        .check_traced_at(env.ctx, &constraints, rec, "report_model")
+                    {
+                        SatResult::Sat(m) => Some(m),
+                        _ => None,
+                    }
                 }};
             }
 
@@ -460,7 +484,17 @@ impl<'m> Engine<'m> {
                                     in_flight = 1;
                                     in_flight_mem = child.state.est_bytes();
                                     note_peaks!();
-                                    break 'outer LoopEnd::Found(child.state, fault);
+                                    match confirm_model!(child.state) {
+                                        Some(model) => {
+                                            break 'outer LoopEnd::Found(Box::new(child.state), fault, model);
+                                        }
+                                        None => {
+                                            in_flight = 0;
+                                            in_flight_mem = 0;
+                                            unconfirmed += 1;
+                                            rec.counter_add(names::SYMEX_UNCONFIRMED, 1);
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -478,7 +512,16 @@ impl<'m> Engine<'m> {
                         in_flight = 1;
                         in_flight_mem = s.est_bytes();
                         note_peaks!();
-                        break 'outer LoopEnd::Found(s, fault);
+                        match confirm_model!(s) {
+                            Some(model) => break 'outer LoopEnd::Found(Box::new(s), fault, model),
+                            None => {
+                                in_flight = 0;
+                                in_flight_mem = 0;
+                                unconfirmed += 1;
+                                rec.counter_add(names::SYMEX_UNCONFIRMED, 1);
+                                continue 'outer;
+                            }
+                        }
                     }
                     StepResult::Suspend(s) => {
                         let est = s.est_bytes();
@@ -494,13 +537,16 @@ impl<'m> Engine<'m> {
         };
 
         stats.states_created = next_id + 1;
-        stats.left_suspended = suspended.len() as u64;
-        stats.paths_explored =
-            stats.paths_completed + stats.exec.pruned + sched.len() as u64 + suspended.len() as u64;
+        stats.left_suspended = suspended.len() as u64 + unconfirmed;
+        stats.paths_explored = stats.paths_completed
+            + stats.exec.pruned
+            + sched.len() as u64
+            + suspended.len() as u64
+            + unconfirmed;
         let outcome = match end {
-            LoopEnd::Found(state, fault) => {
+            LoopEnd::Found(state, fault, model) => {
                 stats.paths_explored += 1;
-                RunOutcome::Found(Box::new(self.report(state, fault, &inputs_map)))
+                RunOutcome::Found(Box::new(self.report(*state, fault, model, &inputs_map)))
             }
             LoopEnd::Exhausted(r) => RunOutcome::Exhausted(r),
             LoopEnd::Completed => RunOutcome::Completed,
@@ -518,25 +564,16 @@ impl<'m> Engine<'m> {
         }
     }
 
-    /// Builds the final vulnerable-path report, including a concrete
-    /// triggering input materialized from the solver model.
+    /// Builds the final vulnerable-path report from the triggering model
+    /// the run loop confirmed at the fault site.
     fn report(
         &mut self,
         state: State,
         fault: Fault,
+        model: solver::Model,
         inputs_map: &HashMap<InputId, SymValue>,
     ) -> FoundVulnerability {
         let constraints = state.path.to_vec();
-        let model =
-            match self
-                .solver
-                .check_traced_at(&self.ctx, &constraints, self.rec, "report_model")
-            {
-                SatResult::Sat(m) => m,
-                // The path was feasibility-checked at every fork; Unknown can
-                // occur only if the budget ran out. Fall back to defaults.
-                _ => solver::Model::default(),
-            };
         let mut inputs = concrete::InputMap::new();
         for (i, def) in self.module.inputs.iter().enumerate() {
             let id = InputId(i as u32);

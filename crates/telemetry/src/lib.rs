@@ -98,6 +98,9 @@ pub mod names {
     pub const SYMEX_RESUME: &str = "symex.resume";
     /// States killed outright.
     pub const SYMEX_KILL: &str = "symex.kill";
+    /// Faulting paths dropped because the solver budget ran out before a
+    /// triggering model could be confirmed.
+    pub const SYMEX_UNCONFIRMED: &str = "symex.unconfirmed_faults";
     /// States left suspended when the run ended.
     pub const SYMEX_LEFT_SUSPENDED: &str = "symex.left_suspended";
     /// Peak number of live (schedulable + suspended) states.

@@ -1,0 +1,75 @@
+//! `statsym-testkit` — seed-range soak runner for the differential
+//! oracles and chaos schedules.
+//!
+//! ```text
+//! statsym-testkit [--seeds A..B] [--no-chaos] [--sabotage] [--verbose]
+//! ```
+//!
+//! Exit codes: 0 all oracles held, 1 at least one violation (a shrunk
+//! reproducer is printed per violation), 2 usage error.
+
+use std::process::ExitCode;
+use testkit::{run_seeds, RunnerConfig};
+
+const USAGE: &str = "usage: statsym-testkit [--seeds A..B] [--no-chaos] [--sabotage] [--verbose]
+
+  --seeds A..B   seed range to soak, half-open (default 0..100)
+  --no-chaos     skip the fault-injection (chaos) oracle
+  --sabotage     run a deliberately broken oracle to demonstrate the
+                 shrink-and-report path (exits 1 by design)
+  --verbose      log per-seed outcomes to stderr
+
+Every failure prints its seed and a minimal shrunk reproducer;
+`statsym-testkit --seeds N..N+1` replays seed N exactly.";
+
+fn parse_range(arg: &str) -> Option<(u64, u64)> {
+    let (a, b) = arg.split_once("..")?;
+    let start: u64 = a.trim().parse().ok()?;
+    let end: u64 = b.trim().parse().ok()?;
+    (start < end).then_some((start, end))
+}
+
+fn parse_args(args: &[String]) -> Result<RunnerConfig, String> {
+    let mut config = RunnerConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                let v = it.next().ok_or("--seeds needs a range like 0..500")?;
+                let (start, end) = parse_range(v)
+                    .ok_or_else(|| format!("bad seed range `{v}` (want A..B, A < B)"))?;
+                config.start = start;
+                config.end = end;
+            }
+            "--no-chaos" => config.chaos = false,
+            "--sabotage" => config.sabotage = true,
+            "--verbose" => config.verbose = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("statsym-testkit: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = run_seeds(&config);
+    print!("{report}");
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,377 @@
+//! Seeded minic program generator.
+//!
+//! Every program is derived deterministically from a single `u64` seed:
+//! the same seed always yields the same source, so any oracle failure
+//! is reproducible from the seed alone (`statsym-testkit --seeds N..M`).
+//!
+//! The grammar is deliberately conservative so every emitted program
+//! passes `minic::check` by construction (validated on every call
+//! anyway — a parse or type error here is a generator bug and panics):
+//!
+//! * a fixed input alphabet — `a`/`b` int inputs, `s` a string input —
+//!   read at the top of `main` in a fixed order;
+//! * optional fault-free *noise*: an `int` global, a pure arithmetic
+//!   helper, constant-folded lets, bounded counting loops (noise never
+//!   divides, asserts, recurses, or touches buffers, so it cannot
+//!   introduce a second fault class);
+//! * exactly one **fault template**, chosen from the five
+//!   [`concrete::FaultKind`] classes and guarded by an input predicate,
+//!   planted either in its own function (`vuln`) or inline in `main`.
+//!
+//! The guard predicate gives the statistical pipeline something to
+//! find: random inputs split into correct and faulty populations, and
+//! the threshold separating them is exactly the paper's Eq. 1 shape.
+
+use concrete::{FaultKind, InputMap, InputValue};
+use minic::Program;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt::Write as _;
+
+/// The five fault classes the generator can plant, mirroring
+/// [`concrete::FaultKind`] without payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// `buf_set` past capacity in an unchecked copy loop.
+    BufferOverflow,
+    /// `char_at` past the NUL terminator with an attacker index.
+    StringOob,
+    /// A violable arithmetic assertion.
+    Assert,
+    /// Division by an input-controlled zero.
+    DivByZero,
+    /// Unbounded self-recursion behind an input guard.
+    Recursion,
+}
+
+impl FaultClass {
+    /// All classes, in the order the seed selects from.
+    pub const ALL: [FaultClass; 5] = [
+        FaultClass::BufferOverflow,
+        FaultClass::StringOob,
+        FaultClass::Assert,
+        FaultClass::DivByZero,
+        FaultClass::Recursion,
+    ];
+
+    /// The class of a concrete fault.
+    pub fn of_kind(kind: &FaultKind) -> FaultClass {
+        match kind {
+            FaultKind::BufferOverflow { .. } => FaultClass::BufferOverflow,
+            FaultKind::StringOob { .. } => FaultClass::StringOob,
+            FaultKind::AssertFailed => FaultClass::Assert,
+            FaultKind::DivByZero => FaultClass::DivByZero,
+            FaultKind::StackOverflow => FaultClass::Recursion,
+        }
+    }
+
+    /// Short stable label for messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::BufferOverflow => "overflow",
+            FaultClass::StringOob => "string-oob",
+            FaultClass::Assert => "assert",
+            FaultClass::DivByZero => "div0",
+            FaultClass::Recursion => "stack",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A generated program plus the metadata oracles need to drive it.
+#[derive(Debug, Clone)]
+pub struct Generated {
+    /// The seed that produced this program.
+    pub seed: u64,
+    /// The planted fault class.
+    pub class: FaultClass,
+    /// Rendered source.
+    pub source: String,
+    /// Parsed and type-checked program.
+    pub program: Program,
+    /// Capacity of the `s` string input, when the program reads one.
+    pub str_cap: Option<u32>,
+    /// Whether `a` / `b` int inputs are read.
+    pub reads_a: bool,
+    /// Whether the `b` int input is read.
+    pub reads_b: bool,
+}
+
+/// Derives a program from `seed`. Deterministic; panics only on a
+/// generator bug (emitted source failing `minic::check`).
+pub fn generate(seed: u64) -> Generated {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let class = FaultClass::ALL[rng.random_range(0..FaultClass::ALL.len())];
+    let guard = rng.random_range(1..=3i64);
+    let has_global = rng.random_bool(0.4);
+    let has_helper = rng.random_bool(0.5);
+    let in_function = rng.random_bool(0.7);
+
+    let mut fns = String::new();
+    let mut header = String::new();
+    if has_global {
+        header.push_str("global g0: int = 0;\n");
+    }
+    let helper_m = rng.random_range(2..=4i64);
+    let helper_c = rng.random_range(0..=9i64);
+    if has_helper {
+        let _ = writeln!(
+            fns,
+            "fn noise(x: int) -> int {{ return x * {helper_m} + {helper_c}; }}"
+        );
+    }
+
+    let mut str_cap = None;
+    let mut reads_a = false;
+    let mut reads_b = false;
+    // The statement in main that reaches the fault template.
+    let mut fault_stmts: Vec<String> = Vec::new();
+
+    match class {
+        FaultClass::BufferOverflow => {
+            let cap = rng.random_range(3..=6u32);
+            let scap = cap + rng.random_range(2..=4u32);
+            str_cap = Some(scap);
+            let terminator = rng.random_bool(0.5);
+            let term = if terminator {
+                "    buf_set(b0, i0, 0);\n"
+            } else {
+                ""
+            };
+            if in_function {
+                let _ = write!(
+                    fns,
+                    "fn vuln(s1: str) {{\n\
+                     \x20   let b0: buf[{cap}];\n\
+                     \x20   let i0: int = 0;\n\
+                     \x20   while (char_at(s1, i0) != 0) {{\n\
+                     \x20       buf_set(b0, i0, char_at(s1, i0));\n\
+                     \x20       i0 = i0 + 1;\n\
+                     \x20   }}\n{term}}}\n"
+                );
+                fault_stmts.push("vuln(s);".into());
+            } else {
+                fault_stmts.push(format!("let b0: buf[{cap}];"));
+                fault_stmts.push("let i0: int = 0;".into());
+                fault_stmts.push(
+                    "while (char_at(s, i0) != 0) { buf_set(b0, i0, char_at(s, i0)); i0 = i0 + 1; }"
+                        .into(),
+                );
+                if terminator {
+                    fault_stmts.push("buf_set(b0, i0, 0);".into());
+                }
+            }
+        }
+        FaultClass::StringOob => {
+            let scap = rng.random_range(4..=8u32);
+            str_cap = Some(scap);
+            reads_a = true;
+            if in_function {
+                let _ = write!(
+                    fns,
+                    "fn vuln(s1: str, n0: int) {{\n\
+                     \x20   if (n0 > {guard}) {{ print(char_at(s1, n0)); }}\n}}\n"
+                );
+                fault_stmts.push("vuln(s, a);".into());
+            } else {
+                fault_stmts.push(format!("if (a > {guard}) {{ print(char_at(s, a)); }}"));
+            }
+        }
+        FaultClass::Assert => {
+            reads_a = true;
+            let m = rng.random_range(2..=4i64);
+            let t = m * (guard + 4);
+            if in_function {
+                let _ = write!(
+                    fns,
+                    "fn vuln(n0: int) {{\n\
+                     \x20   if (n0 > {guard}) {{ assert(n0 * {m} < {t}); }}\n}}\n"
+                );
+                fault_stmts.push("vuln(a);".into());
+            } else {
+                fault_stmts.push(format!("if (a > {guard}) {{ assert(a * {m} < {t}); }}"));
+            }
+        }
+        FaultClass::DivByZero => {
+            reads_a = true;
+            reads_b = true;
+            let k = rng.random_range(2..=9i64);
+            if in_function {
+                let _ = write!(
+                    fns,
+                    "fn vuln(n0: int, d0: int) -> int {{\n\
+                     \x20   if (n0 > {guard}) {{ return n0 / (d0 - {k}); }}\n\
+                     \x20   return 0;\n}}\n"
+                );
+                fault_stmts.push("print(vuln(a, b));".into());
+            } else {
+                fault_stmts.push("let q0: int = 0;".into());
+                fault_stmts.push(format!("if (a > {guard}) {{ q0 = a / (b - {k}); }}"));
+                fault_stmts.push("print(q0);".into());
+            }
+        }
+        FaultClass::Recursion => {
+            reads_a = true;
+            let _ = writeln!(fns, "fn spin(m0: int) -> int {{ return spin(m0 + 1); }}");
+            if in_function {
+                let _ = write!(
+                    fns,
+                    "fn vuln(n0: int) {{\n\
+                     \x20   if (n0 > {guard}) {{ print(spin(n0)); }}\n}}\n"
+                );
+                fault_stmts.push("vuln(a);".into());
+            } else {
+                fault_stmts.push(format!("if (a > {guard}) {{ print(spin(a)); }}"));
+            }
+        }
+    }
+
+    // Main: input reads, fault-free noise, then the fault template.
+    let mut main_body: Vec<String> = Vec::new();
+    if let Some(scap) = str_cap {
+        main_body.push(format!("let s: str = input_str(\"s\", {scap});"));
+    }
+    if reads_a {
+        main_body.push("let a: int = input_int(\"a\");".into());
+    }
+    if reads_b {
+        main_body.push("let b: int = input_int(\"b\");".into());
+    }
+    for i in 0..rng.random_range(0..=2usize) {
+        match rng.random_range(0..4u32) {
+            0 => {
+                let c1 = rng.random_range(1..=9i64);
+                let c2 = rng.random_range(1..=9i64);
+                main_body.push(format!("let z{i}: int = {c1} * {c2};"));
+                main_body.push(format!("print(z{i});"));
+            }
+            1 => {
+                let c = rng.random_range(1..=4i64);
+                main_body.push(format!("let w{i}: int = 0;"));
+                main_body.push(format!("while (w{i} < {c}) {{ w{i} = w{i} + 1; }}"));
+            }
+            2 if has_global => main_body.push("g0 = g0 + 1;".into()),
+            _ if has_helper => {
+                let arg = if reads_a {
+                    "a".to_string()
+                } else {
+                    rng.random_range(0..=9i64).to_string()
+                };
+                main_body.push(format!("print(noise({arg}));"));
+            }
+            _ => {
+                let c = rng.random_range(0..=9i64);
+                main_body.push(format!("let y{i}: int = {c};"));
+                main_body.push(format!("print(y{i});"));
+            }
+        }
+    }
+    main_body.extend(fault_stmts);
+
+    let mut source = header;
+    source.push_str(&fns);
+    source.push_str("fn main() {\n");
+    for stmt in &main_body {
+        let _ = writeln!(source, "    {stmt}");
+    }
+    source.push_str("}\n");
+
+    let program = minic::parse_program(&source)
+        .unwrap_or_else(|e| panic!("generator bug (seed {seed}): {e}\n{source}"));
+    Generated {
+        seed,
+        class,
+        source,
+        program,
+        str_cap,
+        reads_a,
+        reads_b,
+    }
+}
+
+/// Samples a random input assignment for a generated program. Ranges
+/// straddle every template's guard and fault thresholds so repeated
+/// draws produce both correct and faulty runs.
+pub fn sample_inputs(g: &Generated, rng: &mut StdRng) -> InputMap {
+    let mut map = InputMap::new();
+    if let Some(scap) = g.str_cap {
+        let len = rng.random_range(0..=scap);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.random_range(b'a'..=b'z')).collect();
+        map.insert("s".to_string(), InputValue::Str(bytes));
+    }
+    if g.reads_a {
+        map.insert(
+            "a".to_string(),
+            InputValue::Int(rng.random_range(-6..=12i64)),
+        );
+    }
+    if g.reads_b {
+        map.insert(
+            "b".to_string(),
+            InputValue::Int(rng.random_range(-2..=12i64)),
+        );
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_seed_yields_a_well_typed_program() {
+        for seed in 0..300 {
+            let g = generate(seed);
+            // parse_program already type-checked; lowering must work too.
+            sir::lower(&g.program).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", g.source));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 1, 7, 99, 123_456] {
+            assert_eq!(generate(seed).source, generate(seed).source);
+        }
+    }
+
+    #[test]
+    fn all_five_classes_appear_in_a_small_seed_range() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..64 {
+            seen.insert(generate(seed).class.label());
+        }
+        assert_eq!(seen.len(), 5, "{seen:?}");
+    }
+
+    #[test]
+    fn sampled_inputs_cover_both_outcomes() {
+        // Most seeds must admit both a correct and a faulty concrete run,
+        // otherwise the pipeline has nothing to learn from.
+        let mut both = 0;
+        for seed in 0..40 {
+            let g = generate(seed);
+            let module = sir::lower(&g.program).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+            let mut correct = false;
+            let mut faulty = false;
+            for _ in 0..60 {
+                let inputs = sample_inputs(&g, &mut rng);
+                let run = concrete::run_logged(&module, &inputs, 1.0, 0).unwrap();
+                if run.log.is_faulty() {
+                    faulty = true;
+                } else {
+                    correct = true;
+                }
+            }
+            if correct && faulty {
+                both += 1;
+            }
+        }
+        assert!(both >= 30, "only {both}/40 seeds admit both outcomes");
+    }
+}
