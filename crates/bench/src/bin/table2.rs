@@ -5,9 +5,11 @@
 //! candidate portfolio (identical results, lower wall time), and
 //! `--trace <path>` to export a structured JSONL trace of the run
 //! (and `--clock wall` to stamp it with wall-clock time instead of the
-//! deterministic step counter).
+//! deterministic step counter). `--lineage` additionally records the
+//! per-state exploration tree for `statsym-inspect
+//! tree|coverage|flame|watch`.
 
-use bench::{run_statsym_workers_traced, Table, TraceSink, PAPER_SEED};
+use bench::{run_statsym_opts_traced, GuidedRunOpts, Table, TraceSink, PAPER_SEED};
 
 fn main() {
     let sink = TraceSink::from_args();
@@ -32,13 +34,16 @@ pub fn print_breakdown(rate: f64, title: &str, sink: &TraceSink) {
         ],
     );
     for app in benchapps::all_apps() {
-        let r = run_statsym_workers_traced(
+        let r = run_statsym_opts_traced(
             &app,
             rate,
             PAPER_SEED,
             100,
             100,
-            sink.workers(),
+            GuidedRunOpts {
+                workers: sink.workers(),
+                lineage: sink.lineage(),
+            },
             sink.recorder(),
         );
         table.row(&[

@@ -4,9 +4,11 @@
 //! Pass `--workers <n>` to run the guided execution stage as a parallel
 //! candidate portfolio (identical results, lower wall time), and
 //! `--trace <path>` to export a structured JSONL trace of the run
-//! (and `--clock wall` for wall-clock stamps).
+//! (and `--clock wall` for wall-clock stamps). `--lineage` additionally
+//! records the per-state exploration tree for `statsym-inspect
+//! tree|coverage|flame|watch`.
 
-use bench::{run_statsym_workers_traced, Table, TraceSink, PAPER_SEED};
+use bench::{run_statsym_opts_traced, GuidedRunOpts, Table, TraceSink, PAPER_SEED};
 
 fn main() {
     let sink = TraceSink::from_args();
@@ -23,13 +25,16 @@ fn main() {
         ],
     );
     for app in benchapps::all_apps() {
-        let r = run_statsym_workers_traced(
+        let r = run_statsym_opts_traced(
             &app,
             rate,
             PAPER_SEED,
             100,
             100,
-            sink.workers(),
+            GuidedRunOpts {
+                workers: sink.workers(),
+                lineage: sink.lineage(),
+            },
             sink.recorder(),
         );
         table.row(&[

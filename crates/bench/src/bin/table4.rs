@@ -6,13 +6,15 @@
 //! Pass `--workers <n>` to run the guided execution stage as a parallel
 //! candidate portfolio (identical results, lower wall time), and
 //! `--trace <path>` to export a structured JSONL trace of the run
-//! (and `--clock wall` for wall-clock stamps).
+//! (and `--clock wall` for wall-clock stamps). `--lineage` additionally
+//! records the per-state exploration tree for `statsym-inspect
+//! tree|coverage|flame|watch`.
 
 use bench::{
-    pure_engine_config, run_pure_traced, run_statsym_workers_traced, Table, TraceSink,
+    pure_engine_config, run_pure_traced, run_statsym_opts_traced, GuidedRunOpts, Table, TraceSink,
     DEFAULT_SAMPLING, PAPER_SEED,
 };
-use symex::RunOutcome;
+use symex::{EngineConfig, RunOutcome};
 
 fn main() {
     let sink = TraceSink::from_args();
@@ -27,13 +29,16 @@ fn main() {
         ],
     );
     for app in benchapps::all_apps() {
-        let guided = run_statsym_workers_traced(
+        let guided = run_statsym_opts_traced(
             &app,
             DEFAULT_SAMPLING,
             PAPER_SEED,
             100,
             100,
-            sink.workers(),
+            GuidedRunOpts {
+                workers: sink.workers(),
+                lineage: sink.lineage(),
+            },
             sink.recorder(),
         );
         assert!(
@@ -41,7 +46,11 @@ fn main() {
             "StatSym must find the bug in {}",
             app.name
         );
-        let pure = run_pure_traced(&app, pure_engine_config(), sink.recorder());
+        let pure_config = EngineConfig {
+            lineage: sink.lineage(),
+            ..pure_engine_config()
+        };
+        let pure = run_pure_traced(&app, pure_config, sink.recorder());
         let (pure_time, pure_note) = match &pure.report.outcome {
             RunOutcome::Found(_) => (format!("{:.2}", pure.report.wall_time.as_secs_f64()), ""),
             RunOutcome::Exhausted(r) => (format!("Failed ({r})"), ""),

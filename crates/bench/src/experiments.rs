@@ -88,10 +88,29 @@ pub fn run_statsym_traced(
     run_statsym_workers_traced(app, sampling_rate, seed, n_correct, n_faulty, 1, rec)
 }
 
+/// Execution-stage options the bench binaries expose as shared flags
+/// (`--workers`, `--lineage`).
+#[derive(Debug, Clone, Copy)]
+pub struct GuidedRunOpts {
+    /// Worker threads for the guided execution stage: `1` runs the
+    /// sequential candidate loop, more runs the candidates as a
+    /// parallel portfolio with identical results.
+    pub workers: usize,
+    /// Emit per-state exploration-tree lineage events into the trace.
+    pub lineage: bool,
+}
+
+impl Default for GuidedRunOpts {
+    fn default() -> Self {
+        GuidedRunOpts {
+            workers: 1,
+            lineage: false,
+        }
+    }
+}
+
 /// [`run_statsym_traced`] with an explicit worker count for the guided
-/// execution stage: `1` runs the sequential candidate loop, more runs
-/// the candidates as a parallel portfolio with identical results (the
-/// bench binaries expose this as `--workers`).
+/// execution stage (the bench binaries expose this as `--workers`).
 pub fn run_statsym_workers_traced(
     app: &BenchApp,
     sampling_rate: f64,
@@ -99,6 +118,31 @@ pub fn run_statsym_workers_traced(
     n_correct: usize,
     n_faulty: usize,
     workers: usize,
+    rec: &dyn Recorder,
+) -> ExperimentResult {
+    run_statsym_opts_traced(
+        app,
+        sampling_rate,
+        seed,
+        n_correct,
+        n_faulty,
+        GuidedRunOpts {
+            workers,
+            ..GuidedRunOpts::default()
+        },
+        rec,
+    )
+}
+
+/// [`run_statsym_workers_traced`] with the full execution-stage option
+/// set, including lineage tracing.
+pub fn run_statsym_opts_traced(
+    app: &BenchApp,
+    sampling_rate: f64,
+    seed: u64,
+    n_correct: usize,
+    n_faulty: usize,
+    opts: GuidedRunOpts,
     rec: &dyn Recorder,
 ) -> ExperimentResult {
     let logs = generate_corpus_traced(
@@ -111,9 +155,14 @@ pub fn run_statsym_workers_traced(
         },
         rec,
     );
+    let base = statsym_config();
     let statsym = StatSym::new(StatSymConfig {
-        workers,
-        ..statsym_config()
+        workers: opts.workers,
+        engine: EngineConfig {
+            lineage: opts.lineage,
+            ..base.engine
+        },
+        ..base
     });
     let analysis = statsym.analyze_traced(&logs, rec);
     // The paper configures required program options for both engines:

@@ -14,11 +14,12 @@ pub struct TraceSink {
     path: Option<String>,
     rec: Option<FileRecorder>,
     workers: Option<usize>,
+    lineage: bool,
 }
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: [--trace <path>] [--clock steps|wall] [--workers <n>]");
+    eprintln!("usage: [--trace <path>] [--clock steps|wall] [--workers <n>] [--lineage]");
     std::process::exit(2);
 }
 
@@ -52,6 +53,7 @@ impl TraceSink {
         let mut path = None;
         let mut wall = false;
         let mut workers = None;
+        let mut lineage = false;
         let mut rest = Vec::new();
         let mut it = std::mem::take(args).into_iter();
         while let Some(a) = it.next() {
@@ -73,6 +75,7 @@ impl TraceSink {
                     Some(_) => usage_exit("--workers requires a positive integer"),
                     None => usage_exit("--workers requires a worker count"),
                 },
+                "--lineage" => lineage = true,
                 _ => rest.push(a),
             }
         }
@@ -82,7 +85,21 @@ impl TraceSink {
             FileRecorder::create(p, clock)
                 .unwrap_or_else(|e| usage_exit(&format!("cannot open {p}: {e}")))
         });
-        TraceSink { path, rec, workers }
+        if lineage && path.is_none() {
+            usage_exit("--lineage requires --trace (lineage events go into the trace file)");
+        }
+        TraceSink {
+            path,
+            rec,
+            workers,
+            lineage,
+        }
+    }
+
+    /// Whether `--lineage` was passed: the engine emits per-state
+    /// exploration-tree events into the trace.
+    pub fn lineage(&self) -> bool {
+        self.lineage
     }
 
     /// Worker threads for the guided execution stage (`--workers`,

@@ -89,6 +89,7 @@ impl EventHook for GuidedHook {
                 GuidanceResult {
                     constraints,
                     suspend: false,
+                    matched: Some(k),
                 }
             }
             None => {
@@ -96,6 +97,7 @@ impl EventHook for GuidedHook {
                 GuidanceResult {
                     constraints: Vec::new(),
                     suspend: meta.hops > self.config.tau,
+                    matched: None,
                 }
             }
         }

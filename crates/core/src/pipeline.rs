@@ -626,6 +626,48 @@ mod tests {
     }
 
     #[test]
+    fn lineage_traces_merge_to_valid_forest_and_stay_deterministic() {
+        use statsym_telemetry::{parse_trace_strict, render_trace, Clock, MemRecorder};
+
+        let m = module();
+        let logs = gen_logs(&m, 30, 1.0, 7);
+        let base = StatSymConfig::default();
+        let cfg = |workers| StatSymConfig {
+            workers,
+            engine: EngineConfig {
+                lineage: true,
+                ..base.engine
+            },
+            ..base
+        };
+        let analysis = StatSym::new(cfg(1)).analyze(&logs);
+        let record = |workers| {
+            let rec = MemRecorder::new(Clock::steps());
+            let _ = StatSym::new(cfg(workers)).run_with_analysis_traced(&m, analysis.clone(), &rec);
+            render_trace(&rec.finish())
+        };
+
+        // Under the step clock, a workers-1 lineage trace is
+        // byte-reproducible run to run — the emission layer must not
+        // introduce any nondeterminism.
+        let seq = record(1);
+        assert_eq!(seq, record(1), "workers-1 lineage trace must be stable");
+        let events = parse_trace_strict(&seq).expect("sequential lineage trace is strict-valid");
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, statsym_telemetry::TraceEvent::State { .. })),
+            "lineage run must emit state events"
+        );
+
+        // A 4-worker portfolio merge must still satisfy every lineage
+        // rule the strict parser enforces: dense remapped ids,
+        // introduction before transition, no orphaned forks.
+        let par = record(4);
+        parse_trace_strict(&par).expect("merged portfolio lineage trace is strict-valid");
+    }
+
+    #[test]
     fn empty_logs_produce_no_candidates() {
         let m = module();
         let statsym = StatSym::default();

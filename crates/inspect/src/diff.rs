@@ -77,9 +77,9 @@ fn trace_metrics(events: &[TraceEvent]) -> Vec<Metric> {
     for (name, v) in &s.gauges {
         out.push((format!("gauge {name}"), *v as f64));
     }
-    for (name, count, sum) in &s.hists {
-        out.push((format!("hist {name}.count"), *count as f64));
-        out.push((format!("hist {name}.sum"), *sum as f64));
+    for h in &s.hists {
+        out.push((format!("hist {}.count", h.name), h.count as f64));
+        out.push((format!("hist {}.sum", h.name), h.sum as f64));
     }
     for (name, n) in &s.event_counts {
         out.push((format!("event {name}"), *n as f64));

@@ -1,0 +1,130 @@
+//! `statsym-inspect flame`: collapsed-stack flamegraph export of where
+//! solver effort (or executor steps) went, keyed by fork lineage.
+//!
+//! Each state's stack is the chain of SIR locations where it and its
+//! ancestors were forked, root first; the weight is the work billed
+//! directly to that state. The output is the standard collapsed-stack
+//! format (`frame;frame;frame weight`, one line per unique stack,
+//! lexicographically sorted for determinism), which `inferno`,
+//! speedscope, and `flamegraph.pl` all accept as-is.
+
+use crate::forest::{Forest, Work};
+use statsym_telemetry::TraceEvent;
+use std::collections::BTreeMap;
+
+/// Which per-state weight the flamegraph plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Solver search-tree nodes (the default: deterministic and the
+    /// best proxy for solver effort under the step clock).
+    SolverNodes,
+    /// Solver wall-clock µs (all zeros under the deterministic step
+    /// clock — record with `--clock wall` to use this).
+    SolverUs,
+    /// Executor steps.
+    Steps,
+}
+
+impl Metric {
+    /// Parses the `--metric` flag value.
+    pub fn parse(s: &str) -> Result<Metric, String> {
+        match s {
+            "solver-nodes" => Ok(Metric::SolverNodes),
+            "solver-us" => Ok(Metric::SolverUs),
+            "steps" => Ok(Metric::Steps),
+            other => Err(format!(
+                "unknown metric `{other}`; use solver-nodes, solver-us, or steps"
+            )),
+        }
+    }
+
+    fn of(self, w: Work) -> u64 {
+        match self {
+            Metric::SolverNodes => w.snodes,
+            Metric::SolverUs => w.solver_us,
+            Metric::Steps => w.steps,
+        }
+    }
+}
+
+/// Renders the collapsed-stack lines for a parsed `--lineage` trace.
+/// States with zero weight are dropped; identical stacks are summed.
+pub fn flame(events: &[TraceEvent], metric: Metric) -> String {
+    let forest = Forest::from_events(events);
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    // Walk each tree root-first so every node sees its ancestors'
+    // frames already joined; introduction order guarantees parents
+    // come before children in `nodes`.
+    let mut frames: Vec<String> = Vec::with_capacity(forest.nodes.len());
+    let mut parent_of: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    for (at, n) in forest.nodes.iter().enumerate() {
+        parent_of.insert(n.id, at);
+        let stack = match parent_of.get(&n.parent) {
+            Some(&p) if n.parent != 0 => format!("{};{}", frames[p], n.birth_loc),
+            _ => n.birth_loc.clone(),
+        };
+        let weight = metric.of(n.own);
+        if weight > 0 {
+            *stacks.entry(stack.clone()).or_default() += weight;
+        }
+        frames.push(stack);
+    }
+    let mut out = String::new();
+    for (stack, weight) in &stacks {
+        out.push_str(&format!("{stack} {weight}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statsym_telemetry::lineage_op;
+
+    fn state(op: &str, id: u64, par: u64, loc: &str, snodes: u64) -> TraceEvent {
+        TraceEvent::State {
+            t: 0,
+            op: op.to_string(),
+            id,
+            par,
+            loc: loc.to_string(),
+            hops: 0,
+            depth: 0,
+            steps: snodes * 10,
+            snodes,
+            sus: 0,
+        }
+    }
+
+    #[test]
+    fn stacks_follow_fork_lineage_and_merge() {
+        let events = vec![
+            state(lineage_op::ROOT, 1, 0, "main:b0", 0),
+            state(lineage_op::FORK, 2, 1, "main:b2", 5), // billed to #1
+            state(lineage_op::FORK, 3, 2, "g:b1", 7),    // billed to #2
+            state(lineage_op::EXIT, 3, 0, "exit", 2),
+            state(lineage_op::EXIT, 2, 0, "exit", 1),
+            state(lineage_op::EXIT, 1, 0, "exit", 4),
+            // Second run re-uses the same root loc: stacks merge.
+            state(lineage_op::ROOT, 4, 0, "main:b0", 3),
+        ];
+        let text = flame(&events, Metric::SolverNodes);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "main:b0 12",                // #1: 5+4, plus #4's 3
+                "main:b0;main:b2 8",         // #2: 7 fork + 1 exit
+                "main:b0;main:b2;g:b1 2",    // #3
+            ]
+        );
+        let steps = flame(&events, Metric::Steps);
+        assert!(steps.contains("main:b0;main:b2;g:b1 20"), "{steps}");
+    }
+
+    #[test]
+    fn zero_weights_are_dropped() {
+        let events = vec![state(lineage_op::ROOT, 1, 0, "main:b0", 0)];
+        assert_eq!(flame(&events, Metric::SolverUs), "");
+    }
+}

@@ -1,6 +1,6 @@
 //! Trace analytics for StatSym JSONL traces (`statsym-inspect`).
 //!
-//! Four views over a recorded run:
+//! Views over a recorded run:
 //!
 //! * [`report`](mod@crate) — the Table II/III-style run report
 //!   ([`statsym_telemetry::TraceSummary::render`]).
@@ -13,16 +13,35 @@
 //! * [`top`] — the solver hot-spot profile from the per-callsite
 //!   `solver.site.*` counters and query-latency histograms.
 //!
+//! Over `--lineage` traces ([`forest`] rebuilds the exploration tree
+//! from the `state` event stream):
+//!
+//! * [`tree`] — the exploration forest with suspend-cause annotations
+//!   and per-subtree work rollups.
+//! * [`coverage`] — candidate-path node coverage maps (reached /
+//!   predicate-conjoined / conflicted / never-reached per rank), with a
+//!   `--min` CI gate.
+//! * [`flame`] — collapsed-stack flamegraph export of solver effort
+//!   keyed by fork lineage.
+//! * [`watch`] — a live dashboard that tails a growing trace file.
+//!
 //! Traces are loaded with the *strict* parser: unbalanced or duplicate
 //! spans are rejected with line-numbered errors rather than silently
-//! skewing the analytics.
+//! skewing the analytics. `watch` (and `report --allow-truncated`) use
+//! the truncation-tolerant variant, which additionally accepts exactly
+//! one half-written trailing line.
 
+pub mod coverage;
 pub mod critical;
 pub mod diff;
+pub mod flame;
+pub mod forest;
 pub mod numjson;
 pub mod top;
+pub mod tree;
+pub mod watch;
 
-use statsym_telemetry::{parse_trace_strict, TraceEvent, TraceSummary};
+use statsym_telemetry::{parse_trace_strict, parse_trace_truncated, TraceEvent, TraceSummary};
 
 /// Reads and strictly parses a JSONL trace, prefixing errors with the
 /// file path (`path:line: reason`).
@@ -37,12 +56,33 @@ pub fn load_trace(path: &str) -> Result<Vec<TraceEvent>, String> {
     parse_trace_strict(&text).map_err(|e| format!("{path}:{}: {}", e.line, e.reason))
 }
 
-/// Renders the run report for the trace at `path`.
+/// [`load_trace`] with the truncation-tolerant parser: accepts exactly
+/// one half-written trailing line (and spans/states still open), as a
+/// live or crash-cut trace has. Returns the events and whether a
+/// partial tail line was dropped.
 ///
 /// # Errors
 ///
-/// Propagates [`load_trace`] failures.
-pub fn report(path: &str) -> Result<String, String> {
-    let events = load_trace(path)?;
+/// Returns a rendered error for unreadable files and for interior
+/// corruption.
+pub fn load_trace_truncated(path: &str) -> Result<(Vec<TraceEvent>, bool), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read trace: {e}"))?;
+    parse_trace_truncated(&text).map_err(|e| format!("{path}:{}: {}", e.line, e.reason))
+}
+
+/// Renders the run report for the trace at `path`. `allow_truncated`
+/// switches to the tolerant parser (the `--allow-truncated` flag), for
+/// reporting on traces cut short by a crash or still being written.
+///
+/// # Errors
+///
+/// Propagates [`load_trace`] / [`load_trace_truncated`] failures.
+pub fn report(path: &str, allow_truncated: bool) -> Result<String, String> {
+    let events = if allow_truncated {
+        load_trace_truncated(path)?.0
+    } else {
+        load_trace(path)?
+    };
     Ok(TraceSummary::from_events(&events).render())
 }

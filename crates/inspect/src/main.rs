@@ -1,24 +1,30 @@
 //! `statsym-inspect` — trace analytics over StatSym JSONL traces.
 //!
 //! ```text
-//! statsym-inspect report <trace.jsonl>
+//! statsym-inspect report <trace.jsonl> [--allow-truncated]
 //! statsym-inspect diff <old> <new> [--threshold <pct>%] [--ignore <prefix>]... [--min-delta <n>]
 //! statsym-inspect critical-path <trace.jsonl>
 //! statsym-inspect top <trace.jsonl> [--limit <n>]
+//! statsym-inspect tree <trace.jsonl>
+//! statsym-inspect coverage <trace.jsonl> [--min <pct>]
+//! statsym-inspect flame <trace.jsonl> [--metric solver-nodes|solver-us|steps]
+//! statsym-inspect watch <trace.jsonl> [--interval <ms>] [--once]
 //! ```
 //!
 //! Exit codes: 0 success (and no regressions), 1 `diff` found at least
-//! one regression, 2 usage or parse error.
+//! one regression or `coverage` fell below `--min`, 2 usage or parse
+//! error.
 
 use statsym_inspect::diff::{diff_files, parse_threshold, DiffConfig};
-use statsym_inspect::{critical, load_trace, report, top};
+use statsym_inspect::{coverage, critical, flame, load_trace, report, top, tree, watch};
 
 const USAGE: &str = "\
 usage: statsym-inspect <command> [args]
 
 commands:
-  report <trace.jsonl>
+  report <trace.jsonl> [--allow-truncated]
       Render the run report (phases, counters, gauges, histograms).
+      --allow-truncated accepts a trace cut short mid-line.
   diff <old> <new> [--threshold <pct>%] [--ignore <prefix>]... [--min-delta <n>]
       Compare two traces (or two numeric JSON reports). Exits 1 when a
       metric grew past the threshold (default 10%).
@@ -27,6 +33,18 @@ commands:
       ratio of a portfolio execution.
   top <trace.jsonl> [--limit <n>]
       Rank solver callsites by search nodes (per-site profile).
+  tree <trace.jsonl>
+      Render the exploration tree of a --lineage trace: fork structure,
+      suspend causes, per-subtree solver rollups.
+  coverage <trace.jsonl> [--min <pct>]
+      Candidate-path node coverage per rank (reached / conjoined /
+      conflicted / never reached). Exits 1 below the --min floor.
+  flame <trace.jsonl> [--metric solver-nodes|solver-us|steps]
+      Collapsed-stack flamegraph of solver effort keyed by fork
+      lineage (inferno / speedscope / flamegraph.pl compatible).
+  watch <trace.jsonl> [--interval <ms>] [--once]
+      Live dashboard tailing a growing --lineage trace; exits when the
+      run's final metrics appear.
 ";
 
 fn usage_exit(msg: &str) -> ! {
@@ -44,8 +62,16 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("report") => {
-            let [path] = positional::<1>(&args[1..], "report <trace.jsonl>");
-            match report(&path) {
+            let mut allow_truncated = false;
+            let mut rest = Vec::new();
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--allow-truncated" => allow_truncated = true,
+                    _ => rest.push(a.clone()),
+                }
+            }
+            let [path] = positional::<1>(&rest, "report <trace.jsonl> [--allow-truncated]");
+            match report(&path, allow_truncated) {
                 Ok(text) => {
                     print!("{text}");
                     0
@@ -85,6 +111,84 @@ fn main() {
                 }
                 Err(e) => fail(&e),
             }
+        }
+        Some("tree") => {
+            let [path] = positional::<1>(&args[1..], "tree <trace.jsonl>");
+            match load_trace(&path) {
+                Ok(events) => {
+                    print!("{}", tree::tree(&events));
+                    0
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        Some("coverage") => {
+            let mut min = None;
+            let mut rest = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--min" => match it.next().map(|n| n.parse::<f64>()) {
+                        Some(Ok(v)) if (0.0..=100.0).contains(&v) => min = Some(v),
+                        _ => usage_exit("--min requires a percentage in 0..=100"),
+                    },
+                    _ => rest.push(a.clone()),
+                }
+            }
+            let [path] = positional::<1>(&rest, "coverage <trace.jsonl> [--min <pct>]");
+            match load_trace(&path) {
+                Ok(events) => {
+                    print!("{}", coverage::coverage(&events, min));
+                    match min {
+                        Some(m) if !coverage::gate(&events, m) => 1,
+                        _ => 0,
+                    }
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        Some("flame") => {
+            let mut metric = flame::Metric::SolverNodes;
+            let mut rest = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--metric" => match it.next() {
+                        Some(m) => match flame::Metric::parse(m) {
+                            Ok(v) => metric = v,
+                            Err(e) => usage_exit(&e),
+                        },
+                        None => usage_exit("--metric requires a value"),
+                    },
+                    _ => rest.push(a.clone()),
+                }
+            }
+            let [path] = positional::<1>(&rest, "flame <trace.jsonl> [--metric <m>]");
+            match load_trace(&path) {
+                Ok(events) => {
+                    print!("{}", flame::flame(&events, metric));
+                    0
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        Some("watch") => {
+            let mut interval = 500u64;
+            let mut once = false;
+            let mut rest = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--interval" => match it.next().map(|n| n.parse::<u64>()) {
+                        Some(Ok(ms)) if ms >= 1 => interval = ms,
+                        _ => usage_exit("--interval requires a positive millisecond count"),
+                    },
+                    "--once" => once = true,
+                    _ => rest.push(a.clone()),
+                }
+            }
+            let [path] = positional::<1>(&rest, "watch <trace.jsonl> [--interval <ms>] [--once]");
+            watch::watch(&path, interval, once)
         }
         Some(other) => usage_exit(&format!("unknown command `{other}`")),
         None => usage_exit("missing command"),

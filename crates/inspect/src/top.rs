@@ -70,11 +70,11 @@ pub fn top(events: &[TraceEvent], limit: usize) -> String {
             }
         }
     }
-    for (name, count, sum) in &s.hists {
-        if let Some((label, "query_us")) = classify(name) {
+    for h in &s.hists {
+        if let Some((label, "query_us")) = classify(&h.name) {
             let i = site_mut(label, &mut sites);
-            sites[i].1.lat_count += count;
-            sites[i].1.lat_sum_us += sum;
+            sites[i].1.lat_count += h.count;
+            sites[i].1.lat_sum_us += h.sum;
         }
     }
 
@@ -167,6 +167,24 @@ mod tests {
         );
         // Mean latency 500/50 = 10µs.
         assert!(text.contains("10"), "{text}");
+    }
+
+    #[test]
+    fn equal_cost_sites_sort_by_name() {
+        // Deterministic tie-break: same node count must order by label,
+        // regardless of the order the counters appear in the trace.
+        let events = vec![
+            counter("solver.site.zeta.nodes", 5),
+            counter("solver.site.alpha.nodes", 5),
+            counter("solver.site.mid.nodes", 5),
+        ];
+        let text = top(&events, 10);
+        let a = text.find("  alpha").expect("alpha row");
+        let m = text.find("  mid").expect("mid row");
+        let z = text.find("  zeta").expect("zeta row");
+        assert!(a < m && m < z, "{text}");
+        // And the rendering is stable across repeated runs.
+        assert_eq!(text, top(&events, 10));
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! `statsym-inspect watch`: a live dashboard over a growing `--lineage`
+//! trace file.
+//!
+//! `FileRecorder` flushes every lineage event as it happens, so the
+//! trace of a running experiment is tailable: `watch` re-reads the file
+//! on an interval, parses it with the truncation-tolerant parser (a
+//! half-written last line is expected mid-run), and redraws a summary
+//! in place. Metrics (`Counter`/`Gauge`/`Hist` lines) are only flushed
+//! at the end of a run, so their appearance doubles as the done signal:
+//! `watch` prints a final frame and exits 0.
+//!
+//! The rendering is a pure function of the parsed events
+//! ([`dashboard`]), so it is unit-testable without a filesystem or a
+//! terminal; the polling loop ([`watch`]) owns all the I/O.
+
+use crate::forest::{Forest, Status, Work};
+use statsym_telemetry::{names, parse_trace_truncated, TraceEvent};
+
+/// One rendered dashboard frame plus the run-ended flag.
+#[derive(Debug)]
+pub struct Frame {
+    /// The rendered text, newline-terminated.
+    pub text: String,
+    /// True once final metrics are present in the trace (the recorder
+    /// only flushes them when the run finishes).
+    pub done: bool,
+}
+
+/// Builds a dashboard frame from a parsed (possibly truncated) trace.
+pub fn dashboard(events: &[TraceEvent], truncated: bool) -> Frame {
+    let forest = Forest::from_events(events);
+    let mut total = Work::default();
+    for n in &forest.nodes {
+        total = total.plus(n.own);
+    }
+    let (by_op, live, suspended) = forest.disposition_counts();
+    let terminal: u64 = by_op.values().sum();
+    let (mut sus_tau, mut sus_pred, mut sus_branch, mut resumes) = (0u64, 0u64, 0u64, 0u64);
+    let mut frontier_depth = 0u64;
+    let mut max_depth = 0u64;
+    for n in &forest.nodes {
+        sus_tau += n.suspends[0];
+        sus_pred += n.suspends[1];
+        sus_branch += n.suspends[2];
+        resumes += n.resumes;
+        max_depth = max_depth.max(n.depth);
+        if n.status() != Status::Terminal {
+            frontier_depth = frontier_depth.max(n.depth);
+        }
+    }
+
+    let mut attempts_open = 0u64;
+    let mut attempts_closed = 0u64;
+    let mut found = 0u64;
+    let mut counters: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
+    let mut open_ids: Vec<u64> = Vec::new();
+    for ev in events {
+        match ev {
+            TraceEvent::SpanOpen { id, name, .. } if name == names::CANDIDATE_ATTEMPT => {
+                attempts_open += 1;
+                open_ids.push(*id);
+            }
+            TraceEvent::SpanClose { id, .. } if open_ids.contains(id) => {
+                open_ids.retain(|o| o != id);
+                attempts_closed += 1;
+            }
+            TraceEvent::Event { name, fields, .. } if name == names::CANDIDATE_RESULT => {
+                let hit = fields
+                    .iter()
+                    .find(|(k, _)| k == "found")
+                    .and_then(|(_, v)| v.as_str());
+                if hit == Some("true") {
+                    found += 1;
+                }
+            }
+            TraceEvent::Counter { name, value } => {
+                counters.insert(name.as_str(), *value);
+            }
+            _ => {}
+        }
+    }
+    let done = !counters.is_empty();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "StatSym watch — {} event(s){}{}\n\n",
+        events.len(),
+        if truncated { ", partial tail line" } else { "" },
+        if done { ", run complete" } else { ", running" },
+    ));
+    out.push_str(&format!(
+        "  states    {:>8} total   {:>8} live   {:>8} suspended   {:>8} terminal\n",
+        forest.nodes.len(),
+        live,
+        suspended,
+        terminal,
+    ));
+    let mut terminals: Vec<_> = by_op.iter().collect();
+    terminals.sort();
+    let terminal_detail: Vec<String> = terminals
+        .iter()
+        .map(|(op, n)| format!("{op}:{n}"))
+        .collect();
+    if !terminal_detail.is_empty() {
+        out.push_str(&format!("            {}\n", terminal_detail.join("  ")));
+    }
+    out.push_str(&format!(
+        "  suspends  {sus_tau:>8} tau    {sus_pred:>8} predicate   {sus_branch:>5} branch   {resumes:>8} resumed\n",
+    ));
+    out.push_str(&format!(
+        "  frontier  {:>8} runs    depth {:>4} live / {:>4} max\n",
+        forest.roots.len(),
+        frontier_depth,
+        max_depth,
+    ));
+    out.push_str(&format!(
+        "  work      {:>8} steps  {:>8} solver nodes   {:>8} solver µs\n",
+        total.steps, total.snodes, total.solver_us,
+    ));
+    out.push_str(&format!(
+        "  attempts  {:>8} started {:>7} finished    {found:>5} found\n",
+        attempts_open, attempts_closed,
+    ));
+    if done {
+        let queries = counters.get(names::SOLVER_QUERIES).copied().unwrap_or(0);
+        let hits = counters.get(names::SOLVER_CACHE_HITS).copied().unwrap_or(0)
+            + counters.get(names::SOLVER_SHARED_HITS).copied().unwrap_or(0);
+        let rate = if queries + hits == 0 {
+            0.0
+        } else {
+            100.0 * hits as f64 / (queries + hits) as f64
+        };
+        out.push_str(&format!(
+            "  solver    {queries:>8} queries {hits:>7} cache hits   {rate:>5.1}% hit rate\n",
+        ));
+    } else {
+        out.push_str("  solver    cache stats pending (metrics flush at run end)\n");
+    }
+    Frame { text: out, done }
+}
+
+/// Polls `path` every `interval_ms`, redrawing the dashboard in place
+/// (ANSI home + clear). Returns the process exit code: 0 once the run
+/// completes (or immediately with `once`), 2 on a read/parse error.
+pub fn watch(path: &str, interval_ms: u64, once: bool) -> i32 {
+    let mut first = true;
+    loop {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {path}: cannot read trace: {e}");
+                return 2;
+            }
+        };
+        let (events, truncated) = match parse_trace_truncated(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {path}:{}: {}", e.line, e.reason);
+                return 2;
+            }
+        };
+        let frame = dashboard(&events, truncated);
+        if first {
+            // Clear once so the first frame starts on a clean screen.
+            print!("\x1b[2J");
+            first = false;
+        }
+        // Home the cursor and clear below: an in-place redraw without
+        // flicker on every refresh.
+        print!("\x1b[H{}\x1b[J", frame.text);
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        if frame.done || once {
+            return 0;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statsym_telemetry::{lineage_op, Clock, FieldValue, LineageEvent, MemRecorder, Recorder};
+
+    fn lineage(rec: &dyn Recorder, op: &str, id: u64, parent: u64, depth: u64) {
+        rec.state(&LineageEvent {
+            op,
+            id,
+            parent,
+            loc: "main:b0",
+            hops: 0,
+            depth: depth as u32,
+            steps: 10,
+            snodes: 4,
+            solver_us: 0,
+        });
+    }
+
+    #[test]
+    fn running_frame_reports_states_and_pending_solver() {
+        // A mid-run snapshot, hand-built: an open attempt span and
+        // lineage events, but no final metrics yet.
+        let state = |op: &str, id: u64, par: u64, depth: u64| TraceEvent::State {
+            t: 0,
+            op: op.to_string(),
+            id,
+            par,
+            loc: "main:b0".to_string(),
+            hops: 0,
+            depth,
+            steps: 10,
+            snodes: 4,
+            sus: 0,
+        };
+        let events = vec![
+            TraceEvent::SpanOpen {
+                t: 0,
+                id: 1,
+                parent: 0,
+                name: names::CANDIDATE_ATTEMPT.to_string(),
+            },
+            state(lineage_op::ROOT, 1, 0, 0),
+            state(lineage_op::FORK, 2, 1, 1),
+            state(lineage_op::SUSPEND_TAU, 2, 1, 3),
+        ];
+        let frame = dashboard(&events, true);
+        assert!(!frame.done);
+        assert!(frame.text.contains("partial tail line"), "{}", frame.text);
+        assert!(frame.text.contains(", running"), "{}", frame.text);
+        assert!(
+            frame.text.contains("2 total"),
+            "{}", frame.text
+        );
+        assert!(frame.text.contains("1 suspended"), "{}", frame.text);
+        assert!(frame.text.contains("1 tau"), "{}", frame.text);
+        assert!(frame.text.contains("30 steps"), "{}", frame.text);
+        assert!(frame.text.contains("1 started"), "{}", frame.text);
+        assert!(frame.text.contains("pending"), "{}", frame.text);
+        // Frontier: the suspended state sits at depth 3.
+        assert!(frame.text.contains("depth    3 live"), "{}", frame.text);
+    }
+
+    #[test]
+    fn finished_frame_reports_hit_rate_and_done() {
+        let rec = MemRecorder::new(Clock::steps());
+        let sp = rec.span_open(names::CANDIDATE_ATTEMPT);
+        lineage(&rec, lineage_op::ROOT, rec.alloc_state_id(), 0, 0);
+        lineage(&rec, lineage_op::FAULT, 1, 0, 2);
+        rec.span_close(sp);
+        rec.event(
+            names::CANDIDATE_RESULT,
+            &[
+                ("index", FieldValue::from(0u64)),
+                ("found", FieldValue::from(true)),
+            ],
+        );
+        rec.counter_add(names::SOLVER_QUERIES, 30);
+        rec.counter_add(names::SOLVER_CACHE_HITS, 10);
+        let frame = dashboard(&rec.finish(), false);
+        assert!(frame.done);
+        assert!(frame.text.contains("run complete"), "{}", frame.text);
+        assert!(frame.text.contains("1 found"), "{}", frame.text);
+        assert!(frame.text.contains("25.0% hit rate"), "{}", frame.text);
+        assert!(frame.text.contains("fault:1"), "{}", frame.text);
+    }
+}

@@ -289,3 +289,93 @@ fn critical_path_and_top_render_fixture() {
     assert!(text.contains("feasibility"), "{text}");
     assert!(text.contains("94.0% attributed"), "{text}");
 }
+
+/// Renders a `--lineage` trace from a pinned testkit corpus entry. The
+/// step clock plus the pinned seed make the bytes reproducible, so the
+/// coverage golden below is stable without checking in an opaque JSONL
+/// fixture.
+fn lineage_trace(dir: &Path) -> PathBuf {
+    use statsym_core::pipeline::StatSym;
+    use statsym_telemetry::{render_trace, Clock, MemRecorder};
+    use testkit::corpus::CORPUS;
+    use testkit::oracles::{input_spec, mint_logs, statsym_config};
+
+    let entry = CORPUS
+        .iter()
+        .find(|e| e.name == "string_copy_overflow")
+        .expect("pinned corpus entry");
+    let program = entry.program();
+    let module = sir::lower(&program).expect("corpus entry lowers");
+    let logs = mint_logs(&module, &input_spec(&program), entry.seed, None);
+    let mut config = statsym_config(1);
+    config.engine.lineage = true;
+    let rec = MemRecorder::new(Clock::steps());
+    let statsym = StatSym::new(config);
+    let analysis = statsym.analyze_traced(&logs, &rec);
+    let _ = statsym.run_with_analysis_traced(&module, analysis, &rec);
+    temp_trace(dir, "lineage.jsonl", &render_trace(&rec.finish()))
+}
+
+#[test]
+fn coverage_matches_golden_on_pinned_testkit_seed() {
+    let dir = std::env::temp_dir().join(format!("statsym-inspect-cov-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = lineage_trace(&dir);
+    let out = inspect(&["coverage", trace.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let rendered = stdout(&out);
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/coverage.txt");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden_path, &rendered).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect("golden file exists");
+    assert_eq!(
+        rendered, golden,
+        "coverage drifted from tests/golden/coverage.txt; \
+         re-bless with BLESS=1 cargo test -p statsym-inspect --test cli"
+    );
+
+    // The --min gate: trivially satisfied floor passes, impossible
+    // floor fails with exit 1 and a FAIL verdict in the output.
+    let out = inspect(&["coverage", trace.to_str().unwrap(), "--min", "1"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("gate: pass"), "{}", stdout(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tree_flame_and_watch_render_lineage_trace() {
+    let dir = std::env::temp_dir().join(format!("statsym-inspect-lin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = lineage_trace(&dir);
+
+    let out = inspect(&["tree", trace.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("exploration forest:"), "{text}");
+    assert!(text.contains("└─"), "{text}");
+    assert!(text.contains("subtree"), "{text}");
+
+    let out = inspect(&["flame", trace.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(!text.is_empty(), "flame output empty");
+    for line in text.lines() {
+        let (stack, weight) = line.rsplit_once(' ').expect("collapsed-stack line");
+        assert!(!stack.is_empty(), "{line}");
+        weight.parse::<u64>().expect("numeric weight");
+    }
+    // steps weights differ from the solver-node default.
+    let out = inspect(&["flame", trace.to_str().unwrap(), "--metric", "steps"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_ne!(stdout(&out), text);
+
+    let out = inspect(&["watch", trace.to_str().unwrap(), "--once"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("StatSym watch"), "{text}");
+    assert!(text.contains("run complete"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}

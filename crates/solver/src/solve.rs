@@ -50,6 +50,12 @@ pub struct SolverStats {
     /// Backtracks: a search node falling through to its second domain
     /// partition after the first failed.
     pub backtracks: u64,
+    /// Wall-clock µs spent inside traced queries. Only accumulates when
+    /// a live recorder is attached (untraced runs skip the clock reads
+    /// entirely), and is inherently nondeterministic — deterministic
+    /// trace sinks zero it before it reaches disk; never compare it
+    /// across runs.
+    pub query_us: u64,
 }
 
 /// A satisfying assignment for the variables that appear in the query.
@@ -263,6 +269,7 @@ impl Solver {
         let start = std::time::Instant::now();
         let result = self.check_inner(ctx, constraints, needs_model);
         let elapsed = start.elapsed();
+        self.stats.query_us += elapsed.as_micros() as u64;
         rec.observe_wall(statsym_telemetry::names::SOLVER_QUERY_US, elapsed);
         if let Some(site) = site {
             use statsym_telemetry::names::SOLVER_SITE_PREFIX;
@@ -846,7 +853,9 @@ mod tests {
         let mut b = Solver::default();
         let rec = statsym_telemetry::MemRecorder::new(statsym_telemetry::Clock::wall());
         assert_eq!(a.check(&ctx, &cs), b.check_traced(&ctx, &cs, &rec));
-        assert_eq!(a.stats(), b.stats());
+        // Identical work counters; only the traced solver accumulates
+        // wall-clock query time, so normalize it out.
+        assert_eq!(a.stats(), SolverStats { query_us: 0, ..b.stats() });
         // Wall-clock trace captured the query latency.
         let h = rec
             .metrics()

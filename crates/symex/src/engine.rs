@@ -2,13 +2,14 @@
 
 use crate::executor::{initial_state, step, Disposition, ExecEnv, ExecStats, StepResult};
 use crate::hook::{EventHook, NoGuidance};
+use crate::lineage::{Lineage, WorkSnapshot};
 use crate::scheduler::{build_scheduler, SchedulerKind};
 use crate::state::{CondList, State};
 use crate::value::SymValue;
 use concrete::{Fault, InputValue, Location};
 use sir::{InputId, Module};
 use solver::{Constraint, QueryCache, SatResult, Solver, SolverConfig, SolverStats, TermCtx};
-use statsym_telemetry::{names, FieldValue, Recorder, NOOP};
+use statsym_telemetry::{lineage_op, names, FieldValue, Recorder, NOOP};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -34,6 +35,12 @@ pub struct EngineConfig {
     pub max_call_depth: usize,
     /// Limits for the underlying constraint solver.
     pub solver: SolverConfig,
+    /// Emit per-state lineage events (fork/suspend/resume/terminal
+    /// dispositions with differential work attribution) into the
+    /// attached recorder. Off by default: lineage traces narrate every
+    /// state transition and grow with the exploration tree, not with
+    /// the phase structure.
+    pub lineage: bool,
 }
 
 impl Default for EngineConfig {
@@ -46,6 +53,7 @@ impl Default for EngineConfig {
             max_steps: 200_000_000,
             max_call_depth: 256,
             solver: SolverConfig::default(),
+            lineage: false,
         }
     }
 }
@@ -251,6 +259,16 @@ impl<'m> Engine<'m> {
         let rec = self.rec;
         let run_span = rec.span_open(names::ENGINE_RUN);
         let solver_before = self.solver.stats();
+        // Lineage deltas are charged from this run's start, not from the
+        // solver's birth (the solver may be reused across runs).
+        let mut lineage = Lineage::new(
+            self.config.lineage && rec.enabled(),
+            WorkSnapshot {
+                steps: 0,
+                solver_nodes: solver_before.nodes,
+                solver_us: solver_before.query_us,
+            },
+        );
         let mut last_tick: u64 = 0;
         let mut stats = EngineStats::default();
         let mut sched = build_scheduler(self.config.scheduler);
@@ -315,6 +333,7 @@ impl<'m> Engine<'m> {
                 rec,
                 max_call_depth,
                 next_state_id: &mut next_id,
+                lineage: &mut lineage,
             };
 
             // Peaks are updated at *every* state-set mutation (push, pop,
@@ -389,6 +408,7 @@ impl<'m> Engine<'m> {
                     // worst case degrades to pure symbolic execution.
                     let resumed = suspended.len() as u64;
                     for mut s in suspended.drain(..) {
+                        env.lineage_event(lineage_op::RESUME, &s, None);
                         s.guidance_off = true;
                         s.soft = CondList::new();
                         sched.push(s, i64::MAX);
@@ -408,6 +428,10 @@ impl<'m> Engine<'m> {
                 note_peaks!();
 
                 // Run this state until it forks, terminates, or parks.
+                // Its id is the lineage fork parent for any fresh
+                // children; the continuing fork child keeps this id and
+                // stays the same tree node.
+                let exec_id = state.id;
                 let step_end = loop {
                     if env.stats.steps.is_multiple_of(8192) {
                         rec.tick(env.stats.steps - last_tick);
@@ -444,6 +468,13 @@ impl<'m> Engine<'m> {
                     StepResult::Continue(_) => unreachable!("inner loop keeps Continue"),
                     StepResult::Fork(children) => {
                         for child in children {
+                            if child.state.id != exec_id {
+                                env.lineage_event(
+                                    lineage_op::FORK,
+                                    &child.state,
+                                    Some(exec_id),
+                                );
+                            }
                             match child.disposition {
                                 Disposition::Active => {
                                     let est = child.state.est_bytes();
@@ -471,11 +502,17 @@ impl<'m> Engine<'m> {
                                         names::SYMEX_HOP_DIVERGENCE,
                                         child.state.meta.hops as u64,
                                     );
+                                    env.lineage_event(
+                                        lineage_op::SUSPEND_BRANCH,
+                                        &child.state,
+                                        None,
+                                    );
                                     suspended.push(child.state);
                                     note_peaks!();
                                 }
                                 Disposition::Fault(fault) => {
                                     if is_suppressed(&fault) {
+                                        env.lineage_event(lineage_op::EXIT, &child.state, None);
                                         stats.paths_completed += 1;
                                         continue;
                                     }
@@ -486,9 +523,19 @@ impl<'m> Engine<'m> {
                                     note_peaks!();
                                     match confirm_model!(child.state) {
                                         Some(model) => {
+                                            env.lineage_event(
+                                                lineage_op::FAULT,
+                                                &child.state,
+                                                None,
+                                            );
                                             break 'outer LoopEnd::Found(Box::new(child.state), fault, model);
                                         }
                                         None => {
+                                            env.lineage_event(
+                                                lineage_op::UNCONFIRMED,
+                                                &child.state,
+                                                None,
+                                            );
                                             in_flight = 0;
                                             in_flight_mem = 0;
                                             unconfirmed += 1;
@@ -500,12 +547,14 @@ impl<'m> Engine<'m> {
                         }
                         continue 'outer;
                     }
-                    StepResult::Exit(_) => {
+                    StepResult::Exit(s) => {
+                        env.lineage_event(lineage_op::EXIT, &s, None);
                         stats.paths_completed += 1;
                         continue 'outer;
                     }
                     StepResult::Fault(s, fault) => {
                         if is_suppressed(&fault) {
+                            env.lineage_event(lineage_op::EXIT, &s, None);
                             stats.paths_completed += 1;
                             continue 'outer;
                         }
@@ -513,8 +562,12 @@ impl<'m> Engine<'m> {
                         in_flight_mem = s.est_bytes();
                         note_peaks!();
                         match confirm_model!(s) {
-                            Some(model) => break 'outer LoopEnd::Found(Box::new(s), fault, model),
+                            Some(model) => {
+                                env.lineage_event(lineage_op::FAULT, &s, None);
+                                break 'outer LoopEnd::Found(Box::new(s), fault, model);
+                            }
                             None => {
+                                env.lineage_event(lineage_op::UNCONFIRMED, &s, None);
                                 in_flight = 0;
                                 in_flight_mem = 0;
                                 unconfirmed += 1;

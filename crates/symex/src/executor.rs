@@ -2,13 +2,14 @@
 //! application, and concretization.
 
 use crate::hook::{EventCtx, EventHook};
+use crate::lineage::{state_loc, Lineage, WorkSnapshot};
 use crate::state::{Frame, State};
 use crate::value::{BoolVal, SymBuf, SymStr, SymValue};
 use concrete::{Fault, FaultKind, Location};
 use minic::{BinOp, Span};
 use sir::{ConstValue, FuncId, InputId, InputKind, Inst, Module, Reg, Terminator};
 use solver::{CmpOp, Constraint, SatResult, Solver, TermCtx, TermId};
-use statsym_telemetry::{names, Recorder};
+use statsym_telemetry::{lineage_op, names, FieldValue, Recorder};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -24,6 +25,7 @@ pub(crate) struct ExecEnv<'e> {
     pub rec: &'e dyn Recorder,
     pub max_call_depth: usize,
     pub next_state_id: &'e mut u64,
+    pub lineage: &'e mut Lineage,
 }
 
 /// Work counters for the executor.
@@ -69,7 +71,7 @@ pub(crate) enum StepResult {
     /// The state split; children are classified individually.
     Fork(Vec<ForkChild>),
     /// The path terminated normally.
-    Exit(#[allow(dead_code)] State),
+    Exit(State),
     /// The path reached a fault.
     Fault(State, Fault),
     /// Guidance asked to park the state.
@@ -83,6 +85,63 @@ impl<'e> ExecEnv<'e> {
     fn fresh_id(&mut self) -> u64 {
         *self.next_state_id += 1;
         *self.next_state_id
+    }
+
+    /// Cumulative work counters for lineage delta attribution.
+    fn work(&self) -> WorkSnapshot {
+        let sv = self.solver.stats();
+        WorkSnapshot {
+            steps: self.stats.steps,
+            solver_nodes: sv.nodes,
+            solver_us: sv.query_us,
+        }
+    }
+
+    /// Emits one lineage event for `state` (no-op unless lineage
+    /// tracing is on). `parent` is the fork parent's engine-local id
+    /// for introducing ops.
+    pub(crate) fn lineage_event(&mut self, op: &'static str, state: &State, parent: Option<u64>) {
+        if !self.lineage.on() {
+            return;
+        }
+        let loc = state_loc(self.module, state);
+        let work = self.work();
+        self.lineage.emit(
+            self.rec,
+            op,
+            state.id,
+            parent,
+            &loc,
+            state.meta.hops,
+            state.depth,
+            work,
+        );
+    }
+
+    /// Emits the `candidate.node` coverage event for a guidance-hook
+    /// match (lineage tracing only): candidate-path node `node` matched
+    /// at `loc`, conjoining `conj` predicates, with `outcome` `ok`,
+    /// `conflict`, or `kill`.
+    fn note_candidate_node(
+        &self,
+        matched: Option<usize>,
+        loc: &Location,
+        conj: usize,
+        outcome: &str,
+    ) {
+        let Some(node) = matched else { return };
+        if !self.lineage.on() {
+            return;
+        }
+        self.rec.event(
+            names::CANDIDATE_NODE,
+            &[
+                ("node", FieldValue::from(node)),
+                ("loc", FieldValue::from(loc.to_string())),
+                ("conj", FieldValue::from(conj)),
+                ("outcome", FieldValue::from(outcome)),
+            ],
+        );
     }
 
     /// Feasibility of a conjunction; `Unknown` counts as feasible.
@@ -149,6 +208,8 @@ impl<'e> ExecEnv<'e> {
             };
             self.hook.on_event(&ev, &mut state.meta, self.ctx)
         };
+        let matched = result.matched;
+        let conj = result.constraints.len();
         let injected = !result.constraints.is_empty();
         for c in result.constraints {
             state.soft = state.soft.push(c);
@@ -156,22 +217,28 @@ impl<'e> ExecEnv<'e> {
         if injected && !self.feasible_state(state) {
             let hard = state.path.to_vec();
             return if self.feasible(&hard) {
+                self.note_candidate_node(matched, &loc, conj, "conflict");
                 self.stats.suspended += 1;
                 self.rec.counter_add(names::SYMEX_SUSPEND_PREDICATE, 1);
                 self.rec
                     .observe(names::SYMEX_HOP_DIVERGENCE, state.meta.hops as u64);
+                self.lineage_event(lineage_op::SUSPEND_PREDICATE, state, None);
                 Some(StepResult::Suspend(std::mem::replace(state, dummy_state())))
             } else {
+                self.note_candidate_node(matched, &loc, conj, "kill");
                 self.stats.pruned += 1;
                 self.rec.counter_add(names::SYMEX_KILL, 1);
+                self.lineage_event(lineage_op::KILL, state, None);
                 Some(StepResult::Kill)
             };
         }
+        self.note_candidate_node(matched, &loc, conj, "ok");
         if result.suspend {
             self.stats.suspended += 1;
             self.rec.counter_add(names::SYMEX_SUSPEND_TAU, 1);
             self.rec
                 .observe(names::SYMEX_HOP_DIVERGENCE, state.meta.hops as u64);
+            self.lineage_event(lineage_op::SUSPEND_TAU, state, None);
             return Some(StepResult::Suspend(std::mem::replace(state, dummy_state())));
         }
         None
@@ -222,6 +289,9 @@ pub(crate) fn initial_state(env: &mut ExecEnv<'_>) -> State {
         .map(|(_, ty)| default_sym(env.ctx, *ty))
         .collect();
     push_frame(env.module, &mut state, main_id, args.clone(), None);
+    // The root lineage node must exist before the main():enter event
+    // below, which may itself emit a suspend transition for it.
+    env.lineage_event(lineage_op::ROOT, &state, None);
     // Deliver the main():enter event (guidance may constrain globals or
     // advance candidate-path progress). A suspend decision here is
     // ignored — the initial state must run.

@@ -58,6 +58,10 @@ pub struct GuidanceResult {
     pub constraints: Vec<Constraint>,
     /// Suspend this state (resumed only when no active states remain).
     pub suspend: bool,
+    /// Candidate-path node index this event matched, if any. Feeds the
+    /// `candidate.node` coverage events under lineage tracing; has no
+    /// effect on exploration.
+    pub matched: Option<usize>,
 }
 
 /// Observer/guide for symbolic execution, called at every function entry

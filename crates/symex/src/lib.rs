@@ -39,6 +39,7 @@
 pub mod engine;
 mod executor;
 pub mod hook;
+mod lineage;
 pub mod scheduler;
 pub mod state;
 pub mod value;

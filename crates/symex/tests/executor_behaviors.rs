@@ -135,6 +135,7 @@ impl EventHook for HostileGuidance {
         GuidanceResult {
             constraints: Vec::new(),
             suspend: meta.hops >= 2,
+            matched: None,
         }
     }
 }
@@ -195,6 +196,7 @@ impl EventHook for MisleadingPredicates {
         GuidanceResult {
             constraints,
             suspend: false,
+            matched: None,
         }
     }
 }

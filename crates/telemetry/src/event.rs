@@ -163,6 +163,86 @@ pub enum TraceEvent {
         /// in `[2^(b-1), 2^b - 1]`, bucket 0 holds zeros.
         buckets: Vec<(u32, u64)>,
     },
+    /// One state-lineage transition in the exploration tree: a state is
+    /// born (`root`/`fork`), changes disposition (`suspend.*`, `resume`,
+    /// `kill`), or terminates (`exit`, `fault`, `unconfirmed`). The
+    /// `steps`/`snodes`/`sus` fields are *deltas* attributed to the
+    /// executing state since the previous lineage event.
+    State {
+        /// Emission tick.
+        t: u64,
+        /// Operation, one of [`lineage_op::ALL`].
+        op: String,
+        /// Trace-global state id (unique and increasing; never 0).
+        id: u64,
+        /// Parent state id (0 only for `root` states).
+        par: u64,
+        /// SIR location (`function:bN`) where the transition happened.
+        loc: String,
+        /// Hop count (divergence from the candidate path) at emission.
+        hops: u64,
+        /// Path depth (branch decisions taken) at emission.
+        depth: u64,
+        /// Executor steps attributed since the last lineage event.
+        steps: u64,
+        /// Solver search-tree nodes attributed since the last lineage
+        /// event.
+        snodes: u64,
+        /// Solver µs attributed since the last lineage event (0 under
+        /// the deterministic step clock).
+        sus: u64,
+    },
+}
+
+/// The operation vocabulary of [`TraceEvent::State`], kept in one place
+/// so emitters, the strict parser, and `statsym-inspect` cannot drift.
+pub mod lineage_op {
+    /// Initial state of one engine run (its `par` is always 0).
+    pub const ROOT: &str = "root";
+    /// A fresh child forked off an executing parent.
+    pub const FORK: &str = "fork";
+    /// Suspension: the τ hop budget ran out (PAPER.md §IV).
+    pub const SUSPEND_TAU: &str = "suspend.tau";
+    /// Suspension: an injected candidate predicate conflicted with the
+    /// hard path constraints.
+    pub const SUSPEND_PREDICATE: &str = "suspend.predicate";
+    /// A fork child born suspended by guidance classification.
+    pub const SUSPEND_BRANCH: &str = "suspend.branch";
+    /// A suspended state re-entered the schedulable pool (guidance off).
+    pub const RESUME: &str = "resume";
+    /// The state was killed outright (infeasible on hard constraints).
+    pub const KILL: &str = "kill";
+    /// Terminal: the path ran to normal completion.
+    pub const EXIT: &str = "exit";
+    /// Terminal: a confirmed fault (vulnerable path found).
+    pub const FAULT: &str = "fault";
+    /// Terminal: a fault the solver budget could not confirm a model
+    /// for.
+    pub const UNCONFIRMED: &str = "unconfirmed";
+
+    /// Every known op, in taxonomy order.
+    pub const ALL: &[&str] = &[
+        ROOT,
+        FORK,
+        SUSPEND_TAU,
+        SUSPEND_PREDICATE,
+        SUSPEND_BRANCH,
+        RESUME,
+        KILL,
+        EXIT,
+        FAULT,
+        UNCONFIRMED,
+    ];
+
+    /// Whether `op` introduces a new state id (`root`/`fork`).
+    pub fn introduces(op: &str) -> bool {
+        op == ROOT || op == FORK
+    }
+
+    /// Whether `op` is part of the vocabulary.
+    pub fn is_known(op: &str) -> bool {
+        ALL.contains(&op)
+    }
 }
 
 /// A trace parsing failure: the offending line (1-based) and reason.
@@ -278,6 +358,27 @@ impl TraceEvent {
                 }
                 s.push_str("]}");
             }
+            TraceEvent::State {
+                t,
+                op,
+                id,
+                par,
+                loc,
+                hops,
+                depth,
+                steps,
+                snodes,
+                sus,
+            } => {
+                s.push_str(&format!("{{\"k\":\"state\",\"t\":{t},\"op\":"));
+                push_json_str(&mut s, op);
+                s.push_str(&format!(",\"id\":{id},\"par\":{par},\"loc\":"));
+                push_json_str(&mut s, loc);
+                s.push_str(&format!(
+                    ",\"hops\":{hops},\"depth\":{depth},\"steps\":{steps},\
+                     \"snodes\":{snodes},\"sus\":{sus}}}"
+                ));
+            }
         }
         s
     }
@@ -389,6 +490,18 @@ impl TraceEvent {
                     buckets,
                 })
             }
+            "state" => Ok(TraceEvent::State {
+                t: get_u64("t")?,
+                op: get_str("op")?,
+                id: get_u64("id")?,
+                par: get_u64("par")?,
+                loc: get_str("loc")?,
+                hops: get_u64("hops")?,
+                depth: get_u64("depth")?,
+                steps: get_u64("steps")?,
+                snodes: get_u64("snodes")?,
+                sus: get_u64("sus")?,
+            }),
             other => Err(err(&format!("unknown event kind `{other}`"))),
         }
     }
@@ -419,28 +532,65 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
 /// Parses a whole JSONL trace and validates span structure: every
 /// `span_open` id must be fresh (no duplicates) and every `span_close`
 /// must match an open, still-unclosed span. Spans left open at end of
-/// trace are an error too (reported at their open line). Use this for
-/// untrusted input — `statsym-inspect` runs it on every file — where a
-/// skewed span tree would otherwise produce a silently wrong
-/// `TraceSummary`.
+/// trace are an error too (reported at their open line). State-lineage
+/// events are validated as well: ops must be known, state ids must be
+/// introduced (`root`/`fork`) before any later transition references
+/// them, roots have parent 0, and forks name an already-introduced
+/// parent — so every lineage event's `par` precedes it and the events
+/// form a forest of per-run trees. Use this for untrusted input —
+/// `statsym-inspect` runs it on every file — where a skewed span tree
+/// would otherwise produce a silently wrong `TraceSummary`.
 ///
 /// # Errors
 ///
 /// Returns the first structural [`ParseError`] with its 1-based line
 /// number.
 pub fn parse_trace_strict(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
+    parse_strict_inner(text, false).map(|(events, _)| events)
+}
+
+/// [`parse_trace_strict`] for traces still being written (or cut short
+/// by a crash): tolerates *exactly one* trailing partial line — dropped,
+/// reported via the returned flag — and spans/states left open at end
+/// of text. Interior corruption (a malformed line that is not the last,
+/// duplicate ids, closes of never-opened spans, lineage orphans) is
+/// still rejected.
+///
+/// # Errors
+///
+/// Returns the first interior structural [`ParseError`] with its
+/// 1-based line number.
+pub fn parse_trace_truncated(text: &str) -> Result<(Vec<TraceEvent>, bool), ParseError> {
+    parse_strict_inner(text, true)
+}
+
+fn parse_strict_inner(
+    text: &str,
+    allow_truncated: bool,
+) -> Result<(Vec<TraceEvent>, bool), ParseError> {
     let mut out = Vec::new();
     // span id -> (open line, still open?)
     let mut spans: std::collections::HashMap<u64, (usize, bool)> = std::collections::HashMap::new();
+    // state id -> intro line (root/fork that created it)
+    let mut states: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
     let fail = |line: usize, reason: String| Err(ParseError { line, reason });
-    for (i, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .collect();
+    let mut truncated = false;
+    for (pos, &(i, line)) in lines.iter().enumerate() {
         let lineno = i + 1;
         let ev = match TraceEvent::parse_line(line) {
             Ok(ev) => ev,
             Err(mut e) => {
+                if allow_truncated && pos == lines.len() - 1 {
+                    // A crash mid-write leaves at most one partial line,
+                    // and only at the very end.
+                    truncated = true;
+                    break;
+                }
                 e.line = lineno;
                 return Err(e);
             }
@@ -475,18 +625,54 @@ pub fn parse_trace_strict(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
                     *open = false;
                 }
             },
+            TraceEvent::State { op, id, par, .. } => {
+                if !lineage_op::is_known(op) {
+                    return fail(lineno, format!("unknown lineage op `{op}`"));
+                }
+                if *id == 0 {
+                    return fail(lineno, "state event with reserved id 0".to_string());
+                }
+                if lineage_op::introduces(op) {
+                    if let Some(first) = states.get(id) {
+                        return fail(
+                            lineno,
+                            format!("duplicate state id {id} (introduced at line {first})"),
+                        );
+                    }
+                    if op == lineage_op::ROOT && *par != 0 {
+                        return fail(
+                            lineno,
+                            format!("root state {id} must have parent 0, got {par}"),
+                        );
+                    }
+                    if op == lineage_op::FORK && !states.contains_key(par) {
+                        return fail(
+                            lineno,
+                            format!("fork state {id} references unintroduced parent {par}"),
+                        );
+                    }
+                    states.insert(*id, lineno);
+                } else if !states.contains_key(id) {
+                    return fail(
+                        lineno,
+                        format!("lineage op `{op}` for unintroduced state id {id}"),
+                    );
+                }
+            }
             _ => {}
         }
         out.push(ev);
     }
-    if let Some((&id, &(open_line, _))) = spans
-        .iter()
-        .filter(|(_, (_, open))| *open)
-        .min_by_key(|(_, (line, _))| *line)
-    {
-        return fail(open_line, format!("span id {id} is never closed"));
+    if !allow_truncated {
+        if let Some((&id, &(open_line, _))) = spans
+            .iter()
+            .filter(|(_, (_, open))| *open)
+            .min_by_key(|(_, (line, _))| *line)
+        {
+            return fail(open_line, format!("span id {id} is never closed"));
+        }
     }
-    Ok(out)
+    Ok((out, truncated))
 }
 
 /// Renders events back to canonical JSONL (one line each, trailing
@@ -803,6 +989,108 @@ mod tests {
             sum: 10,
             buckets: vec![(0, 1), (2, 2)],
         });
+        roundtrip(TraceEvent::State {
+            t: 12,
+            op: lineage_op::FORK.into(),
+            id: 5,
+            par: 2,
+            loc: "main:b3".into(),
+            hops: 1,
+            depth: 4,
+            steps: 37,
+            snodes: 12,
+            sus: 0,
+        });
+    }
+
+    fn state_line(op: &str, id: u64, par: u64) -> String {
+        TraceEvent::State {
+            t: 0,
+            op: op.into(),
+            id,
+            par,
+            loc: "f:b0".into(),
+            hops: 0,
+            depth: 0,
+            steps: 0,
+            snodes: 0,
+            sus: 0,
+        }
+        .to_json_line()
+            + "\n"
+    }
+
+    #[test]
+    fn strict_parse_accepts_lineage_tree() {
+        let text = state_line(lineage_op::ROOT, 1, 0)
+            + &state_line(lineage_op::FORK, 2, 1)
+            + &state_line(lineage_op::SUSPEND_TAU, 2, 1)
+            + &state_line(lineage_op::RESUME, 2, 1)
+            + &state_line(lineage_op::EXIT, 1, 0)
+            + &state_line(lineage_op::ROOT, 3, 0); // second run's root
+        assert_eq!(parse_trace_strict(&text).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn strict_parse_rejects_lineage_orphans_and_bad_ops() {
+        // Fork before its parent is introduced.
+        let err = parse_trace_strict(&state_line(lineage_op::FORK, 2, 1)).unwrap_err();
+        assert!(err.reason.contains("unintroduced parent 1"), "{err}");
+        // Transition on a never-introduced state.
+        let err = parse_trace_strict(&state_line(lineage_op::KILL, 9, 0)).unwrap_err();
+        assert!(err.reason.contains("unintroduced state id 9"), "{err}");
+        // Duplicate introduction.
+        let text = state_line(lineage_op::ROOT, 1, 0) + &state_line(lineage_op::ROOT, 1, 0);
+        let err = parse_trace_strict(&text).unwrap_err();
+        assert!(err.reason.contains("duplicate state id 1"), "{err}");
+        // Root with a parent.
+        let err = parse_trace_strict(&state_line(lineage_op::ROOT, 1, 7)).unwrap_err();
+        assert!(err.reason.contains("must have parent 0"), "{err}");
+        // Unknown op.
+        let err = parse_trace_strict(&state_line("teleport", 1, 0)).unwrap_err();
+        assert!(err.reason.contains("unknown lineage op"), "{err}");
+        // Reserved id 0.
+        let err = parse_trace_strict(&state_line(lineage_op::ROOT, 0, 0)).unwrap_err();
+        assert!(err.reason.contains("reserved id 0"), "{err}");
+    }
+
+    #[test]
+    fn truncated_parse_tolerates_one_trailing_partial_line() {
+        let good = state_line(lineage_op::ROOT, 1, 0);
+        let text = format!("{good}{{\"k\":\"sta"); // cut mid-write
+        let (events, truncated) = parse_trace_truncated(&text).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(truncated);
+        // A complete trace parses un-truncated.
+        let (events, truncated) = parse_trace_truncated(&good).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(!truncated);
+        // Strict mode still rejects the partial line.
+        assert!(parse_trace_strict(&text).is_err());
+    }
+
+    #[test]
+    fn truncated_parse_still_rejects_interior_corruption() {
+        let text = format!(
+            "{}not json\n{}",
+            state_line(lineage_op::ROOT, 1, 0),
+            state_line(lineage_op::EXIT, 1, 0)
+        );
+        let err = parse_trace_truncated(&text).unwrap_err();
+        assert_eq!(err.line, 2);
+        // Structural violations are interior corruption even on the
+        // last line: the line itself parses, so no tolerance applies.
+        let bad = state_line(lineage_op::ROOT, 1, 0) + &state_line(lineage_op::KILL, 5, 0);
+        assert!(parse_trace_truncated(&bad).is_err());
+    }
+
+    #[test]
+    fn truncated_parse_tolerates_open_spans_at_eof() {
+        let text = "{\"k\":\"span_open\",\"t\":0,\"id\":1,\"parent\":0,\"name\":\"a\"}\n";
+        assert!(parse_trace_strict(text).is_err());
+        let (events, truncated) = parse_trace_truncated(text).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(!truncated);
     }
 
     #[test]

@@ -27,14 +27,15 @@ mod report;
 
 pub use clock::{Clock, ClockMode};
 pub use event::{
-    parse_trace, parse_trace_strict, render_trace, FieldValue, ParseError, SpanId, TraceEvent,
+    lineage_op, parse_trace, parse_trace_strict, parse_trace_truncated, render_trace, FieldValue,
+    ParseError, SpanId, TraceEvent,
 };
 pub use metrics::{bucket_of, Hist, Metrics, HIST_BUCKETS};
 pub use recorder::{
-    BufferedRecorder, FileRecorder, MemRecorder, NoopRecorder, Recorder, SharedBuf, Span,
-    TraceBuffer, NOOP, TRACE_VERSION,
+    BufferedRecorder, FileRecorder, LineageEvent, MemRecorder, NoopRecorder, Recorder, SharedBuf,
+    Span, TraceBuffer, NOOP, TRACE_VERSION,
 };
-pub use report::{SpanStat, TraceSummary};
+pub use report::{HistStat, SpanStat, TraceSummary};
 
 /// Well-known span and metric names used across the workspace, kept in
 /// one place so emitters and report readers cannot drift apart.
@@ -63,6 +64,12 @@ pub mod names {
     pub const CANDIDATE_ATTEMPT: &str = "candidate.attempt";
     /// Per-candidate outcome event.
     pub const CANDIDATE_RESULT: &str = "candidate.result";
+    /// Candidate-path node coverage event (lineage tracing only): the
+    /// guidance hook matched node `node` of the candidate path at `loc`
+    /// and conjoined `conj` predicates, with `outcome` `ok`, `conflict`
+    /// (state suspended on an infeasible injected predicate), or `kill`
+    /// (state died on its hard constraints at injection).
+    pub const CANDIDATE_NODE: &str = "candidate.node";
     /// One `Engine::run` invocation.
     pub const ENGINE_RUN: &str = "engine.run";
     /// Engine outcome event.

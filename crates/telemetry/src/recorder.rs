@@ -25,6 +25,32 @@ use crate::metrics::{Hist, Metrics};
 /// Trace format version stamped into the meta event.
 pub const TRACE_VERSION: u64 = 1;
 
+/// One state-lineage transition handed to [`Recorder::state`]. The
+/// recorder stamps the clock tick and (under a deterministic clock)
+/// zeroes `solver_us`, exactly as [`Recorder::observe_wall`] suppresses
+/// wall-clock values — so step-clock traces stay byte-reproducible.
+#[derive(Debug, Clone, Copy)]
+pub struct LineageEvent<'a> {
+    /// Operation, one of [`crate::lineage_op::ALL`].
+    pub op: &'a str,
+    /// Trace-global state id, from [`Recorder::alloc_state_id`].
+    pub id: u64,
+    /// Parent state id (0 only for roots).
+    pub parent: u64,
+    /// SIR location (`function:bN`) of the transition.
+    pub loc: &'a str,
+    /// Hops from the candidate path at emission.
+    pub hops: u32,
+    /// Path depth at emission.
+    pub depth: u32,
+    /// Executor steps attributed since the last lineage event.
+    pub steps: u64,
+    /// Solver search-tree nodes attributed since the last lineage event.
+    pub snodes: u64,
+    /// Solver wall-µs attributed since the last lineage event.
+    pub solver_us: u64,
+}
+
 /// The instrumentation sink threaded through the pipeline.
 pub trait Recorder {
     /// False for the no-op recorder: callers may skip building event
@@ -58,6 +84,21 @@ pub trait Recorder {
     /// Advances the deterministic clock by `delta` logical ticks (the
     /// executor reports its step count here). No-op for wall clocks.
     fn tick(&self, delta: u64);
+
+    /// Allocates the next trace-global state id for lineage events
+    /// (unique, increasing, starting at 1). Returns 0 for recorders
+    /// without a sink — emitters should skip lineage work entirely when
+    /// [`Recorder::enabled`] is false.
+    fn alloc_state_id(&self) -> u64 {
+        0
+    }
+
+    /// Emits a state-lineage event. [`FileRecorder`] additionally
+    /// flushes its writer so a growing trace is tailable mid-run
+    /// (`statsym-inspect watch`). Default no-op.
+    fn state(&self, ev: &LineageEvent<'_>) {
+        let _ = ev;
+    }
 
     /// The clock mode this recorder stamps events with. Portfolio
     /// workers use this to build matching [`BufferedRecorder`]s.
@@ -114,6 +155,7 @@ impl Recorder for NoopRecorder {
 struct SinkCore {
     clock: Clock,
     next_span: Cell<u64>,
+    next_state: Cell<u64>,
     stack: RefCell<Vec<u64>>,
     metrics: Metrics,
 }
@@ -123,8 +165,36 @@ impl SinkCore {
         SinkCore {
             clock,
             next_span: Cell::new(1),
+            next_state: Cell::new(1),
             stack: RefCell::new(Vec::new()),
             metrics: Metrics::new(),
+        }
+    }
+
+    fn alloc_state(&self) -> u64 {
+        let id = self.next_state.get();
+        self.next_state.set(id + 1);
+        id
+    }
+
+    fn state_event(&self, ev: &LineageEvent<'_>) -> TraceEvent {
+        TraceEvent::State {
+            t: self.clock.now(),
+            op: ev.op.to_string(),
+            id: ev.id,
+            par: ev.parent,
+            loc: ev.loc.to_string(),
+            hops: ev.hops as u64,
+            depth: ev.depth as u64,
+            steps: ev.steps,
+            snodes: ev.snodes,
+            // Wall-measured solver time cannot round-trip under the
+            // deterministic step clock; zero it like observe_wall does.
+            sus: if self.clock.is_deterministic() {
+                0
+            } else {
+                ev.solver_us
+            },
         }
     }
 
@@ -186,8 +256,14 @@ impl SinkCore {
         // merged trace never reuses an id this sink already issued.
         let base = self.next_span.get();
         self.next_span.set(base + buf.spans_used);
+        // State ids remap exactly like span ids: past everything this
+        // sink already issued, in the buffer's own order — so a
+        // rank-ordered merge reproduces the sequential id sequence.
+        let state_base = self.next_state.get();
+        self.next_state.set(state_base + buf.states_used);
         let adopt = self.stack.borrow().last().copied().unwrap_or(0);
         let remap = |id: u64| base + (id - 1);
+        let remap_state = |id: u64| if id == 0 { 0 } else { state_base + (id - 1) };
         let rename = |name: &str| match prefix {
             Some(p) => format!("{p}{name}"),
             None => name.to_string(),
@@ -217,6 +293,32 @@ impl SinkCore {
                     t: t + offset,
                     name: rename(name),
                     fields: fields.clone(),
+                },
+                // Lineage events have no name, so the overshoot prefix
+                // does not apply; attribution to an attempt comes from
+                // stream position inside its candidate.attempt span.
+                TraceEvent::State {
+                    t,
+                    op,
+                    id,
+                    par,
+                    loc,
+                    hops,
+                    depth,
+                    steps,
+                    snodes,
+                    sus,
+                } => TraceEvent::State {
+                    t: t + offset,
+                    op: op.clone(),
+                    id: remap_state(*id),
+                    par: remap_state(*par),
+                    loc: loc.clone(),
+                    hops: *hops,
+                    depth: *depth,
+                    steps: *steps,
+                    snodes: *snodes,
+                    sus: *sus,
                 },
                 // Buffers carry metrics out of band, never inline.
                 other => other.clone(),
@@ -248,6 +350,8 @@ pub struct TraceBuffer {
     pub events: Vec<TraceEvent>,
     /// Number of span ids the buffer issued.
     pub spans_used: u64,
+    /// Number of state ids the buffer issued for lineage events.
+    pub states_used: u64,
     /// The buffer clock's final tick (total logical time covered).
     pub end_tick: u64,
     /// Final counter values, sorted by name.
@@ -296,6 +400,7 @@ impl BufferedRecorder {
         TraceBuffer {
             events: self.events.into_inner(),
             spans_used: self.core.next_span.get() - 1,
+            states_used: self.core.next_state.get() - 1,
             end_tick: self.core.clock.now(),
             counters: self.core.metrics.dump_counters(),
             gauges: self.core.metrics.dump_gauges(),
@@ -346,6 +451,15 @@ impl Recorder for BufferedRecorder {
 
     fn tick(&self, delta: u64) {
         self.core.clock.advance(delta);
+    }
+
+    fn alloc_state_id(&self) -> u64 {
+        self.core.alloc_state()
+    }
+
+    fn state(&self, ev: &LineageEvent<'_>) {
+        let ev = self.core.state_event(ev);
+        self.events.borrow_mut().push(ev);
     }
 
     fn clock_mode(&self) -> ClockMode {
@@ -436,6 +550,15 @@ impl Recorder for MemRecorder {
 
     fn tick(&self, delta: u64) {
         self.core.clock.advance(delta);
+    }
+
+    fn alloc_state_id(&self) -> u64 {
+        self.core.alloc_state()
+    }
+
+    fn state(&self, ev: &LineageEvent<'_>) {
+        let ev = self.core.state_event(ev);
+        self.events.borrow_mut().push(ev);
     }
 
     fn clock_mode(&self) -> ClockMode {
@@ -562,6 +685,22 @@ impl Recorder for FileRecorder {
 
     fn tick(&self, delta: u64) {
         self.core.clock.advance(delta);
+    }
+
+    fn alloc_state_id(&self) -> u64 {
+        self.core.alloc_state()
+    }
+
+    fn state(&self, ev: &LineageEvent<'_>) {
+        let ev = self.core.state_event(ev);
+        self.write(&ev);
+        // Keep the growing trace tailable: `statsym-inspect watch`
+        // re-reads the file while the engine is still running.
+        if self.error.borrow().is_none() {
+            if let Err(e) = self.out.borrow_mut().flush() {
+                *self.error.borrow_mut() = Some(e);
+            }
+        }
     }
 
     fn clock_mode(&self) -> ClockMode {
@@ -836,6 +975,127 @@ mod tests {
         w.span_close(s);
         merged.merge_buffer(&w.finish(), None);
         merged.span_close(root);
+
+        assert_eq!(inline.finish(), merged.finish());
+    }
+
+    #[test]
+    fn state_ids_allocate_and_sus_is_zeroed_under_steps_clock() {
+        let rec = MemRecorder::new(Clock::steps());
+        let id = rec.alloc_state_id();
+        assert_eq!(id, 1);
+        rec.state(&LineageEvent {
+            op: crate::lineage_op::ROOT,
+            id,
+            parent: 0,
+            loc: "main:b0",
+            hops: 0,
+            depth: 0,
+            steps: 0,
+            snodes: 0,
+            solver_us: 999,
+        });
+        let events = rec.finish();
+        assert!(matches!(
+            &events[1],
+            TraceEvent::State { op, id: 1, par: 0, sus: 0, .. } if op == "root"
+        ));
+        // Wall clock keeps the attributed solver time.
+        let rec = MemRecorder::new(Clock::wall());
+        rec.state(&LineageEvent {
+            op: crate::lineage_op::ROOT,
+            id: rec.alloc_state_id(),
+            parent: 0,
+            loc: "main:b0",
+            hops: 0,
+            depth: 0,
+            steps: 0,
+            snodes: 0,
+            solver_us: 999,
+        });
+        let events = rec.finish();
+        assert!(matches!(&events[1], TraceEvent::State { sus: 999, .. }));
+    }
+
+    fn lineage_buffer() -> TraceBuffer {
+        let w = BufferedRecorder::new(ClockMode::Steps);
+        let root = w.alloc_state_id();
+        w.state(&LineageEvent {
+            op: crate::lineage_op::ROOT,
+            id: root,
+            parent: 0,
+            loc: "main:b0",
+            hops: 0,
+            depth: 0,
+            steps: 0,
+            snodes: 0,
+            solver_us: 0,
+        });
+        let child = w.alloc_state_id();
+        w.state(&LineageEvent {
+            op: crate::lineage_op::FORK,
+            id: child,
+            parent: root,
+            loc: "main:b1",
+            hops: 0,
+            depth: 1,
+            steps: 5,
+            snodes: 2,
+            solver_us: 0,
+        });
+        w.finish()
+    }
+
+    #[test]
+    fn merge_remaps_state_ids_alongside_span_ids() {
+        let rec = MemRecorder::new(Clock::steps());
+        rec.merge_buffer(&lineage_buffer(), None);
+        rec.merge_buffer(&lineage_buffer(), None);
+        // Next main-thread allocation continues past both buffers.
+        assert_eq!(rec.alloc_state_id(), 5);
+        let events = rec.finish();
+        let ids: Vec<(u64, u64)> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::State { id, par, .. } => Some((*id, *par)),
+                _ => None,
+            })
+            .collect();
+        // Second buffer's local ids 1,2 land past the first's: 3,4.
+        assert_eq!(ids, vec![(1, 0), (2, 1), (3, 0), (4, 3)]);
+    }
+
+    #[test]
+    fn merged_lineage_matches_inline_recording() {
+        let inline = MemRecorder::new(Clock::steps());
+        let root = inline.alloc_state_id();
+        inline.state(&LineageEvent {
+            op: crate::lineage_op::ROOT,
+            id: root,
+            parent: 0,
+            loc: "main:b0",
+            hops: 0,
+            depth: 0,
+            steps: 0,
+            snodes: 0,
+            solver_us: 0,
+        });
+
+        let merged = MemRecorder::new(Clock::steps());
+        let w = BufferedRecorder::new(merged.clock_mode());
+        let id = w.alloc_state_id();
+        w.state(&LineageEvent {
+            op: crate::lineage_op::ROOT,
+            id,
+            parent: 0,
+            loc: "main:b0",
+            hops: 0,
+            depth: 0,
+            steps: 0,
+            snodes: 0,
+            solver_us: 0,
+        });
+        merged.merge_buffer(&w.finish(), None);
 
         assert_eq!(inline.finish(), merged.finish());
     }

@@ -25,6 +25,67 @@ pub struct SpanStat {
     pub total_ticks: u64,
 }
 
+/// Final state of one log₂ histogram, buckets included, with
+/// bucket-resolution percentile estimates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistStat {
+    /// Histogram name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Sparse `(bucket, count)` pairs as recorded in the trace; bucket
+    /// `b > 0` covers `[2^(b-1), 2^b - 1]`, bucket 0 holds zeros.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistStat {
+    /// The value at quantile `num/den`, estimated as the *upper bound*
+    /// of the log₂ bucket holding that rank (so the true value is ≤ the
+    /// estimate, within one power of two). Returns 0 for an empty
+    /// histogram.
+    pub fn percentile(&self, num: u64, den: u64) -> u64 {
+        if self.count == 0 || den == 0 {
+            return 0;
+        }
+        // 1-based rank of the requested quantile, rounded up.
+        let rank = ((self.count as u128 * num as u128).div_ceil(den as u128)).max(1);
+        let mut seen: u128 = 0;
+        for &(b, n) in &self.buckets {
+            seen += n as u128;
+            if seen >= rank {
+                return if b == 0 {
+                    0
+                } else if b >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << b) - 1
+                };
+            }
+        }
+        // Sparse buckets should sum to `count`; fall back to the top.
+        self.buckets
+            .last()
+            .map_or(0, |&(b, _)| if b >= 64 { u64::MAX } else { (1u64 << b) - 1 })
+    }
+
+    /// Median estimate (bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.percentile(1, 2)
+    }
+
+    /// 90th-percentile estimate (bucket upper bound).
+    pub fn p90(&self) -> u64 {
+        self.percentile(9, 10)
+    }
+
+    /// 99th-percentile estimate (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.percentile(99, 100)
+    }
+}
+
 /// A digest of one trace, ready to render.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceSummary {
@@ -36,8 +97,9 @@ pub struct TraceSummary {
     pub counters: Vec<(String, u64)>,
     /// Final gauge values in dump order.
     pub gauges: Vec<(String, i64)>,
-    /// Histograms in dump order: `(name, count, sum)`.
-    pub hists: Vec<(String, u64, u64)>,
+    /// Histograms in dump order, buckets preserved for percentile
+    /// summaries.
+    pub hists: Vec<HistStat>,
     /// Point events grouped by name, in first-seen order.
     pub event_counts: Vec<(String, u64)>,
 }
@@ -98,10 +160,19 @@ impl TraceSummary {
                     summary.gauges.push((name.clone(), *value));
                 }
                 TraceEvent::Hist {
-                    name, count, sum, ..
+                    name,
+                    count,
+                    sum,
+                    buckets,
                 } => {
-                    summary.hists.push((name.clone(), *count, *sum));
+                    summary.hists.push(HistStat {
+                        name: name.clone(),
+                        count: *count,
+                        sum: *sum,
+                        buckets: buckets.clone(),
+                    });
                 }
+                TraceEvent::State { .. } => {}
             }
         }
         summary
@@ -184,10 +255,17 @@ impl TraceSummary {
 
         if !self.hists.is_empty() {
             out.push_str("\nhistograms:\n");
-            for (name, count, sum) in &self.hists {
-                let mean = if *count > 0 { sum / count } else { 0 };
+            for h in &self.hists {
+                let mean = h.sum.checked_div(h.count).unwrap_or(0);
                 out.push_str(&format!(
-                    "  {name:<32}  count {count:>8}  sum {sum:>12}  mean {mean:>8}\n"
+                    "  {:<32}  count {:>8}  sum {:>12}  mean {mean:>8}  \
+                     p50 {:>8}  p90 {:>8}  p99 {:>8}\n",
+                    h.name,
+                    h.count,
+                    h.sum,
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
                 ));
             }
         }
@@ -286,5 +364,35 @@ mod tests {
         assert!(a.contains("  phase.skeleton") || a.contains("    phase.skeleton"));
         assert!(a.contains("solver.queries"));
         assert!(a.contains("mean"));
+        assert!(a.contains("p50"));
+        assert!(a.contains("p99"));
+    }
+
+    #[test]
+    fn percentiles_follow_bucket_upper_bounds() {
+        // 10 observations: 4 zeros, 3 in bucket 2 ([2,3]), 2 in bucket
+        // 5 ([16,31]), 1 in bucket 7 ([64,127]).
+        let h = HistStat {
+            name: "lat".into(),
+            count: 10,
+            sum: 0,
+            buckets: vec![(0, 4), (2, 3), (5, 2), (7, 1)],
+        };
+        assert_eq!(h.p50(), 3); // rank 5 lands in bucket 2 -> 2^2-1
+        assert_eq!(h.p90(), 31); // rank 9 lands in bucket 5 -> 2^5-1
+        assert_eq!(h.p99(), 127); // rank 10 lands in bucket 7 -> 2^7-1
+        assert_eq!(h.percentile(1, 10), 0); // rank 1: a zero
+
+        let empty = HistStat::default();
+        assert_eq!(empty.p50(), 0);
+
+        // Bucket 64 (values >= 2^63) saturates at u64::MAX.
+        let top = HistStat {
+            name: "big".into(),
+            count: 1,
+            sum: u64::MAX,
+            buckets: vec![(64, 1)],
+        };
+        assert_eq!(top.p50(), u64::MAX);
     }
 }

@@ -13,17 +13,26 @@ use proptest::{any, collection, proptest};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use statsym_telemetry::{
-    parse_trace_strict, render_trace, BufferedRecorder, Clock, ClockMode, FieldValue, MemRecorder,
-    Recorder, TraceBuffer, TraceEvent,
+    lineage_op, parse_trace_strict, render_trace, BufferedRecorder, Clock, ClockMode, FieldValue,
+    LineageEvent, MemRecorder, Recorder, TraceBuffer, TraceEvent,
 };
 
-/// Records a random span tree (spans, point events, ticks, counters)
-/// into `rec`. `budget` bounds total operations; depth is capped so the
-/// tree stays readable in failure dumps.
-fn record_tree(rec: &dyn Recorder, rng: &mut StdRng, depth: usize, budget: &mut usize) {
+/// Records a random span tree (spans, point events, ticks, counters,
+/// lineage states) into `rec`. `budget` bounds total operations; depth
+/// is capped so the tree stays readable in failure dumps. `states`
+/// tracks the lineage ids introduced into this recorder so transitions
+/// and forks only ever name live ancestors — the same discipline the
+/// engine's tracker enforces.
+fn record_tree(
+    rec: &dyn Recorder,
+    rng: &mut StdRng,
+    depth: usize,
+    budget: &mut usize,
+    states: &mut Vec<u64>,
+) {
     while *budget > 0 && rng.random_bool(0.75) {
         *budget -= 1;
-        match rng.random_range(0..4u32) {
+        match rng.random_range(0..5u32) {
             0 => rec.event(
                 "w.point",
                 &[("v", FieldValue::Uint(rng.random_range(0..100u64)))],
@@ -33,10 +42,45 @@ fn record_tree(rec: &dyn Recorder, rng: &mut StdRng, depth: usize, budget: &mut 
                 rec.counter_add("w.ops", 1);
             }
             2 => rec.observe("w.lat", rng.random_range(0..5000u64)),
+            3 => {
+                let steps = rng.random_range(0..50u64);
+                let state = |op, id, parent| LineageEvent {
+                    op,
+                    id,
+                    parent,
+                    loc: "w:b0",
+                    hops: 0,
+                    depth: depth as u32,
+                    steps,
+                    snodes: 0,
+                    solver_us: 0,
+                };
+                if states.is_empty() || rng.random_bool(0.2) {
+                    let id = rec.alloc_state_id();
+                    rec.state(&state(lineage_op::ROOT, id, 0));
+                    states.push(id);
+                } else if rng.random_bool(0.5) {
+                    let parent = states[rng.random_range(0..states.len() as u64) as usize];
+                    let id = rec.alloc_state_id();
+                    rec.state(&state(lineage_op::FORK, id, parent));
+                    states.push(id);
+                } else {
+                    let id = states[rng.random_range(0..states.len() as u64) as usize];
+                    let ops = [
+                        lineage_op::SUSPEND_TAU,
+                        lineage_op::RESUME,
+                        lineage_op::KILL,
+                        lineage_op::EXIT,
+                        lineage_op::FAULT,
+                    ];
+                    let op = ops[rng.random_range(0..ops.len() as u64) as usize];
+                    rec.state(&state(op, id, 0));
+                }
+            }
             _ => {
                 let id = rec.span_open("w.span");
                 if depth < 4 {
-                    record_tree(rec, rng, depth + 1, budget);
+                    record_tree(rec, rng, depth + 1, budget, states);
                 }
                 rec.span_close(id);
             }
@@ -50,7 +94,7 @@ fn worker_buffer(seed: u64) -> (TraceBuffer, usize, u64) {
     let rec = BufferedRecorder::new(ClockMode::Steps);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut budget = rng.random_range(0..40usize);
-    record_tree(&rec, &mut rng, 0, &mut budget);
+    record_tree(&rec, &mut rng, 0, &mut budget, &mut Vec::new());
     let buf = rec.finish();
     let points = buf
         .events
@@ -138,11 +182,61 @@ proptest! {
             let t = match ev {
                 TraceEvent::SpanOpen { t, .. }
                 | TraceEvent::SpanClose { t, .. }
-                | TraceEvent::Event { t, .. } => *t,
+                | TraceEvent::Event { t, .. }
+                | TraceEvent::State { t, .. } => *t,
                 _ => last,
             };
             assert!(t >= last, "timestamp regressed: {t} after {last}\n{rendered}");
             last = t;
+        }
+
+        // Lineage events must still form a forest of single-rooted
+        // trees after the id remap: every introduction precedes the
+        // events that reference it, parents have smaller ids than
+        // children, and chasing parent pointers from any state reaches
+        // a root (no orphans). No state event may be lost either.
+        let expect_states: usize = buffers
+            .iter()
+            .map(|(b, _, _)| {
+                b.events
+                    .iter()
+                    .filter(|e| matches!(e, TraceEvent::State { .. }))
+                    .count()
+            })
+            .sum();
+        let mut parent_of = std::collections::HashMap::new();
+        let mut merged_states = 0usize;
+        for ev in &events {
+            let TraceEvent::State { op, id, par, .. } = ev else {
+                continue;
+            };
+            merged_states += 1;
+            match op.as_str() {
+                "root" => {
+                    assert_eq!(*par, 0, "root with nonzero parent\n{rendered}");
+                    assert!(parent_of.insert(*id, 0u64).is_none(), "dup id {id}");
+                }
+                "fork" => {
+                    assert!(
+                        parent_of.contains_key(par),
+                        "fork {id} orphaned: parent {par} never introduced\n{rendered}"
+                    );
+                    assert!(*par < *id, "parent id {par} not below child {id}");
+                    assert!(parent_of.insert(*id, *par).is_none(), "dup id {id}");
+                }
+                _ => assert!(
+                    parent_of.contains_key(id),
+                    "transition on unknown state {id}\n{rendered}"
+                ),
+            }
+        }
+        assert_eq!(merged_states, expect_states, "no state event may be lost");
+        for &id in parent_of.keys() {
+            // Chase to the root; parent < child guarantees termination.
+            let mut at = id;
+            while at != 0 {
+                at = parent_of[&at];
+            }
         }
     }
 }
