@@ -1,33 +1,41 @@
-//! `--trace <path>` / `--clock steps|wall` support for the bench
-//! binaries: every table/figure binary can export a structured JSONL
-//! trace of the run it just printed.
+//! `--trace <path>` / `--stream <addr>` / `--clock steps|wall` support
+//! for the bench binaries: every table/figure binary can export a
+//! structured JSONL trace of the run it just printed — to a file, to a
+//! live `statsym-inspect live` consumer, or both at once.
 //!
 //! With `--clock steps` the trace is stamped with the engine's logical
 //! step counter instead of wall-clock time, making the file
-//! byte-reproducible across runs under a fixed seed.
+//! byte-reproducible across runs under a fixed seed. Fan-out is handled
+//! by [`FanoutRecorder`]: the file and the stream see the same event
+//! lines, so a stream recorded by `statsym-inspect live --record` is
+//! byte-identical to the `--trace` file.
 
-use statsym_telemetry::{Clock, FileRecorder, Recorder, NOOP};
+use statsym_telemetry::{Clock, FanoutRecorder, FileSink, Recorder, StreamSink, NOOP};
 
 /// Command-line trace options for a bench binary.
 #[derive(Debug)]
 pub struct TraceSink {
     path: Option<String>,
-    rec: Option<FileRecorder>,
+    streamed: bool,
+    rec: Option<FanoutRecorder>,
     workers: Option<usize>,
     lineage: bool,
 }
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: [--trace <path>] [--clock steps|wall] [--workers <n>] [--lineage]");
+    eprintln!(
+        "usage: [--trace <path>] [--stream <addr>] [--clock steps|wall] [--workers <n>] [--lineage]"
+    );
     std::process::exit(2);
 }
 
 impl TraceSink {
-    /// Parses `--trace <path>`, `--clock steps|wall`, and `--workers <n>`
-    /// from the process arguments. Defaults to the deterministic step
-    /// clock so fixed-seed runs produce byte-identical trace files, and
-    /// to a single worker (the sequential candidate loop).
+    /// Parses `--trace <path>`, `--stream <addr>`, `--clock steps|wall`,
+    /// and `--workers <n>` from the process arguments. Defaults to the
+    /// deterministic step clock so fixed-seed runs produce byte-identical
+    /// trace files, and to a single worker (the sequential candidate
+    /// loop).
     ///
     /// Exits with status 2 (and a usage message on stderr) on a
     /// malformed command line, an unrecognized flag, or an unwritable
@@ -42,15 +50,22 @@ impl TraceSink {
         sink
     }
 
-    /// Pulls the trace flags (`--trace`, `--clock`, `--workers`) out of
-    /// `args`, leaving every unrecognized argument in place for the
-    /// caller to parse — how binaries combine their own flags with the
-    /// shared trace options.
+    /// Pulls the trace flags (`--trace`, `--stream`, `--clock`,
+    /// `--workers`, `--lineage`) out of `args`, leaving every
+    /// unrecognized argument in place for the caller to parse — how
+    /// binaries combine their own flags with the shared trace options.
     ///
-    /// Exits with status 2 on a malformed trace flag or an unwritable
-    /// trace path.
+    /// `--stream` dials a `statsym-inspect live` listener (TCP
+    /// `host:port`, or a Unix socket path containing `/`), retrying for
+    /// a few seconds so a consumer started in parallel wins the race.
+    /// The stream's run id is the `--trace` file stem (or `bench`
+    /// without `--trace`).
+    ///
+    /// Exits with status 2 on a malformed trace flag, an unwritable
+    /// trace path, or an unreachable stream address.
     pub fn extract(args: &mut Vec<String>) -> TraceSink {
         let mut path = None;
+        let mut stream = None;
         let mut wall = false;
         let mut workers = None;
         let mut lineage = false;
@@ -61,6 +76,10 @@ impl TraceSink {
                 "--trace" => match it.next() {
                     Some(p) => path = Some(p),
                     None => usage_exit("--trace requires a file path"),
+                },
+                "--stream" => match it.next() {
+                    Some(addr) => stream = Some(addr),
+                    None => usage_exit("--stream requires an address (host:port or socket path)"),
                 },
                 "--clock" => match it.next().as_deref() {
                     Some("steps") => wall = false,
@@ -80,16 +99,37 @@ impl TraceSink {
             }
         }
         *args = rest;
-        let rec = path.as_deref().map(|p| {
+        let rec = if path.is_some() || stream.is_some() {
             let clock = if wall { Clock::wall() } else { Clock::steps() };
-            FileRecorder::create(p, clock)
-                .unwrap_or_else(|e| usage_exit(&format!("cannot open {p}: {e}")))
-        });
-        if lineage && path.is_none() {
-            usage_exit("--lineage requires --trace (lineage events go into the trace file)");
+            let mut fan = FanoutRecorder::new(clock);
+            if let Some(p) = path.as_deref() {
+                let file = FileSink::create(p)
+                    .unwrap_or_else(|e| usage_exit(&format!("cannot open {p}: {e}")));
+                fan.add_sink(Box::new(file));
+            }
+            if let Some(addr) = stream.as_deref() {
+                // The run id names the recorded stream on the consumer
+                // side: the trace file stem, so `live --record` writes
+                // the same file name the run itself would.
+                let run = path
+                    .as_deref()
+                    .and_then(|p| std::path::Path::new(p).file_stem())
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("bench");
+                let sink = StreamSink::connect(addr, run)
+                    .unwrap_or_else(|e| usage_exit(&format!("cannot reach {addr}: {e}")));
+                fan.add_sink(Box::new(sink));
+            }
+            Some(fan)
+        } else {
+            None
+        };
+        if lineage && rec.is_none() {
+            usage_exit("--lineage requires --trace or --stream (lineage events go into the trace)");
         }
         TraceSink {
             path,
+            streamed: stream.is_some(),
             rec,
             workers,
             lineage,
@@ -114,8 +154,9 @@ impl TraceSink {
         self.workers
     }
 
-    /// The recorder to thread through the experiment: the file recorder
-    /// when `--trace` was given, the no-op recorder otherwise.
+    /// The recorder to thread through the experiment: the fan-out
+    /// recorder when `--trace` / `--stream` was given, the no-op
+    /// recorder otherwise.
     pub fn recorder(&self) -> &dyn Recorder {
         match &self.rec {
             Some(r) => r,
@@ -123,18 +164,23 @@ impl TraceSink {
         }
     }
 
-    /// Flushes the trace (appending the final metrics snapshot) and
-    /// reports where it was written.
+    /// Flushes the trace (appending the final metrics snapshot and the
+    /// stream's end-of-run frame) and reports where it was written.
     ///
     /// # Panics
     ///
-    /// Panics if the trace file could not be written in full.
+    /// Panics if the trace file or stream could not be written in full.
     pub fn finish(self) {
         if let Some(rec) = self.rec {
-            let path = self.path.unwrap_or_default();
+            let path = self.path.clone().unwrap_or_default();
             rec.finish()
                 .unwrap_or_else(|e| panic!("failed to write trace {path}: {e}"));
-            eprintln!("trace written to {path}");
+            if let Some(p) = self.path {
+                eprintln!("trace written to {p}");
+            }
+            if self.streamed {
+                eprintln!("trace streamed");
+            }
         }
     }
 }

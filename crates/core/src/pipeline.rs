@@ -668,6 +668,73 @@ mod tests {
     }
 
     #[test]
+    fn budget_killed_runs_are_byte_identical_across_worker_counts() {
+        use statsym_telemetry::{
+            lineage_op, parse_trace_strict, render_trace, Clock, MemRecorder, TraceEvent,
+        };
+        use symex::Budget;
+
+        let m = module();
+        let logs = gen_logs(&m, 30, 1.0, 7);
+        // The real candidate needs 91 steps on this fixture: a 60-step
+        // budget kills every attempt mid-state, so no candidate wins and
+        // every rank runs to its (deterministic) budget trip.
+        let base = StatSymConfig::default();
+        let cfg = |workers| StatSymConfig {
+            workers,
+            engine: EngineConfig {
+                lineage: true,
+                budget: Budget {
+                    max_steps: Some(60),
+                    ..Budget::default()
+                },
+                ..base.engine
+            },
+            ..base
+        };
+        let analysis = StatSym::new(cfg(1)).analyze(&logs);
+        let record = |workers| {
+            let rec = MemRecorder::new(Clock::steps());
+            let report =
+                StatSym::new(cfg(workers)).run_with_analysis_traced(&m, analysis.clone(), &rec);
+            (report, render_trace(&rec.finish()))
+        };
+
+        let (seq_report, seq) = record(1);
+        assert!(seq_report.found.is_none(), "budget must kill every attempt");
+        assert!(!seq_report.attempts.is_empty());
+        let events = parse_trace_strict(&seq).expect("budget-killed trace is strict-valid");
+        let trips = events
+            .iter()
+            .filter(
+                |e| matches!(e, TraceEvent::State { op, .. } if op == lineage_op::BUDGET_EXCEEDED),
+            )
+            .count();
+        assert_eq!(
+            trips,
+            seq_report.attempts.len(),
+            "one budget_exceeded disposition per attempt"
+        );
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                TraceEvent::Counter { name, value } if name == statsym_telemetry::names::BUDGET_EXCEEDED
+                    && *value == seq_report.attempts.len() as u64
+            )),
+            "budget.exceeded counter reconciles with attempts"
+        );
+
+        // A budget trip is pinned to an exact instruction count, so the
+        // portfolio merge reproduces the sequential trace byte for byte
+        // at any worker count.
+        for workers in [2, 4] {
+            let (par_report, par) = record(workers);
+            assert!(par_report.found.is_none());
+            assert_eq!(seq, par, "workers={workers} trace must be byte-identical");
+        }
+    }
+
+    #[test]
     fn empty_logs_produce_no_candidates() {
         let m = module();
         let statsym = StatSym::default();

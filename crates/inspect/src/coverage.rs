@@ -254,7 +254,10 @@ mod tests {
         let text = coverage(&events, Some(40.0));
         assert!(text.contains("rank 3"), "{text}");
         assert!(text.contains("[+##...]"), "{text}");
-        assert!(text.contains("3/6 candidate-path nodes engaged (50.0%)"), "{text}");
+        assert!(
+            text.contains("3/6 candidate-path nodes engaged (50.0%)"),
+            "{text}"
+        );
         assert!(text.contains("gate: pass"), "{text}");
         assert!(gate(&events, 40.0));
         assert!(!gate(&events, 60.0));

@@ -113,9 +113,9 @@ mod tests {
         assert_eq!(
             lines,
             vec![
-                "main:b0 12",                // #1: 5+4, plus #4's 3
-                "main:b0;main:b2 8",         // #2: 7 fork + 1 exit
-                "main:b0;main:b2;g:b1 2",    // #3
+                "main:b0 12",             // #1: 5+4, plus #4's 3
+                "main:b0;main:b2 8",      // #2: 7 fork + 1 exit
+                "main:b0;main:b2;g:b1 2", // #3
             ]
         );
         let steps = flame(&events, Metric::Steps);

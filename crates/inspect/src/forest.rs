@@ -78,7 +78,8 @@ pub enum Status {
     Live,
     /// Parked in the suspended pool.
     Suspended,
-    /// Terminal: `exit`, `fault`, `unconfirmed`, or `kill`.
+    /// Terminal: `exit`, `fault`, `unconfirmed`, `kill`, or
+    /// `budget_exceeded`.
     Terminal,
 }
 
@@ -89,7 +90,8 @@ impl StateNode {
             lineage_op::EXIT
             | lineage_op::FAULT
             | lineage_op::UNCONFIRMED
-            | lineage_op::KILL => Status::Terminal,
+            | lineage_op::KILL
+            | lineage_op::BUDGET_EXCEEDED => Status::Terminal,
             op if op.starts_with("suspend.") => Status::Suspended,
             _ => Status::Live,
         }

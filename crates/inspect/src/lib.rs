@@ -24,6 +24,9 @@
 //! * [`flame`] — collapsed-stack flamegraph export of solver effort
 //!   keyed by fork lineage.
 //! * [`watch`] — a live dashboard that tails a growing trace file.
+//! * [`live`] — the same dashboard fed by `--stream` telemetry sockets
+//!   (any number of concurrent runs), with `--record` teeing each
+//!   stream back to a byte-identical trace file.
 //!
 //! Traces are loaded with the *strict* parser: unbalanced or duplicate
 //! spans are rejected with line-numbered errors rather than silently
@@ -36,7 +39,9 @@ pub mod critical;
 pub mod diff;
 pub mod flame;
 pub mod forest;
+pub mod live;
 pub mod numjson;
+pub mod tail;
 pub mod top;
 pub mod tree;
 pub mod watch;
@@ -85,4 +90,22 @@ pub fn report(path: &str, allow_truncated: bool) -> Result<String, String> {
         load_trace(path)?
     };
     Ok(TraceSummary::from_events(&events).render())
+}
+
+/// The machine-readable run report: one JSON object with stable key
+/// order ([`statsym_telemetry::TraceSummary::render_json`]), newline
+/// terminated. Same parser contract as [`report`].
+///
+/// # Errors
+///
+/// Propagates [`load_trace`] / [`load_trace_truncated`] failures.
+pub fn report_json(path: &str, allow_truncated: bool) -> Result<String, String> {
+    let events = if allow_truncated {
+        load_trace_truncated(path)?.0
+    } else {
+        load_trace(path)?
+    };
+    let mut out = TraceSummary::from_events(&events).render_json();
+    out.push('\n');
+    Ok(out)
 }

@@ -1,14 +1,15 @@
 //! `statsym-inspect` — trace analytics over StatSym JSONL traces.
 //!
 //! ```text
-//! statsym-inspect report <trace.jsonl> [--allow-truncated]
+//! statsym-inspect report <trace.jsonl> [--format text|json] [--allow-truncated]
 //! statsym-inspect diff <old> <new> [--threshold <pct>%] [--ignore <prefix>]... [--min-delta <n>]
 //! statsym-inspect critical-path <trace.jsonl>
 //! statsym-inspect top <trace.jsonl> [--limit <n>]
 //! statsym-inspect tree <trace.jsonl>
 //! statsym-inspect coverage <trace.jsonl> [--min <pct>]
 //! statsym-inspect flame <trace.jsonl> [--metric solver-nodes|solver-us|steps]
-//! statsym-inspect watch <trace.jsonl> [--interval <ms>] [--once]
+//! statsym-inspect watch <trace.jsonl> [--interval <ms>] [--once] [--allow-truncated]
+//! statsym-inspect live <addr> [--record <dir>] [--runs <n>] [--quiet] [--interval <ms>]
 //! ```
 //!
 //! Exit codes: 0 success (and no regressions), 1 `diff` found at least
@@ -16,15 +17,18 @@
 //! error.
 
 use statsym_inspect::diff::{diff_files, parse_threshold, DiffConfig};
-use statsym_inspect::{coverage, critical, flame, load_trace, report, top, tree, watch};
+use statsym_inspect::{
+    coverage, critical, flame, live, load_trace, report, report_json, top, tree, watch,
+};
 
 const USAGE: &str = "\
 usage: statsym-inspect <command> [args]
 
 commands:
-  report <trace.jsonl> [--allow-truncated]
+  report <trace.jsonl> [--format text|json] [--allow-truncated]
       Render the run report (phases, counters, gauges, histograms).
-      --allow-truncated accepts a trace cut short mid-line.
+      --format json emits one machine-readable JSON object with stable
+      key order. --allow-truncated accepts a trace cut short mid-line.
   diff <old> <new> [--threshold <pct>%] [--ignore <prefix>]... [--min-delta <n>]
       Compare two traces (or two numeric JSON reports). Exits 1 when a
       metric grew past the threshold (default 10%).
@@ -42,9 +46,18 @@ commands:
   flame <trace.jsonl> [--metric solver-nodes|solver-us|steps]
       Collapsed-stack flamegraph of solver effort keyed by fork
       lineage (inferno / speedscope / flamegraph.pl compatible).
-  watch <trace.jsonl> [--interval <ms>] [--once]
+  watch <trace.jsonl> [--interval <ms>] [--once] [--allow-truncated]
       Live dashboard tailing a growing --lineage trace; exits when the
-      run's final metrics appear.
+      run's final metrics appear. Polling backs off adaptively while
+      the file is idle. With --once, the trace is parsed strictly (like
+      report) unless --allow-truncated is given.
+  live <addr> [--record <dir>] [--runs <n>] [--quiet] [--interval <ms>]
+      Stream-fed dashboard: listens on a tcp host:port (or a unix
+      socket path containing '/') for --stream telemetry from any
+      number of concurrent runs. --record tees each stream into
+      <dir>/<run>.jsonl, byte-identical to the run's own trace file.
+      --runs exits after <n> streams end (for CI); exits nonzero if a
+      stream hangs up without its end-of-run frame.
 ";
 
 fn usage_exit(msg: &str) -> ! {
@@ -63,15 +76,30 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("report") => {
             let mut allow_truncated = false;
+            let mut json = false;
             let mut rest = Vec::new();
-            for a in &args[1..] {
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
                 match a.as_str() {
                     "--allow-truncated" => allow_truncated = true,
+                    "--format" => match it.next().map(String::as_str) {
+                        Some("text") => json = false,
+                        Some("json") => json = true,
+                        _ => usage_exit("--format requires `text` or `json`"),
+                    },
                     _ => rest.push(a.clone()),
                 }
             }
-            let [path] = positional::<1>(&rest, "report <trace.jsonl> [--allow-truncated]");
-            match report(&path, allow_truncated) {
+            let [path] = positional::<1>(
+                &rest,
+                "report <trace.jsonl> [--format text|json] [--allow-truncated]",
+            );
+            let rendered = if json {
+                report_json(&path, allow_truncated)
+            } else {
+                report(&path, allow_truncated)
+            };
+            match rendered {
                 Ok(text) => {
                     print!("{text}");
                     0
@@ -175,6 +203,7 @@ fn main() {
         Some("watch") => {
             let mut interval = 500u64;
             let mut once = false;
+            let mut allow_truncated = false;
             let mut rest = Vec::new();
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
@@ -184,11 +213,46 @@ fn main() {
                         _ => usage_exit("--interval requires a positive millisecond count"),
                     },
                     "--once" => once = true,
+                    "--allow-truncated" => allow_truncated = true,
                     _ => rest.push(a.clone()),
                 }
             }
-            let [path] = positional::<1>(&rest, "watch <trace.jsonl> [--interval <ms>] [--once]");
-            watch::watch(&path, interval, once)
+            let [path] = positional::<1>(
+                &rest,
+                "watch <trace.jsonl> [--interval <ms>] [--once] [--allow-truncated]",
+            );
+            watch::watch(&path, interval, once, allow_truncated)
+        }
+        Some("live") => {
+            let mut opts = live::LiveOpts {
+                interval_ms: 500,
+                ..live::LiveOpts::default()
+            };
+            let mut rest = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--record" => match it.next() {
+                        Some(dir) => opts.record = Some(dir.clone()),
+                        None => usage_exit("--record requires a directory"),
+                    },
+                    "--runs" => match it.next().map(|n| n.parse::<u64>()) {
+                        Some(Ok(n)) if n >= 1 => opts.runs = Some(n),
+                        _ => usage_exit("--runs requires a positive count"),
+                    },
+                    "--quiet" => opts.quiet = true,
+                    "--interval" => match it.next().map(|n| n.parse::<u64>()) {
+                        Some(Ok(ms)) if ms >= 1 => opts.interval_ms = ms,
+                        _ => usage_exit("--interval requires a positive millisecond count"),
+                    },
+                    _ => rest.push(a.clone()),
+                }
+            }
+            let [addr] = positional::<1>(
+                &rest,
+                "live <addr> [--record <dir>] [--runs <n>] [--quiet] [--interval <ms>]",
+            );
+            live::live(&addr, &opts)
         }
         Some(other) => usage_exit(&format!("unknown command `{other}`")),
         None => usage_exit("missing command"),

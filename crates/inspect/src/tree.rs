@@ -99,7 +99,15 @@ fn render_node(
     };
     for (i, &c) in n.children.iter().enumerate() {
         let last_child = i + 1 == n.children.len();
-        render_node(forest, subtree, c, &child_prefix, last_child, depth + 1, out);
+        render_node(
+            forest,
+            subtree,
+            c,
+            &child_prefix,
+            last_child,
+            depth + 1,
+            out,
+        );
     }
 }
 

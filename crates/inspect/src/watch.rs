@@ -7,7 +7,9 @@
 //! half-written last line is expected mid-run), and redraws a summary
 //! in place. Metrics (`Counter`/`Gauge`/`Hist` lines) are only flushed
 //! at the end of a run, so their appearance doubles as the done signal:
-//! `watch` prints a final frame and exits 0.
+//! `watch` prints a final frame and exits 0. (The stream-fed `live`
+//! dashboard does not need this heuristic — a stream carries an
+//! explicit end-of-run frame.)
 //!
 //! The rendering is a pure function of the parsed events
 //! ([`dashboard`]), so it is unit-testable without a filesystem or a
@@ -124,7 +126,10 @@ pub fn dashboard(events: &[TraceEvent], truncated: bool) -> Frame {
     if done {
         let queries = counters.get(names::SOLVER_QUERIES).copied().unwrap_or(0);
         let hits = counters.get(names::SOLVER_CACHE_HITS).copied().unwrap_or(0)
-            + counters.get(names::SOLVER_SHARED_HITS).copied().unwrap_or(0);
+            + counters
+                .get(names::SOLVER_SHARED_HITS)
+                .copied()
+                .unwrap_or(0);
         let rate = if queries + hits == 0 {
             0.0
         } else {
@@ -139,11 +144,33 @@ pub fn dashboard(events: &[TraceEvent], truncated: bool) -> Frame {
     Frame { text: out, done }
 }
 
-/// Polls `path` every `interval_ms`, redrawing the dashboard in place
-/// (ANSI home + clear). Returns the process exit code: 0 once the run
-/// completes (or immediately with `once`), 2 on a read/parse error.
-pub fn watch(path: &str, interval_ms: u64, once: bool) -> i32 {
-    let mut first = true;
+/// Polls `path`, redrawing the dashboard in place with adaptive backoff
+/// (starting at `interval_ms`, doubling while the file is unchanged).
+/// Returns the process exit code: 0 once the run completes (or
+/// immediately with `once`), 2 on a read/parse error.
+///
+/// With `once`, the trace is held to the same parser contract as
+/// `report`: strict unless `allow_truncated`, so a mid-write or
+/// crash-cut trace exits 2 instead of silently rendering half a run.
+/// Continuous watching always tolerates a partial tail line — that is
+/// the expected state of a live trace.
+pub fn watch(path: &str, interval_ms: u64, once: bool, allow_truncated: bool) -> i32 {
+    if once && !allow_truncated {
+        // One strict frame, same acceptance rules as `report`.
+        let events = match crate::load_trace(path) {
+            Ok(ev) => ev,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        };
+        let mut screen = crate::tail::Screen::new();
+        screen.draw(&dashboard(&events, false).text);
+        return 0;
+    }
+    let mut screen = crate::tail::Screen::new();
+    let mut backoff = crate::tail::Backoff::new(interval_ms);
+    let mut last_len: Option<u64> = None;
     loop {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -160,20 +187,18 @@ pub fn watch(path: &str, interval_ms: u64, once: bool) -> i32 {
             }
         };
         let frame = dashboard(&events, truncated);
-        if first {
-            // Clear once so the first frame starts on a clean screen.
-            print!("\x1b[2J");
-            first = false;
-        }
-        // Home the cursor and clear below: an in-place redraw without
-        // flicker on every refresh.
-        print!("\x1b[H{}\x1b[J", frame.text);
-        use std::io::Write as _;
-        let _ = std::io::stdout().flush();
+        screen.draw(&frame.text);
         if frame.done || once {
             return 0;
         }
-        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        let grown = last_len != Some(text.len() as u64);
+        last_len = Some(text.len() as u64);
+        let delay = if grown {
+            backoff.active()
+        } else {
+            backoff.idle()
+        };
+        std::thread::sleep(delay);
     }
 }
 
@@ -227,10 +252,7 @@ mod tests {
         assert!(!frame.done);
         assert!(frame.text.contains("partial tail line"), "{}", frame.text);
         assert!(frame.text.contains(", running"), "{}", frame.text);
-        assert!(
-            frame.text.contains("2 total"),
-            "{}", frame.text
-        );
+        assert!(frame.text.contains("2 total"), "{}", frame.text);
         assert!(frame.text.contains("1 suspended"), "{}", frame.text);
         assert!(frame.text.contains("1 tau"), "{}", frame.text);
         assert!(frame.text.contains("30 steps"), "{}", frame.text);

@@ -379,3 +379,155 @@ fn tree_flame_and_watch_render_lineage_trace() {
     assert!(text.contains("run complete"), "{text}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn report_format_json_emits_one_stable_object() {
+    let base = fixture("base.jsonl");
+    let out = inspect(&["report", base.to_str().unwrap(), "--format", "json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert_eq!(text.lines().count(), 1, "one JSON object per report");
+    assert!(text.starts_with("{\"clock\":"), "{text}");
+    for key in [
+        "\"spans\":[",
+        "\"counters\":{",
+        "\"gauges\":{",
+        "\"hists\":[",
+        "\"events\":{",
+    ] {
+        assert!(text.contains(key), "missing {key} in {text}");
+    }
+    // Byte-stable across invocations (the CI contract for machine
+    // consumers).
+    let again = inspect(&["report", base.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(text, stdout(&again));
+
+    let out = inspect(&["report", base.to_str().unwrap(), "--format", "yaml"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unknown format is a usage error"
+    );
+}
+
+#[test]
+fn watch_once_matches_report_on_truncated_traces() {
+    let dir = std::env::temp_dir().join(format!("statsym-inspect-trunc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // A mid-write trace: valid meta line, then half an event line.
+    let cut = temp_trace(
+        &dir,
+        "cut.jsonl",
+        "{\"k\":\"meta\",\"clock\":\"steps\",\"version\":1}\n{\"k\":\"event\",\"t\":0,\"na",
+    );
+    let path = cut.to_str().unwrap();
+
+    // Strict by default: both commands reject the torn tail with exit 2.
+    for args in [&["report", path][..], &["watch", path, "--once"][..]] {
+        let out = inspect(args);
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+        assert!(!stderr(&out).is_empty(), "args: {args:?}");
+    }
+    // --allow-truncated: both accept it with exit 0.
+    for args in [
+        &["report", path, "--allow-truncated"][..],
+        &["watch", path, "--once", "--allow-truncated"][..],
+    ] {
+        let out = inspect(args);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "args: {args:?} {}",
+            stderr(&out)
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Connects to `path`, retrying while the `live` listener starts up.
+#[cfg(unix)]
+fn connect_unix_retrying(path: &Path) -> std::os::unix::net::UnixStream {
+    for _ in 0..200 {
+        if let Ok(s) = std::os::unix::net::UnixStream::connect(path) {
+            return s;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    panic!("live listener never came up at {}", path.display());
+}
+
+#[cfg(unix)]
+#[test]
+fn live_record_tees_a_stream_byte_identical_to_the_trace_file() {
+    use std::io::Write as _;
+
+    let dir = std::env::temp_dir().join(format!("statsym-inspect-live-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = lineage_trace(&dir);
+    let sock = dir.join("live.sock");
+    let rec_dir = dir.join("rec");
+
+    let mut live = Command::new(env!("CARGO_BIN_EXE_statsym-inspect"))
+        .args([
+            "live",
+            sock.to_str().unwrap(),
+            "--record",
+            rec_dir.to_str().unwrap(),
+            "--runs",
+            "1",
+            "--quiet",
+            "--interval",
+            "10",
+        ])
+        .spawn()
+        .expect("live spawns");
+
+    // Frame the recorded trace exactly as a StreamSink would: hello,
+    // verbatim event lines, end.
+    let body = std::fs::read_to_string(&trace).unwrap();
+    let mut conn = connect_unix_retrying(&sock);
+    conn.write_all(b"{\"s\":\"hello\",\"version\":1,\"run\":\"lineage\"}\n")
+        .unwrap();
+    conn.write_all(body.as_bytes()).unwrap();
+    conn.write_all(b"{\"s\":\"end\",\"dropped\":0}\n").unwrap();
+    drop(conn);
+
+    let status = live.wait().expect("live exits");
+    assert_eq!(status.code(), Some(0));
+    let recorded = std::fs::read_to_string(rec_dir.join("lineage.jsonl")).expect("recorded file");
+    assert_eq!(recorded, body, "recorded stream must be byte-identical");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn live_exits_nonzero_when_a_stream_dies_without_its_end_frame() {
+    use std::io::Write as _;
+
+    let dir = std::env::temp_dir().join(format!("statsym-inspect-lost-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("live.sock");
+    let mut live = Command::new(env!("CARGO_BIN_EXE_statsym-inspect"))
+        .args([
+            "live",
+            sock.to_str().unwrap(),
+            "--runs",
+            "1",
+            "--quiet",
+            "--interval",
+            "10",
+        ])
+        .spawn()
+        .expect("live spawns");
+
+    let mut conn = connect_unix_retrying(&sock);
+    conn.write_all(b"{\"s\":\"hello\",\"version\":1,\"run\":\"doomed\"}\n")
+        .unwrap();
+    conn.write_all(b"{\"k\":\"meta\",\"clock\":\"steps\",\"version\":1}\n")
+        .unwrap();
+    drop(conn); // hang up before the end frame
+
+    let status = live.wait().expect("live exits");
+    assert_eq!(status.code(), Some(1), "lost stream must fail the run");
+    std::fs::remove_dir_all(&dir).ok();
+}

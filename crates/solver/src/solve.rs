@@ -855,7 +855,13 @@ mod tests {
         assert_eq!(a.check(&ctx, &cs), b.check_traced(&ctx, &cs, &rec));
         // Identical work counters; only the traced solver accumulates
         // wall-clock query time, so normalize it out.
-        assert_eq!(a.stats(), SolverStats { query_us: 0, ..b.stats() });
+        assert_eq!(
+            a.stats(),
+            SolverStats {
+                query_us: 0,
+                ..b.stats()
+            }
+        );
         // Wall-clock trace captured the query latency.
         let h = rec
             .metrics()

@@ -9,12 +9,52 @@ use crate::value::SymValue;
 use concrete::{Fault, InputValue, Location};
 use sir::{InputId, Module};
 use solver::{Constraint, QueryCache, SatResult, Solver, SolverConfig, SolverStats, TermCtx};
-use statsym_telemetry::{lineage_op, names, FieldValue, Recorder, NOOP};
+use statsym_telemetry::{lineage_op, names, ClockMode, FieldValue, Recorder, NOOP};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A cooperative per-run resource budget. The deterministic dimensions
+/// (`max_steps`, `max_states`) are checked after every executed
+/// instruction; the wall-clock dimensions (`max_solver_us`,
+/// `max_wall_ms`) at every scheduling decision and at the engine's
+/// every-8192-instructions checkpoint. `None` fields are unlimited; the
+/// default is fully unlimited, so attaching a `Budget` never changes a
+/// run that stays under it.
+///
+/// `max_steps` and `max_states` are counted in deterministic units, so
+/// a budget-limited run under the step-count clock still produces
+/// byte-identical traces at any worker count. `max_solver_us` and
+/// `max_wall_ms` meter wall time and are inherently non-reproducible —
+/// use them for operational admission control, not for comparisons.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Executor instructions this run may retire.
+    pub max_steps: Option<u64>,
+    /// Wall-clock µs this run may spend inside solver queries.
+    pub max_solver_us: Option<u64>,
+    /// Wall-clock ms this run may take end to end.
+    pub max_wall_ms: Option<u64>,
+    /// States this run may ever create.
+    pub max_states: Option<u64>,
+}
+
+impl Budget {
+    /// A fully unlimited budget (the default).
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Whether any dimension is limited.
+    pub fn is_limited(&self) -> bool {
+        self.max_steps.is_some()
+            || self.max_solver_us.is_some()
+            || self.max_wall_ms.is_some()
+            || self.max_states.is_some()
+    }
+}
 
 /// Engine resource budgets and policy.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +71,12 @@ pub struct EngineConfig {
     pub time_budget: Option<Duration>,
     /// Total instruction budget.
     pub max_steps: u64,
+    /// Cooperative resource budget for this run. Unlimited by default;
+    /// unlike `max_steps`/`time_budget` (engine safety rails with fixed
+    /// defaults), a tripped [`Budget`] is reported as its own
+    /// `budget_exceeded` disposition so operators can tell an admission
+    /// cut from genuine exhaustion.
+    pub budget: Budget,
     /// Call-depth limit per state.
     pub max_call_depth: usize,
     /// Limits for the underlying constraint solver.
@@ -51,6 +97,7 @@ impl Default for EngineConfig {
             memory_budget: 512 << 20,
             time_budget: None,
             max_steps: 200_000_000,
+            budget: Budget::default(),
             max_call_depth: 256,
             solver: SolverConfig::default(),
             lineage: false,
@@ -72,6 +119,8 @@ pub enum ExhaustionReason {
     /// An external cancel token was tripped (portfolio execution: a
     /// better-ranked candidate already reported a find).
     Cancelled,
+    /// The run's explicit [`Budget`] tripped.
+    Budget,
 }
 
 impl fmt::Display for ExhaustionReason {
@@ -82,6 +131,7 @@ impl fmt::Display for ExhaustionReason {
             ExhaustionReason::Steps => f.write_str("step budget exhausted"),
             ExhaustionReason::LiveStates => f.write_str("too many live states"),
             ExhaustionReason::Cancelled => f.write_str("cancelled"),
+            ExhaustionReason::Budget => f.write_str("resource budget exceeded"),
         }
     }
 }
@@ -322,6 +372,22 @@ impl<'m> Engine<'m> {
         let mut in_flight: usize = 0;
         let mut in_flight_mem: usize = 0;
 
+        // Explicit resource budget. The deterministic dimensions (steps,
+        // states) are enforced per executed instruction so the trip point
+        // is exact and reproducible; the wall-clock dimensions only at
+        // checkpoint cadence. All budget telemetry is gated on a budget
+        // actually being set, so unlimited runs emit byte-identical
+        // traces to builds that predate budgets.
+        let budget = self.config.budget;
+        let limited = budget.is_limited();
+        let budget_telemetry = limited && rec.enabled();
+        let wall_clock = rec.clock_mode() == ClockMode::Wall;
+        let mut last_budget_note: Option<u64> = None;
+        let det_tripped = |steps: u64, states: u64| {
+            budget.max_steps.is_some_and(|m| steps > m)
+                || budget.max_states.is_some_and(|m| states > m)
+        };
+
         let end = {
             let mut env = ExecEnv {
                 module: self.module,
@@ -346,6 +412,69 @@ impl<'m> Engine<'m> {
                     stats.peak_live_states = stats
                         .peak_live_states
                         .max(sched.len() + suspended.len() + in_flight);
+                }};
+            }
+
+            // True when a wall-clock budget dimension is over its limit.
+            // The deterministic dimensions only trip at the per-step
+            // check inside the inner loop, where an in-flight state
+            // exists to carry the terminal lineage disposition; a run
+            // whose final state completes exactly on budget is reported
+            // Completed, not budget_exceeded — the budget only interrupts
+            // pending work.
+            macro_rules! wall_tripped {
+                () => {{
+                    budget.max_solver_us.is_some_and(|m| {
+                        env.solver
+                            .stats()
+                            .query_us
+                            .saturating_sub(solver_before.query_us)
+                            > m
+                    }) || budget
+                        .max_wall_ms
+                        .is_some_and(|m| start.elapsed().as_millis() as u64 > m)
+                }};
+            }
+
+            // Periodic budget progress telemetry, deduplicated by step
+            // count (the step-0 checkpoint re-fires once per popped
+            // state). Wall-clock usage is only reported under a wall
+            // clock, keeping step-clock traces deterministic.
+            macro_rules! budget_note {
+                () => {{
+                    if budget_telemetry && last_budget_note != Some(env.stats.steps) {
+                        last_budget_note = Some(env.stats.steps);
+                        let states = *env.next_state_id + 1;
+                        rec.gauge_max(names::BUDGET_STEPS_USED, env.stats.steps as i64);
+                        rec.gauge_max(names::BUDGET_STATES_USED, states as i64);
+                        if wall_clock {
+                            let solver_us = env
+                                .solver
+                                .stats()
+                                .query_us
+                                .saturating_sub(solver_before.query_us);
+                            let wall_ms = start.elapsed().as_millis() as u64;
+                            rec.gauge_max(names::BUDGET_SOLVER_US_USED, solver_us as i64);
+                            rec.gauge_max(names::BUDGET_WALL_MS_USED, wall_ms as i64);
+                            rec.event(
+                                names::BUDGET_TICK,
+                                &[
+                                    ("steps", FieldValue::from(env.stats.steps)),
+                                    ("states", FieldValue::from(states)),
+                                    ("solver_us", FieldValue::from(solver_us)),
+                                    ("wall_ms", FieldValue::from(wall_ms)),
+                                ],
+                            );
+                        } else {
+                            rec.event(
+                                names::BUDGET_TICK,
+                                &[
+                                    ("steps", FieldValue::from(env.stats.steps)),
+                                    ("states", FieldValue::from(states)),
+                                ],
+                            );
+                        }
+                    }
                 }};
             }
 
@@ -380,6 +509,11 @@ impl<'m> Engine<'m> {
                 // Budget checks.
                 rec.tick(env.stats.steps - last_tick);
                 last_tick = env.stats.steps;
+                if limited && wall_tripped!() {
+                    rec.counter_add(names::BUDGET_EXCEEDED, 1);
+                    budget_note!();
+                    break LoopEnd::Exhausted(ExhaustionReason::Budget);
+                }
                 if cancelled() {
                     break LoopEnd::Exhausted(ExhaustionReason::Cancelled);
                 }
@@ -433,9 +567,27 @@ impl<'m> Engine<'m> {
                 // stays the same tree node.
                 let exec_id = state.id;
                 let step_end = loop {
+                    // Deterministic budget dimensions trip mid-state at
+                    // an exact instruction count: the in-flight state
+                    // gets the terminal `budget_exceeded` disposition.
+                    if limited && det_tripped(env.stats.steps, *env.next_state_id + 1) {
+                        rec.tick(env.stats.steps - last_tick);
+                        last_tick = env.stats.steps;
+                        env.lineage_event(lineage_op::BUDGET_EXCEEDED, &state, None);
+                        rec.counter_add(names::BUDGET_EXCEEDED, 1);
+                        budget_note!();
+                        break 'outer LoopEnd::Exhausted(ExhaustionReason::Budget);
+                    }
                     if env.stats.steps.is_multiple_of(8192) {
                         rec.tick(env.stats.steps - last_tick);
                         last_tick = env.stats.steps;
+                        if limited && wall_tripped!() {
+                            env.lineage_event(lineage_op::BUDGET_EXCEEDED, &state, None);
+                            rec.counter_add(names::BUDGET_EXCEEDED, 1);
+                            budget_note!();
+                            break 'outer LoopEnd::Exhausted(ExhaustionReason::Budget);
+                        }
+                        budget_note!();
                         if cancelled() {
                             break 'outer LoopEnd::Exhausted(ExhaustionReason::Cancelled);
                         }
@@ -469,11 +621,7 @@ impl<'m> Engine<'m> {
                     StepResult::Fork(children) => {
                         for child in children {
                             if child.state.id != exec_id {
-                                env.lineage_event(
-                                    lineage_op::FORK,
-                                    &child.state,
-                                    Some(exec_id),
-                                );
+                                env.lineage_event(lineage_op::FORK, &child.state, Some(exec_id));
                             }
                             match child.disposition {
                                 Disposition::Active => {
@@ -528,7 +676,11 @@ impl<'m> Engine<'m> {
                                                 &child.state,
                                                 None,
                                             );
-                                            break 'outer LoopEnd::Found(Box::new(child.state), fault, model);
+                                            break 'outer LoopEnd::Found(
+                                                Box::new(child.state),
+                                                fault,
+                                                model,
+                                            );
                                         }
                                         None => {
                                             env.lineage_event(
@@ -589,6 +741,9 @@ impl<'m> Engine<'m> {
             }
         };
 
+        // The budget-note dedupe marker is last written on trip paths
+        // that immediately leave the loop.
+        let _ = last_budget_note;
         stats.states_created = next_id + 1;
         stats.left_suspended = suspended.len() as u64 + unconfirmed;
         stats.paths_explored = stats.paths_completed
@@ -679,6 +834,7 @@ pub fn outcome_label(outcome: &RunOutcome) -> &'static str {
         RunOutcome::Exhausted(ExhaustionReason::Memory) => "exhausted_memory",
         RunOutcome::Exhausted(ExhaustionReason::LiveStates) => "exhausted_live_states",
         RunOutcome::Exhausted(ExhaustionReason::Cancelled) => "cancelled",
+        RunOutcome::Exhausted(ExhaustionReason::Budget) => "budget_exceeded",
     }
 }
 
@@ -993,6 +1149,134 @@ mod tests {
             r.outcome,
             RunOutcome::Exhausted(ExhaustionReason::Steps)
         ));
+    }
+
+    // Shared driver for the budget tests: records a lineage trace of a
+    // budget-limited run and returns (report, trace events).
+    fn budget_run(src: &str, budget: Budget) -> (EngineReport, Vec<statsym_telemetry::TraceEvent>) {
+        use statsym_telemetry::{Clock, MemRecorder};
+        let p = minic::parse_program(src).unwrap();
+        let m = sir::lower(&p).unwrap();
+        let rec = MemRecorder::new(Clock::steps());
+        let report = {
+            let mut eng = Engine::new(
+                &m,
+                EngineConfig {
+                    budget,
+                    lineage: true,
+                    ..EngineConfig::default()
+                },
+            );
+            eng.set_recorder(&rec);
+            eng.run()
+        };
+        (report, rec.finish())
+    }
+
+    const LONG_LOOP: &str = "fn main() { let i: int = 0; while (i < 100000) { i = i + 1; } }";
+
+    #[test]
+    fn step_budget_trips_as_budget_exceeded_with_full_telemetry() {
+        use statsym_telemetry::TraceEvent;
+        let budget = Budget {
+            max_steps: Some(100),
+            ..Budget::default()
+        };
+        let (r, events) = budget_run(LONG_LOOP, budget);
+        assert!(matches!(
+            r.outcome,
+            RunOutcome::Exhausted(ExhaustionReason::Budget)
+        ));
+        assert_eq!(outcome_label(&r.outcome), "budget_exceeded");
+        // The in-flight state carries the terminal disposition.
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                TraceEvent::State { op, .. } if op == lineage_op::BUDGET_EXCEEDED
+            )),
+            "lineage budget_exceeded disposition expected"
+        );
+        // Trip counter and usage gauges are materialized.
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Counter { name, value: 1 } if name == names::BUDGET_EXCEEDED
+        )));
+        let steps_used = events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Gauge { name, value } if name == names::BUDGET_STEPS_USED => {
+                    Some(*value)
+                }
+                _ => None,
+            })
+            .expect("budget.steps_used gauge present");
+        assert!(steps_used > 100, "gauge reflects usage, got {steps_used}");
+        // Periodic progress events use deterministic fields only under
+        // the step clock.
+        let tick_fields: Vec<&str> = events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Event { name, fields, .. } if name == names::BUDGET_TICK => {
+                    Some(fields.iter().map(|(k, _)| k.as_str()).collect())
+                }
+                _ => None,
+            })
+            .expect("budget.tick event present");
+        assert_eq!(tick_fields, ["steps", "states"]);
+    }
+
+    #[test]
+    fn state_budget_trips_on_fork_heavy_program() {
+        let src = r#"
+            fn main() -> int {
+                let s: str = input_str("s", 6);
+                let t: str = input_str("t", 6);
+                return len(s) + len(t);
+            }
+        "#;
+        let budget = Budget {
+            max_states: Some(4),
+            ..Budget::default()
+        };
+        let (r, events) = budget_run(src, budget);
+        assert!(matches!(
+            r.outcome,
+            RunOutcome::Exhausted(ExhaustionReason::Budget)
+        ));
+        assert!(r.stats.states_created > 4);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            statsym_telemetry::TraceEvent::State { op, .. } if op == lineage_op::BUDGET_EXCEEDED
+        )));
+    }
+
+    #[test]
+    fn budget_limited_runs_are_deterministic() {
+        use statsym_telemetry::render_trace;
+        let budget = Budget {
+            max_steps: Some(1000),
+            max_states: Some(100),
+            ..Budget::default()
+        };
+        let (r1, ev1) = budget_run(LONG_LOOP, budget);
+        let (r2, ev2) = budget_run(LONG_LOOP, budget);
+        assert!(matches!(
+            r1.outcome,
+            RunOutcome::Exhausted(ExhaustionReason::Budget)
+        ));
+        assert_eq!(r1.stats.exec.steps, r2.stats.exec.steps);
+        assert_eq!(render_trace(&ev1), render_trace(&ev2));
+    }
+
+    #[test]
+    fn unlimited_budget_emits_no_budget_telemetry() {
+        let (r, events) = budget_run(LONG_LOOP, Budget::unlimited());
+        assert!(matches!(r.outcome, RunOutcome::Completed));
+        let trace = statsym_telemetry::render_trace(&events);
+        assert!(
+            !trace.contains("budget"),
+            "default-budget traces must be free of budget.* telemetry"
+        );
     }
 
     #[test]

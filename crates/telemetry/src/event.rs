@@ -219,6 +219,9 @@ pub mod lineage_op {
     /// Terminal: a fault the solver budget could not confirm a model
     /// for.
     pub const UNCONFIRMED: &str = "unconfirmed";
+    /// Terminal: the run's resource budget tripped while this state was
+    /// executing; exploration stopped here.
+    pub const BUDGET_EXCEEDED: &str = "budget_exceeded";
 
     /// Every known op, in taxonomy order.
     pub const ALL: &[&str] = &[
@@ -232,6 +235,7 @@ pub mod lineage_op {
         EXIT,
         FAULT,
         UNCONFIRMED,
+        BUDGET_EXCEEDED,
     ];
 
     /// Whether `op` introduces a new state id (`root`/`fork`).
@@ -266,7 +270,7 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
         match ch {
@@ -691,7 +695,7 @@ pub fn render_trace(events: &[TraceEvent]) -> String {
 /// format (objects, arrays, strings, integers) plus standard escapes
 /// and whitespace tolerance. Floats are intentionally rejected — the
 /// emitter never produces them, and they cannot round-trip bytewise.
-mod json {
+pub(crate) mod json {
     /// A parsed JSON value (integer-only numbers).
     #[derive(Debug, Clone, PartialEq)]
     pub enum Value {

@@ -24,6 +24,7 @@ mod event;
 mod metrics;
 mod recorder;
 mod report;
+mod stream;
 
 pub use clock::{Clock, ClockMode};
 pub use event::{
@@ -35,7 +36,11 @@ pub use recorder::{
     BufferedRecorder, FileRecorder, LineageEvent, MemRecorder, NoopRecorder, Recorder, SharedBuf,
     Span, TraceBuffer, NOOP, TRACE_VERSION,
 };
-pub use report::{HistStat, SpanStat, TraceSummary};
+pub use report::{HistStat, SpanStat, SummaryBuilder, TraceSummary};
+pub use stream::{
+    EventSink, FanoutRecorder, FileSink, MemSink, SharedEvents, StreamFrame, StreamSink,
+    STREAM_QUEUE_CAPACITY,
+};
 
 /// Well-known span and metric names used across the workspace, kept in
 /// one place so emitters and report readers cannot drift apart.
@@ -179,4 +184,27 @@ pub mod names {
     pub const MONITOR_SAMPLED: &str = "monitor.records_sampled";
     /// Monitor records dropped at sampling rate p.
     pub const MONITOR_DROPPED: &str = "monitor.records_dropped";
+
+    /// Events a live stream sink discarded under backpressure (only
+    /// materialized when nonzero, so zero-drop streamed traces stay
+    /// byte-identical to unstreamed ones).
+    pub const STREAM_DROPPED: &str = crate::stream::STREAM_DROPPED;
+
+    /// Periodic budget progress event (emitted at the engine's
+    /// every-8192-steps checkpoint cadence while a resource budget is
+    /// set; fields: `steps`, `states`, plus `solver_us` and `wall_ms`
+    /// under a wall clock).
+    pub const BUDGET_TICK: &str = "budget.tick";
+    /// Gauge: executor steps consumed against the budget.
+    pub const BUDGET_STEPS_USED: &str = "budget.steps_used";
+    /// Gauge: states created against the budget.
+    pub const BUDGET_STATES_USED: &str = "budget.states_used";
+    /// Gauge: solver wall-µs consumed against the budget (wall-clock
+    /// traces only).
+    pub const BUDGET_SOLVER_US_USED: &str = "budget.solver_us_used";
+    /// Gauge: wall-clock ms consumed against the budget (wall-clock
+    /// traces only).
+    pub const BUDGET_WALL_MS_USED: &str = "budget.wall_ms_used";
+    /// Counter: runs that ended because a resource budget tripped.
+    pub const BUDGET_EXCEEDED: &str = "budget.exceeded";
 }

@@ -14,7 +14,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::fs::File;
-use std::io::{self, BufWriter, Write};
+use std::io::{self, Write};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
@@ -152,16 +152,16 @@ impl Recorder for NoopRecorder {
 /// State shared by the real recorders: clock, span bookkeeping, and
 /// the metrics registry.
 #[derive(Debug)]
-struct SinkCore {
-    clock: Clock,
-    next_span: Cell<u64>,
-    next_state: Cell<u64>,
-    stack: RefCell<Vec<u64>>,
-    metrics: Metrics,
+pub(crate) struct SinkCore {
+    pub(crate) clock: Clock,
+    pub(crate) next_span: Cell<u64>,
+    pub(crate) next_state: Cell<u64>,
+    pub(crate) stack: RefCell<Vec<u64>>,
+    pub(crate) metrics: Metrics,
 }
 
 impl SinkCore {
-    fn new(clock: Clock) -> SinkCore {
+    pub(crate) fn new(clock: Clock) -> SinkCore {
         SinkCore {
             clock,
             next_span: Cell::new(1),
@@ -171,13 +171,13 @@ impl SinkCore {
         }
     }
 
-    fn alloc_state(&self) -> u64 {
+    pub(crate) fn alloc_state(&self) -> u64 {
         let id = self.next_state.get();
         self.next_state.set(id + 1);
         id
     }
 
-    fn state_event(&self, ev: &LineageEvent<'_>) -> TraceEvent {
+    pub(crate) fn state_event(&self, ev: &LineageEvent<'_>) -> TraceEvent {
         TraceEvent::State {
             t: self.clock.now(),
             op: ev.op.to_string(),
@@ -198,14 +198,14 @@ impl SinkCore {
         }
     }
 
-    fn meta_event(&self) -> TraceEvent {
+    pub(crate) fn meta_event(&self) -> TraceEvent {
         TraceEvent::Meta {
             clock: self.clock.label().to_string(),
             version: TRACE_VERSION,
         }
     }
 
-    fn open(&self, name: &str) -> (SpanId, TraceEvent) {
+    pub(crate) fn open(&self, name: &str) -> (SpanId, TraceEvent) {
         let id = self.next_span.get();
         self.next_span.set(id + 1);
         let parent = self.stack.borrow().last().copied().unwrap_or(0);
@@ -219,7 +219,7 @@ impl SinkCore {
         (SpanId(id), ev)
     }
 
-    fn close(&self, id: SpanId) -> Option<TraceEvent> {
+    pub(crate) fn close(&self, id: SpanId) -> Option<TraceEvent> {
         if id == SpanId::NONE {
             return None;
         }
@@ -235,7 +235,7 @@ impl SinkCore {
         })
     }
 
-    fn point(&self, name: &str, fields: &[(&str, FieldValue)]) -> TraceEvent {
+    pub(crate) fn point(&self, name: &str, fields: &[(&str, FieldValue)]) -> TraceEvent {
         TraceEvent::Event {
             t: self.clock.now(),
             name: name.to_string(),
@@ -250,7 +250,7 @@ impl SinkCore {
     /// §10). Rewrites a worker buffer into this sink's id/parent/time
     /// frame and folds its metrics in; returns the rewritten events for
     /// the caller to append to its output.
-    fn splice(&self, buf: &TraceBuffer, prefix: Option<&str>) -> Vec<TraceEvent> {
+    pub(crate) fn splice(&self, buf: &TraceBuffer, prefix: Option<&str>) -> Vec<TraceEvent> {
         let offset = self.clock.now();
         // Worker ids started at 1; remap id x -> base + (x - 1) so the
         // merged trace never reuses an id this sink already issued.
@@ -573,20 +573,15 @@ impl Recorder for MemRecorder {
 
 /// A recorder that streams canonical JSONL to a `Write` sink.
 ///
-/// Writes are best-effort while the run is in flight; the first I/O
-/// error is remembered and surfaced by [`FileRecorder::finish`].
+/// Since the fan-out layer landed this is a single-sink
+/// [`FanoutRecorder`](crate::FanoutRecorder) over a
+/// [`FileSink`](crate::FileSink) — kept as a named type because it is
+/// the canonical "trace to a file" recorder everywhere. Writes are
+/// best-effort while the run is in flight; the first I/O error is
+/// remembered and surfaced by [`FileRecorder::finish`].
+#[derive(Debug)]
 pub struct FileRecorder {
-    core: SinkCore,
-    out: RefCell<BufWriter<Box<dyn Write>>>,
-    error: RefCell<Option<io::Error>>,
-}
-
-impl std::fmt::Debug for FileRecorder {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FileRecorder")
-            .field("core", &self.core)
-            .finish_non_exhaustive()
-    }
+    inner: crate::stream::FanoutRecorder,
 }
 
 impl FileRecorder {
@@ -602,29 +597,9 @@ impl FileRecorder {
 
     /// Wraps an arbitrary writer (used by tests to trace into memory).
     pub fn from_writer(w: Box<dyn Write>, clock: Clock) -> FileRecorder {
-        let core = SinkCore::new(clock);
-        let rec = FileRecorder {
-            core,
-            out: RefCell::new(BufWriter::new(w)),
-            error: RefCell::new(None),
-        };
-        let meta = rec.core.meta_event();
-        rec.write(&meta);
-        rec
-    }
-
-    fn write(&self, ev: &TraceEvent) {
-        if self.error.borrow().is_some() {
-            return;
-        }
-        let mut out = self.out.borrow_mut();
-        let line = ev.to_json_line();
-        if let Err(e) = out
-            .write_all(line.as_bytes())
-            .and_then(|()| out.write_all(b"\n"))
-        {
-            *self.error.borrow_mut() = Some(e);
-        }
+        let inner = crate::stream::FanoutRecorder::new(clock)
+            .with_sink(Box::new(crate::stream::FileSink::from_writer(w)));
+        FileRecorder { inner }
     }
 
     /// Flushes the metrics snapshot and the underlying writer.
@@ -633,13 +608,7 @@ impl FileRecorder {
     ///
     /// Returns the first I/O error hit at any point during the trace.
     pub fn finish(self) -> io::Result<()> {
-        for ev in self.core.metrics.snapshot() {
-            self.write(&ev);
-        }
-        if let Some(e) = self.error.into_inner() {
-            return Err(e);
-        }
-        self.out.into_inner().flush()
+        self.inner.finish()
     }
 }
 
@@ -649,68 +618,51 @@ impl Recorder for FileRecorder {
     }
 
     fn span_open(&self, name: &str) -> SpanId {
-        let (id, ev) = self.core.open(name);
-        self.write(&ev);
-        id
+        self.inner.span_open(name)
     }
 
     fn span_close(&self, id: SpanId) {
-        if let Some(ev) = self.core.close(id) {
-            self.write(&ev);
-        }
+        self.inner.span_close(id);
     }
 
     fn event(&self, name: &str, fields: &[(&str, FieldValue)]) {
-        let ev = self.core.point(name, fields);
-        self.write(&ev);
+        self.inner.event(name, fields);
     }
 
     fn counter_add(&self, name: &str, delta: u64) {
-        self.core.metrics.counter_add(name, delta);
+        self.inner.counter_add(name, delta);
     }
 
     fn gauge_max(&self, name: &str, v: i64) {
-        self.core.metrics.gauge_max(name, v);
+        self.inner.gauge_max(name, v);
     }
 
     fn observe(&self, name: &str, v: u64) {
-        self.core.metrics.observe(name, v);
+        self.inner.observe(name, v);
     }
 
     fn observe_wall(&self, name: &str, d: Duration) {
-        if !self.core.clock.is_deterministic() {
-            self.core.metrics.observe(name, d.as_micros() as u64);
-        }
+        self.inner.observe_wall(name, d);
     }
 
     fn tick(&self, delta: u64) {
-        self.core.clock.advance(delta);
+        self.inner.tick(delta);
     }
 
     fn alloc_state_id(&self) -> u64 {
-        self.core.alloc_state()
+        self.inner.alloc_state_id()
     }
 
     fn state(&self, ev: &LineageEvent<'_>) {
-        let ev = self.core.state_event(ev);
-        self.write(&ev);
-        // Keep the growing trace tailable: `statsym-inspect watch`
-        // re-reads the file while the engine is still running.
-        if self.error.borrow().is_none() {
-            if let Err(e) = self.out.borrow_mut().flush() {
-                *self.error.borrow_mut() = Some(e);
-            }
-        }
+        self.inner.state(ev);
     }
 
     fn clock_mode(&self) -> ClockMode {
-        self.core.clock.mode()
+        self.inner.clock_mode()
     }
 
     fn merge_buffer(&self, buf: &TraceBuffer, prefix: Option<&str>) {
-        for ev in self.core.splice(buf, prefix) {
-            self.write(&ev);
-        }
+        self.inner.merge_buffer(buf, prefix);
     }
 }
 

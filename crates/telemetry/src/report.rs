@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use crate::event::TraceEvent;
+use crate::event::{push_json_str, TraceEvent};
 
 /// Aggregated statistics for one span name.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,9 +65,10 @@ impl HistStat {
             }
         }
         // Sparse buckets should sum to `count`; fall back to the top.
-        self.buckets
-            .last()
-            .map_or(0, |&(b, _)| if b >= 64 { u64::MAX } else { (1u64 << b) - 1 })
+        self.buckets.last().map_or(
+            0,
+            |&(b, _)| if b >= 64 { u64::MAX } else { (1u64 << b) - 1 },
+        )
     }
 
     /// Median estimate (bucket upper bound).
@@ -104,78 +105,109 @@ pub struct TraceSummary {
     pub event_counts: Vec<(String, u64)>,
 }
 
+/// Incremental [`TraceSummary`] construction: feed events one at a time
+/// as they arrive (a tailed file, a live stream) and read the digest at
+/// any cut point. `SummaryBuilder` over a full event list is exactly
+/// [`TraceSummary::from_events`] — the batch entry point delegates here.
+#[derive(Debug, Default)]
+pub struct SummaryBuilder {
+    summary: TraceSummary,
+    /// Per-open-span bookkeeping: id -> (name index, open tick, depth).
+    open: HashMap<u64, (usize, u64, usize)>,
+    depth_of: HashMap<u64, usize>,
+    name_index: HashMap<String, usize>,
+    event_index: HashMap<String, usize>,
+}
+
+impl SummaryBuilder {
+    /// An empty builder.
+    pub fn new() -> SummaryBuilder {
+        SummaryBuilder::default()
+    }
+
+    /// Folds one event into the summary.
+    pub fn push(&mut self, ev: &TraceEvent) {
+        let summary = &mut self.summary;
+        match ev {
+            TraceEvent::Meta { clock, .. } => summary.clock = clock.clone(),
+            TraceEvent::SpanOpen {
+                t,
+                id,
+                parent,
+                name,
+            } => {
+                let depth = if *parent == 0 {
+                    0
+                } else {
+                    self.depth_of.get(parent).map_or(0, |d| d + 1)
+                };
+                self.depth_of.insert(*id, depth);
+                let idx = *self.name_index.entry(name.clone()).or_insert_with(|| {
+                    summary.spans.push(SpanStat {
+                        name: name.clone(),
+                        depth,
+                        count: 0,
+                        total_ticks: 0,
+                    });
+                    summary.spans.len() - 1
+                });
+                summary.spans[idx].count += 1;
+                self.open.insert(*id, (idx, *t, depth));
+            }
+            TraceEvent::SpanClose { t, id } => {
+                if let Some((idx, opened, _)) = self.open.remove(id) {
+                    summary.spans[idx].total_ticks += t.saturating_sub(opened);
+                }
+            }
+            TraceEvent::Event { name, .. } => {
+                let idx = *self.event_index.entry(name.clone()).or_insert_with(|| {
+                    summary.event_counts.push((name.clone(), 0));
+                    summary.event_counts.len() - 1
+                });
+                summary.event_counts[idx].1 += 1;
+            }
+            TraceEvent::Counter { name, value } => {
+                summary.counters.push((name.clone(), *value));
+            }
+            TraceEvent::Gauge { name, value } => {
+                summary.gauges.push((name.clone(), *value));
+            }
+            TraceEvent::Hist {
+                name,
+                count,
+                sum,
+                buckets,
+            } => {
+                summary.hists.push(HistStat {
+                    name: name.clone(),
+                    count: *count,
+                    sum: *sum,
+                    buckets: buckets.clone(),
+                });
+            }
+            TraceEvent::State { .. } => {}
+        }
+    }
+
+    /// The digest of everything pushed so far.
+    pub fn summary(&self) -> &TraceSummary {
+        &self.summary
+    }
+
+    /// Consumes the builder into the final digest.
+    pub fn finish(self) -> TraceSummary {
+        self.summary
+    }
+}
+
 impl TraceSummary {
     /// Builds a summary from a parsed event stream.
     pub fn from_events(events: &[TraceEvent]) -> TraceSummary {
-        let mut summary = TraceSummary::default();
-        // Per-open-span bookkeeping: id -> (name index, open tick, depth).
-        let mut open: HashMap<u64, (usize, u64, usize)> = HashMap::new();
-        let mut depth_of: HashMap<u64, usize> = HashMap::new();
-        let mut name_index: HashMap<String, usize> = HashMap::new();
-        let mut event_index: HashMap<String, usize> = HashMap::new();
-
+        let mut b = SummaryBuilder::new();
         for ev in events {
-            match ev {
-                TraceEvent::Meta { clock, .. } => summary.clock = clock.clone(),
-                TraceEvent::SpanOpen {
-                    t,
-                    id,
-                    parent,
-                    name,
-                } => {
-                    let depth = if *parent == 0 {
-                        0
-                    } else {
-                        depth_of.get(parent).map_or(0, |d| d + 1)
-                    };
-                    depth_of.insert(*id, depth);
-                    let idx = *name_index.entry(name.clone()).or_insert_with(|| {
-                        summary.spans.push(SpanStat {
-                            name: name.clone(),
-                            depth,
-                            count: 0,
-                            total_ticks: 0,
-                        });
-                        summary.spans.len() - 1
-                    });
-                    summary.spans[idx].count += 1;
-                    open.insert(*id, (idx, *t, depth));
-                }
-                TraceEvent::SpanClose { t, id } => {
-                    if let Some((idx, opened, _)) = open.remove(id) {
-                        summary.spans[idx].total_ticks += t.saturating_sub(opened);
-                    }
-                }
-                TraceEvent::Event { name, .. } => {
-                    let idx = *event_index.entry(name.clone()).or_insert_with(|| {
-                        summary.event_counts.push((name.clone(), 0));
-                        summary.event_counts.len() - 1
-                    });
-                    summary.event_counts[idx].1 += 1;
-                }
-                TraceEvent::Counter { name, value } => {
-                    summary.counters.push((name.clone(), *value));
-                }
-                TraceEvent::Gauge { name, value } => {
-                    summary.gauges.push((name.clone(), *value));
-                }
-                TraceEvent::Hist {
-                    name,
-                    count,
-                    sum,
-                    buckets,
-                } => {
-                    summary.hists.push(HistStat {
-                        name: name.clone(),
-                        count: *count,
-                        sum: *sum,
-                        buckets: buckets.clone(),
-                    });
-                }
-                TraceEvent::State { .. } => {}
-            }
+            b.push(ev);
         }
-        summary
+        b.finish()
     }
 
     /// Total ticks of the named span (0 if absent).
@@ -278,6 +310,73 @@ impl TraceSummary {
         }
         out
     }
+
+    /// Renders the summary as a single-line JSON object with a stable
+    /// key order, for machine consumers (`statsym-inspect report
+    /// --format json`, CI assertions). All numbers are integers; span
+    /// and histogram rows keep their deterministic trace order, and
+    /// counter/gauge/event maps keep the sorted dump order they arrived
+    /// in.
+    pub fn render_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str("{\"clock\":");
+        push_json_str(&mut s, &self.clock);
+        s.push_str(",\"spans\":[");
+        for (i, sp) in self.spans.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"name\":");
+            push_json_str(&mut s, &sp.name);
+            s.push_str(&format!(
+                ",\"depth\":{},\"count\":{},\"ticks\":{}}}",
+                sp.depth, sp.count, sp.total_ticks
+            ));
+        }
+        s.push_str("],\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_json_str(&mut s, name);
+            s.push_str(&format!(":{v}"));
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_json_str(&mut s, name);
+            s.push_str(&format!(":{v}"));
+        }
+        s.push_str("},\"hists\":[");
+        for (i, h) in self.hists.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"name\":");
+            push_json_str(&mut s, &h.name);
+            let mean = h.sum.checked_div(h.count).unwrap_or(0);
+            s.push_str(&format!(
+                ",\"count\":{},\"sum\":{},\"mean\":{mean},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                h.count,
+                h.sum,
+                h.p50(),
+                h.p90(),
+                h.p99()
+            ));
+        }
+        s.push_str("],\"events\":{");
+        for (i, (name, n)) in self.event_counts.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_json_str(&mut s, name);
+            s.push_str(&format!(":{n}"));
+        }
+        s.push_str("}}");
+        s
+    }
 }
 
 #[cfg(test)]
@@ -366,6 +465,41 @@ mod tests {
         assert!(a.contains("mean"));
         assert!(a.contains("p50"));
         assert!(a.contains("p99"));
+    }
+
+    #[test]
+    fn incremental_builder_matches_batch_summary() {
+        let events = sample_events();
+        let mut b = SummaryBuilder::new();
+        for ev in &events {
+            b.push(ev);
+        }
+        assert_eq!(b.summary(), &TraceSummary::from_events(&events));
+        // A prefix digest is readable at any cut point.
+        let mut partial = SummaryBuilder::new();
+        for ev in &events[..3] {
+            partial.push(ev);
+        }
+        assert_eq!(partial.summary(), &TraceSummary::from_events(&events[..3]));
+        assert_eq!(b.finish(), TraceSummary::from_events(&events));
+    }
+
+    #[test]
+    fn render_json_is_stable_and_parseable() {
+        let s = TraceSummary::from_events(&sample_events());
+        let a = s.render_json();
+        assert_eq!(a, s.render_json());
+        // Key order is fixed by construction.
+        assert!(a.starts_with("{\"clock\":\"steps\",\"spans\":["));
+        assert!(a.contains("\"counters\":{\"solver.queries\":12}"));
+        assert!(a.contains("\"gauges\":{\"symex.peak_live_states\":4}"));
+        assert!(a.contains("\"events\":{\"candidate.result\":1}"));
+        assert!(a.contains(
+            "{\"name\":\"solver.query_us\",\"count\":2,\"sum\":9,\"mean\":4,\
+             \"p50\":3,\"p90\":7,\"p99\":7}"
+        ));
+        // It is valid JSON by our own strict reader.
+        crate::event::json::parse(&a).unwrap();
     }
 
     #[test]

@@ -192,9 +192,7 @@ pub fn input_spec(program: &Program) -> Vec<(String, InputKind)> {
     }
     fn walk_stmt(s: &Stmt, add: &mut dyn FnMut(&str, InputKind)) {
         match &s.kind {
-            StmtKind::Let {
-                init: Some(e), ..
-            } => walk_expr(e, add),
+            StmtKind::Let { init: Some(e), .. } => walk_expr(e, add),
             StmtKind::Let { init: None, .. } => {}
             StmtKind::Assign { value, .. } => walk_expr(value, add),
             StmtKind::If {
