@@ -112,6 +112,15 @@ impl EventHook for GuidedHook {
             - (meta.progress as i64) * 1_000_000
             - (depth as i64).min(999_999)
     }
+
+    /// Guided matching is a pure function of the event and the state's
+    /// own meta (progress/hops live in [`StateMeta`], not in the hook),
+    /// so independent copies observing schedule-dependent event orders
+    /// still make identical per-state decisions — the requirement for
+    /// the work-stealing executor (`EngineConfig::state_workers`).
+    fn clone_hook<'a>(&'a self) -> Option<Box<dyn EventHook + Send + 'a>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Translates a statistical predicate into solver constraints over the
@@ -229,7 +238,7 @@ mod tests {
     use crate::candidate::PathNode;
     use concrete::{Location, VarId};
     use solver::{SatResult, Solver};
-    use std::rc::Rc;
+    use std::sync::Arc;
     use symex::SymStr;
 
     fn pred(name: &str, role: VarRole, measure: Measure, op: PredOp, sigma: f64) -> Predicate {
@@ -391,7 +400,7 @@ mod tests {
             .map(|i| ctx.new_var(format!("s[{i}]"), 0, 255))
             .collect();
         let s = SymStr {
-            bytes: Rc::new(bytes.clone()),
+            bytes: Arc::new(bytes.clone()),
         };
         let args = [SymValue::Str(s)];
         let params = [("s".to_string(), minic::Type::Str)];

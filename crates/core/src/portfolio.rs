@@ -48,7 +48,7 @@ use crate::candidate::CandidatePath;
 use crate::guidance::GuidedHook;
 use crate::pipeline::{CandidateAttempt, StatSymConfig};
 use sir::Module;
-use solver::{QueryCache, SharedCache, SharedCacheStats};
+use solver::{QueryCache, SharedCache, SharedCacheStats, UnsatCache};
 use statsym_telemetry::{names, BufferedRecorder, FieldValue, Recorder, TraceBuffer};
 use symex::{outcome_label, Engine, EngineConfig, EngineReport};
 use symex::{FoundVulnerability, RunOutcome, SchedulerKind};
@@ -115,6 +115,20 @@ pub fn run_portfolio_with_cache(
 ) -> PortfolioOutcome {
     let n = paths.len();
     let workers = config.workers.min(n).max(1);
+    // Optional cross-worker unsat-core/model sharing: sound but able to
+    // substitute a different valid witness, hence opt-in (see
+    // `StatSymConfig::share_unsat_cache`).
+    let unsat = config
+        .share_unsat_cache
+        .then(|| Arc::new(UnsatCache::default()));
+    // Two-level budget split (see `pipeline::split_worker_budget`):
+    // surplus workers beyond the candidate count run inside each
+    // engine as state workers when the pipeline opted in.
+    let state_workers = if config.auto_split_workers && config.engine.state_workers == 0 {
+        crate::pipeline::split_worker_budget(config.workers, n).1
+    } else {
+        config.engine.state_workers
+    };
 
     let span = rec.span_open(names::PORTFOLIO);
     rec.counter_add(names::PORTFOLIO_WORKERS, workers as u64);
@@ -129,8 +143,19 @@ pub fn run_portfolio_with_cache(
     let record = rec.enabled();
     let clock_mode = rec.clock_mode();
 
+    // Oversubscribing the host never helps: logical workers beyond the
+    // available parallelism just interleave on the same cores, racing
+    // to re-solve queries a published verdict would have answered. The
+    // protocol is schedule-independent, so clamping the *spawned*
+    // threads changes wall time only — `workers` stays the logical
+    // budget for reporting and budget splits.
+    let spawn = thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(workers)
+        .min(workers)
+        .max(1);
     thread::scope(|s| {
-        for _ in 0..workers {
+        for _ in 0..spawn {
             s.spawn(|| loop {
                 let rank = next.fetch_add(1, Ordering::Relaxed);
                 if rank >= n {
@@ -143,6 +168,7 @@ pub fn run_portfolio_with_cache(
                 }
                 let engine_config = EngineConfig {
                     scheduler: SchedulerKind::Priority,
+                    state_workers,
                     ..config.engine
                 };
                 // The worker's private recorder: the engine records into
@@ -157,6 +183,9 @@ pub fn run_portfolio_with_cache(
                     }
                     if config.share_cache {
                         engine.set_shared_cache(shared.clone());
+                    }
+                    if let Some(uc) = &unsat {
+                        engine.set_unsat_cache(uc.clone());
                     }
                     if config.cancel_on_found {
                         engine.set_cancel_token(tokens[rank].clone());
@@ -295,7 +324,13 @@ pub fn run_portfolio_with_cache(
     rec.counter_add(names::PORTFOLIO_CACHE_HITS, cache.hits);
     rec.counter_add(names::PORTFOLIO_CACHE_MISSES, cache.misses);
     rec.counter_add(names::PORTFOLIO_CACHE_STORES, cache.stores);
-    rec.counter_add(names::PORTFOLIO_CACHE_CONTENTION, cache.contention);
+    // Zero-vs-absent convention: contention is an exact atomic count
+    // (see `SharedCache`), and an uncontended run records *no* counter
+    // rather than an explicit 0 — `TraceSummary::counter_opt` lets
+    // consumers tell "never contended" apart from "counter vanished".
+    if cache.contention > 0 {
+        rec.counter_add(names::PORTFOLIO_CACHE_CONTENTION, cache.contention);
+    }
     rec.counter_add(names::PORTFOLIO_CACHE_ENTRIES, cache.entries);
     rec.span_close(span);
 

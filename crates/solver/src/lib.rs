@@ -38,7 +38,10 @@ pub mod interval;
 pub mod solve;
 pub mod term;
 
-pub use cache::{CachedVerdict, LocalVerdictCache, QueryCache, SharedCache, SharedCacheStats};
+pub use cache::{
+    CachedVerdict, LocalVerdictCache, QueryCache, SharedCache, SharedCacheStats, UcAnswer,
+    UnsatCache, UnsatCacheStats,
+};
 pub use interval::Interval;
 pub use solve::{Model, SatResult, Solver, SolverConfig, SolverStats};
 pub use term::{CmpOp, Constraint, Term, TermCtx, TermId, VarId};

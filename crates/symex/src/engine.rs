@@ -8,7 +8,9 @@ use crate::state::{CondList, State};
 use crate::value::SymValue;
 use concrete::{Fault, InputValue, Location};
 use sir::{InputId, Module};
-use solver::{Constraint, QueryCache, SatResult, Solver, SolverConfig, SolverStats, TermCtx};
+use solver::{
+    Constraint, QueryCache, SatResult, Solver, SolverConfig, SolverStats, TermCtx, UnsatCache,
+};
 use statsym_telemetry::{lineage_op, names, ClockMode, FieldValue, Recorder, NOOP};
 use std::collections::HashMap;
 use std::fmt;
@@ -87,6 +89,29 @@ pub struct EngineConfig {
     /// state transition and grow with the exploration tree, not with
     /// the phase structure.
     pub lineage: bool,
+    /// Number of work-stealing state workers for intra-candidate
+    /// parallel execution (see `crate::steal`). `0` (the default) runs
+    /// the classic single-threaded scheduling loop. With `n ≥ 1`, `n`
+    /// worker threads execute state *segments* concurrently while the
+    /// main thread commits their results in a deterministic DFS
+    /// pre-order, so traces and outcomes are byte-identical at any
+    /// worker count. Steal mode ignores [`EngineConfig::scheduler`]
+    /// (exploration order is the deterministic fork-tree pre-order) and
+    /// requires the guidance hook to support
+    /// [`crate::EventHook::clone_hook`]; hooks that return `None` fall
+    /// back to the legacy loop.
+    pub state_workers: usize,
+    /// Steal-mode segment length: a worker pauses a state after this
+    /// many executed instructions and requeues it, bounding how long a
+    /// big subtree can monopolize one worker. Affects performance only,
+    /// never trace content — but a different slice produces a different
+    /// (equally valid) segment structure, so compare traces only across
+    /// runs with the same slice.
+    pub steal_slice: u64,
+    /// Seed for the steal-victim order (which queue an idle worker robs
+    /// first). Affects scheduling only; trace content is identical for
+    /// every seed.
+    pub steal_seed: u64,
 }
 
 impl Default for EngineConfig {
@@ -101,6 +126,9 @@ impl Default for EngineConfig {
             max_call_depth: 256,
             solver: SolverConfig::default(),
             lineage: false,
+            state_workers: 0,
+            steal_slice: 2048,
+            steal_seed: 0,
         }
     }
 }
@@ -217,15 +245,15 @@ pub struct EngineReport {
 
 /// The symbolic execution engine over a SIR module.
 pub struct Engine<'m> {
-    module: &'m Module,
-    config: EngineConfig,
-    ctx: TermCtx,
-    solver: Solver,
-    hook: Box<dyn EventHook + 'm>,
-    pinned: concrete::InputMap,
-    suppressed: Vec<(String, minic::Span)>,
-    rec: &'m dyn Recorder,
-    cancel: Option<Arc<AtomicBool>>,
+    pub(crate) module: &'m Module,
+    pub(crate) config: EngineConfig,
+    pub(crate) ctx: TermCtx,
+    pub(crate) solver: Solver,
+    pub(crate) hook: Box<dyn EventHook + 'm>,
+    pub(crate) pinned: concrete::InputMap,
+    pub(crate) suppressed: Vec<(String, minic::Span)>,
+    pub(crate) rec: &'m dyn Recorder,
+    pub(crate) cancel: Option<Arc<AtomicBool>>,
 }
 
 impl<'m> Engine<'m> {
@@ -270,6 +298,16 @@ impl<'m> Engine<'m> {
         self.solver.set_query_cache(cache);
     }
 
+    /// Injects a shared unsat/counterexample cache (see
+    /// `solver::ucache`): unsat cores prune supersets of known-unsat
+    /// conjunct sets, and cached models are re-checked against subset
+    /// queries before any search. Sharing is sound (a hit never changes
+    /// a verdict) but makes *hit counts* schedule-dependent, so leave it
+    /// off for byte-identical trace comparisons.
+    pub fn set_unsat_cache(&mut self, cache: Arc<UnsatCache>) {
+        self.solver.set_unsat_cache(cache);
+    }
+
     /// Attaches a telemetry recorder. The engine wraps each run in an
     /// `engine.run` span, streams state-lifecycle counters (fork,
     /// suspend-on-τ, suspend-on-predicate-conflict, resume, kill,
@@ -304,7 +342,24 @@ impl<'m> Engine<'m> {
     }
 
     /// Explores the program until a fault is found or a budget runs out.
+    ///
+    /// With [`EngineConfig::state_workers`] ≥ 1 and a guidance hook that
+    /// supports [`EventHook::clone_hook`], execution runs on the
+    /// work-stealing intra-candidate scheduler (`crate::steal`):
+    /// identical results and byte-identical traces at any worker count,
+    /// but wall-clock scales with workers. Otherwise the classic
+    /// single-threaded loop runs.
     pub fn run(&mut self) -> EngineReport {
+        if self.config.state_workers > 0 {
+            if let Some(report) = crate::steal::run_steal(self) {
+                return report;
+            }
+        }
+        self.run_legacy()
+    }
+
+    /// The classic single-threaded scheduling loop.
+    fn run_legacy(&mut self) -> EngineReport {
         let start = Instant::now();
         let rec = self.rec;
         let run_span = rec.span_open(names::ENGINE_RUN);
@@ -774,7 +829,7 @@ impl<'m> Engine<'m> {
 
     /// Builds the final vulnerable-path report from the triggering model
     /// the run loop confirmed at the fault site.
-    fn report(
+    pub(crate) fn report(
         &mut self,
         state: State,
         fault: Fault,
@@ -899,6 +954,57 @@ pub fn record_run_telemetry(
         names::SOLVER_BACKTRACKS,
         sv.backtracks - solver_before.backtracks,
     );
+    // Independence-slicing and unsat-cache counters follow the
+    // zero-vs-absent convention: emitted only when the run actually
+    // exercised the feature, so traces of runs with slicing/ucache off
+    // are byte-identical to pre-feature traces.
+    for (name, now, before) in [
+        (
+            names::SOLVER_INDEP_QUERIES,
+            sv.indep_queries,
+            solver_before.indep_queries,
+        ),
+        (
+            names::SOLVER_INDEP_COMPONENTS,
+            sv.indep_components,
+            solver_before.indep_components,
+        ),
+        (
+            names::SOLVER_INDEP_COMP_HITS,
+            sv.indep_comp_hits,
+            solver_before.indep_comp_hits,
+        ),
+        (
+            names::SOLVER_UCACHE_SUB_HITS,
+            sv.ucache_sub_hits,
+            solver_before.ucache_sub_hits,
+        ),
+        (
+            names::SOLVER_UCACHE_SUP_HITS,
+            sv.ucache_sup_hits,
+            solver_before.ucache_sup_hits,
+        ),
+        (
+            names::SOLVER_UCACHE_SUP_REJECTS,
+            sv.ucache_sup_rejects,
+            solver_before.ucache_sup_rejects,
+        ),
+        (
+            names::SOLVER_UCACHE_STORES,
+            sv.ucache_stores,
+            solver_before.ucache_stores,
+        ),
+        (
+            names::SOLVER_UCACHE_MISSES,
+            sv.ucache_misses,
+            solver_before.ucache_misses,
+        ),
+    ] {
+        let delta = now.saturating_sub(before);
+        if delta > 0 {
+            rec.counter_add(name, delta);
+        }
+    }
     rec.event(
         names::ENGINE_OUTCOME,
         &[

@@ -11,7 +11,7 @@ use sir::{ConstValue, FuncId, InputId, InputKind, Inst, Module, Reg, Terminator}
 use solver::{CmpOp, Constraint, SatResult, Solver, TermCtx, TermId};
 use statsym_telemetry::{lineage_op, names, FieldValue, Recorder};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Mutable engine context threaded through stepping.
 pub(crate) struct ExecEnv<'e> {
@@ -867,24 +867,52 @@ fn input_value(env: &mut ExecEnv<'_>, input: InputId) -> SymValue {
         return v.clone();
     }
     let def = &env.module.inputs[input.index()];
-    let v = match def.kind {
+    let v = make_input_sym(env.ctx, def);
+    env.inputs.insert(input, v.clone());
+    v
+}
+
+/// Builds the fresh symbolic value for one input definition.
+fn make_input_sym(ctx: &mut TermCtx, def: &sir::InputDef) -> SymValue {
+    match def.kind {
         InputKind::Int => {
-            let t = env
-                .ctx
-                .new_var(def.name.clone(), i32::MIN as i64, i32::MAX as i64);
+            let t = ctx.new_var(def.name.clone(), i32::MIN as i64, i32::MAX as i64);
             SymValue::Int(t)
         }
         InputKind::Str { cap } => {
             let bytes: Vec<TermId> = (0..cap)
-                .map(|i| env.ctx.new_var(format!("{}[{i}]", def.name), 0, 255))
+                .map(|i| ctx.new_var(format!("{}[{i}]", def.name), 0, 255))
                 .collect();
             SymValue::Str(SymStr {
-                bytes: Rc::new(bytes),
+                bytes: Arc::new(bytes),
             })
         }
-    };
-    env.inputs.insert(input, v.clone());
-    v
+    }
+}
+
+/// Creates the symbolic value for every module input up front, in
+/// definition order, skipping inputs already pinned by the caller.
+///
+/// Steal mode (`EngineConfig::state_workers`) calls this once on the
+/// main thread before spawning workers: lazily creating input variables
+/// at first `Inst::Input` execution would assign solver `VarId`s in a
+/// schedule-dependent order, and the solver's branching heuristic
+/// tie-breaks on `VarId` — so lazy creation would break byte-identical
+/// traces across worker counts. Eager creation in definition order makes
+/// variable ids a function of the module alone.
+pub(crate) fn materialize_inputs(
+    module: &Module,
+    ctx: &mut TermCtx,
+    inputs: &mut HashMap<InputId, SymValue>,
+) {
+    for (i, def) in module.inputs.iter().enumerate() {
+        let id = InputId(i as u32);
+        if inputs.contains_key(&id) {
+            continue;
+        }
+        let v = make_input_sym(ctx, def);
+        inputs.insert(id, v);
+    }
 }
 
 fn exec_term(env: &mut ExecEnv<'_>, mut state: State, term: Terminator, span: Span) -> StepResult {

@@ -42,6 +42,7 @@ pub mod hook;
 mod lineage;
 pub mod scheduler;
 pub mod state;
+mod steal;
 pub mod value;
 
 pub use engine::{

@@ -4,21 +4,21 @@ use crate::value::{SymBuf, SymValue};
 use concrete::Location;
 use sir::{BlockId, FuncId, Reg};
 use solver::Constraint;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A persistent (structurally shared) list of path constraints. Forked
 /// children share their parent's prefix, so appending is O(1) and does
 /// not copy the path condition.
 #[derive(Debug, Clone, Default)]
 pub struct CondList {
-    head: Option<Rc<CondNode>>,
+    head: Option<Arc<CondNode>>,
     len: usize,
 }
 
 #[derive(Debug)]
 struct CondNode {
     c: Constraint,
-    parent: Option<Rc<CondNode>>,
+    parent: Option<Arc<CondNode>>,
 }
 
 impl CondList {
@@ -41,7 +41,7 @@ impl CondList {
     #[must_use]
     pub fn push(&self, c: Constraint) -> CondList {
         CondList {
-            head: Some(Rc::new(CondNode {
+            head: Some(Arc::new(CondNode {
                 c,
                 parent: self.head.clone(),
             })),
@@ -66,14 +66,14 @@ impl CondList {
 /// vulnerable-path report).
 #[derive(Debug, Clone, Default)]
 pub struct TraceList {
-    head: Option<Rc<TraceNode>>,
+    head: Option<Arc<TraceNode>>,
     len: usize,
 }
 
 #[derive(Debug)]
 struct TraceNode {
     loc: Location,
-    parent: Option<Rc<TraceNode>>,
+    parent: Option<Arc<TraceNode>>,
 }
 
 impl TraceList {
@@ -91,7 +91,7 @@ impl TraceList {
     #[must_use]
     pub fn push(&self, loc: Location) -> TraceList {
         TraceList {
-            head: Some(Rc::new(TraceNode {
+            head: Some(Arc::new(TraceNode {
                 loc,
                 parent: self.head.clone(),
             })),
