@@ -16,9 +16,10 @@
 //! Pass `--out <path>` to redirect the JSON report (default
 //! `BENCH_portfolio.json` in the current directory), `--decoys <n>` to
 //! shrink or grow the workload, and the shared trace flags (`--trace
-//! <path>`, `--clock steps|wall`, `--workers <n>`, `--lineage`) to
-//! export a JSONL trace — with `--workers` the sweep collapses to that single count,
-//! which is how CI runs a small traced portfolio workload.
+//! <path>`, `--clock steps|wall`, `--workers <n>`, `--lineage`,
+//! `--attr`, `--no-share-cache`) to export a JSONL trace — with
+//! `--workers` the sweep collapses to that single count, which is how
+//! CI runs a small traced portfolio workload.
 
 use bench::{statsym_config, TraceSink, PAPER_SEED};
 use benchapps::{generate_corpus, CorpusSpec};
@@ -36,13 +37,16 @@ const MAX_STEPS: u64 = 60_000;
 /// Worker counts benchmarked against the sequential loop.
 const WORKER_COUNTS: [usize; 3] = [2, 4, 8];
 
-fn config(workers: usize, lineage: bool) -> StatSymConfig {
+fn config(workers: usize, sink: &TraceSink) -> StatSymConfig {
     let base = statsym_config();
     StatSymConfig {
         workers,
+        share_cache: sink.share_cache(),
         engine: EngineConfig {
             max_steps: MAX_STEPS,
-            lineage,
+            lineage: sink.lineage(),
+            attribution: sink.attr(),
+            provenance: sink.attr(),
             ..base.engine
         },
         // The pinned pre-fault prefix (pattern matching over concrete
@@ -109,7 +113,8 @@ fn main() {
                 eprintln!("error: unknown argument `{other}`");
                 eprintln!(
                     "usage: [--out <path>] [--decoys <n>] \
-                     [--trace <path>] [--clock steps|wall] [--workers <n>] [--lineage]"
+                     [--trace <path>] [--clock steps|wall] [--workers <n>] [--lineage] \
+                     [--attr] [--no-share-cache]"
                 );
                 std::process::exit(2);
             }
@@ -133,7 +138,7 @@ fn main() {
             seed: PAPER_SEED,
         },
     );
-    let mut analysis = StatSym::new(config(1, sink.lineage())).analyze(&logs);
+    let mut analysis = StatSym::new(config(1, &sink)).analyze(&logs);
     let d = decoy(&analysis);
     let paths = &mut analysis.candidates.as_mut().expect("candidates").paths;
     for _ in 0..decoys {
@@ -143,7 +148,7 @@ fn main() {
 
     // Sequential baseline through the pipeline's workers == 1 loop.
     let seq_start = Instant::now();
-    let seq = StatSym::new(config(1, sink.lineage())).run_with_analysis_pinned_traced(
+    let seq = StatSym::new(config(1, &sink)).run_with_analysis_pinned_traced(
         &app.module,
         analysis.clone(),
         &app.pins,
@@ -164,7 +169,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for workers in worker_counts {
-        let cfg = config(workers, sink.lineage());
+        let cfg = config(workers, &sink);
         let paths = &analysis.candidates.as_ref().expect("candidates").paths;
         let start = Instant::now();
         let outcome = run_portfolio(&app.module, paths, &cfg, &app.pins, rec);

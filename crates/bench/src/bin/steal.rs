@@ -381,9 +381,10 @@ fn main() {
     }
 
     // Byte-identity across the sweep: same program, deterministic steps
-    // clock, lineage on, no cross-state cache sharing — the rendered
-    // trace (events *and* final counters) must not depend on the worker
-    // count. `--dump-traces` persists them for CI's `cmp` gate.
+    // clock, lineage + attribution + query provenance on, no
+    // cross-state cache sharing — the rendered trace (events *and*
+    // final counters) must not depend on the worker count.
+    // `--dump-traces` persists them for CI's `cmp` gate.
     let mut reference: Option<(usize, String)> = None;
     for &w in &sweep {
         let rec = MemRecorder::new(Clock::steps());
@@ -392,6 +393,8 @@ fn main() {
                 &module,
                 EngineConfig {
                     lineage: true,
+                    attribution: true,
+                    provenance: true,
                     ..fork_heavy_engine_config(w, false)
                 },
             );

@@ -43,6 +43,8 @@ pub fn print_breakdown(rate: f64, title: &str, sink: &TraceSink) {
             GuidedRunOpts {
                 workers: sink.workers(),
                 lineage: sink.lineage(),
+                attr: sink.attr(),
+                share_cache: sink.share_cache(),
             },
             sink.recorder(),
         );

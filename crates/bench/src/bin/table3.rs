@@ -34,6 +34,8 @@ fn main() {
             GuidedRunOpts {
                 workers: sink.workers(),
                 lineage: sink.lineage(),
+                attr: sink.attr(),
+                share_cache: sink.share_cache(),
             },
             sink.recorder(),
         );

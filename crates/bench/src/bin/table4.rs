@@ -38,6 +38,8 @@ fn main() {
             GuidedRunOpts {
                 workers: sink.workers(),
                 lineage: sink.lineage(),
+                attr: sink.attr(),
+                share_cache: sink.share_cache(),
             },
             sink.recorder(),
         );
@@ -48,6 +50,8 @@ fn main() {
         );
         let pure_config = EngineConfig {
             lineage: sink.lineage(),
+            attribution: sink.attr(),
+            provenance: sink.attr(),
             ..pure_engine_config()
         };
         let pure = run_pure_traced(&app, pure_config, sink.recorder());

@@ -89,7 +89,7 @@ pub fn run_statsym_traced(
 }
 
 /// Execution-stage options the bench binaries expose as shared flags
-/// (`--workers`, `--lineage`).
+/// (`--workers`, `--lineage`, `--attr`, `--no-share-cache`).
 #[derive(Debug, Clone, Copy)]
 pub struct GuidedRunOpts {
     /// Worker threads for the guided execution stage: `1` runs the
@@ -98,6 +98,14 @@ pub struct GuidedRunOpts {
     pub workers: usize,
     /// Emit per-state exploration-tree lineage events into the trace.
     pub lineage: bool,
+    /// Emit per-source-line `attr.*` cost counters and per-query
+    /// provenance events into the trace (`statsym-inspect
+    /// hotspots|explain`).
+    pub attr: bool,
+    /// Share solver verdicts between portfolio workers. Never changes
+    /// what a worker explores, only how much solver work it spends —
+    /// turn off for schedule-independent solver-work counters.
+    pub share_cache: bool,
 }
 
 impl Default for GuidedRunOpts {
@@ -105,6 +113,8 @@ impl Default for GuidedRunOpts {
         GuidedRunOpts {
             workers: 1,
             lineage: false,
+            attr: false,
+            share_cache: true,
         }
     }
 }
@@ -158,8 +168,11 @@ pub fn run_statsym_opts_traced(
     let base = statsym_config();
     let statsym = StatSym::new(StatSymConfig {
         workers: opts.workers,
+        share_cache: opts.share_cache,
         engine: EngineConfig {
             lineage: opts.lineage,
+            attribution: opts.attr,
+            provenance: opts.attr,
             ..base.engine
         },
         ..base

@@ -20,12 +20,15 @@ pub struct TraceSink {
     rec: Option<FanoutRecorder>,
     workers: Option<usize>,
     lineage: bool,
+    attr: bool,
+    share_cache: bool,
 }
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: [--trace <path>] [--stream <addr>] [--clock steps|wall] [--workers <n>] [--lineage]"
+        "usage: [--trace <path>] [--stream <addr>] [--clock steps|wall] [--workers <n>] \
+         [--lineage] [--attr] [--no-share-cache]"
     );
     std::process::exit(2);
 }
@@ -51,9 +54,10 @@ impl TraceSink {
     }
 
     /// Pulls the trace flags (`--trace`, `--stream`, `--clock`,
-    /// `--workers`, `--lineage`) out of `args`, leaving every
-    /// unrecognized argument in place for the caller to parse — how
-    /// binaries combine their own flags with the shared trace options.
+    /// `--workers`, `--lineage`, `--attr`, `--no-share-cache`) out of
+    /// `args`, leaving every unrecognized argument in place for the
+    /// caller to parse — how binaries combine their own flags with the
+    /// shared trace options.
     ///
     /// `--stream` dials a `statsym-inspect live` listener (TCP
     /// `host:port`, or a Unix socket path containing `/`), retrying for
@@ -69,6 +73,8 @@ impl TraceSink {
         let mut wall = false;
         let mut workers = None;
         let mut lineage = false;
+        let mut attr = false;
+        let mut share_cache = true;
         let mut rest = Vec::new();
         let mut it = std::mem::take(args).into_iter();
         while let Some(a) = it.next() {
@@ -95,6 +101,8 @@ impl TraceSink {
                     None => usage_exit("--workers requires a worker count"),
                 },
                 "--lineage" => lineage = true,
+                "--attr" => attr = true,
+                "--no-share-cache" => share_cache = false,
                 _ => rest.push(a),
             }
         }
@@ -127,12 +135,19 @@ impl TraceSink {
         if lineage && rec.is_none() {
             usage_exit("--lineage requires --trace or --stream (lineage events go into the trace)");
         }
+        if attr && rec.is_none() {
+            usage_exit(
+                "--attr requires --trace or --stream (attribution events go into the trace)",
+            );
+        }
         TraceSink {
             path,
             streamed: stream.is_some(),
             rec,
             workers,
             lineage,
+            attr,
+            share_cache,
         }
     }
 
@@ -140,6 +155,22 @@ impl TraceSink {
     /// exploration-tree events into the trace.
     pub fn lineage(&self) -> bool {
         self.lineage
+    }
+
+    /// Whether `--attr` was passed: the engine emits per-source-line
+    /// `attr.*` cost counters and per-query provenance events into the
+    /// trace, for `statsym-inspect hotspots|explain`.
+    pub fn attr(&self) -> bool {
+        self.attr
+    }
+
+    /// Whether solver verdicts are shared between portfolio workers
+    /// (`--no-share-cache` turns sharing off). Sharing never changes
+    /// what a worker explores — only how much solver work it spends —
+    /// so disable it when solver-work counters must be independent of
+    /// scheduling, e.g. for byte-reproducible trace comparisons.
+    pub fn share_cache(&self) -> bool {
+        self.share_cache
     }
 
     /// Worker threads for the guided execution stage (`--workers`,

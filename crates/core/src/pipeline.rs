@@ -96,6 +96,90 @@ pub fn split_worker_budget(total: usize, candidates: usize) -> (usize, usize) {
     (cand, if state > 1 { state } else { 0 })
 }
 
+/// Spearman rank correlation between candidate rank order (the slice
+/// index: rank 0 first) and per-attempt cost, in per-mille (ρ × 1000,
+/// rounded). A positive value means the statistical ranking predicted
+/// cost well — better-ranked candidates really were cheaper to attempt.
+/// Tied costs get average ranks. `None` when fewer than two attempts or
+/// when every cost ties (the correlation is undefined, and the
+/// zero-vs-absent convention says emit nothing rather than a fake 0).
+///
+/// ```
+/// use statsym_core::pipeline::rank_cost_corr_milli;
+/// assert_eq!(rank_cost_corr_milli(&[10, 20, 30]), Some(1000));
+/// assert_eq!(rank_cost_corr_milli(&[30, 20, 10]), Some(-1000));
+/// assert_eq!(rank_cost_corr_milli(&[5, 5]), None);
+/// assert_eq!(rank_cost_corr_milli(&[5]), None);
+/// ```
+pub fn rank_cost_corr_milli(costs: &[u64]) -> Option<i64> {
+    let n = costs.len();
+    if n < 2 {
+        return None;
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by_key(|&i| costs[i]);
+    let mut cost_rank = vec![0f64; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && costs[idx[j + 1]] == costs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            cost_rank[k] = avg;
+        }
+        i = j + 1;
+    }
+    // Candidate ranks are 0..n-1 with no ties; average cost ranks keep
+    // the same mean, so one centered pass computes the correlation.
+    let mean = (n as f64 - 1.0) / 2.0;
+    let (mut num, mut dx, mut dy) = (0f64, 0f64, 0f64);
+    for (r, &cr) in cost_rank.iter().enumerate() {
+        let x = r as f64 - mean;
+        let y = cr - mean;
+        num += x * y;
+        dx += x * x;
+        dy += y * y;
+    }
+    if dy == 0.0 {
+        return None;
+    }
+    Some((num / (dx * dy).sqrt() * 1000.0).round() as i64)
+}
+
+/// Emits one `calib.candidate` record: the statistical prediction for a
+/// candidate (1-based rank, milli-scaled score, path length) next to
+/// what its attempt actually cost (steps, forks, solver search nodes,
+/// and — wall-clock traces only — solver µs) and whether it verified
+/// the fault. Consumed by `statsym-inspect calib`/`explain` and the
+/// JSON report's calibration section.
+pub(crate) fn record_calibration(
+    rec: &dyn Recorder,
+    rank: usize,
+    score: f64,
+    path_len: usize,
+    stats: &EngineStats,
+    found: bool,
+) {
+    if !rec.enabled() {
+        return;
+    }
+    let mut fields = vec![
+        ("rank", FieldValue::from(rank as u64 + 1)),
+        ("score_milli", FieldValue::from((score * 1000.0) as i64)),
+        ("path_len", FieldValue::from(path_len)),
+        ("steps", FieldValue::from(stats.exec.steps)),
+        ("forks", FieldValue::from(stats.exec.forks)),
+        ("snodes", FieldValue::from(stats.solver.nodes)),
+    ];
+    if rec.clock_mode() == statsym_telemetry::ClockMode::Wall {
+        fields.push(("solver_us", FieldValue::from(stats.solver.query_us)));
+    }
+    fields.push(("found", FieldValue::from(u64::from(found))));
+    rec.event(names::CALIB_CANDIDATE, &fields);
+}
+
 impl Default for StatSymConfig {
     fn default() -> Self {
         StatSymConfig {
@@ -332,6 +416,19 @@ impl StatSym {
             self.run_sequential(module, paths, pins, rec)
         };
 
+        // Ranking-calibration gauges, derived from the attempts the
+        // sequential loop would have made (overshoot never counts):
+        // which rank won, and how well rank order predicted step cost.
+        if rec.enabled() {
+            if let Some(w) = candidate_used {
+                rec.gauge_max(names::CALIB_WINNER_RANK, w as i64 + 1);
+            }
+            let costs: Vec<u64> = attempts.iter().map(|a| a.stats.exec.steps).collect();
+            if let Some(corr) = rank_cost_corr_milli(&costs) {
+                rec.gauge_max(names::CALIB_RANK_COST_CORR, corr);
+            }
+        }
+
         StatSymReport {
             analysis,
             attempts,
@@ -383,6 +480,7 @@ impl StatSym {
             let engine_config = EngineConfig {
                 scheduler: SchedulerKind::Priority,
                 state_workers,
+                candidate_rank: index as u32 + 1,
                 ..self.config.engine
             };
             let path_len = path.len();
@@ -412,6 +510,7 @@ impl StatSym {
                     ("steps", FieldValue::from(report.stats.exec.steps)),
                 ],
             );
+            record_calibration(rec, index, path.score, path_len, &report.stats, hit);
             attempts.push(CandidateAttempt {
                 index,
                 path_len,
@@ -840,6 +939,72 @@ mod tests {
         let vm = concrete::Vm::new(&m, concrete::VmConfig::default());
         let replay = vm.run(&p.inputs).unwrap();
         assert!(replay.outcome.is_fault(), "witness must replay concretely");
+    }
+
+    #[test]
+    fn calibration_records_every_attempt_and_derives_gauges() {
+        use statsym_telemetry::{names, parse_trace_strict, render_trace, Clock, MemRecorder};
+        use statsym_telemetry::{FieldValue, TraceEvent};
+
+        let m = module();
+        let logs = gen_logs(&m, 30, 1.0, 7);
+        let mut analysis = StatSym::default().analyze(&logs);
+        let cs = analysis.candidates.as_mut().unwrap();
+        cs.paths.insert(0, decoy_candidate());
+        cs.paths.insert(0, decoy_candidate());
+
+        let base = StatSymConfig::default();
+        let cfg = StatSymConfig {
+            engine: EngineConfig {
+                max_steps: 95,
+                ..base.engine
+            },
+            ..base
+        };
+        let rec = MemRecorder::new(Clock::steps());
+        let report = StatSym::new(cfg).run_with_analysis_traced(&m, analysis, &rec);
+        assert_eq!(report.candidate_used, Some(2), "decoys must not win");
+
+        let trace = render_trace(&rec.finish());
+        let events = parse_trace_strict(&trace).expect("calibrated trace is strict-valid");
+        let field = |fields: &[(String, FieldValue)], key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_u64())
+                .unwrap_or_else(|| panic!("calib.candidate field {key} missing"))
+        };
+        let calib: Vec<&Vec<(String, FieldValue)>> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Event { name, fields, .. } if name == names::CALIB_CANDIDATE => {
+                    Some(fields)
+                }
+                _ => None,
+            })
+            .collect();
+        // One record per attempt, 1-based ranks in attempt order; only
+        // the real candidate (rank 3) verified the fault.
+        assert_eq!(calib.len(), report.attempts.len());
+        for (i, fields) in calib.iter().enumerate() {
+            assert_eq!(field(fields, "rank"), i as u64 + 1);
+            assert_eq!(field(fields, "steps"), report.attempts[i].stats.exec.steps);
+            assert_eq!(field(fields, "found"), u64::from(i == 2));
+            // Step-clock traces carry no wall-measured µs.
+            assert!(!fields.iter().any(|(k, _)| k == "solver_us"));
+        }
+
+        let gauge = |name: &str| {
+            events.iter().find_map(|e| match e {
+                TraceEvent::Gauge { name: n, value } if n == name => Some(*value),
+                _ => None,
+            })
+        };
+        assert_eq!(gauge(names::CALIB_WINNER_RANK), Some(3));
+        // Decoys rank ahead yet cost more: by construction this ranking
+        // anti-predicts cost, so the correlation is negative.
+        let corr = gauge(names::CALIB_RANK_COST_CORR).expect("corr gauge present");
+        assert!(corr < 0, "decoy fixture must anti-correlate, got {corr}");
     }
 
     #[test]

@@ -169,6 +169,7 @@ pub fn run_portfolio_with_cache(
                 let engine_config = EngineConfig {
                     scheduler: SchedulerKind::Priority,
                     state_workers,
+                    candidate_rank: rank as u32 + 1,
                     ..config.engine
                 };
                 // The worker's private recorder: the engine records into
@@ -246,6 +247,17 @@ pub fn run_portfolio_with_cache(
                             ),
                             ("steps", FieldValue::from(report.stats.exec.steps)),
                         ],
+                    );
+                    // Same record the sequential loop emits; overshoot
+                    // buffers splice under the rename prefix, so only
+                    // sequential-equivalent attempts feed calibration.
+                    crate::pipeline::record_calibration(
+                        w,
+                        rank,
+                        paths[rank].score,
+                        paths[rank].len(),
+                        &report.stats,
+                        report.outcome.is_found(),
                     );
                 }
                 *slots[rank].lock().expect("portfolio worker panicked") = Some(WorkerDone {

@@ -12,6 +12,15 @@
 //!   attempts that did not produce the winning path.
 //! * [`top`] — the solver hot-spot profile from the per-callsite
 //!   `solver.site.*` counters and query-latency histograms.
+//! * [`hotspots`] — the per-source-line cost table from `attr.*`
+//!   attribution counters (`--attribution` traces), with flame-
+//!   compatible and cmp-gateable JSON output.
+//! * [`explain`] — one ranked candidate end to end: why it was ranked,
+//!   what its attempt cost, and (with `--provenance`) where its solver
+//!   queries went and where it died or won.
+//! * [`calib`] — the predicted-vs-actual ranking-calibration table from
+//!   `calib.candidate` records, with a `--min-corr` CI gate on the
+//!   rank-vs-cost correlation.
 //!
 //! Over `--lineage` traces ([`forest`] rebuilds the exploration tree
 //! from the `state` event stream):
@@ -34,11 +43,14 @@
 //! the truncation-tolerant variant, which additionally accepts exactly
 //! one half-written trailing line.
 
+pub mod calib;
 pub mod coverage;
 pub mod critical;
 pub mod diff;
+pub mod explain;
 pub mod flame;
 pub mod forest;
+pub mod hotspots;
 pub mod live;
 pub mod numjson;
 pub mod tail;

@@ -8,17 +8,22 @@
 //! statsym-inspect tree <trace.jsonl>
 //! statsym-inspect coverage <trace.jsonl> [--min <pct>]
 //! statsym-inspect flame <trace.jsonl> [--metric solver-nodes|solver-us|steps]
+//! statsym-inspect hotspots <trace.jsonl> [--metric <dim>] [--top <n>] [--min-pct <pct>] [--format text|json|flame]
+//! statsym-inspect explain <trace.jsonl> <rank>
+//! statsym-inspect calib <trace.jsonl> [--format text|json] [--min-corr <milli>]
 //! statsym-inspect watch <trace.jsonl> [--interval <ms>] [--once] [--allow-truncated]
 //! statsym-inspect live <addr> [--record <dir>] [--runs <n>] [--quiet] [--interval <ms>]
 //! ```
 //!
 //! Exit codes: 0 success (and no regressions), 1 `diff` found at least
-//! one regression or `coverage` fell below `--min`, 2 usage or parse
-//! error.
+//! one regression, `coverage` fell below `--min`, `calib` fell below
+//! `--min-corr`, or `explain` was asked about a rank the trace does not
+//! carry, 2 usage or parse error.
 
 use statsym_inspect::diff::{diff_files, parse_threshold, DiffConfig};
 use statsym_inspect::{
-    coverage, critical, flame, live, load_trace, report, report_json, top, tree, watch,
+    calib, coverage, critical, explain, flame, hotspots, live, load_trace, report, report_json,
+    top, tree, watch,
 };
 
 const USAGE: &str = "\
@@ -46,6 +51,23 @@ commands:
   flame <trace.jsonl> [--metric solver-nodes|solver-us|steps]
       Collapsed-stack flamegraph of solver effort keyed by fork
       lineage (inferno / speedscope / flamegraph.pl compatible).
+  hotspots <trace.jsonl> [--metric <dim>] [--top <n>] [--min-pct <pct>] [--format text|json|flame]
+      Per-source-line cost table from an --attribution trace: steps,
+      forks, suspensions, solver queries/nodes/µs billed to the MiniC
+      line that incurred them. --metric picks the ranking dimension
+      (steps, forks, suspends, queries, nodes, us); --min-pct drops
+      lines below a share floor; --format flame emits collapsed
+      stacks, --format json a stable cmp-gateable object.
+  explain <trace.jsonl> <rank>
+      One ranked candidate end to end: predicted score vs actual cost,
+      its solver queries by callsite and source location, and the last
+      query — where the attempt died or won. Exits 1 when the trace
+      has no record for that rank.
+  calib <trace.jsonl> [--format text|json] [--min-corr <milli>]
+      Predicted-vs-actual ranking calibration per run: score and rank
+      next to real attempt cost, the winning rank, and the Spearman
+      rank-vs-cost correlation (per-mille). --min-corr exits 1 when a
+      run correlates below the floor (or nothing is gateable).
   watch <trace.jsonl> [--interval <ms>] [--once] [--allow-truncated]
       Live dashboard tailing a growing --lineage trace; exits when the
       run's final metrics appear. Polling backs off adaptively while
@@ -196,6 +218,109 @@ fn main() {
                 Ok(events) => {
                     print!("{}", flame::flame(&events, metric));
                     0
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        Some("hotspots") => {
+            let mut opts = hotspots::Opts::default();
+            let mut rest = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--metric" => match it.next() {
+                        Some(m) => match hotspots::parse_metric(m) {
+                            Ok(v) => opts.metric = v,
+                            Err(e) => usage_exit(&e),
+                        },
+                        None => usage_exit("--metric requires a value"),
+                    },
+                    "--top" => match it.next().map(|n| n.parse::<usize>()) {
+                        Some(Ok(n)) if n >= 1 => opts.top = n,
+                        _ => usage_exit("--top requires a positive integer"),
+                    },
+                    "--min-pct" => match it.next().map(|n| n.parse::<f64>()) {
+                        Some(Ok(v)) if (0.0..=100.0).contains(&v) => {
+                            opts.min_millipct = (v * 10.0).round() as u64;
+                        }
+                        _ => usage_exit("--min-pct requires a percentage in 0..=100"),
+                    },
+                    "--format" => match it.next() {
+                        Some(f) => match hotspots::Format::parse(f) {
+                            Ok(v) => opts.format = v,
+                            Err(e) => usage_exit(&e),
+                        },
+                        None => usage_exit("--format requires text, json or flame"),
+                    },
+                    _ => rest.push(a.clone()),
+                }
+            }
+            let [path] = positional::<1>(
+                &rest,
+                "hotspots <trace.jsonl> [--metric <dim>] [--top <n>] \
+                 [--min-pct <pct>] [--format text|json|flame]",
+            );
+            match load_trace(&path) {
+                Ok(events) => {
+                    print!("{}", hotspots::hotspots(&events, &opts));
+                    0
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        Some("explain") => {
+            let [path, rank] = positional::<2>(&args[1..], "explain <trace.jsonl> <rank>");
+            let rank: u64 = match rank.parse() {
+                Ok(r) => r,
+                Err(_) => usage_exit("explain requires a numeric 1-based rank"),
+            };
+            match load_trace(&path) {
+                Ok(events) => match explain::explain(&events, rank) {
+                    Ok(text) => {
+                        print!("{text}");
+                        0
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        1
+                    }
+                },
+                Err(e) => fail(&e),
+            }
+        }
+        Some("calib") => {
+            let mut json = false;
+            let mut min_corr = None;
+            let mut rest = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--format" => match it.next().map(String::as_str) {
+                        Some("text") => json = false,
+                        Some("json") => json = true,
+                        _ => usage_exit("--format requires `text` or `json`"),
+                    },
+                    "--min-corr" => match it.next().map(|n| n.parse::<i64>()) {
+                        Some(Ok(v)) if (-1000..=1000).contains(&v) => min_corr = Some(v),
+                        _ => usage_exit("--min-corr requires a per-mille value in -1000..=1000"),
+                    },
+                    _ => rest.push(a.clone()),
+                }
+            }
+            let [path] = positional::<1>(
+                &rest,
+                "calib <trace.jsonl> [--format text|json] [--min-corr <milli>]",
+            );
+            match load_trace(&path) {
+                Ok(events) => {
+                    print!("{}", calib::calib(&events, json));
+                    match min_corr.map(|m| calib::gate(&events, m)) {
+                        Some(Err(e)) => {
+                            eprintln!("error: {e}");
+                            1
+                        }
+                        _ => 0,
+                    }
                 }
                 Err(e) => fail(&e),
             }

@@ -394,9 +394,22 @@ fn report_format_json_emits_one_stable_object() {
         "\"gauges\":{",
         "\"hists\":[",
         "\"events\":{",
+        "\"attribution\":{",
+        "\"queries\":[",
+        "\"calibration\":{",
     ] {
         assert!(text.contains(key), "missing {key} in {text}");
     }
+    // The fixture's attribution and calibration data fold into the
+    // report's machine-readable sections.
+    assert!(
+        text.contains("\"attribution\":{\"convert:7\":{\"steps\":60,"),
+        "{text}"
+    );
+    assert!(
+        text.contains("\"winner_rank\":2,\"corr_milli\":-1000"),
+        "{text}"
+    );
     // Byte-stable across invocations (the CI contract for machine
     // consumers).
     let again = inspect(&["report", base.to_str().unwrap(), "--format", "json"]);
@@ -408,6 +421,104 @@ fn report_format_json_emits_one_stable_object() {
         Some(2),
         "unknown format is a usage error"
     );
+}
+
+#[test]
+fn hotspots_explain_and_calib_render_fixture() {
+    let base = fixture("base.jsonl");
+    let path = base.to_str().unwrap();
+
+    // hotspots: main:3 leads on steps; JSON form is byte-stable.
+    let out = inspect(&["hotspots", path]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    let main = text.find("main:3").expect("main row");
+    let conv = text.find("convert:7").expect("convert row");
+    assert!(main < conv, "{text}");
+    let out = inspect(&["hotspots", path, "--format", "json", "--metric", "nodes"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let json = stdout(&out);
+    assert!(
+        json.starts_with("{\"metric\":\"nodes\",\"total\":1000,"),
+        "{json}"
+    );
+    let again = inspect(&["hotspots", path, "--format", "json", "--metric", "nodes"]);
+    assert_eq!(json, stdout(&again));
+    let out = inspect(&["hotspots", path, "--format", "flame"]);
+    assert!(out.status.success());
+    for line in stdout(&out).lines() {
+        let (stack, weight) = line.rsplit_once(' ').expect("collapsed-stack line");
+        assert!(stack.contains(';'), "{line}");
+        weight.parse::<u64>().expect("numeric weight");
+    }
+
+    // explain: the winning rank-2 candidate, end to end.
+    let out = inspect(&["explain", path, "2"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("candidate rank 2 of 2"), "{text}");
+    assert!(
+        text.contains("winner rank           2  (this candidate)"),
+        "{text}"
+    );
+    assert!(text.contains("where the attempt won"), "{text}");
+    // A rank the trace does not carry exits 1 (not a usage error).
+    let out = inspect(&["explain", path, "7"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(stderr(&out).contains("rank 7"), "{}", stderr(&out));
+
+    // calib: table + gates. The fixture anti-correlates (the winner was
+    // ranked second and cheaper), so a -1000 floor passes and 0 fails.
+    let out = inspect(&["calib", path]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("winner rank: 2"), "{text}");
+    assert!(text.contains("rank-vs-cost corr: -1000 milli"), "{text}");
+    let out = inspect(&["calib", path, "--min-corr", "-1000"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let out = inspect(&["calib", path, "--min-corr", "0"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(stderr(&out).contains("below the"), "{}", stderr(&out));
+    let out = inspect(&["calib", path, "--format", "json"]);
+    assert!(out.status.success());
+    let json = stdout(&out);
+    assert!(
+        json.starts_with("{\"runs\":[{\"candidates\":[{\"rank\":1,"),
+        "{json}"
+    );
+    assert!(json.contains("\"gauge_winner_rank\":2"), "{json}");
+}
+
+#[test]
+fn malformed_provenance_events_are_rejected() {
+    let dir = std::env::temp_dir().join(format!("statsym-inspect-prov-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let meta = "{\"k\":\"meta\",\"clock\":\"steps\",\"version\":1}\n";
+    // Unknown cache disposition, unknown verdict, empty site: the
+    // strict parser refuses each with a line-numbered error.
+    for (name, bad) in [
+        (
+            "cache.jsonl",
+            "{\"k\":\"query\",\"t\":1,\"sid\":1,\"loc\":\"f:1\",\"rank\":1,\"site\":\"s\",\
+             \"verdict\":\"sat\",\"cache\":\"warp\",\"nodes\":1,\"us\":0}\n",
+        ),
+        (
+            "verdict.jsonl",
+            "{\"k\":\"query\",\"t\":1,\"sid\":1,\"loc\":\"f:1\",\"rank\":1,\"site\":\"s\",\
+             \"verdict\":\"maybe\",\"cache\":\"search\",\"nodes\":1,\"us\":0}\n",
+        ),
+        (
+            "site.jsonl",
+            "{\"k\":\"query\",\"t\":1,\"sid\":1,\"loc\":\"f:1\",\"rank\":1,\"site\":\"\",\
+             \"verdict\":\"sat\",\"cache\":\"search\",\"nodes\":1,\"us\":0}\n",
+        ),
+    ] {
+        let path = temp_trace(&dir, name, &format!("{meta}{bad}"));
+        let out = inspect(&["report", path.to_str().unwrap()]);
+        assert_eq!(out.status.code(), Some(2), "{name}");
+        assert!(stderr(&out).contains(":2:"), "{name}: {}", stderr(&out));
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -188,6 +188,22 @@ pub struct Solver {
     cache: HashMap<u64, SatResult>,
     shared: Option<Arc<dyn QueryCache + Send + Sync>>,
     ucache: Option<Arc<UnsatCache>>,
+    prov: Prov,
+}
+
+/// Transient provenance context stamped onto query events (see
+/// [`Solver::set_provenance`]). Cloned with the solver at forks, so a
+/// child state inherits its parent's context until the executor updates
+/// it on the next step.
+#[derive(Default, Clone)]
+struct Prov {
+    enabled: bool,
+    sid: u64,
+    loc: String,
+    rank: u32,
+    /// Cache disposition of the most recent `check_inner` answer, one
+    /// of [`statsym_telemetry::query_disposition::ALL`].
+    last_cache: &'static str,
 }
 
 impl std::fmt::Debug for Solver {
@@ -252,6 +268,34 @@ impl Solver {
     /// Approximate memory footprint of the cache, in entries.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Enables solver-query provenance: every traced query emits a
+    /// canonical `query` event carrying the originating state id, source
+    /// location, candidate `rank`, callsite, verdict, and cache
+    /// disposition. Off by default — committed trace baselines predate
+    /// the event family, and provenance roughly doubles a solver-heavy
+    /// trace's line count.
+    pub fn set_provenance(&mut self, rank: u32) {
+        self.prov.enabled = true;
+        self.prov.rank = rank;
+        // Queries issued before the first `set_query_origin` (initial
+        // state construction, entry guidance) belong to no instruction.
+        if self.prov.loc.is_empty() {
+            self.prov.loc.push_str("entry:0");
+        }
+    }
+
+    /// Updates the originating-state context stamped onto subsequent
+    /// query events: the engine-local state id and the `function:line`
+    /// source location of the instruction about to run. Cheap when the
+    /// location is unchanged (no allocation).
+    pub fn set_query_origin(&mut self, sid: u64, loc: &str) {
+        self.prov.sid = sid;
+        if self.prov.loc != loc {
+            self.prov.loc.clear();
+            self.prov.loc.push_str(loc);
+        }
     }
 
     /// Decides `constraints` (a conjunction) over `ctx`, producing a
@@ -341,6 +385,23 @@ impl Solver {
         let elapsed = start.elapsed();
         self.stats.query_us += elapsed.as_micros() as u64;
         rec.observe_wall(statsym_telemetry::names::SOLVER_QUERY_US, elapsed);
+        if self.prov.enabled {
+            let verdict = match &result {
+                SatResult::Sat(_) => "sat",
+                SatResult::Unsat => "unsat",
+                SatResult::Unknown => "unknown",
+            };
+            rec.query(&statsym_telemetry::QueryEvent {
+                sid: self.prov.sid,
+                loc: &self.prov.loc,
+                rank: self.prov.rank,
+                site: site.unwrap_or("check"),
+                verdict,
+                cache: self.prov.last_cache,
+                nodes: self.stats.nodes - nodes_before,
+                us: elapsed.as_micros() as u64,
+            });
+        }
         if let Some(site) = site {
             use statsym_telemetry::names::SOLVER_SITE_PREFIX;
             rec.counter_add(&format!("{SOLVER_SITE_PREFIX}{site}.queries"), 1);
@@ -359,14 +420,17 @@ impl Solver {
         constraints: &[Constraint],
         needs_model: bool,
     ) -> SatResult {
+        use statsym_telemetry::query_disposition as qd;
         self.stats.queries += 1;
         if constraints.is_empty() {
             self.stats.sat += 1;
+            self.prov.last_cache = qd::EMPTY;
             return SatResult::Sat(Model::default());
         }
         let key = ctx.query_fingerprint(constraints);
         if let Some(hit) = self.cache.get(&key) {
             self.stats.cache_hits += 1;
+            self.prov.last_cache = qd::PRIVATE;
             match hit {
                 SatResult::Sat(_) => self.stats.sat += 1,
                 SatResult::Unsat => self.stats.unsat += 1,
@@ -382,6 +446,7 @@ impl Solver {
                     // conjunction: the conjunction is unsat.
                     self.stats.ucache_sub_hits += 1;
                     self.stats.unsat += 1;
+                    self.prov.last_cache = qd::UCACHE_SUB;
                     self.cache.insert(key, SatResult::Unsat);
                     return SatResult::Unsat;
                 }
@@ -394,6 +459,7 @@ impl Solver {
                     if model.satisfies(ctx, constraints) {
                         self.stats.ucache_sup_hits += 1;
                         self.stats.sat += 1;
+                        self.prov.last_cache = qd::UCACHE_SUP;
                         self.cache.insert(key, SatResult::Sat(model.clone()));
                         return SatResult::Sat(model);
                     }
@@ -410,6 +476,7 @@ impl Solver {
                     // ordinary private hits, exactly as without sharing.
                     self.stats.shared_hits += 1;
                     self.stats.unsat += 1;
+                    self.prov.last_cache = qd::SHARED;
                     self.cache.insert(key, SatResult::Unsat);
                     return SatResult::Unsat;
                 }
@@ -420,6 +487,7 @@ impl Solver {
                     // empty model.
                     self.stats.shared_hits += 1;
                     self.stats.sat += 1;
+                    self.prov.last_cache = qd::SHARED;
                     return SatResult::Sat(Model::default());
                 }
                 // A model is required but the shared cache only has the
@@ -430,9 +498,11 @@ impl Solver {
         }
         if self.config.slice && constraints.len() > 1 {
             if let Some(result) = self.check_sliced(ctx, constraints, key) {
+                self.prov.last_cache = qd::SLICED;
                 return result;
             }
         }
+        self.prov.last_cache = qd::SEARCH;
 
         let mut search = Search {
             ctx,
@@ -1450,6 +1520,71 @@ mod tests {
         assert_eq!(s.ucache_sup_rejects, 1, "{s:?}");
         assert_eq!(s.ucache_sup_hits, 0);
         assert!(s.nodes > 0, "rejection must fall through to search");
+    }
+
+    #[test]
+    fn provenance_events_carry_disposition_and_context() {
+        use statsym_telemetry::{Clock, MemRecorder, TraceEvent};
+        let mut ctx = TermCtx::new();
+        let x = ctx.new_var("x", 0, 9);
+        let c5 = ctx.int(5);
+        let cs = [Constraint::new(CmpOp::Eq, x, c5)];
+        let rec = MemRecorder::new(Clock::steps());
+        let mut solver = Solver::default();
+        solver.set_provenance(2);
+        solver.set_query_origin(7, "convert:4");
+        solver.check_traced_at(&ctx, &cs, &rec, "feasibility");
+        solver.check_traced_at(&ctx, &cs, &rec, "feasibility");
+        solver.check_traced(&ctx, &[], &rec);
+        let queries: Vec<_> = rec
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::Query {
+                    sid,
+                    loc,
+                    rank,
+                    site,
+                    verdict,
+                    cache,
+                    us,
+                    ..
+                } => Some((sid, loc, rank, site, verdict, cache, us)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(queries.len(), 3);
+        assert_eq!(
+            queries[0],
+            (
+                7,
+                "convert:4".to_string(),
+                2,
+                "feasibility".to_string(),
+                "sat".to_string(),
+                "search".to_string(),
+                0, // µs zeroed under the deterministic step clock
+            )
+        );
+        assert_eq!(queries[1].5, "private");
+        assert_eq!(queries[2].3, "check", "untagged callsite falls back");
+        assert_eq!(queries[2].5, "empty");
+        // Every emitted line survives the strict parser.
+        for ev in rec.events() {
+            let line = ev.to_json_line();
+            statsym_telemetry::parse_trace_strict(&line).unwrap_or_else(|e| {
+                panic!("strict parse failed for {line}: {e}");
+            });
+        }
+
+        // Without set_provenance, no query events are emitted.
+        let rec2 = MemRecorder::new(Clock::steps());
+        let mut plain = Solver::default();
+        plain.check_traced_at(&ctx, &cs, &rec2, "feasibility");
+        assert!(rec2
+            .events()
+            .iter()
+            .all(|e| !matches!(e, TraceEvent::Query { .. })));
     }
 
     #[test]

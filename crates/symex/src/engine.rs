@@ -1,5 +1,6 @@
 //! The symbolic execution engine: scheduling loop, budgets, and results.
 
+use crate::attr::StepAttr;
 use crate::executor::{initial_state, step, Disposition, ExecEnv, ExecStats, StepResult};
 use crate::hook::{EventHook, NoGuidance};
 use crate::lineage::{Lineage, WorkSnapshot};
@@ -112,6 +113,21 @@ pub struct EngineConfig {
     /// first). Affects scheduling only; trace content is identical for
     /// every seed.
     pub steal_seed: u64,
+    /// Emit source-level cost attribution (`attr.<func>:<line>.<dim>`
+    /// counters): every step, fork, suspension, solver query, solver
+    /// search node, and (wall-clock traces) solver µs is billed to the
+    /// MiniC source line that caused it. Off by default: the hooks add
+    /// per-step bookkeeping and the counter section grows with program
+    /// size.
+    pub attribution: bool,
+    /// Stamp solver queries with provenance (`query` events carrying
+    /// the originating state id, source location, candidate rank, and
+    /// cache disposition). Off by default: query events are the
+    /// highest-frequency event family.
+    pub provenance: bool,
+    /// Statistical candidate rank carried on provenance `query` events
+    /// (1-based; `0` when the run is not a ranked candidate).
+    pub candidate_rank: u32,
 }
 
 impl Default for EngineConfig {
@@ -129,6 +145,9 @@ impl Default for EngineConfig {
             state_workers: 0,
             steal_slice: 2048,
             steal_seed: 0,
+            attribution: false,
+            provenance: false,
+            candidate_rank: 0,
         }
     }
 }
@@ -375,6 +394,16 @@ impl<'m> Engine<'m> {
             },
         );
         let mut last_tick: u64 = 0;
+        // Source-level cost attribution and solver-query provenance.
+        // Both are trace features: without a recorder the per-step
+        // hooks are skipped entirely.
+        let mut attr = StepAttr::new(
+            self.config.attribution && rec.enabled(),
+            self.config.provenance && rec.enabled(),
+        );
+        if self.config.provenance && rec.enabled() {
+            self.solver.set_provenance(self.config.candidate_rank);
+        }
         let mut stats = EngineStats::default();
         let mut sched = build_scheduler(self.config.scheduler);
         let mut suspended: Vec<State> = Vec::new();
@@ -541,10 +570,20 @@ impl<'m> Engine<'m> {
             macro_rules! confirm_model {
                 ($state:expr) => {{
                     let constraints = $state.path.to_vec();
-                    match env
-                        .solver
-                        .check_traced_at(env.ctx, &constraints, rec, "report_model")
-                    {
+                    // The confirmation query runs outside step(), so it
+                    // gets its own pre/post bracket: the solver work is
+                    // billed to (and its provenance stamped with) the
+                    // faulting state's final source location.
+                    let pre = attr
+                        .active()
+                        .then(|| attr.pre_step(env.module, &$state, env.solver, env.stats));
+                    let res =
+                        env.solver
+                            .check_traced_at(env.ctx, &constraints, rec, "report_model");
+                    if let Some(pre) = pre {
+                        attr.post_step(pre, &env.solver.stats(), env.stats);
+                    }
+                    match res {
                         SatResult::Sat(m) => Some(m),
                         _ => None,
                     }
@@ -655,7 +694,14 @@ impl<'m> Engine<'m> {
                             break 'outer LoopEnd::Exhausted(ExhaustionReason::Steps);
                         }
                     }
-                    match step(&mut env, state) {
+                    let pre = attr
+                        .active()
+                        .then(|| attr.pre_step(env.module, &state, env.solver, env.stats));
+                    let res = step(&mut env, state);
+                    if let Some(pre) = pre {
+                        attr.post_step(pre, &env.solver.stats(), env.stats);
+                    }
+                    match res {
                         StepResult::Continue(s) => {
                             state = s;
                             if coverage_mode {
@@ -817,6 +863,7 @@ impl<'m> Engine<'m> {
         stats.solver = self.solver.stats();
 
         rec.tick(stats.exec.steps.saturating_sub(last_tick));
+        attr.flush(self.module, rec);
         record_run_telemetry(rec, &stats, &solver_before, &outcome);
         rec.span_close(run_span);
 
@@ -1635,5 +1682,174 @@ mod tests {
             "peak_memory {} must cover the in-flight 2000-cell heap",
             r.stats.peak_memory
         );
+    }
+
+    // Shared driver for the attribution tests: records a step-clock
+    // trace of a run under `config` and returns (report, trace text).
+    fn attr_run(src: &str, config: EngineConfig) -> (EngineReport, String) {
+        use statsym_telemetry::{Clock, MemRecorder};
+        let p = minic::parse_program(src).unwrap();
+        let m = sir::lower(&p).unwrap();
+        let rec = MemRecorder::new(Clock::steps());
+        let report = {
+            let mut eng = Engine::new(&m, config);
+            eng.set_recorder(&rec);
+            eng.run()
+        };
+        let trace = statsym_telemetry::render_trace(&rec.finish());
+        (report, trace)
+    }
+
+    const ATTR_SRC: &str = r#"
+        fn main() {
+            let b: buf[8];
+            let i: int = input_int("i");
+            let j: int = 0;
+            while (j < 3) { j = j + 1; }
+            buf_set(b, i, 1);
+        }
+    "#;
+
+    #[test]
+    fn attribution_bills_every_step_to_a_source_line() {
+        let cfg = EngineConfig {
+            attribution: true,
+            ..EngineConfig::default()
+        };
+        let (r, trace) = attr_run(ATTR_SRC, cfg);
+        assert!(r.outcome.found().is_some());
+        let events = statsym_telemetry::parse_trace_strict(&trace).expect("strict parse");
+        let mut step_total = 0u64;
+        let mut saw_attr = false;
+        for e in &events {
+            if let statsym_telemetry::TraceEvent::Counter { name, value } = e {
+                let Some(rest) = name.strip_prefix(names::ATTR_PREFIX) else {
+                    continue;
+                };
+                saw_attr = true;
+                let (loc, dim) = rest.rsplit_once('.').expect("attr name has a dim");
+                assert!(
+                    names::ATTR_DIMS.contains(&dim),
+                    "unknown attr dim in {name}"
+                );
+                assert_ne!(dim, "us", "no wall µs under the step clock");
+                assert!(loc.contains(':'), "attr loc {loc} is function:line");
+                if dim == "steps" {
+                    step_total += value;
+                }
+            }
+        }
+        assert!(saw_attr, "attribution counters expected");
+        // Conservation: every executed instruction is billed exactly once.
+        assert_eq!(step_total, r.stats.exec.steps);
+    }
+
+    #[test]
+    fn attribution_and_provenance_default_off_emit_nothing() {
+        let (_, trace) = attr_run(ATTR_SRC, EngineConfig::default());
+        assert!(
+            !trace.contains("\"k\":\"counter\",\"name\":\"attr."),
+            "default traces must be free of attr.* counters"
+        );
+        assert!(
+            !trace.contains("\"k\":\"query\""),
+            "default traces must be free of query events"
+        );
+    }
+
+    #[test]
+    fn provenance_stamps_queries_with_rank_and_location() {
+        let cfg = EngineConfig {
+            provenance: true,
+            candidate_rank: 3,
+            ..EngineConfig::default()
+        };
+        let (_, trace) = attr_run(ATTR_SRC, cfg);
+        let events = statsym_telemetry::parse_trace_strict(&trace).expect("strict parse");
+        let mut saw_query = false;
+        for e in &events {
+            if let statsym_telemetry::TraceEvent::Query {
+                loc, rank, site, ..
+            } = e
+            {
+                saw_query = true;
+                assert_eq!(*rank, 3);
+                assert!(loc.contains(':'), "query loc {loc} is function:line");
+                assert!(!site.is_empty());
+            }
+        }
+        assert!(saw_query, "provenance query events expected");
+    }
+
+    // Two independent symbolic inputs: slicing finds two components.
+    const INDEP_SRC: &str = r#"
+        fn main() {
+            let b: buf[8];
+            let i: int = input_int("i");
+            let k: int = input_int("k");
+            if (i > 2) {
+                if (k > 3) {
+                    buf_set(b, i, 1);
+                }
+            }
+        }
+    "#;
+
+    #[test]
+    fn disabled_solver_features_emit_no_counters() {
+        // Zero-vs-absent: a run with slicing off and no unsat cache
+        // must not mention either counter family at all — its trace is
+        // byte-identical to one from a build that predates the features.
+        let (_, trace) = attr_run(INDEP_SRC, EngineConfig::default());
+        assert!(!trace.contains("solver.indep."), "{trace}");
+        assert!(!trace.contains("solver.ucache."), "{trace}");
+
+        // Slicing on: the indep family appears, ucache stays absent.
+        let mut cfg = EngineConfig::default();
+        cfg.solver.slice = true;
+        let (_, trace) = attr_run(INDEP_SRC, cfg);
+        assert!(
+            trace.contains("\"name\":\"solver.indep.queries\""),
+            "{trace}"
+        );
+        assert!(!trace.contains("solver.ucache."), "{trace}");
+
+        // Unsat cache attached: the ucache family appears (misses at
+        // minimum), indep stays absent with slicing off.
+        use statsym_telemetry::{Clock, MemRecorder};
+        let p = minic::parse_program(INDEP_SRC).unwrap();
+        let m = sir::lower(&p).unwrap();
+        let rec = MemRecorder::new(Clock::steps());
+        {
+            let mut eng = Engine::new(&m, EngineConfig::default());
+            eng.set_unsat_cache(Arc::new(UnsatCache::new(1024)));
+            eng.set_recorder(&rec);
+            eng.run();
+        }
+        let trace = statsym_telemetry::render_trace(&rec.finish());
+        assert!(trace.contains("\"name\":\"solver.ucache."), "{trace}");
+        assert!(!trace.contains("solver.indep."), "{trace}");
+    }
+
+    #[test]
+    fn attribution_is_byte_identical_across_state_worker_counts() {
+        let run = |workers: usize| {
+            let cfg = EngineConfig {
+                attribution: true,
+                provenance: true,
+                candidate_rank: 1,
+                lineage: true,
+                state_workers: workers,
+                ..EngineConfig::default()
+            };
+            attr_run(ATTR_SRC, cfg)
+        };
+        let (r1, t1) = run(1);
+        let (r4, t4) = run(4);
+        assert!(r1.outcome.found().is_some());
+        assert_eq!(r1.stats.exec.steps, r4.stats.exec.steps);
+        assert_eq!(t1, t4, "attr/query trace must not depend on worker count");
+        assert!(t1.contains("\"name\":\"attr."));
+        assert!(t1.contains("\"k\":\"query\""));
     }
 }

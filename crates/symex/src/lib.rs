@@ -36,6 +36,7 @@
 //! # Ok::<(), minic::Error>(())
 //! ```
 
+mod attr;
 pub mod engine;
 mod executor;
 pub mod hook;

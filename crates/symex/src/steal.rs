@@ -46,6 +46,7 @@
 //! states resumed (guidance off) in commit order once the active
 //! frontier drains.
 
+use crate::attr::StepAttr;
 use crate::engine::{
     record_run_telemetry, Engine, EngineReport, EngineStats, ExhaustionReason, RunOutcome,
 };
@@ -225,6 +226,8 @@ struct SegCtx<'a> {
     slice: u64,
     traced: bool,
     lineage_on: bool,
+    attribution: bool,
+    provenance: bool,
     clock_mode: ClockMode,
     suppressed: &'a [(String, minic::Span)],
 }
@@ -358,6 +361,11 @@ fn run_segment(
         Aborted,
     }
 
+    // Per-segment attribution: cells accumulate segment-locally and
+    // flush into the segment's private buffer, folding by counter name
+    // across segments at splice — totals are schedule-independent.
+    let mut attr = StepAttr::new(sc.attribution, sc.provenance);
+
     let outcome = loop {
         if env.stats.steps >= sc.slice {
             break Seg::Paused(state);
@@ -365,7 +373,14 @@ fn run_segment(
         if env.stats.steps.is_multiple_of(1024) && shared.should_abort() {
             break Seg::Aborted;
         }
-        match step(&mut env, state) {
+        let pre = attr
+            .active()
+            .then(|| attr.pre_step(sc.module, &state, env.solver, env.stats));
+        let res = step(&mut env, state);
+        if let Some(pre) = pre {
+            attr.post_step(pre, &env.solver.stats(), env.stats);
+        }
+        match res {
             StepResult::Continue(s) => {
                 state = s;
                 rec.tick(1);
@@ -405,7 +420,7 @@ fn run_segment(
                     env.lineage_event(lineage_op::EXIT, &s, None);
                     SegEnd::Exit
                 } else {
-                    match confirm(&mut env, &s) {
+                    match confirm(&mut env, &mut attr, &s) {
                         Some(model) => {
                             env.lineage_event(lineage_op::FAULT, &s, None);
                             SegEnd::Found {
@@ -467,7 +482,7 @@ fn run_segment(
                                 });
                                 continue;
                             }
-                            match confirm(&mut env, &child.state) {
+                            match confirm(&mut env, &mut attr, &child.state) {
                                 Some(model) => {
                                     env.lineage_event(lineage_op::FAULT, &child.state, None);
                                     recs.push(ChildRec {
@@ -500,6 +515,7 @@ fn run_segment(
         },
     };
 
+    attr.flush(sc.module, rec);
     let locals_used = next_local;
     let record = SegRecord {
         key: key.clone(),
@@ -528,12 +544,20 @@ fn run_segment(
 /// Solves the faulting state's path for a triggering model before
 /// committing to a Found outcome (same contract as the legacy loop's
 /// `confirm_model!`).
-fn confirm(env: &mut ExecEnv<'_>, state: &State) -> Option<Model> {
+fn confirm(env: &mut ExecEnv<'_>, attr: &mut StepAttr, state: &State) -> Option<Model> {
     let constraints = state.path.to_vec();
-    match env
+    // Outside step(): the confirmation query gets its own attribution
+    // bracket, billed to the faulting state's final source location.
+    let pre = attr
+        .active()
+        .then(|| attr.pre_step(env.module, state, env.solver, env.stats));
+    let res = env
         .solver
-        .check_traced_at(env.ctx, &constraints, env.rec, "report_model")
-    {
+        .check_traced_at(env.ctx, &constraints, env.rec, "report_model");
+    if let Some(pre) = pre {
+        attr.post_step(pre, &env.solver.stats(), env.stats);
+    }
+    match res {
         SatResult::Sat(m) => Some(m),
         _ => None,
     }
@@ -1104,6 +1128,12 @@ pub(crate) fn run_steal(eng: &mut Engine<'_>) -> Option<EngineReport> {
     let traced = rec.enabled();
     let lineage_on = config.lineage && rec.enabled();
     let clock_mode = rec.clock_mode();
+    // Provenance rides the solver itself, so enabling it on the
+    // engine's solver *before* the bootstrap/base clones propagates the
+    // flag (and the candidate rank) into every task's private solver.
+    if config.provenance && traced {
+        eng.solver.set_provenance(config.candidate_rank);
+    }
     let suppressed = eng.suppressed.clone();
     let sc = SegCtx {
         module,
@@ -1111,6 +1141,8 @@ pub(crate) fn run_steal(eng: &mut Engine<'_>) -> Option<EngineReport> {
         slice: config.steal_slice.max(1),
         traced,
         lineage_on,
+        attribution: config.attribution && traced,
+        provenance: config.provenance && traced,
         clock_mode,
         suppressed: &suppressed,
     };

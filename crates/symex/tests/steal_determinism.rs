@@ -191,6 +191,38 @@ fn random_fork_trees_are_worker_count_invariant() {
 }
 
 #[test]
+fn attribution_traces_are_worker_count_invariant() {
+    let attr_config = |workers: usize| {
+        let mut c = steal_config(workers, 16, 0);
+        c.attribution = true;
+        c.provenance = true;
+        c.candidate_rank = 2;
+        c
+    };
+    let mut saw_query = false;
+    for seed in 0..6u64 {
+        let src = gen_program(seed);
+        let module = sir::lower(&minic::parse_program(&src).unwrap()).unwrap();
+        let (base_trace, _) = traced_run(&module, attr_config(1), None);
+        // Attribution bills every executed step, so the counters are
+        // present for any program; query events need a solver call.
+        assert!(
+            base_trace.contains("\"name\":\"attr."),
+            "seed {seed}: attr.* counters expected\n{src}"
+        );
+        saw_query |= base_trace.contains("\"k\":\"query\"");
+        for workers in [2usize, 4, 8] {
+            let (trace, _) = traced_run(&module, attr_config(workers), None);
+            assert_eq!(
+                trace, base_trace,
+                "attr/query trace diverged at {workers} workers (seed {seed})\n{src}"
+            );
+        }
+    }
+    assert!(saw_query, "no generated program issued a solver query");
+}
+
+#[test]
 fn steal_seed_never_changes_the_trace() {
     let src = gen_program(3);
     let module = sir::lower(&minic::parse_program(&src).unwrap()).unwrap();

@@ -192,6 +192,37 @@ pub enum TraceEvent {
         /// the deterministic step clock).
         sus: u64,
     },
+    /// Provenance of one solver query: which state asked, from which
+    /// source location, under which candidate rank, and how the layered
+    /// caches disposed of it. Emitted by the solver dispatch layer when
+    /// provenance recording is enabled.
+    ///
+    /// `sid` is engine- or segment-local (stable for a deterministic
+    /// schedule but *not* remapped on buffer merges, unlike lineage
+    /// state ids): it identifies the asking state within its enclosing
+    /// attempt, not across the whole trace.
+    Query {
+        /// Emission tick.
+        t: u64,
+        /// Engine/segment-local id of the state that issued the query.
+        sid: u64,
+        /// Source location (`function:line`) of the instruction that
+        /// triggered the query.
+        loc: String,
+        /// Candidate rank of the enclosing attempt.
+        rank: u64,
+        /// Solver callsite (`feasibility`, `fault_model`, …).
+        site: String,
+        /// Verdict, one of [`query_disposition::VERDICTS`].
+        verdict: String,
+        /// Cache disposition, one of [`query_disposition::ALL`].
+        cache: String,
+        /// Solver search-tree nodes this query visited.
+        nodes: u64,
+        /// Wall µs this query took (0 under the deterministic step
+        /// clock).
+        us: u64,
+    },
 }
 
 /// The operation vocabulary of [`TraceEvent::State`], kept in one place
@@ -249,6 +280,46 @@ pub mod lineage_op {
     }
 }
 
+/// The cache-disposition and verdict vocabulary of
+/// [`TraceEvent::Query`], kept in one place so the solver emitter, the
+/// strict parser, and `statsym-inspect explain` cannot drift.
+pub mod query_disposition {
+    /// Trivially satisfiable: the constraint set was empty.
+    pub const EMPTY: &str = "empty";
+    /// Answered by the solver's private per-engine query cache.
+    pub const PRIVATE: &str = "private";
+    /// Answered by an unsat-cache *subset* hit (a cached unsat core is
+    /// contained in this query).
+    pub const UCACHE_SUB: &str = "ucache.sub";
+    /// Answered by an unsat-cache *superset* hit (a cached sat model
+    /// verified against this query).
+    pub const UCACHE_SUP: &str = "ucache.sup";
+    /// Answered by the cross-worker shared cache.
+    pub const SHARED: &str = "shared";
+    /// Solved by independence slicing into ≥ 2 components.
+    pub const SLICED: &str = "sliced";
+    /// Solved by a full constraint-graph search (every cache missed).
+    pub const SEARCH: &str = "search";
+
+    /// Every known disposition, cheapest first.
+    pub const ALL: &[&str] = &[
+        EMPTY, PRIVATE, UCACHE_SUB, UCACHE_SUP, SHARED, SLICED, SEARCH,
+    ];
+
+    /// Every known verdict.
+    pub const VERDICTS: &[&str] = &["sat", "unsat", "unknown"];
+
+    /// Whether `cache` is a known disposition.
+    pub fn is_known(cache: &str) -> bool {
+        ALL.contains(&cache)
+    }
+
+    /// Whether `verdict` is a known verdict.
+    pub fn is_verdict(verdict: &str) -> bool {
+        VERDICTS.contains(&verdict)
+    }
+}
+
 /// A trace parsing failure: the offending line (1-based) and reason.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
@@ -270,7 +341,10 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-pub(crate) fn push_json_str(out: &mut String, s: &str) {
+/// Appends `s` to `out` as a JSON string literal, escaping quotes,
+/// backslashes, and control characters. Shared by every canonical JSON
+/// renderer in the workspace so escaping cannot drift.
+pub fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
         match ch {
@@ -382,6 +456,29 @@ impl TraceEvent {
                     ",\"hops\":{hops},\"depth\":{depth},\"steps\":{steps},\
                      \"snodes\":{snodes},\"sus\":{sus}}}"
                 ));
+            }
+            TraceEvent::Query {
+                t,
+                sid,
+                loc,
+                rank,
+                site,
+                verdict,
+                cache,
+                nodes,
+                us,
+            } => {
+                s.push_str(&format!(
+                    "{{\"k\":\"query\",\"t\":{t},\"sid\":{sid},\"loc\":"
+                ));
+                push_json_str(&mut s, loc);
+                s.push_str(&format!(",\"rank\":{rank},\"site\":"));
+                push_json_str(&mut s, site);
+                s.push_str(",\"verdict\":");
+                push_json_str(&mut s, verdict);
+                s.push_str(",\"cache\":");
+                push_json_str(&mut s, cache);
+                s.push_str(&format!(",\"nodes\":{nodes},\"us\":{us}}}"));
             }
         }
         s
@@ -506,6 +603,17 @@ impl TraceEvent {
                 snodes: get_u64("snodes")?,
                 sus: get_u64("sus")?,
             }),
+            "query" => Ok(TraceEvent::Query {
+                t: get_u64("t")?,
+                sid: get_u64("sid")?,
+                loc: get_str("loc")?,
+                rank: get_u64("rank")?,
+                site: get_str("site")?,
+                verdict: get_str("verdict")?,
+                cache: get_str("cache")?,
+                nodes: get_u64("nodes")?,
+                us: get_u64("us")?,
+            }),
             other => Err(err(&format!("unknown event kind `{other}`"))),
         }
     }
@@ -541,7 +649,10 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
 /// introduced (`root`/`fork`) before any later transition references
 /// them, roots have parent 0, and forks name an already-introduced
 /// parent — so every lineage event's `par` precedes it and the events
-/// form a forest of per-run trees. Use this for untrusted input —
+/// form a forest of per-run trees. Solver-query provenance events are
+/// validated against the [`query_disposition`] vocabulary (known
+/// verdict, known cache disposition, non-empty site). Use this for
+/// untrusted input —
 /// `statsym-inspect` runs it on every file — where a skewed span tree
 /// would otherwise produce a silently wrong `TraceSummary`.
 ///
@@ -661,6 +772,22 @@ fn parse_strict_inner(
                         lineno,
                         format!("lineage op `{op}` for unintroduced state id {id}"),
                     );
+                }
+            }
+            TraceEvent::Query {
+                site,
+                verdict,
+                cache,
+                ..
+            } => {
+                if site.is_empty() {
+                    return fail(lineno, "query event with empty site".to_string());
+                }
+                if !query_disposition::is_verdict(verdict) {
+                    return fail(lineno, format!("unknown query verdict `{verdict}`"));
+                }
+                if !query_disposition::is_known(cache) {
+                    return fail(lineno, format!("unknown query cache disposition `{cache}`"));
                 }
             }
             _ => {}
@@ -1005,6 +1132,17 @@ mod tests {
             snodes: 12,
             sus: 0,
         });
+        roundtrip(TraceEvent::Query {
+            t: 19,
+            sid: 3,
+            loc: "main:12".into(),
+            rank: 2,
+            site: "feasibility".into(),
+            verdict: "unsat".into(),
+            cache: query_disposition::UCACHE_SUB.into(),
+            nodes: 44,
+            us: 0,
+        });
     }
 
     fn state_line(op: &str, id: u64, par: u64) -> String {
@@ -1056,6 +1194,53 @@ mod tests {
         // Reserved id 0.
         let err = parse_trace_strict(&state_line(lineage_op::ROOT, 0, 0)).unwrap_err();
         assert!(err.reason.contains("reserved id 0"), "{err}");
+    }
+
+    fn query_line(site: &str, verdict: &str, cache: &str) -> String {
+        TraceEvent::Query {
+            t: 0,
+            sid: 1,
+            loc: "f:3".into(),
+            rank: 0,
+            site: site.into(),
+            verdict: verdict.into(),
+            cache: cache.into(),
+            nodes: 2,
+            us: 0,
+        }
+        .to_json_line()
+            + "\n"
+    }
+
+    #[test]
+    fn strict_parse_accepts_well_formed_queries() {
+        let mut text = String::new();
+        for cache in query_disposition::ALL {
+            for verdict in query_disposition::VERDICTS {
+                text.push_str(&query_line("feasibility", verdict, cache));
+            }
+        }
+        let n = query_disposition::ALL.len() * query_disposition::VERDICTS.len();
+        assert_eq!(parse_trace_strict(&text).unwrap().len(), n);
+    }
+
+    #[test]
+    fn strict_parse_rejects_malformed_provenance() {
+        // Unknown verdict.
+        let err = parse_trace_strict(&query_line("feasibility", "maybe", "search")).unwrap_err();
+        assert!(err.reason.contains("unknown query verdict"), "{err}");
+        // Unknown cache disposition.
+        let err = parse_trace_strict(&query_line("feasibility", "sat", "psychic")).unwrap_err();
+        assert!(err.reason.contains("cache disposition"), "{err}");
+        // Empty callsite.
+        let err = parse_trace_strict(&query_line("", "sat", "search")).unwrap_err();
+        assert!(err.reason.contains("empty site"), "{err}");
+        // Missing key entirely.
+        assert!(TraceEvent::parse_line(
+            "{\"k\":\"query\",\"t\":0,\"sid\":1,\"loc\":\"f:3\",\"rank\":0,\"site\":\"s\",\
+             \"verdict\":\"sat\",\"cache\":\"search\",\"nodes\":2}"
+        )
+        .is_err());
     }
 
     #[test]

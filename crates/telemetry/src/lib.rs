@@ -28,15 +28,15 @@ mod stream;
 
 pub use clock::{Clock, ClockMode};
 pub use event::{
-    lineage_op, parse_trace, parse_trace_strict, parse_trace_truncated, render_trace, FieldValue,
-    ParseError, SpanId, TraceEvent,
+    lineage_op, parse_trace, parse_trace_strict, parse_trace_truncated, push_json_str,
+    query_disposition, render_trace, FieldValue, ParseError, SpanId, TraceEvent,
 };
 pub use metrics::{bucket_of, Hist, Metrics, HIST_BUCKETS};
 pub use recorder::{
-    BufferedRecorder, FileRecorder, LineageEvent, MemRecorder, NoopRecorder, Recorder, SharedBuf,
-    Span, TraceBuffer, NOOP, TRACE_VERSION,
+    BufferedRecorder, FileRecorder, LineageEvent, MemRecorder, NoopRecorder, QueryEvent, Recorder,
+    SharedBuf, Span, TraceBuffer, NOOP, TRACE_VERSION,
 };
-pub use report::{HistStat, SpanStat, SummaryBuilder, TraceSummary};
+pub use report::{CalibCandidate, HistStat, SpanStat, SummaryBuilder, TraceSummary};
 pub use stream::{
     EventSink, FanoutRecorder, FileSink, MemSink, SharedEvents, StreamFrame, StreamSink,
     STREAM_QUEUE_CAPACITY,
@@ -223,4 +223,31 @@ pub mod names {
     pub const BUDGET_WALL_MS_USED: &str = "budget.wall_ms_used";
     /// Counter: runs that ended because a resource budget tripped.
     pub const BUDGET_EXCEEDED: &str = "budget.exceeded";
+
+    /// Prefix for source-level cost attribution counters: with
+    /// `EngineConfig.attribution` on, both executors bill every step,
+    /// fork, suspension, and solver query to the MiniC source line that
+    /// caused it and emit `attr.<function>:<line>.<dim>` counters, where
+    /// `<dim>` is one of `steps`, `forks`, `suspends`, `queries`,
+    /// `nodes`, or (wall-clock traces only) `us`. Counters fold by name
+    /// across worker-buffer merges, so totals are byte-identical at any
+    /// portfolio/state-worker count. `statsym-inspect hotspots` renders
+    /// them as the per-line cost table.
+    pub const ATTR_PREFIX: &str = "attr.";
+    /// Attribution dimension suffixes, in the column order viewers and
+    /// the JSON report print them.
+    pub const ATTR_DIMS: [&str; 6] = ["steps", "forks", "suspends", "queries", "nodes", "us"];
+    /// Event: one per-candidate ranking-calibration record (fields:
+    /// `rank`, `score_milli`, `path_len`, `steps`, `forks`, `snodes`,
+    /// `found`, plus `solver_us` under a wall clock).
+    pub const CALIB_CANDIDATE: &str = "calib.candidate";
+    /// Gauge: rank of the winning candidate (max-folded across runs in
+    /// one trace).
+    pub const CALIB_WINNER_RANK: &str = "calib.winner_rank";
+    /// Gauge: Spearman rank-vs-cost correlation in per-mille (−1000 ..
+    /// 1000) between predicted candidate rank and actual attempt cost;
+    /// only emitted for runs with ≥ 2 attempts. Max-folded across runs;
+    /// `statsym-inspect calib` recomputes per-run values from the
+    /// `calib.candidate` events when gating.
+    pub const CALIB_RANK_COST_CORR: &str = "calib.rank_cost_corr_milli";
 }

@@ -51,6 +51,31 @@ pub struct LineageEvent<'a> {
     pub solver_us: u64,
 }
 
+/// Provenance of one solver query, handed to [`Recorder::query`] by the
+/// solver dispatch layer. The recorder stamps the clock tick and (under
+/// a deterministic clock) zeroes `us`, exactly as it zeroes
+/// [`LineageEvent::solver_us`] — so step-clock traces stay
+/// byte-reproducible.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryEvent<'a> {
+    /// Engine/segment-local id of the state that issued the query.
+    pub sid: u64,
+    /// Source location (`function:line`) of the triggering instruction.
+    pub loc: &'a str,
+    /// Candidate rank of the enclosing attempt.
+    pub rank: u32,
+    /// Solver callsite (`feasibility`, `fault_model`, …).
+    pub site: &'a str,
+    /// Verdict, one of [`crate::query_disposition::VERDICTS`].
+    pub verdict: &'a str,
+    /// Cache disposition, one of [`crate::query_disposition::ALL`].
+    pub cache: &'a str,
+    /// Solver search-tree nodes this query visited.
+    pub nodes: u64,
+    /// Wall-clock µs this query took.
+    pub us: u64,
+}
+
 /// The instrumentation sink threaded through the pipeline.
 pub trait Recorder {
     /// False for the no-op recorder: callers may skip building event
@@ -97,6 +122,13 @@ pub trait Recorder {
     /// flushes its writer so a growing trace is tailable mid-run
     /// (`statsym-inspect watch`). Default no-op.
     fn state(&self, ev: &LineageEvent<'_>) {
+        let _ = ev;
+    }
+
+    /// Emits a solver-query provenance event. Unlike [`Recorder::state`]
+    /// no writer flush is hinted — queries are far too frequent for
+    /// per-event flushing. Default no-op.
+    fn query(&self, ev: &QueryEvent<'_>) {
         let _ = ev;
     }
 
@@ -194,6 +226,26 @@ impl SinkCore {
                 0
             } else {
                 ev.solver_us
+            },
+        }
+    }
+
+    pub(crate) fn query_event(&self, ev: &QueryEvent<'_>) -> TraceEvent {
+        TraceEvent::Query {
+            t: self.clock.now(),
+            sid: ev.sid,
+            loc: ev.loc.to_string(),
+            rank: ev.rank as u64,
+            site: ev.site.to_string(),
+            verdict: ev.verdict.to_string(),
+            cache: ev.cache.to_string(),
+            nodes: ev.nodes,
+            // Wall-measured query time cannot round-trip under the
+            // deterministic step clock; zero it like observe_wall does.
+            us: if self.clock.is_deterministic() {
+                0
+            } else {
+                ev.us
             },
         }
     }
@@ -319,6 +371,35 @@ impl SinkCore {
                     steps: *steps,
                     snodes: *snodes,
                     sus: *sus,
+                },
+                // Query provenance: only the timestamp is rewritten.
+                // `sid` is deliberately NOT remapped — it is engine/
+                // segment-local by design (queries outnumber lineage
+                // events by orders of magnitude, and a dense global
+                // remap would force every worker query through the
+                // state-id allocator). Names are not renamed either:
+                // attribution to an overshoot attempt comes from stream
+                // position inside its prefixed span, like lineage.
+                TraceEvent::Query {
+                    t,
+                    sid,
+                    loc,
+                    rank,
+                    site,
+                    verdict,
+                    cache,
+                    nodes,
+                    us,
+                } => TraceEvent::Query {
+                    t: t + offset,
+                    sid: *sid,
+                    loc: loc.clone(),
+                    rank: *rank,
+                    site: site.clone(),
+                    verdict: verdict.clone(),
+                    cache: cache.clone(),
+                    nodes: *nodes,
+                    us: *us,
                 },
                 // Buffers carry metrics out of band, never inline.
                 other => other.clone(),
@@ -462,6 +543,11 @@ impl Recorder for BufferedRecorder {
         self.events.borrow_mut().push(ev);
     }
 
+    fn query(&self, ev: &QueryEvent<'_>) {
+        let ev = self.core.query_event(ev);
+        self.events.borrow_mut().push(ev);
+    }
+
     fn clock_mode(&self) -> ClockMode {
         self.core.clock.mode()
     }
@@ -561,6 +647,11 @@ impl Recorder for MemRecorder {
         self.events.borrow_mut().push(ev);
     }
 
+    fn query(&self, ev: &QueryEvent<'_>) {
+        let ev = self.core.query_event(ev);
+        self.events.borrow_mut().push(ev);
+    }
+
     fn clock_mode(&self) -> ClockMode {
         self.core.clock.mode()
     }
@@ -655,6 +746,10 @@ impl Recorder for FileRecorder {
 
     fn state(&self, ev: &LineageEvent<'_>) {
         self.inner.state(ev);
+    }
+
+    fn query(&self, ev: &QueryEvent<'_>) {
+        self.inner.query(ev);
     }
 
     fn clock_mode(&self) -> ClockMode {
@@ -1050,6 +1145,82 @@ mod tests {
         merged.merge_buffer(&w.finish(), None);
 
         assert_eq!(inline.finish(), merged.finish());
+    }
+
+    fn query_ev(us: u64) -> QueryEvent<'static> {
+        QueryEvent {
+            sid: 3,
+            loc: "main:7",
+            rank: 1,
+            site: "feasibility",
+            verdict: "sat",
+            cache: "search",
+            nodes: 12,
+            us,
+        }
+    }
+
+    #[test]
+    fn query_us_is_zeroed_under_steps_clock_and_kept_under_wall() {
+        let det = MemRecorder::new(Clock::steps());
+        det.tick(5);
+        det.query(&query_ev(999));
+        let events = det.finish();
+        assert!(matches!(
+            &events[1],
+            TraceEvent::Query {
+                t: 5,
+                sid: 3,
+                rank: 1,
+                us: 0,
+                nodes: 12,
+                ..
+            }
+        ));
+
+        let wall = MemRecorder::new(Clock::wall());
+        wall.query(&query_ev(999));
+        let events = wall.finish();
+        assert!(matches!(&events[1], TraceEvent::Query { us: 999, .. }));
+    }
+
+    #[test]
+    fn merged_query_events_match_inline_recording() {
+        let inline = MemRecorder::new(Clock::steps());
+        let root = inline.span_open("portfolio");
+        let s = inline.span_open("candidate.attempt");
+        inline.tick(4);
+        inline.query(&query_ev(0));
+        inline.span_close(s);
+        inline.span_close(root);
+
+        let merged = MemRecorder::new(Clock::steps());
+        let root = merged.span_open("portfolio");
+        let w = BufferedRecorder::new(merged.clock_mode());
+        let s = w.span_open("candidate.attempt");
+        w.tick(4);
+        w.query(&query_ev(0));
+        w.span_close(s);
+        merged.merge_buffer(&w.finish(), None);
+        merged.span_close(root);
+
+        assert_eq!(inline.finish(), merged.finish());
+    }
+
+    #[test]
+    fn merge_offsets_query_time_but_not_sid() {
+        let rec = MemRecorder::new(Clock::steps());
+        rec.tick(100);
+        let w = BufferedRecorder::new(ClockMode::Steps);
+        w.tick(4);
+        w.query(&query_ev(0));
+        rec.merge_buffer(&w.finish(), Some("portfolio.overshoot."));
+        let events = rec.finish();
+        // t offset by the merge point; sid untouched; no rename.
+        assert!(matches!(
+            &events[1],
+            TraceEvent::Query { t: 104, sid: 3, .. }
+        ));
     }
 
     #[test]

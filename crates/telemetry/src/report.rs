@@ -7,9 +7,10 @@
 //! order, metrics in the sorted order the registry dumped them in, and
 //! all numbers are integers.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::event::{push_json_str, TraceEvent};
+use crate::names;
 
 /// Aggregated statistics for one span name.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,6 +88,56 @@ impl HistStat {
     }
 }
 
+/// One `calib.candidate` record: the ranking's prediction for a
+/// candidate next to what the attempt actually cost.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CalibCandidate {
+    /// Candidate rank (0 = ranked first).
+    pub rank: u64,
+    /// Statistical score in milli-units (`score * 1000`, truncated).
+    pub score_milli: i64,
+    /// Candidate path length in branches.
+    pub path_len: u64,
+    /// Executor steps the attempt spent.
+    pub steps: u64,
+    /// Forks the attempt spent.
+    pub forks: u64,
+    /// Solver search-tree nodes the attempt spent.
+    pub snodes: u64,
+    /// Solver wall-µs the attempt spent (0 under the step clock).
+    pub solver_us: u64,
+    /// Whether the attempt reached the vulnerability.
+    pub found: bool,
+}
+
+impl CalibCandidate {
+    /// Parses a [`TraceEvent::Event`] field list into a record. Missing
+    /// or non-numeric fields default to zero, so partial records from
+    /// older traces still summarize.
+    pub fn from_fields(fields: &[(String, crate::event::FieldValue)]) -> CalibCandidate {
+        let mut c = CalibCandidate::default();
+        for (k, v) in fields {
+            match k.as_str() {
+                "rank" => c.rank = v.as_u64().unwrap_or(0),
+                "score_milli" => c.score_milli = v.as_i64().unwrap_or(0),
+                "path_len" => c.path_len = v.as_u64().unwrap_or(0),
+                "steps" => c.steps = v.as_u64().unwrap_or(0),
+                "forks" => c.forks = v.as_u64().unwrap_or(0),
+                "snodes" => c.snodes = v.as_u64().unwrap_or(0),
+                "solver_us" => c.solver_us = v.as_u64().unwrap_or(0),
+                "found" => c.found = v.as_u64().unwrap_or(0) != 0,
+                _ => {}
+            }
+        }
+        c
+    }
+}
+
+/// `(site, verdict, cache)` key of one query-provenance rollup row.
+pub type QueryKey = (String, String, String);
+/// `(count, nodes, us)` totals of one query-provenance rollup row.
+pub type QueryTotals = (u64, u64, u64);
+
 /// A digest of one trace, ready to render.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceSummary {
@@ -103,6 +154,11 @@ pub struct TraceSummary {
     pub hists: Vec<HistStat>,
     /// Point events grouped by name, in first-seen order.
     pub event_counts: Vec<(String, u64)>,
+    /// Solver-query provenance rollup: `(site, verdict, cache)` ->
+    /// `(count, nodes, us)`, in first-seen order.
+    pub query_stats: Vec<(QueryKey, QueryTotals)>,
+    /// Per-candidate calibration records in trace order.
+    pub calib: Vec<CalibCandidate>,
 }
 
 /// Incremental [`TraceSummary`] construction: feed events one at a time
@@ -117,6 +173,7 @@ pub struct SummaryBuilder {
     depth_of: HashMap<u64, usize>,
     name_index: HashMap<String, usize>,
     event_index: HashMap<String, usize>,
+    query_index: HashMap<QueryKey, usize>,
 }
 
 impl SummaryBuilder {
@@ -159,12 +216,15 @@ impl SummaryBuilder {
                     summary.spans[idx].total_ticks += t.saturating_sub(opened);
                 }
             }
-            TraceEvent::Event { name, .. } => {
+            TraceEvent::Event { name, fields, .. } => {
                 let idx = *self.event_index.entry(name.clone()).or_insert_with(|| {
                     summary.event_counts.push((name.clone(), 0));
                     summary.event_counts.len() - 1
                 });
                 summary.event_counts[idx].1 += 1;
+                if name == names::CALIB_CANDIDATE {
+                    summary.calib.push(CalibCandidate::from_fields(fields));
+                }
             }
             TraceEvent::Counter { name, value } => {
                 summary.counters.push((name.clone(), *value));
@@ -186,6 +246,24 @@ impl SummaryBuilder {
                 });
             }
             TraceEvent::State { .. } => {}
+            TraceEvent::Query {
+                site,
+                verdict,
+                cache,
+                nodes,
+                us,
+                ..
+            } => {
+                let key = (site.clone(), verdict.clone(), cache.clone());
+                let idx = *self.query_index.entry(key.clone()).or_insert_with(|| {
+                    summary.query_stats.push((key, (0, 0, 0)));
+                    summary.query_stats.len() - 1
+                });
+                let (count, total_nodes, total_us) = &mut summary.query_stats[idx].1;
+                *count += 1;
+                *total_nodes += nodes;
+                *total_us += us;
+            }
         }
     }
 
@@ -237,6 +315,29 @@ impl TraceSummary {
     /// Final value of the named gauge.
     pub fn gauge(&self, name: &str) -> Option<i64> {
         self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Per-source-line attribution totals derived from the `attr.*`
+    /// counter family: `loc -> [steps, forks, suspends, queries, nodes,
+    /// us]` (the [`names::ATTR_DIMS`] order), sorted by location.
+    /// Counters under a merge rename prefix (overshoot workers) do not
+    /// start with `attr.` and are excluded, so the map reflects the
+    /// canonical winner-ordered totals.
+    pub fn attr_locs(&self) -> BTreeMap<String, [u64; 6]> {
+        let mut locs: BTreeMap<String, [u64; 6]> = BTreeMap::new();
+        for (name, v) in &self.counters {
+            let Some(rest) = name.strip_prefix(names::ATTR_PREFIX) else {
+                continue;
+            };
+            let Some((loc, dim)) = rest.rsplit_once('.') else {
+                continue;
+            };
+            let Some(idx) = names::ATTR_DIMS.iter().position(|d| *d == dim) else {
+                continue;
+            };
+            locs.entry(loc.to_string()).or_default()[idx] += *v;
+        }
+        locs
     }
 
     /// Renders the Table II/III-style run report.
@@ -308,6 +409,39 @@ impl TraceSummary {
                 out.push_str(&format!("  {name:<32}  {n:>12}\n"));
             }
         }
+
+        if !self.query_stats.is_empty() {
+            out.push_str("\nsolver queries (site / verdict / cache):\n");
+            let mut rows: Vec<_> = self.query_stats.iter().collect();
+            rows.sort_by(|a, b| a.0.cmp(&b.0));
+            for ((site, verdict, cache), (count, nodes, us)) in rows {
+                let key = format!("{site} / {verdict} / {cache}");
+                out.push_str(&format!(
+                    "  {key:<36}  n {count:>8}  nodes {nodes:>10}  us {us:>10}\n"
+                ));
+            }
+        }
+
+        if !self.calib.is_empty() {
+            out.push_str("\ncalibration (predicted vs actual):\n");
+            out.push_str(&format!(
+                "  {:>4}  {:>11}  {:>8}  {:>10}  {:>8}  {:>10}  {:>10}  {:>5}\n",
+                "rank", "score_milli", "path_len", "steps", "forks", "snodes", "solver_us", "found"
+            ));
+            for c in &self.calib {
+                out.push_str(&format!(
+                    "  {:>4}  {:>11}  {:>8}  {:>10}  {:>8}  {:>10}  {:>10}  {:>5}\n",
+                    c.rank,
+                    c.score_milli,
+                    c.path_len,
+                    c.steps,
+                    c.forks,
+                    c.snodes,
+                    c.solver_us,
+                    if c.found { "yes" } else { "no" }
+                ));
+            }
+        }
         out
     }
 
@@ -373,6 +507,64 @@ impl TraceSummary {
             }
             push_json_str(&mut s, name);
             s.push_str(&format!(":{n}"));
+        }
+        s.push_str("},\"attribution\":{");
+        for (i, (loc, d)) in self.attr_locs().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_json_str(&mut s, loc);
+            s.push(':');
+            s.push('{');
+            for (j, dim) in names::ATTR_DIMS.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("\"{dim}\":{}", d[j]));
+            }
+            s.push('}');
+        }
+        s.push_str("},\"queries\":[");
+        let mut rows: Vec<_> = self.query_stats.iter().collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        for (i, ((site, verdict, cache), (count, nodes, us))) in rows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"site\":");
+            push_json_str(&mut s, site);
+            s.push_str(",\"verdict\":");
+            push_json_str(&mut s, verdict);
+            s.push_str(",\"cache\":");
+            push_json_str(&mut s, cache);
+            s.push_str(&format!(
+                ",\"count\":{count},\"nodes\":{nodes},\"us\":{us}}}"
+            ));
+        }
+        s.push_str("],\"calibration\":{\"candidates\":[");
+        for (i, c) in self.calib.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"rank\":{},\"score_milli\":{},\"path_len\":{},\"steps\":{},\
+                 \"forks\":{},\"snodes\":{},\"solver_us\":{},\"found\":{}}}",
+                c.rank,
+                c.score_milli,
+                c.path_len,
+                c.steps,
+                c.forks,
+                c.snodes,
+                c.solver_us,
+                u64::from(c.found)
+            ));
+        }
+        s.push(']');
+        if let Some(w) = self.gauge(names::CALIB_WINNER_RANK) {
+            s.push_str(&format!(",\"winner_rank\":{w}"));
+        }
+        if let Some(corr) = self.gauge(names::CALIB_RANK_COST_CORR) {
+            s.push_str(&format!(",\"corr_milli\":{corr}"));
         }
         s.push_str("}}");
         s
@@ -498,8 +690,121 @@ mod tests {
             "{\"name\":\"solver.query_us\",\"count\":2,\"sum\":9,\"mean\":4,\
              \"p50\":3,\"p90\":7,\"p99\":7}"
         ));
+        // New sections are always present, empty when the trace carries
+        // no attribution/provenance/calibration data.
+        assert!(
+            a.ends_with("\"attribution\":{},\"queries\":[],\"calibration\":{\"candidates\":[]}}")
+        );
         // It is valid JSON by our own strict reader.
         crate::event::json::parse(&a).unwrap();
+    }
+
+    #[test]
+    fn summary_folds_attribution_queries_and_calibration() {
+        let mut events = sample_events();
+        events.push(TraceEvent::Counter {
+            name: "attr.convert:7.steps".into(),
+            value: 40,
+        });
+        events.push(TraceEvent::Counter {
+            name: "attr.convert:7.nodes".into(),
+            value: 9,
+        });
+        events.push(TraceEvent::Counter {
+            name: "attr.main:2.steps".into(),
+            value: 3,
+        });
+        // A renamed (overshoot) counter must not pollute the canonical map.
+        events.push(TraceEvent::Counter {
+            name: "o1.attr.main:2.steps".into(),
+            value: 99,
+        });
+        events.push(TraceEvent::Query {
+            t: 5,
+            sid: 1,
+            loc: "convert:7".into(),
+            rank: 0,
+            site: "feasibility".into(),
+            verdict: "sat".into(),
+            cache: "search".into(),
+            nodes: 6,
+            us: 0,
+        });
+        events.push(TraceEvent::Query {
+            t: 6,
+            sid: 1,
+            loc: "convert:7".into(),
+            rank: 0,
+            site: "feasibility".into(),
+            verdict: "sat".into(),
+            cache: "search".into(),
+            nodes: 3,
+            us: 0,
+        });
+        events.push(TraceEvent::Event {
+            t: 7,
+            name: "calib.candidate".into(),
+            fields: vec![
+                ("rank".into(), FieldValue::Uint(1)),
+                ("score_milli".into(), FieldValue::Uint(4250)),
+                ("path_len".into(), FieldValue::Uint(3)),
+                ("steps".into(), FieldValue::Uint(120)),
+                ("forks".into(), FieldValue::Uint(2)),
+                ("snodes".into(), FieldValue::Uint(9)),
+                ("found".into(), FieldValue::Uint(1)),
+            ],
+        });
+        events.push(TraceEvent::Gauge {
+            name: "calib.winner_rank".into(),
+            value: 1,
+        });
+        events.push(TraceEvent::Gauge {
+            name: "calib.rank_cost_corr_milli".into(),
+            value: -500,
+        });
+
+        let s = TraceSummary::from_events(&events);
+        let locs = s.attr_locs();
+        assert_eq!(locs["convert:7"], [40, 0, 0, 0, 9, 0]);
+        assert_eq!(locs["main:2"], [3, 0, 0, 0, 0, 0]);
+        assert_eq!(locs.len(), 2);
+        assert_eq!(
+            s.query_stats,
+            vec![(
+                (
+                    "feasibility".to_string(),
+                    "sat".to_string(),
+                    "search".to_string()
+                ),
+                (2, 9, 0)
+            )]
+        );
+        assert_eq!(s.calib.len(), 1);
+        assert_eq!(s.calib[0].rank, 1);
+        assert_eq!(s.calib[0].score_milli, 4250);
+        assert!(s.calib[0].found);
+        assert_eq!(s.calib[0].solver_us, 0);
+
+        let json = s.render_json();
+        assert!(json.contains(
+            "\"attribution\":{\"convert:7\":{\"steps\":40,\"forks\":0,\"suspends\":0,\
+             \"queries\":0,\"nodes\":9,\"us\":0},\"main:2\":{\"steps\":3,"
+        ));
+        assert!(json.contains(
+            "\"queries\":[{\"site\":\"feasibility\",\"verdict\":\"sat\",\
+             \"cache\":\"search\",\"count\":2,\"nodes\":9,\"us\":0}]"
+        ));
+        assert!(json.contains(
+            "\"calibration\":{\"candidates\":[{\"rank\":1,\"score_milli\":4250,\
+             \"path_len\":3,\"steps\":120,\"forks\":2,\"snodes\":9,\"solver_us\":0,\
+             \"found\":1}],\"winner_rank\":1,\"corr_milli\":-500}"
+        ));
+        crate::event::json::parse(&json).unwrap();
+
+        let text = s.render();
+        assert!(text.contains("solver queries (site / verdict / cache):"));
+        assert!(text.contains("feasibility / sat / search"));
+        assert!(text.contains("calibration (predicted vs actual):"));
     }
 
     #[test]

@@ -52,7 +52,7 @@ use std::time::Duration;
 use crate::clock::{Clock, ClockMode};
 use crate::event::{json, push_json_str, FieldValue, SpanId, TraceEvent};
 use crate::metrics::Metrics;
-use crate::recorder::{LineageEvent, Recorder, SinkCore, TraceBuffer, TRACE_VERSION};
+use crate::recorder::{LineageEvent, QueryEvent, Recorder, SinkCore, TraceBuffer, TRACE_VERSION};
 
 /// Counter materialized at trace end when (and only when) a
 /// [`StreamSink`] dropped events under backpressure. Zero-drop runs
@@ -522,6 +522,14 @@ impl Recorder for FanoutRecorder {
         for sink in self.sinks.borrow_mut().iter_mut() {
             sink.flush_hint();
         }
+    }
+
+    fn query(&self, ev: &QueryEvent<'_>) {
+        // No flush hint: queries are far too frequent for per-event
+        // flushing; a tailing consumer catches up at the next lineage
+        // event or at finish().
+        let ev = self.core.query_event(ev);
+        self.broadcast(&ev);
     }
 
     fn clock_mode(&self) -> ClockMode {

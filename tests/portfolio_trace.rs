@@ -292,6 +292,127 @@ fn inspect_summary_reconciles_with_portfolio_report() {
     assert_eq!(s.counter(names::PORTFOLIO_CACHE_MISSES), 0);
 }
 
+/// The schedule-independent attribution/calibration projection of a
+/// trace: canonical `attr.*` totals, canonical calibration records and
+/// gauges, and the winner attempt's query provenance stripped of
+/// timestamps (splice offsets shift `t`; everything else is pinned).
+type AttrProjection = (
+    Vec<(String, [u64; 6])>,
+    Vec<(u64, i64, u64, u64, u64, u64, u64, bool)>,
+    Option<i64>,
+    Option<i64>,
+    Vec<(u64, String, String, String, String, u64, u64)>,
+);
+
+fn attr_projection(events: &[TraceEvent], winner_rank: u64) -> AttrProjection {
+    let s = TraceSummary::from_events(events);
+    let attr = s.attr_locs().into_iter().collect();
+    let calib = s
+        .calib
+        .iter()
+        .map(|c| {
+            (
+                c.rank,
+                c.score_milli,
+                c.path_len,
+                c.steps,
+                c.forks,
+                c.snodes,
+                c.solver_us,
+                c.found,
+            )
+        })
+        .collect();
+    let queries = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Query {
+                sid,
+                loc,
+                rank,
+                site,
+                verdict,
+                cache,
+                nodes,
+                us,
+                ..
+            } if *rank == winner_rank => Some((
+                *sid,
+                loc.clone(),
+                site.clone(),
+                verdict.clone(),
+                cache.clone(),
+                *nodes,
+                *us,
+            )),
+            _ => None,
+        })
+        .collect();
+    (
+        attr,
+        calib,
+        s.gauge(names::CALIB_WINNER_RANK),
+        s.gauge(names::CALIB_RANK_COST_CORR),
+        queries,
+    )
+}
+
+#[test]
+fn attribution_and_calibration_are_identical_across_worker_counts() {
+    let m = module();
+    let analysis = analysis_with_overshoot(&m);
+    let project = |workers: usize, state_workers: usize| -> AttrProjection {
+        let mut cfg = deterministic_config(workers);
+        cfg.engine.attribution = true;
+        cfg.engine.provenance = true;
+        cfg.engine.state_workers = state_workers;
+        let (bytes, report) = traced_run(&m, &analysis, cfg);
+        assert!(report.found.is_some(), "{workers}x{state_workers}");
+        let events = parse_trace_strict(&String::from_utf8(bytes).unwrap()).unwrap();
+        attr_projection(&events, 1)
+    };
+    // Two comparison groups: the legacy single-threaded loop
+    // (state_workers == 0) and steal mode (state_workers >= 1) explore
+    // in different orders, so work-until-found legitimately differs
+    // *between* them — but within each mode the projection must be
+    // independent of portfolio width and state-worker count.
+    for (label, state_workers, widths) in [
+        ("legacy", 0usize, &[1usize, 2, 4][..]),
+        ("steal", 4, &[1, 2][..]),
+    ] {
+        let base = project(widths[0], state_workers);
+        // The projection is non-trivial: real attribution rows, a
+        // winner calibration record, and provenance-stamped queries.
+        assert!(!base.0.is_empty(), "{label}: attr.* counters expected");
+        assert_eq!(
+            base.1.len(),
+            1,
+            "{label}: one sequential-equivalent attempt"
+        );
+        assert_eq!(base.1[0].0, 1, "{label}: winner record carries rank 1");
+        assert!(base.1[0].7, "{label}: winner record marks found");
+        assert_eq!(base.2, Some(1), "{label}: winner-rank gauge");
+        assert!(!base.4.is_empty(), "{label}: query events expected");
+        let attributed: u64 = base.0.iter().map(|(_, d)| d[0]).sum();
+        assert!(attributed > 0, "{label}: attributed steps expected");
+        for &w in &widths[1..] {
+            assert_eq!(
+                project(w, state_workers),
+                base,
+                "attribution/calibration diverged at {w} {label} workers"
+            );
+        }
+        // Steal mode additionally must not care about its own width.
+        if state_workers > 0 {
+            assert_eq!(
+                project(widths[0], 1),
+                base,
+                "attribution/calibration diverged across state-worker counts"
+            );
+        }
+    }
+}
+
 #[test]
 fn cancellation_run_still_parses_and_reconciles() {
     let m = module();
