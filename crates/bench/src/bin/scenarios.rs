@@ -1,0 +1,161 @@
+//! Scenario sweep over the protocol-parser benchapps — the heap-model
+//! fault families of DESIGN.md §16 — emitting `BENCH_scenarios.json`.
+//!
+//! Each parser app (http_header, http_chunked, urldecode, base64) is
+//! driven through the full pipeline under the deterministic portfolio
+//! configuration (no cancellation races, no shared solver cache) at 1,
+//! 2, and 4 workers. The binary asserts the hard invariants — the
+//! planted fault function is localized, the winner rank is 0, and the
+//! found input/fault agree across worker counts — and records wall
+//! time, attempt counts, and paths explored per point.
+//!
+//! Pass `--out <path>` to redirect the JSON report (default
+//! `BENCH_scenarios.json`), and the shared trace flags (`--trace
+//! <path>`, `--clock steps|wall`, `--workers <n>`, `--lineage`,
+//! `--attr`) to export a JSONL trace — with `--workers` the sweep
+//! collapses to that single count, which is how the CI trace gate
+//! records a byte-reproducible parser workload.
+
+use bench::{statsym_config, TraceSink, PAPER_SEED};
+use benchapps::{by_name, generate_corpus, CorpusSpec};
+use statsym_core::pipeline::{StatSym, StatSymConfig};
+use std::time::Instant;
+
+/// Portfolio worker counts swept per app.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// (app, fault family label, fault function) — winner rank 0 for all.
+const CASES: [(&str, &str, &str); 4] = [
+    ("http_header", "off-by-one", "store_value"),
+    ("http_chunked", "alloc-overflow", "read_chunk"),
+    ("urldecode", "uaf", "decode"),
+    ("base64", "format-string", "log_reject"),
+];
+
+/// Deterministic portfolio config: no cancellation races, no shared
+/// solver cache, so traces are scheduling-independent per worker count.
+fn config(workers: usize, sink: &TraceSink) -> StatSymConfig {
+    let base = statsym_config();
+    let mut cfg = StatSymConfig {
+        workers,
+        cancel_on_found: false,
+        share_cache: false,
+        ..base
+    };
+    cfg.engine.lineage = sink.lineage();
+    cfg.engine.attribution = sink.attr();
+    cfg.engine.provenance = sink.attr();
+    cfg
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let sink = TraceSink::extract(&mut args);
+    let mut out = String::from("BENCH_scenarios.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = p.clone(),
+                None => {
+                    eprintln!("error: --out requires a file path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!(
+                    "usage: [--out <path>] [--trace <path>] [--clock steps|wall] \
+                     [--workers <n>] [--lineage] [--attr]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let rec = sink.recorder();
+    let worker_counts: Vec<usize> = match sink.explicit_workers() {
+        Some(w) => vec![w],
+        None => WORKER_COUNTS.to_vec(),
+    };
+
+    println!("parser scenario sweep (seed {PAPER_SEED})");
+    let mut scenarios = Vec::new();
+    for (name, family, fault_func) in CASES {
+        let app = by_name(name).expect("known parser app");
+        let logs = generate_corpus(
+            &app,
+            CorpusSpec {
+                n_correct: 30,
+                n_faulty: 30,
+                sampling_rate: 0.3,
+                seed: PAPER_SEED,
+            },
+        );
+        let analysis = StatSym::new(config(1, &sink)).analyze(&logs);
+        let candidates = analysis
+            .candidates
+            .as_ref()
+            .map(|c| c.paths.len())
+            .expect("candidate paths");
+
+        let mut baseline: Option<(String, String)> = None;
+        let mut rows = Vec::new();
+        for &workers in &worker_counts {
+            let start = Instant::now();
+            let report = StatSym::new(config(workers, &sink)).run_with_analysis_traced(
+                &app.module,
+                analysis.clone(),
+                rec,
+            );
+            let wall = start.elapsed().as_secs_f64();
+            let found = report
+                .found
+                .as_ref()
+                .unwrap_or_else(|| panic!("{name}@{workers}: fault not found"));
+            assert_eq!(found.fault.func, fault_func, "{name}@{workers}: fault site");
+            assert_eq!(
+                report.candidate_used,
+                Some(0),
+                "{name}@{workers}: winner rank"
+            );
+            let mut inputs: Vec<_> = found.inputs.iter().collect();
+            inputs.sort_by(|a, b| a.0.cmp(b.0));
+            let fingerprint = (format!("{inputs:?}"), format!("{:?}", found.fault));
+            match &baseline {
+                None => baseline = Some(fingerprint),
+                Some(base) => {
+                    assert_eq!(
+                        *base, fingerprint,
+                        "{name}@{workers}: found witness diverged across worker counts"
+                    );
+                }
+            }
+            println!(
+                "  {name} [{family}] workers {workers}: {wall:.3}s, \
+                 {} attempt(s), {} path(s), fault in `{fault_func}`",
+                report.attempts.len(),
+                report.total_paths_explored()
+            );
+            rows.push(format!(
+                "      {{\"workers\": {workers}, \"wall_s\": {wall:.4}, \
+                 \"attempts\": {}, \"paths_explored\": {}}}",
+                report.attempts.len(),
+                report.total_paths_explored()
+            ));
+        }
+        scenarios.push(format!(
+            "    {{\"app\": \"{name}\", \"family\": \"{family}\", \
+             \"fault_func\": \"{fault_func}\", \"winner_rank\": 0, \
+             \"candidates\": {candidates}, \"sweep\": [\n{}\n    ]}}",
+            rows.join(",\n")
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"seed\": {PAPER_SEED},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        scenarios.join(",\n")
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("report written to {out}");
+    sink.finish();
+}

@@ -702,12 +702,341 @@ pub fn motivating() -> BenchApp {
     )
 }
 
+// ---------------------------------------------------------------------
+// http_header — HTTP/1.1 request-header field parser (RFC 7230 shape).
+// Vulnerability: store_value() copies the field value into an 8-byte
+// heap buffer with a correct copy bound, then writes the NUL terminator
+// unchecked — the classic fencepost once the value fills the buffer.
+// ---------------------------------------------------------------------
+
+const HTTP_HEADER_SRC: &str = r#"
+// http_header: parses one `name: value` request-header field.
+global fields_parsed: int = 0;
+global value_bytes: int = 0;
+global rejected: int = 0;
+
+fn is_tchar(c: int) -> bool {
+    if (c >= 'a') { if (c <= 'z') { return true; } }
+    if (c >= '0') { if (c <= '9') { return true; } }
+    if (c == '-') { return true; }
+    return false;
+}
+
+fn find_colon(line: str) -> int {
+    let i: int = 0;
+    while (char_at(line, i) != 0) {
+        if (char_at(line, i) == ':') { return i; }
+        if (is_tchar(char_at(line, i))) { i = i + 1; }
+        else { return 0 - 1; }
+    }
+    return 0 - 1;
+}
+
+fn store_value(line: str, start: int) {
+    let v: buf = alloc(8);
+    let o: int = 0;
+    while (char_at(line, start + o) != 0 && o < buf_cap(v)) {
+        buf_set(v, o, char_at(line, start + o));
+        o = o + 1;
+    }
+    buf_set(v, o, 0);        // o == cap for an 8-byte value: off-by-one
+    value_bytes = value_bytes + o;
+    free(v);
+}
+
+fn main() {
+    let line: str = input_str("header", 20);
+    let colon: int = find_colon(line);
+    if (colon < 1) { rejected = rejected + 1; print(rejected); exit(1); }
+    store_value(line, colon + 1);
+    fields_parsed = fields_parsed + 1;
+    print(fields_parsed, value_bytes);
+}
+"#;
+
+fn http_header_inputs(rng: &mut StdRng, want_faulty: bool) -> InputMap {
+    let nlen = rng.random_range(2..=4usize);
+    let mut line = rand_name(rng, nlen);
+    line.push(b':');
+    let vlen = if want_faulty {
+        rng.random_range(8..=15)
+    } else {
+        rng.random_range(0..=7)
+    };
+    line.extend(rand_name(rng, vlen));
+    [("header".to_string(), InputValue::Str(line))]
+        .into_iter()
+        .collect()
+}
+
+/// The HTTP header-field parser benchmark.
+pub fn http_header() -> BenchApp {
+    BenchApp::build(
+        "http_header",
+        "request-header field parser; unchecked NUL terminator write in store_value (off-by-one)",
+        HTTP_HEADER_SRC,
+        InputMap::new(),
+        http_header_inputs,
+    )
+}
+
+// ---------------------------------------------------------------------
+// http_chunked — HTTP/1.1 chunked transfer-encoding reader.
+// Vulnerability: the declared hex chunk size is multiplied by a spill
+// factor before allocation; two attacker hex digits escape the
+// allocator's [0, MAX_ALLOC] window (integer scaling feeding malloc).
+// ---------------------------------------------------------------------
+
+const HTTP_CHUNKED_SRC: &str = r#"
+// http_chunked: reads one chunk of a chunked transfer-encoded body.
+global chunks: int = 0;
+global body_bytes: int = 0;
+global bad_requests: int = 0;
+
+fn hex_val(c: int) -> int {
+    if (c >= '0') { if (c <= '9') { return c - '0'; } }
+    if (c >= 'a') { if (c <= 'f') { return c - 'a' + 10; } }
+    return 0 - 1;
+}
+
+fn parse_size(hdr: str) -> int {
+    let d0: int = hex_val(char_at(hdr, 0));
+    if (d0 < 0) { return 0 - 1; }
+    let d1: int = hex_val(char_at(hdr, 1));
+    if (d1 < 0) { return d0; }
+    return d0 * 16 + d1;
+}
+
+fn read_chunk(size: int) {
+    let body: buf = alloc(size * 32);   // declared size times spill factor
+    if (buf_cap(body) > 0) {
+        buf_set(body, 0, '.');
+        buf_set(body, buf_cap(body) - 1, 0);
+    }
+    body_bytes = body_bytes + buf_cap(body);
+    free(body);
+    chunks = chunks + 1;
+}
+
+fn main() {
+    let hdr: str = input_str("chunk_hdr", 4);
+    let size: int = parse_size(hdr);
+    if (size < 0) { bad_requests = bad_requests + 1; print(bad_requests); exit(1); }
+    read_chunk(size);
+    print(chunks, body_bytes);
+}
+"#;
+
+fn http_chunked_inputs(rng: &mut StdRng, want_faulty: bool) -> InputMap {
+    // 32 * size escapes MAX_ALLOC (4096) once size >= 129 (0x81).
+    let size = if want_faulty {
+        rng.random_range(129..=255u32)
+    } else {
+        rng.random_range(0..=128u32)
+    };
+    let hdr = format!("{size:x}").into_bytes();
+    [("chunk_hdr".to_string(), InputValue::Str(hdr))]
+        .into_iter()
+        .collect()
+}
+
+/// The chunked-encoding reader benchmark.
+pub fn http_chunked() -> BenchApp {
+    BenchApp::build(
+        "http_chunked",
+        "chunked transfer-encoding reader; scaled chunk size overflows the allocator in read_chunk",
+        HTTP_CHUNKED_SRC,
+        InputMap::new(),
+        http_chunked_inputs,
+    )
+}
+
+// ---------------------------------------------------------------------
+// urldecode — percent-escape decoder for query strings.
+// Vulnerability: the invalid-escape error path frees the output buffer
+// early but keeps decoding into it — use-after-free (and a double free
+// when two bad escapes occur back to back).
+// ---------------------------------------------------------------------
+
+const URLDECODE_SRC: &str = r#"
+// urldecode: decodes %XX escapes in a query string.
+global decoded: int = 0;
+global errors: int = 0;
+
+fn hex_val(c: int) -> int {
+    if (c >= '0') { if (c <= '9') { return c - '0'; } }
+    if (c >= 'a') { if (c <= 'f') { return c - 'a' + 10; } }
+    return 0 - 1;
+}
+
+fn decode(qs: str) {
+    let out: buf = alloc(24);
+    let i: int = 0;
+    let o: int = 0;
+    let err: int = 0;
+    while (char_at(qs, i) != 0) {
+        let c: int = char_at(qs, i);
+        if (c == '%') {
+            let h: int = hex_val(char_at(qs, i + 1));
+            if (h < 0) {
+                errors = errors + 1;
+                free(out);           // error path releases the buffer early
+                err = 1;
+            } else {
+                let l: int = hex_val(char_at(qs, i + 2));
+                if (l < 0) {
+                    errors = errors + 1;
+                    free(out);
+                    err = 1;
+                } else {
+                    buf_set(out, o, h * 16 + l);
+                    o = o + 1;
+                    i = i + 2;
+                }
+            }
+        } else {
+            buf_set(out, o, c);      // use-after-free once an error path ran
+            o = o + 1;
+        }
+        i = i + 1;
+    }
+    buf_set(out, o, 0);
+    decoded = decoded + o;
+    if (err == 0) { free(out); }
+}
+
+fn main() {
+    let qs: str = input_str("query", 12);
+    decode(qs);
+    print(decoded, errors);
+}
+"#;
+
+fn urldecode_inputs(rng: &mut StdRng, want_faulty: bool) -> InputMap {
+    let qlen = rng.random_range(1..=6);
+    let mut qs = rand_name(rng, qlen);
+    if want_faulty {
+        // An invalid escape: `%` followed by a non-hex byte (or nothing).
+        qs.push(b'%');
+        if rng.random_bool(0.7) {
+            qs.push(rng.random_range(b'g'..=b'z'));
+        }
+    } else if rng.random_bool(0.4) {
+        // A valid escape keeps the decoder honest on correct runs.
+        qs.push(b'%');
+        qs.push(rng.random_range(b'0'..=b'9'));
+        qs.push(rng.random_range(b'0'..=b'9'));
+    }
+    [("query".to_string(), InputValue::Str(qs))]
+        .into_iter()
+        .collect()
+}
+
+/// The URL percent-decoder benchmark.
+pub fn urldecode() -> BenchApp {
+    BenchApp::build(
+        "urldecode",
+        "query-string percent-decoder; invalid-escape path frees the output buffer early (UAF)",
+        URLDECODE_SRC,
+        InputMap::new(),
+        urldecode_inputs,
+    )
+}
+
+// ---------------------------------------------------------------------
+// base64 — RFC 4648 alphabet validator with an error logger.
+// Vulnerability: rejected payloads are logged raw through the format()
+// sink, so a `%` byte in attacker data reaches the formatter.
+// ---------------------------------------------------------------------
+
+const BASE64_SRC: &str = r#"
+// base64: validates and decodes a base64 payload.
+global decoded_bytes: int = 0;
+global errors: int = 0;
+
+fn b64_val(c: int) -> int {
+    if (c >= 'A') { if (c <= 'Z') { return c - 'A'; } }
+    if (c >= 'a') { if (c <= 'z') { return c - 'a' + 26; } }
+    if (c >= '0') { if (c <= '9') { return c - '0' + 52; } }
+    if (c == '+') { return 62; }
+    if (c == '/') { return 63; }
+    return 0 - 1;
+}
+
+fn log_reject(raw: str) {
+    errors = errors + 1;
+    format(raw);             // untrusted bytes straight into the log sink
+}
+
+fn decode(data: str) {
+    let acc: int = 0;
+    let bits: int = 0;
+    let i: int = 0;
+    while (char_at(data, i) != 0) {
+        let v: int = b64_val(char_at(data, i));
+        if (v < 0) {
+            log_reject(data);
+            exit(1);
+        }
+        acc = acc * 64 + v;
+        bits = bits + 6;
+        if (bits >= 8) {
+            decoded_bytes = decoded_bytes + 1;
+            bits = bits - 8;
+            acc = 0;
+        }
+        i = i + 1;
+    }
+}
+
+fn main() {
+    let data: str = input_str("data", 6);
+    decode(data);
+    print(decoded_bytes, errors);
+}
+"#;
+
+fn base64_inputs(rng: &mut StdRng, want_faulty: bool) -> InputMap {
+    let dlen = rng.random_range(1..=5);
+    let mut data = rand_name(rng, dlen);
+    if want_faulty {
+        // A `%` is both outside the alphabet (reaching the log sink) and
+        // the byte the formatter trips on.
+        let pos = rng.random_range(0..=data.len());
+        data.insert(pos, b'%');
+    } else if rng.random_bool(0.25) {
+        // Rejected but %-free payloads exercise the sink without fault.
+        data.push(b'!');
+    }
+    [("data".to_string(), InputValue::Str(data))]
+        .into_iter()
+        .collect()
+}
+
+/// The base64 validator benchmark.
+pub fn base64() -> BenchApp {
+    BenchApp::build(
+        "base64",
+        "base64 payload validator; rejected input logged raw through format() (format string)",
+        BASE64_SRC,
+        InputMap::new(),
+        base64_inputs,
+    )
+}
+
 /// The four paper applications, in Table order.
 pub fn all_apps() -> Vec<BenchApp> {
     vec![polymorph(), ctree(), thttpd(), grep()]
 }
 
-/// Looks up an application (including `motivating`) by name.
+/// The protocol-parser applications exercising the heap-model fault
+/// families (off-by-one, alloc overflow, use-after-free, format string).
+pub fn parser_apps() -> Vec<BenchApp> {
+    vec![http_header(), http_chunked(), urldecode(), base64()]
+}
+
+/// Looks up an application (including `motivating` and the parser
+/// family) by name.
 pub fn by_name(name: &str) -> Option<BenchApp> {
     match name {
         "polymorph" => Some(polymorph()),
@@ -715,6 +1044,10 @@ pub fn by_name(name: &str) -> Option<BenchApp> {
         "grep" => Some(grep()),
         "thttpd" => Some(thttpd()),
         "motivating" => Some(motivating()),
+        "http_header" => Some(http_header()),
+        "http_chunked" => Some(http_chunked()),
+        "urldecode" => Some(urldecode()),
+        "base64" => Some(base64()),
         _ => None,
     }
 }
@@ -776,6 +1109,57 @@ mod tests {
     }
 
     #[test]
+    fn http_header_workload_matches_verdicts() {
+        check_app_verdicts(&http_header());
+    }
+
+    #[test]
+    fn http_chunked_workload_matches_verdicts() {
+        check_app_verdicts(&http_chunked());
+    }
+
+    #[test]
+    fn urldecode_workload_matches_verdicts() {
+        check_app_verdicts(&urldecode());
+    }
+
+    #[test]
+    fn base64_workload_matches_verdicts() {
+        check_app_verdicts(&base64());
+    }
+
+    #[test]
+    fn parser_faults_carry_the_new_fault_classes() {
+        use concrete::FaultKind;
+        type KindCheck = fn(&FaultKind) -> bool;
+        let cases: [(&str, KindCheck); 4] = [
+            ("http_header", |k| {
+                matches!(k, FaultKind::OffByOne { cap: 8 })
+            }),
+            (
+                "http_chunked",
+                |k| matches!(k, FaultKind::AllocOverflow { req } if *req > concrete::MAX_ALLOC),
+            ),
+            ("urldecode", |k| matches!(k, FaultKind::UseAfterFree)),
+            ("base64", |k| matches!(k, FaultKind::FormatString { .. })),
+        ];
+        let mut rng = StdRng::seed_from_u64(42);
+        for (name, matches_kind) in cases {
+            let app = by_name(name).unwrap();
+            let vm = Vm::new(&app.module, VmConfig::default());
+            for _ in 0..10 {
+                let inputs = (app.gen_inputs)(&mut rng, true);
+                let run = vm.run(&inputs).unwrap();
+                let fault = run
+                    .outcome
+                    .fault()
+                    .unwrap_or_else(|| panic!("{name}: no fault"));
+                assert!(matches_kind(&fault.kind), "{name}: {:?}", fault.kind);
+            }
+        }
+    }
+
+    #[test]
     fn fault_functions_match_the_paper() {
         let cases = [
             ("polymorph", "convert_fileName"),
@@ -783,6 +1167,10 @@ mod tests {
             ("grep", "stonesoup_handle_taint"),
             ("thttpd", "defang"),
             ("motivating", "vul_func"),
+            ("http_header", "store_value"),
+            ("http_chunked", "read_chunk"),
+            ("urldecode", "decode"),
+            ("base64", "log_reject"),
         ];
         let mut rng = StdRng::seed_from_u64(7);
         for (name, expected_func) in cases {
@@ -815,10 +1203,16 @@ mod tests {
     #[test]
     fn registry_is_complete() {
         assert_eq!(all_apps().len(), 4);
+        assert_eq!(parser_apps().len(), 4);
         assert!(by_name("nope").is_none());
         for app in all_apps() {
             assert!(!app.description.is_empty());
             assert!(app.stats().functions >= 4);
+        }
+        for app in parser_apps() {
+            assert!(by_name(app.name).is_some(), "{} not in by_name", app.name);
+            assert!(!app.description.is_empty());
+            assert!(app.stats().functions >= 3);
         }
     }
 }

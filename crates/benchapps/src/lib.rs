@@ -36,5 +36,8 @@
 pub mod apps;
 pub mod corpus;
 
-pub use apps::{all_apps, by_name, ctree, grep, motivating, polymorph, thttpd, BenchApp};
+pub use apps::{
+    all_apps, base64, by_name, ctree, grep, http_chunked, http_header, motivating, parser_apps,
+    polymorph, thttpd, urldecode, BenchApp,
+};
 pub use corpus::{generate_corpus, generate_corpus_traced, CorpusSpec};

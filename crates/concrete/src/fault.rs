@@ -3,6 +3,11 @@
 use minic::Span;
 use std::fmt;
 
+/// Largest `alloc(n)` request either VM will honor. Requests outside
+/// `[0, MAX_ALLOC]` raise [`FaultKind::AllocOverflow`], modeling the
+/// truncation/overflow ASAN-style check at the allocation site.
+pub const MAX_ALLOC: i64 = 4096;
+
 /// The vulnerability classes the VM detects, mirroring the paper's
 /// benchmark bug classes (buffer overruns, assertion violations, integer
 /// handling errors).
@@ -29,6 +34,25 @@ pub enum FaultKind {
     DivByZero,
     /// Call depth exceeded the configured limit (runaway recursion).
     StackOverflow,
+    /// `alloc(n)` requested a size outside `[0, MAX_ALLOC]` — the
+    /// integer-overflow/truncation-feeding-an-allocation class.
+    AllocOverflow {
+        /// The out-of-range requested size.
+        req: i64,
+    },
+    /// Write or read at exactly `cap` on a dynamically allocated buffer:
+    /// the classic `<=` loop-bound off-by-one.
+    OffByOne {
+        /// Capacity of the violated buffer.
+        cap: u32,
+    },
+    /// A `%` byte reached the `format(..)` sink (format-string class).
+    FormatString {
+        /// Byte offset of the first `%` in the formatted string.
+        idx: i64,
+    },
+    /// Access (or double free) of a freed or never-allocated heap buffer.
+    UseAfterFree,
 }
 
 impl fmt::Display for FaultKind {
@@ -43,6 +67,16 @@ impl fmt::Display for FaultKind {
             FaultKind::AssertFailed => f.write_str("assertion failed"),
             FaultKind::DivByZero => f.write_str("division by zero"),
             FaultKind::StackOverflow => f.write_str("call stack overflow"),
+            FaultKind::AllocOverflow { req } => {
+                write!(f, "allocation overflow: requested size {req}")
+            }
+            FaultKind::OffByOne { cap } => {
+                write!(f, "off-by-one: index {cap} on capacity {cap}")
+            }
+            FaultKind::FormatString { idx } => {
+                write!(f, "format string: `%` at offset {idx}")
+            }
+            FaultKind::UseAfterFree => f.write_str("use after free"),
         }
     }
 }

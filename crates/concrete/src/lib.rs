@@ -47,7 +47,7 @@ pub mod value;
 pub mod vm;
 
 pub use event::{FnEvent, Location, Measure, VarId, VarRole};
-pub use fault::{Fault, FaultKind};
+pub use fault::{Fault, FaultKind, MAX_ALLOC};
 pub use logfile::{parse_log, write_log, ParseLogError};
 pub use monitor::{ExecutionLog, LogRecord, Monitor, Verdict};
 pub use runner::{run_logged, run_logged_traced, run_logged_with, LoggedRun};

@@ -76,6 +76,10 @@ fn fault_tag(kind: &FaultKind) -> String {
         FaultKind::AssertFailed => "assert-failed".into(),
         FaultKind::DivByZero => "div-by-zero".into(),
         FaultKind::StackOverflow => "stack-overflow".into(),
+        FaultKind::AllocOverflow { req } => format!("alloc-overflow/{req}"),
+        FaultKind::OffByOne { cap } => format!("off-by-one/{cap}"),
+        FaultKind::FormatString { idx } => format!("format-string/{idx}"),
+        FaultKind::UseAfterFree => "use-after-free".into(),
     }
 }
 
@@ -93,6 +97,16 @@ fn parse_fault_tag(tag: &str) -> Option<FaultKind> {
         "assert-failed" => Some(FaultKind::AssertFailed),
         "div-by-zero" => Some(FaultKind::DivByZero),
         "stack-overflow" => Some(FaultKind::StackOverflow),
+        "alloc-overflow" => Some(FaultKind::AllocOverflow {
+            req: parts.next()?.parse().ok()?,
+        }),
+        "off-by-one" => Some(FaultKind::OffByOne {
+            cap: parts.next()?.parse().ok()?,
+        }),
+        "format-string" => Some(FaultKind::FormatString {
+            idx: parts.next()?.parse().ok()?,
+        }),
+        "use-after-free" => Some(FaultKind::UseAfterFree),
         _ => None,
     }
 }
@@ -286,6 +300,12 @@ mod tests {
             FaultKind::AssertFailed,
             FaultKind::DivByZero,
             FaultKind::StackOverflow,
+            FaultKind::AllocOverflow {
+                req: -70368744177664,
+            },
+            FaultKind::OffByOne { cap: 16 },
+            FaultKind::FormatString { idx: 3 },
+            FaultKind::UseAfterFree,
         ] {
             let mut log = sample_log();
             log.fault.as_mut().unwrap().kind = kind;

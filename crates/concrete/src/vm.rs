@@ -1,6 +1,6 @@
 //! The concrete SIR virtual machine.
 
-use crate::fault::{Fault, FaultKind};
+use crate::fault::{Fault, FaultKind, MAX_ALLOC};
 use crate::value::{InputValue, Value};
 use minic::BinOp;
 use sir::{
@@ -196,13 +196,23 @@ fn const_value(c: &ConstValue) -> Value {
     }
 }
 
+/// One heap allocation: its bytes, a liveness flag, and whether it was
+/// produced by `alloc` (dynamic) rather than a sized stack declaration.
+/// Dynamic cells get the stricter off-by-one bounds classification and
+/// participate in the use-after-free liveness protocol.
+struct HeapCell {
+    data: Vec<u8>,
+    live: bool,
+    dynamic: bool,
+}
+
 struct Interp<'m, 'h> {
     module: &'m Module,
     config: VmConfig,
     inputs: &'m InputMap,
     hook: &'h mut dyn ExecHook,
     globals: Vec<Value>,
-    heap: Vec<Vec<u8>>,
+    heap: Vec<HeapCell>,
     stack: Vec<Frame>,
     steps: u64,
     output: Vec<String>,
@@ -254,6 +264,17 @@ impl<'m, 'h> Interp<'m, 'h> {
             regs,
             ret_dst,
         });
+    }
+
+    /// Resolves a register holding a buffer handle to a *live* heap cell
+    /// index. `None` means the access is a use-after-free-class fault:
+    /// a freed cell, an unbound dynamic `buf` local (register still holds
+    /// its `Unit` default), or the never-allocated parameter sentinel.
+    fn live_handle(&self, r: Reg) -> Option<usize> {
+        match self.reg(r) {
+            Value::Buf(id) if *id < self.heap.len() && self.heap[*id].live => Some(*id),
+            _ => None,
+        }
     }
 
     fn fault(&self, kind: FaultKind, span: minic::Span) -> Flow {
@@ -333,35 +354,81 @@ impl<'m, 'h> Interp<'m, 'h> {
             }
             Inst::AllocBuf { dst, cap } => {
                 let id = self.heap.len();
-                self.heap.push(vec![0u8; cap as usize]);
+                self.heap.push(HeapCell {
+                    data: vec![0u8; cap as usize],
+                    live: true,
+                    dynamic: false,
+                });
                 self.set_reg(dst, Value::Buf(id));
             }
+            Inst::Alloc { dst, size } => {
+                let n = self.reg(size).as_int();
+                if !(0..=MAX_ALLOC).contains(&n) {
+                    return Ok(self.fault(FaultKind::AllocOverflow { req: n }, span));
+                }
+                let id = self.heap.len();
+                self.heap.push(HeapCell {
+                    data: vec![0u8; n as usize],
+                    live: true,
+                    dynamic: true,
+                });
+                self.set_reg(dst, Value::Buf(id));
+            }
+            Inst::Free { buf } => {
+                // Freeing a dead, unbound, or stack buffer is itself a
+                // heap-lifetime fault (double free / invalid free).
+                let Some(id) = self.live_handle(buf) else {
+                    return Ok(self.fault(FaultKind::UseAfterFree, span));
+                };
+                if !self.heap[id].dynamic {
+                    return Ok(self.fault(FaultKind::UseAfterFree, span));
+                }
+                self.heap[id].live = false;
+            }
             Inst::BufSet { buf, idx, val } => {
-                let id = self.reg(buf).as_buf();
+                let Some(id) = self.live_handle(buf) else {
+                    return Ok(self.fault(FaultKind::UseAfterFree, span));
+                };
                 let i = self.reg(idx).as_int();
                 let v = self.reg(val).as_int();
-                let data = &mut self.heap[id];
-                if i < 0 || i as usize >= data.len() {
-                    let cap = data.len() as u32;
+                let cell = &mut self.heap[id];
+                if i < 0 || i as usize >= cell.data.len() {
+                    let cap = cell.data.len() as u32;
+                    if cell.dynamic && i == cap as i64 {
+                        return Ok(self.fault(FaultKind::OffByOne { cap }, span));
+                    }
                     return Ok(self.fault(FaultKind::BufferOverflow { cap, idx: i }, span));
                 }
-                data[i as usize] = v as u8;
+                cell.data[i as usize] = v as u8;
             }
             Inst::BufGet { dst, buf, idx } => {
-                let id = self.reg(buf).as_buf();
+                let Some(id) = self.live_handle(buf) else {
+                    return Ok(self.fault(FaultKind::UseAfterFree, span));
+                };
                 let i = self.reg(idx).as_int();
-                let data = &self.heap[id];
-                if i < 0 || i as usize >= data.len() {
-                    let cap = data.len() as u32;
+                let cell = &self.heap[id];
+                if i < 0 || i as usize >= cell.data.len() {
+                    let cap = cell.data.len() as u32;
+                    if cell.dynamic && i == cap as i64 {
+                        return Ok(self.fault(FaultKind::OffByOne { cap }, span));
+                    }
                     return Ok(self.fault(FaultKind::BufferOverflow { cap, idx: i }, span));
                 }
-                let v = data[i as usize] as i64;
+                let v = cell.data[i as usize] as i64;
                 self.set_reg(dst, Value::Int(v));
             }
             Inst::BufCap { dst, buf } => {
-                let id = self.reg(buf).as_buf();
-                let cap = self.heap[id].len() as i64;
+                let Some(id) = self.live_handle(buf) else {
+                    return Ok(self.fault(FaultKind::UseAfterFree, span));
+                };
+                let cap = self.heap[id].data.len() as i64;
                 self.set_reg(dst, Value::Int(cap));
+            }
+            Inst::Format { fmt } => {
+                let bytes = self.reg(fmt).as_str_bytes();
+                if let Some(pos) = bytes.iter().position(|&b| b == b'%') {
+                    return Ok(self.fault(FaultKind::FormatString { idx: pos as i64 }, span));
+                }
             }
             Inst::StrAt { dst, s, idx } => {
                 let i = self.reg(idx).as_int();
@@ -569,6 +636,112 @@ mod tests {
         let fault = r.outcome.fault().expect("expected fault");
         assert_eq!(fault.kind, FaultKind::BufferOverflow { cap: 4, idx: 4 });
         assert_eq!(fault.func, "main");
+    }
+
+    #[test]
+    fn alloc_overflow_is_detected() {
+        let r = run_src(
+            r#"fn main() {
+                let n: int = input_int("n");
+                let h: buf = alloc(n * 256);
+                buf_set(h, 0, 1);
+            }"#,
+            &[("n", InputValue::Int(100))],
+        );
+        assert_eq!(
+            r.outcome.fault().unwrap().kind,
+            FaultKind::AllocOverflow { req: 25600 }
+        );
+    }
+
+    #[test]
+    fn negative_alloc_is_overflow() {
+        let r = run_src(
+            r#"fn main() { let h: buf = alloc(0 - 1); buf_set(h, 0, 1); }"#,
+            &[],
+        );
+        assert_eq!(
+            r.outcome.fault().unwrap().kind,
+            FaultKind::AllocOverflow { req: -1 }
+        );
+    }
+
+    #[test]
+    fn off_by_one_on_dynamic_buffer() {
+        let r = run_src(
+            r#"fn main() {
+                let h: buf = alloc(4);
+                let i: int = 0;
+                while (i <= buf_cap(h)) { buf_set(h, i, 65); i = i + 1; }
+            }"#,
+            &[],
+        );
+        assert_eq!(
+            r.outcome.fault().unwrap().kind,
+            FaultKind::OffByOne { cap: 4 }
+        );
+    }
+
+    #[test]
+    fn stack_buffer_keeps_overflow_classification() {
+        // idx == cap on a *stack* buffer stays BufferOverflow — the
+        // paper benchapps (and their committed traces) rely on this.
+        let r = run_src(
+            r#"fn main() {
+                let b: buf[4];
+                let i: int = 0;
+                while (i <= buf_cap(b)) { buf_set(b, i, 65); i = i + 1; }
+            }"#,
+            &[],
+        );
+        assert_eq!(
+            r.outcome.fault().unwrap().kind,
+            FaultKind::BufferOverflow { cap: 4, idx: 4 }
+        );
+    }
+
+    #[test]
+    fn use_after_free_is_detected() {
+        let r = run_src(
+            r#"fn main() {
+                let h: buf = alloc(4);
+                buf_set(h, 0, 1);
+                free(h);
+                buf_set(h, 1, 2);
+            }"#,
+            &[],
+        );
+        assert_eq!(r.outcome.fault().unwrap().kind, FaultKind::UseAfterFree);
+    }
+
+    #[test]
+    fn double_free_is_detected() {
+        let r = run_src(
+            r#"fn main() { let h: buf = alloc(4); free(h); free(h); }"#,
+            &[],
+        );
+        assert_eq!(r.outcome.fault().unwrap().kind, FaultKind::UseAfterFree);
+    }
+
+    #[test]
+    fn format_string_faults_on_percent() {
+        let r = run_src(
+            r#"fn main() { let s: str = input_str("s", 8); format(s); }"#,
+            &[("s", InputValue::text("ab%n"))],
+        );
+        assert_eq!(
+            r.outcome.fault().unwrap().kind,
+            FaultKind::FormatString { idx: 2 }
+        );
+    }
+
+    #[test]
+    fn format_without_percent_is_clean() {
+        let r = run_src(
+            r#"fn main() -> int { let s: str = input_str("s", 8); format(s); return 7; }"#,
+            &[("s", InputValue::text("plain"))],
+        );
+        assert_eq!(r.outcome, Outcome::Exit(7));
     }
 
     #[test]

@@ -286,6 +286,16 @@ pub enum Builtin {
     Print,
     /// `exit(code: int)` — terminate the program normally.
     Exit,
+    /// `alloc(n: int) -> buf` — dynamic heap allocation. A request outside
+    /// `[0, MAX_ALLOC]` is an allocation-overflow fault (models integer
+    /// overflow/truncation feeding an allocation size).
+    Alloc,
+    /// `free(b: buf)` — release a heap allocation; later access (or a second
+    /// free) is a use-after-free fault.
+    Free,
+    /// `format(fmt: str)` — format-string-style output sink: a `%` byte in
+    /// attacker-controlled data is a format-string fault.
+    Format,
 }
 
 impl Builtin {
@@ -301,6 +311,9 @@ impl Builtin {
             "input_int" => Builtin::InputInt,
             "print" => Builtin::Print,
             "exit" => Builtin::Exit,
+            "alloc" => Builtin::Alloc,
+            "free" => Builtin::Free,
+            "format" => Builtin::Format,
             _ => return None,
         })
     }
@@ -317,6 +330,9 @@ impl Builtin {
             Builtin::InputInt => "input_int",
             Builtin::Print => "print",
             Builtin::Exit => "exit",
+            Builtin::Alloc => "alloc",
+            Builtin::Free => "free",
+            Builtin::Format => "format",
         }
     }
 }
@@ -344,6 +360,9 @@ mod tests {
             Builtin::InputInt,
             Builtin::Print,
             Builtin::Exit,
+            Builtin::Alloc,
+            Builtin::Free,
+            Builtin::Format,
         ] {
             assert_eq!(Builtin::from_name(b.name()), Some(b));
         }

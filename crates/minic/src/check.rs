@@ -147,14 +147,36 @@ impl<'p> Checker<'p> {
         match &stmt.kind {
             StmtKind::Let { name, ty, init } => {
                 if let Type::Buf(cap) = ty {
-                    if cap.is_none() {
-                        return Err(Error::new(
-                            stmt.span,
-                            "local buffer declarations need a capacity: `let b: buf[N];`",
-                        ));
-                    }
-                    if init.is_some() {
-                        return Err(Error::new(stmt.span, "buffers cannot take an initializer"));
+                    // Two buffer declaration forms: a sized stack buffer
+                    // (`let b: buf[N];`, no initializer) or an unsized
+                    // handle bound to a buf-typed initializer, typically
+                    // `let h: buf = alloc(n);`.
+                    match (cap, init) {
+                        (Some(_), None) => {}
+                        (Some(_), Some(_)) => {
+                            return Err(Error::new(
+                                stmt.span,
+                                "buffers cannot take an initializer",
+                            ));
+                        }
+                        (None, None) => {
+                            return Err(Error::new(
+                                stmt.span,
+                                "local buffer declarations need a capacity: `let b: buf[N];` \
+                                 (or an initializer: `let h: buf = alloc(n);`)",
+                            ));
+                        }
+                        (None, Some(init)) => {
+                            let it = self.check_expr(init)?.val(init.span)?;
+                            if !matches!(it, Type::Buf(_)) {
+                                return Err(Error::new(
+                                    stmt.span,
+                                    format!(
+                                        "let `{name}`: declared `buf` but initializer is `{it}`"
+                                    ),
+                                ));
+                            }
+                        }
                     }
                 } else if let Some(init) = init {
                     let it = self.check_expr(init)?.val(init.span)?;
@@ -421,6 +443,9 @@ impl<'p> Checker<'p> {
                 Ok(Ty::Unit)
             }
             Builtin::Exit => expect(&[Type::Int], Ty::Unit),
+            Builtin::Alloc => expect(&[Type::Int], Ty::Val(Type::Buf(None))),
+            Builtin::Free => expect(&[Type::Buf(None)], Ty::Unit),
+            Builtin::Format => expect(&[Type::Str], Ty::Unit),
         }
     }
 }
@@ -512,6 +537,37 @@ mod tests {
     #[test]
     fn rejects_duplicate_local() {
         assert!(err("fn main() { let x: int = 0; let x: int = 1; }").contains("already defined"));
+    }
+
+    #[test]
+    fn accepts_heap_intrinsics() {
+        parse_program(
+            r#"
+            fn main() {
+                let n: int = input_int("n");
+                let h: buf = alloc(n);
+                buf_set(h, 0, 65);
+                format(input_str("s", 8));
+                free(h);
+            }
+            "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_non_buf_handle_initializer() {
+        assert!(err("fn main() { let h: buf = 1; }").contains("initializer is `int`"));
+    }
+
+    #[test]
+    fn rejects_unsized_buffer_without_initializer() {
+        assert!(err("fn main() { let h: buf; }").contains("capacity"));
+    }
+
+    #[test]
+    fn rejects_non_str_format_argument() {
+        assert!(err("fn main() { format(1); }").contains("expected `str`"));
     }
 
     #[test]

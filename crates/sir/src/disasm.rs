@@ -73,6 +73,9 @@ fn render_inst(inst: &Inst) -> String {
         }
         Inst::Exit { code } => format!("exit {code}"),
         Inst::Assert { cond } => format!("assert {cond}"),
+        Inst::Alloc { dst, size } => format!("{dst} = alloc {size}"),
+        Inst::Free { buf } => format!("free {buf}"),
+        Inst::Format { fmt } => format!("format {fmt}"),
     }
 }
 
@@ -129,6 +132,10 @@ mod tests {
                 let l: int = len(s);
                 let ch: int = char_at(s, 0);
                 g = v + c + l + ch;
+                let h: buf = alloc(i);
+                buf_set(h, 0, 1);
+                format(s);
+                free(h);
                 assert(g > -1000);
                 if (!(g == 0) && g > -5) { print(g); }
                 exit(0);
@@ -140,7 +147,7 @@ mod tests {
         let text = disassemble(&m);
         for needle in [
             "allocbuf", "bufset", "bufget", "bufcap", "strlen", "strat", "input", "assert",
-            "print", "exit", "store", "load",
+            "print", "exit", "store", "load", "= alloc ", "free ", "format ",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }

@@ -117,6 +117,15 @@ pub enum Inst {
     },
     /// Allocate a fresh zero-filled buffer of capacity `cap`.
     AllocBuf { dst: Reg, cap: u32 },
+    /// Allocate a fresh zero-filled *dynamic* buffer whose capacity is the
+    /// runtime value of `size`. A size outside `[0, MAX_ALLOC]` is an
+    /// allocation-overflow fault (integer overflow feeding an allocation).
+    Alloc { dst: Reg, size: Reg },
+    /// Release the dynamic buffer held by `buf`; later access (or a second
+    /// free) is a use-after-free fault.
+    Free { buf: Reg },
+    /// Format-string sink: fault if `fmt` contains a `%` byte before NUL.
+    Format { fmt: Reg },
     /// `buf[idx] <- val & 0xff`. Out-of-capacity index is a
     /// buffer-overflow fault (the paper's vulnerability class).
     BufSet { buf: Reg, idx: Reg, val: Reg },
@@ -154,12 +163,15 @@ impl Inst {
             | Inst::BufCap { dst, .. }
             | Inst::StrAt { dst, .. }
             | Inst::StrLen { dst, .. }
-            | Inst::Input { dst, .. } => Some(*dst),
+            | Inst::Input { dst, .. }
+            | Inst::Alloc { dst, .. } => Some(*dst),
             Inst::Call { dst, .. } => *dst,
             Inst::StoreGlobal { .. }
             | Inst::BufSet { .. }
             | Inst::Print { .. }
             | Inst::Exit { .. }
+            | Inst::Free { .. }
+            | Inst::Format { .. }
             | Inst::Assert { .. } => None,
         }
     }
@@ -183,6 +195,9 @@ impl Inst {
             Inst::Print { args } => args.clone(),
             Inst::Exit { code } => vec![*code],
             Inst::Assert { cond } => vec![*cond],
+            Inst::Alloc { size, .. } => vec![*size],
+            Inst::Free { buf } => vec![*buf],
+            Inst::Format { fmt } => vec![*fmt],
         }
     }
 }

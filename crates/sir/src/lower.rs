@@ -156,7 +156,11 @@ impl<'a> FnLowerer<'a> {
             let dst = self.named(name);
             match ty {
                 Type::Buf(Some(cap)) => self.emit(Inst::AllocBuf { dst, cap: *cap }, f.span),
-                Type::Buf(None) => unreachable!("checker requires sized local buffers"),
+                // Dynamic handles (`let h: buf = alloc(n);`) stay unbound
+                // until their `let` runs; reading one on a path that never
+                // executed the `let` is an invalid-handle (use-after-free
+                // class) fault, which both VMs detect.
+                Type::Buf(None) => {}
                 Type::Int => self.emit(
                     Inst::Const {
                         dst,
@@ -234,9 +238,10 @@ impl<'a> FnLowerer<'a> {
             StmtKind::Let { name, ty, init } => {
                 // The register was allocated and default-initialized at
                 // function entry; the `let` itself only runs the
-                // initializer (buffers are allocation-hoisted no-ops).
+                // initializer (sized buffers are allocation-hoisted no-ops;
+                // dynamic `buf` handles bind their initializer here).
                 match ty {
-                    Type::Buf(_) => {}
+                    Type::Buf(Some(_)) => {}
                     _ => {
                         if let Some(e) = init {
                             let value = self.lower_expr(e)?;
@@ -614,6 +619,22 @@ impl<'a> FnLowerer<'a> {
             Builtin::Exit => {
                 let code = self.lower_expr(&args[0])?;
                 self.emit(Inst::Exit { code }, span);
+                Ok(None)
+            }
+            Builtin::Alloc => {
+                let size = self.lower_expr(&args[0])?;
+                let dst = self.fresh();
+                self.emit(Inst::Alloc { dst, size }, span);
+                Ok(Some(dst))
+            }
+            Builtin::Free => {
+                let buf = self.lower_expr(&args[0])?;
+                self.emit(Inst::Free { buf }, span);
+                Ok(None)
+            }
+            Builtin::Format => {
+                let fmt = self.lower_expr(&args[0])?;
+                self.emit(Inst::Format { fmt }, span);
                 Ok(None)
             }
         }

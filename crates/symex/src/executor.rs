@@ -5,7 +5,7 @@ use crate::hook::{EventCtx, EventHook};
 use crate::lineage::{state_loc, Lineage, WorkSnapshot};
 use crate::state::{Frame, State};
 use crate::value::{BoolVal, SymBuf, SymStr, SymValue};
-use concrete::{Fault, FaultKind, Location};
+use concrete::{Fault, FaultKind, Location, MAX_ALLOC};
 use minic::{BinOp, Span};
 use sir::{ConstValue, FuncId, InputId, InputKind, Inst, Module, Reg, Terminator};
 use solver::{CmpOp, Constraint, SatResult, Solver, TermCtx, TermId};
@@ -424,32 +424,67 @@ fn exec_inst(env: &mut ExecEnv<'_>, mut state: State, inst: Inst, span: Span) ->
         Inst::AllocBuf { dst, cap } => {
             let zero = env.ctx.int(0);
             let id = state.heap.len();
-            state.heap.push(SymBuf {
-                cells: vec![zero; cap as usize],
-            });
+            state.heap.push(SymBuf::stack(vec![zero; cap as usize]));
             set_reg(&mut state, dst, SymValue::Buf(id));
             StepResult::Continue(state)
         }
+        Inst::Alloc { dst, size } => exec_alloc(env, state, dst, size, span),
+        Inst::Free { buf } => match live_buf(&state, buf) {
+            Err(kind) => {
+                let fault = env.fault(&state, kind, span);
+                StepResult::Fault(state, fault)
+            }
+            Ok(bid) if !state.heap[bid].dynamic => {
+                // Freeing a stack buffer is an invalid free.
+                let fault = env.fault(&state, FaultKind::UseAfterFree, span);
+                StepResult::Fault(state, fault)
+            }
+            Ok(bid) => {
+                state.heap[bid].live = false;
+                StepResult::Continue(state)
+            }
+        },
+        Inst::Format { fmt } => exec_format(env, state, fmt, span),
         Inst::BufSet { buf, idx, val } => {
-            let bid = reg(&state, buf).as_buf();
+            let bid = match live_buf(&state, buf) {
+                Ok(bid) => bid,
+                Err(kind) => {
+                    let fault = env.fault(&state, kind, span);
+                    return StepResult::Fault(state, fault);
+                }
+            };
             let cap = state.heap[bid].cells.len();
+            let dynamic = state.heap[bid].dynamic;
             let idx_t = reg(&state, idx).as_int();
             let val_t = reg(&state, val).as_int();
-            bounds_checked_access(env, state, idx_t, cap, span, move |state, i| {
+            bounds_checked_access(env, state, idx_t, cap, dynamic, span, move |state, i| {
                 state.heap[bid].cells[i] = val_t;
             })
         }
         Inst::BufGet { dst, buf, idx } => {
-            let bid = reg(&state, buf).as_buf();
+            let bid = match live_buf(&state, buf) {
+                Ok(bid) => bid,
+                Err(kind) => {
+                    let fault = env.fault(&state, kind, span);
+                    return StepResult::Fault(state, fault);
+                }
+            };
             let cap = state.heap[bid].cells.len();
+            let dynamic = state.heap[bid].dynamic;
             let idx_t = reg(&state, idx).as_int();
-            bounds_checked_access(env, state, idx_t, cap, span, move |state, i| {
+            bounds_checked_access(env, state, idx_t, cap, dynamic, span, move |state, i| {
                 let cell = state.heap[bid].cells[i];
                 set_reg(state, dst, SymValue::Int(cell));
             })
         }
         Inst::BufCap { dst, buf } => {
-            let bid = reg(&state, buf).as_buf();
+            let bid = match live_buf(&state, buf) {
+                Ok(bid) => bid,
+                Err(kind) => {
+                    let fault = env.fault(&state, kind, span);
+                    return StepResult::Fault(state, fault);
+                }
+            };
             let cap = state.heap[bid].cells.len() as i64;
             let t = env.ctx.int(cap);
             set_reg(&mut state, dst, SymValue::Int(t));
@@ -659,6 +694,7 @@ fn bounds_checked_access(
     state: State,
     idx_t: TermId,
     cap: usize,
+    dynamic: bool,
     span: Span,
     apply: impl FnOnce(&mut State, usize),
 ) -> StepResult {
@@ -668,6 +704,7 @@ fn bounds_checked_access(
         idx_t,
         cap as i64,
         false,
+        dynamic,
         span,
         move |_, state, i| apply(state, i),
     )
@@ -683,15 +720,17 @@ fn bounds_checked_access_incl(
     span: Span,
     apply: impl FnOnce(&mut TermCtx, &mut State, usize),
 ) -> StepResult {
-    bounds_checked_common(env, state, idx_t, cap as i64, true, span, apply)
+    bounds_checked_common(env, state, idx_t, cap as i64, true, false, span, apply)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn bounds_checked_common(
     env: &mut ExecEnv<'_>,
     mut state: State,
     idx_t: TermId,
     cap: i64,
     inclusive: bool,
+    dynamic: bool,
     span: Span,
     apply: impl FnOnce(&mut TermCtx, &mut State, usize),
 ) -> StepResult {
@@ -701,7 +740,7 @@ fn bounds_checked_common(
             apply(env.ctx, &mut state, i as usize);
             return StepResult::Continue(state);
         }
-        let kind = oob_kind(cap, i, inclusive);
+        let kind = oob_kind(cap, i, inclusive, dynamic);
         let fault = env.fault(&state, kind, span);
         return StepResult::Fault(state, fault);
     }
@@ -735,7 +774,7 @@ fn bounds_checked_common(
                 SatResult::Sat(m) => m.value_of(idx_t, env.ctx).unwrap_or(cap),
                 _ => cap,
             };
-            let kind = oob_kind(cap, model_idx, inclusive);
+            let kind = oob_kind(cap, model_idx, inclusive, dynamic);
             let fault = env.fault(&bad, kind, span);
             children.push(ForkChild {
                 state: bad,
@@ -791,18 +830,217 @@ fn bounds_checked_common(
     StepResult::Fork(children)
 }
 
-fn oob_kind(cap: i64, idx: i64, inclusive: bool) -> FaultKind {
+fn oob_kind(cap: i64, idx: i64, inclusive: bool, dynamic: bool) -> FaultKind {
     if inclusive {
         FaultKind::StringOob {
             len: cap as u32,
             idx,
         }
+    } else if dynamic && idx == cap {
+        // Dynamic buffers classify the `idx == cap` fencepost as the
+        // off-by-one class, matching the concrete VM.
+        FaultKind::OffByOne { cap: cap as u32 }
     } else {
         FaultKind::BufferOverflow {
             cap: cap as u32,
             idx,
         }
     }
+}
+
+/// Resolves a buffer register to a live heap id. `Err` carries the
+/// fault to raise: unbound or stale handles (registers still holding
+/// their `Unit` default, or ids whose cell was freed) are the
+/// use-after-free class, matching the concrete VM's handle protocol.
+fn live_buf(state: &State, r: Reg) -> Result<usize, FaultKind> {
+    match reg(state, r) {
+        SymValue::Buf(id) if *id < state.heap.len() && state.heap[*id].live => Ok(*id),
+        _ => Err(FaultKind::UseAfterFree),
+    }
+}
+
+/// `alloc(n)`: sizes in `[0, MAX_ALLOC]` produce a live dynamic buffer;
+/// anything else is the allocation-overflow fault. A symbolic size forks
+/// fault children for each feasible violation (mirroring
+/// [`bounds_checked_common`]) and concretizes the in-range allocation so
+/// the heap shape stays a single deterministic point per path.
+fn exec_alloc(
+    env: &mut ExecEnv<'_>,
+    mut state: State,
+    dst: Reg,
+    size: Reg,
+    span: Span,
+) -> StepResult {
+    let size_t = reg(&state, size).as_int();
+    let zero = env.ctx.int(0);
+    let alloc_cells = |env: &mut ExecEnv<'_>, state: &mut State, n: i64| {
+        let z = env.ctx.int(0);
+        let id = state.heap.len();
+        state.heap.push(SymBuf::dynamic(vec![z; n as usize]));
+        set_reg(state, dst, SymValue::Buf(id));
+    };
+
+    if let Some(n) = env.ctx.as_const(size_t) {
+        if !(0..=MAX_ALLOC).contains(&n) {
+            let fault = env.fault(&state, FaultKind::AllocOverflow { req: n }, span);
+            return StepResult::Fault(state, fault);
+        }
+        alloc_cells(env, &mut state, n);
+        return StepResult::Continue(state);
+    }
+
+    // Symbolic request size.
+    env.stats.forks += 1;
+    let max_t = env.ctx.int(MAX_ALLOC);
+    let mut children = Vec::new();
+
+    let too_big = Constraint::new(CmpOp::Lt, max_t, size_t);
+    let negative = Constraint::new(CmpOp::Lt, size_t, zero);
+    for (violation, fallback) in [(too_big, MAX_ALLOC + 1), (negative, -1)] {
+        let mut bad = state.clone();
+        bad.id = env.fresh_id();
+        bad.path = bad.path.push(violation);
+        bad.depth += 1;
+        let hard = bad.path.to_vec();
+        if env.feasible(&hard) {
+            let req = match env
+                .solver
+                .check_traced_at(env.ctx, &hard, env.rec, "fault_model")
+            {
+                SatResult::Sat(m) => m.value_of(size_t, env.ctx).unwrap_or(fallback),
+                _ => fallback,
+            };
+            let fault = env.fault(&bad, FaultKind::AllocOverflow { req }, span);
+            children.push(ForkChild {
+                state: bad,
+                disposition: Disposition::Fault(fault),
+            });
+        } else {
+            env.stats.pruned += 1;
+        }
+    }
+
+    // In-range child, concretized to one allocation size.
+    let lower = Constraint::new(CmpOp::Le, zero, size_t);
+    let upper = Constraint::new(CmpOp::Le, size_t, max_t);
+    let mut ok = state;
+    ok.path = ok.path.push(lower).push(upper);
+    ok.depth += 1;
+    let cons = ok.all_constraints();
+    match env
+        .solver
+        .check_traced_at(env.ctx, &cons, env.rec, "concretize")
+    {
+        SatResult::Sat(model) => {
+            let n = model
+                .value_of(size_t, env.ctx)
+                .unwrap_or(0)
+                .clamp(0, MAX_ALLOC);
+            let point = env.ctx.int(n);
+            ok.path = ok.path.push(Constraint::new(CmpOp::Eq, size_t, point));
+            env.stats.concretizations += 1;
+            alloc_cells(env, &mut ok, n);
+            children.push(ForkChild {
+                state: ok,
+                disposition: Disposition::Active,
+            });
+        }
+        SatResult::Unsat => {
+            if let Some(Disposition::Suspended) = env.classify(&ok) {
+                children.push(ForkChild {
+                    state: ok,
+                    disposition: Disposition::Suspended,
+                });
+            } else {
+                env.stats.pruned += 1;
+            }
+        }
+        SatResult::Unknown => {
+            env.stats.pruned += 1;
+        }
+    }
+    StepResult::Fork(children)
+}
+
+/// The `format(s)` taint sink: a `%` byte anywhere before the NUL
+/// terminator is the format-string fault. A symbolic string fans out
+/// over the first `%`-or-NUL position like [`exec_strlen`]: at each
+/// offset `k` the prefix pins bytes `0..k` to non-NUL non-`%`, the fault
+/// child pins `s[k] == '%'`, and the clean child pins `s[k] == 0`.
+fn exec_format(env: &mut ExecEnv<'_>, state: State, fmt: Reg, span: Span) -> StepResult {
+    let sym = reg(&state, fmt).as_str().clone();
+    // Fully concrete fast path.
+    if let Some(scan) = concrete_format_scan(env.ctx, &sym) {
+        return match scan {
+            Some(pos) => {
+                let kind = FaultKind::FormatString { idx: pos as i64 };
+                let fault = env.fault(&state, kind, span);
+                StepResult::Fault(state, fault)
+            }
+            None => StepResult::Continue(state),
+        };
+    }
+
+    env.stats.forks += 1;
+    let zero = env.ctx.int(0);
+    let pct = env.ctx.int(i64::from(b'%'));
+    let mut children = Vec::new();
+    let mut prefix = state.path.clone();
+    for k in 0..=sym.cap() {
+        if k < sym.cap() {
+            // Fault child: first interesting byte is a `%` at offset k.
+            let mut bad = state.clone();
+            bad.id = env.fresh_id();
+            bad.depth += 1;
+            bad.path = prefix.push(Constraint::new(CmpOp::Eq, sym.bytes[k], pct));
+            if env.feasible(&bad.path.to_vec()) {
+                let fault = env.fault(&bad, FaultKind::FormatString { idx: k as i64 }, span);
+                children.push(ForkChild {
+                    state: bad,
+                    disposition: Disposition::Fault(fault),
+                });
+            } else {
+                env.stats.pruned += 1;
+            }
+        }
+        // Clean child: the string ends at offset k, no `%` seen.
+        let mut ok = state.clone();
+        ok.id = env.fresh_id();
+        ok.depth += 1;
+        ok.path = if k < sym.cap() {
+            prefix.push(Constraint::new(CmpOp::Eq, sym.bytes[k], zero))
+        } else {
+            prefix.clone()
+        };
+        match env.classify(&ok) {
+            Some(d) => children.push(ForkChild {
+                state: ok,
+                disposition: d,
+            }),
+            None => env.stats.pruned += 1,
+        }
+        if k < sym.cap() {
+            prefix = prefix
+                .push(Constraint::new(CmpOp::Ne, sym.bytes[k], zero))
+                .push(Constraint::new(CmpOp::Ne, sym.bytes[k], pct));
+        }
+    }
+    StepResult::Fork(children)
+}
+
+/// Concrete `%`-scan: `None` if any byte before the terminator is
+/// symbolic, otherwise `Some(Some(pos))` for the first `%` before the
+/// NUL or `Some(None)` for a clean string.
+fn concrete_format_scan(ctx: &TermCtx, s: &SymStr) -> Option<Option<usize>> {
+    for (i, &b) in s.bytes.iter().enumerate() {
+        match ctx.as_const(b) {
+            Some(0) => return Some(None),
+            Some(v) if v == i64::from(b'%') => return Some(Some(i)),
+            Some(_) => {}
+            None => return None,
+        }
+    }
+    Some(None)
 }
 
 /// `strlen` over a possibly-symbolic string: forks one child per

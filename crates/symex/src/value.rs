@@ -77,11 +77,38 @@ impl SymStr {
     }
 }
 
-/// A symbolic buffer: fixed capacity, mutable byte cells.
+/// A symbolic buffer: fixed capacity, mutable byte cells, plus the heap
+/// lifetime metadata the use-after-free / off-by-one checks need.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SymBuf {
     /// Cell terms; length is the capacity.
     pub cells: Vec<TermId>,
+    /// False once `free` released the cell; any later access faults.
+    pub live: bool,
+    /// True for `alloc`-produced buffers. Dynamic buffers classify an
+    /// access at exactly `cap` as [`concrete::FaultKind::OffByOne`];
+    /// stack buffers keep the legacy overflow classification.
+    pub dynamic: bool,
+}
+
+impl SymBuf {
+    /// A live stack (fixed-capacity) buffer.
+    pub fn stack(cells: Vec<TermId>) -> SymBuf {
+        SymBuf {
+            cells,
+            live: true,
+            dynamic: false,
+        }
+    }
+
+    /// A live dynamic (`alloc`-produced) buffer.
+    pub fn dynamic(cells: Vec<TermId>) -> SymBuf {
+        SymBuf {
+            cells,
+            live: true,
+            dynamic: true,
+        }
+    }
 }
 
 /// A symbolic value held in a register or global.
@@ -161,6 +188,14 @@ impl SymValue {
 mod tests {
     use super::*;
     use solver::CmpOp;
+
+    #[test]
+    fn symbuf_constructors_set_lifetime_metadata() {
+        let b = SymBuf::stack(vec![TermId(0)]);
+        assert!(b.live && !b.dynamic);
+        let d = SymBuf::dynamic(vec![TermId(0)]);
+        assert!(d.live && d.dynamic);
+    }
 
     #[test]
     fn boolval_negation() {

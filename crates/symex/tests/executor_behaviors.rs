@@ -249,6 +249,166 @@ fn exit_paths_do_not_leak_into_fault_search() {
 }
 
 #[test]
+fn symbolic_alloc_size_forks_an_overflow_child() {
+    // `n * 128` escapes [0, MAX_ALLOC] for most inputs; the engine must
+    // fork the allocation-overflow child and the replay must agree.
+    let src = r#"
+        fn main() {
+            let n: int = input_int("n");
+            let h: buf = alloc(n * 128);
+            buf_set(h, 0, 1);
+            free(h);
+        }
+    "#;
+    let (report, module) = run(src, EngineConfig::default());
+    let found = report.outcome.found().expect("alloc overflow reachable");
+    assert!(matches!(found.fault.kind, FaultKind::AllocOverflow { .. }));
+    let vm = Vm::new(&module, VmConfig::default());
+    let replay = vm.run(&found.inputs).unwrap();
+    assert!(matches!(
+        replay.outcome.fault().unwrap().kind,
+        FaultKind::AllocOverflow { .. }
+    ));
+}
+
+#[test]
+fn off_by_one_loop_bound_on_dynamic_buffer_is_classified() {
+    // `i <= buf_cap(h)` walks one past the end; dynamic buffers classify
+    // the fencepost as the off-by-one family, not a generic overflow.
+    let src = r#"
+        fn main() {
+            let n: int = input_int("n");
+            let h: buf = alloc(4);
+            if (n > 10) {
+                let i: int = 0;
+                while (i <= buf_cap(h)) {
+                    buf_set(h, i, 7);
+                    i = i + 1;
+                }
+            }
+            free(h);
+        }
+    "#;
+    let (report, module) = run(src, EngineConfig::default());
+    let found = report.outcome.found().expect("off-by-one reachable");
+    assert!(
+        matches!(found.fault.kind, FaultKind::OffByOne { cap: 4 }),
+        "got {:?}",
+        found.fault.kind
+    );
+    let vm = Vm::new(&module, VmConfig::default());
+    let replay = vm.run(&found.inputs).unwrap();
+    assert!(matches!(
+        replay.outcome.fault().unwrap().kind,
+        FaultKind::OffByOne { cap: 4 }
+    ));
+}
+
+#[test]
+fn stack_buffer_fencepost_keeps_overflow_classification() {
+    // The same `idx == cap` access on a stack buffer stays in the legacy
+    // buffer-overflow class (the paper benchapps depend on this).
+    let src = r#"
+        fn main() {
+            let b: buf[4];
+            buf_set(b, 4, 1);
+        }
+    "#;
+    let (report, _) = run(src, EngineConfig::default());
+    let found = report.outcome.found().expect("fencepost faults");
+    assert!(matches!(
+        found.fault.kind,
+        FaultKind::BufferOverflow { cap: 4, idx: 4 }
+    ));
+}
+
+#[test]
+fn symbolic_format_string_finds_a_percent_byte() {
+    let src = r#"
+        fn main() {
+            let s: str = input_str("s", 6);
+            format(s);
+        }
+    "#;
+    let (report, module) = run(src, EngineConfig::default());
+    let found = report.outcome.found().expect("percent byte reachable");
+    assert!(matches!(found.fault.kind, FaultKind::FormatString { .. }));
+    let vm = Vm::new(&module, VmConfig::default());
+    let replay = vm.run(&found.inputs).unwrap();
+    assert!(matches!(
+        replay.outcome.fault().unwrap().kind,
+        FaultKind::FormatString { .. }
+    ));
+}
+
+#[test]
+fn concrete_clean_format_does_not_fault() {
+    let src = r#"
+        fn main() {
+            format("plain text");
+        }
+    "#;
+    let (report, _) = run(src, EngineConfig::default());
+    assert!(matches!(report.outcome, RunOutcome::Completed));
+}
+
+#[test]
+fn use_after_free_behind_symbolic_guard_is_found() {
+    // The free happens only on the `n > 100` branch; the later write is
+    // a use-after-free exactly there, and the model must land on it.
+    let src = r#"
+        fn main() {
+            let n: int = input_int("n");
+            let h: buf = alloc(4);
+            if (n > 100) {
+                free(h);
+            }
+            buf_set(h, 1, 2);
+        }
+    "#;
+    let (report, module) = run(src, EngineConfig::default());
+    let found = report.outcome.found().expect("uaf reachable");
+    assert!(matches!(found.fault.kind, FaultKind::UseAfterFree));
+    let vm = Vm::new(&module, VmConfig::default());
+    let replay = vm.run(&found.inputs).unwrap();
+    assert!(matches!(
+        replay.outcome.fault().unwrap().kind,
+        FaultKind::UseAfterFree
+    ));
+    match found.inputs.get("n") {
+        Some(concrete::InputValue::Int(v)) => assert!(*v > 100, "n = {v}"),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn double_free_faults_symbolically() {
+    let src = r#"
+        fn main() {
+            let h: buf = alloc(8);
+            free(h);
+            free(h);
+        }
+    "#;
+    let (report, _) = run(src, EngineConfig::default());
+    let found = report.outcome.found().expect("double free faults");
+    assert!(matches!(found.fault.kind, FaultKind::UseAfterFree));
+}
+
+#[test]
+fn freeing_a_stack_buffer_is_an_invalid_free() {
+    let src = r#"
+        fn main() {
+            let b: buf[4];
+            free(b);
+        }
+    "#;
+    let (report, _) = run(src, EngineConfig::default());
+    let found = report.outcome.found().expect("invalid free faults");
+    assert!(matches!(found.fault.kind, FaultKind::UseAfterFree));
+}
+
+#[test]
 fn rendered_constraints_are_human_readable() {
     let src = r#"
         fn main() {

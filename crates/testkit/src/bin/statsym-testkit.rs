@@ -2,18 +2,22 @@
 //! oracles and chaos schedules.
 //!
 //! ```text
-//! statsym-testkit [--seeds A..B] [--no-chaos] [--sabotage] [--verbose]
+//! statsym-testkit [--seeds A..B] [--class LABEL] [--no-chaos] [--sabotage] [--verbose]
 //! ```
 //!
 //! Exit codes: 0 all oracles held, 1 at least one violation (a shrunk
 //! reproducer is printed per violation), 2 usage error.
 
 use std::process::ExitCode;
-use testkit::{run_seeds, RunnerConfig};
+use testkit::{run_seeds, FaultClass, RunnerConfig};
 
-const USAGE: &str = "usage: statsym-testkit [--seeds A..B] [--no-chaos] [--sabotage] [--verbose]
+const USAGE: &str =
+    "usage: statsym-testkit [--seeds A..B] [--class LABEL] [--no-chaos] [--sabotage] [--verbose]
 
   --seeds A..B   seed range to soak, half-open (default 0..100)
+  --class LABEL  only soak seeds planting the given fault class
+                 (overflow, string-oob, assert, div0, stack,
+                 alloc-overflow, off-by-one, format-string, uaf)
   --no-chaos     skip the fault-injection (chaos) oracle
   --sabotage     run a deliberately broken oracle to demonstrate the
                  shrink-and-report path (exits 1 by design)
@@ -40,6 +44,13 @@ fn parse_args(args: &[String]) -> Result<RunnerConfig, String> {
                     .ok_or_else(|| format!("bad seed range `{v}` (want A..B, A < B)"))?;
                 config.start = start;
                 config.end = end;
+            }
+            "--class" => {
+                let v = it.next().ok_or("--class needs a fault-class label")?;
+                config.class = Some(
+                    FaultClass::from_label(v)
+                        .ok_or_else(|| format!("unknown fault class `{v}`"))?,
+                );
             }
             "--no-chaos" => config.chaos = false,
             "--sabotage" => config.sabotage = true,

@@ -28,9 +28,9 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::fmt::Write as _;
 
-/// The five fault classes the generator can plant, mirroring
+/// The nine fault classes the generator can plant, mirroring
 /// [`concrete::FaultKind`] without payload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultClass {
     /// `buf_set` past capacity in an unchecked copy loop.
     BufferOverflow,
@@ -42,16 +42,28 @@ pub enum FaultClass {
     DivByZero,
     /// Unbounded self-recursion behind an input guard.
     Recursion,
+    /// Input-scaled `alloc` request escaping `[0, MAX_ALLOC]`.
+    AllocOverflow,
+    /// `<=` loop bound walking one past a dynamic buffer's capacity.
+    OffByOne,
+    /// Attacker string reaching the `format(..)` sink with a `%`.
+    FormatString,
+    /// Access of a heap buffer after an input-guarded `free`.
+    UseAfterFree,
 }
 
 impl FaultClass {
     /// All classes, in the order the seed selects from.
-    pub const ALL: [FaultClass; 5] = [
+    pub const ALL: [FaultClass; 9] = [
         FaultClass::BufferOverflow,
         FaultClass::StringOob,
         FaultClass::Assert,
         FaultClass::DivByZero,
         FaultClass::Recursion,
+        FaultClass::AllocOverflow,
+        FaultClass::OffByOne,
+        FaultClass::FormatString,
+        FaultClass::UseAfterFree,
     ];
 
     /// The class of a concrete fault.
@@ -62,10 +74,14 @@ impl FaultClass {
             FaultKind::AssertFailed => FaultClass::Assert,
             FaultKind::DivByZero => FaultClass::DivByZero,
             FaultKind::StackOverflow => FaultClass::Recursion,
+            FaultKind::AllocOverflow { .. } => FaultClass::AllocOverflow,
+            FaultKind::OffByOne { .. } => FaultClass::OffByOne,
+            FaultKind::FormatString { .. } => FaultClass::FormatString,
+            FaultKind::UseAfterFree => FaultClass::UseAfterFree,
         }
     }
 
-    /// Short stable label for messages.
+    /// Short stable label for messages and `--class` filters.
     pub fn label(self) -> &'static str {
         match self {
             FaultClass::BufferOverflow => "overflow",
@@ -73,7 +89,17 @@ impl FaultClass {
             FaultClass::Assert => "assert",
             FaultClass::DivByZero => "div0",
             FaultClass::Recursion => "stack",
+            FaultClass::AllocOverflow => "alloc-overflow",
+            FaultClass::OffByOne => "off-by-one",
+            FaultClass::FormatString => "format-string",
+            FaultClass::UseAfterFree => "uaf",
         }
+    }
+
+    /// Parses a [`FaultClass::label`] back to its class (for CLI
+    /// `--class` filters). Returns `None` for unknown labels.
+    pub fn from_label(label: &str) -> Option<FaultClass> {
+        FaultClass::ALL.iter().copied().find(|c| c.label() == label)
     }
 }
 
@@ -229,6 +255,91 @@ pub fn generate(seed: u64) -> Generated {
                 fault_stmts.push(format!("if (a > {guard}) {{ print(spin(a)); }}"));
             }
         }
+        FaultClass::AllocOverflow => {
+            // `a * k` stays within MAX_ALLOC for small guarded inputs and
+            // escapes it for larger ones: the overflow-feeding-malloc shape.
+            reads_a = true;
+            let k = rng.random_range(512..=700i64);
+            if in_function {
+                let _ = write!(
+                    fns,
+                    "fn vuln(n0: int) {{\n\
+                     \x20   if (n0 > {guard}) {{\n\
+                     \x20       let h0: buf = alloc(n0 * {k});\n\
+                     \x20       buf_set(h0, 0, 1);\n\
+                     \x20       free(h0);\n\
+                     \x20   }}\n}}\n"
+                );
+                fault_stmts.push("vuln(a);".into());
+            } else {
+                fault_stmts.push(format!(
+                    "if (a > {guard}) {{ let h0: buf = alloc(a * {k}); buf_set(h0, 0, 1); free(h0); }}"
+                ));
+            }
+        }
+        FaultClass::OffByOne => {
+            reads_a = true;
+            let cap = rng.random_range(3..=6u32);
+            if in_function {
+                let _ = write!(
+                    fns,
+                    "fn vuln(n0: int) {{\n\
+                     \x20   let h0: buf = alloc({cap});\n\
+                     \x20   if (n0 > {guard}) {{\n\
+                     \x20       let i0: int = 0;\n\
+                     \x20       while (i0 <= buf_cap(h0)) {{\n\
+                     \x20           buf_set(h0, i0, 7);\n\
+                     \x20           i0 = i0 + 1;\n\
+                     \x20       }}\n\
+                     \x20   }}\n\
+                     \x20   free(h0);\n}}\n"
+                );
+                fault_stmts.push("vuln(a);".into());
+            } else {
+                fault_stmts.push(format!("let h0: buf = alloc({cap});"));
+                fault_stmts.push(format!(
+                    "if (a > {guard}) {{ let i0: int = 0; while (i0 <= buf_cap(h0)) {{ buf_set(h0, i0, 7); i0 = i0 + 1; }} }}"
+                ));
+                fault_stmts.push("free(h0);".into());
+            }
+        }
+        FaultClass::FormatString => {
+            let scap = rng.random_range(4..=8u32);
+            str_cap = Some(scap);
+            reads_a = true;
+            if in_function {
+                let _ = write!(
+                    fns,
+                    "fn vuln(s1: str, n0: int) {{\n\
+                     \x20   if (n0 > {guard}) {{ format(s1); }}\n}}\n"
+                );
+                fault_stmts.push("vuln(s, a);".into());
+            } else {
+                fault_stmts.push(format!("if (a > {guard}) {{ format(s); }}"));
+            }
+        }
+        FaultClass::UseAfterFree => {
+            reads_a = true;
+            let cap = rng.random_range(2..=6u32);
+            if in_function {
+                let _ = write!(
+                    fns,
+                    "fn vuln(n0: int) {{\n\
+                     \x20   let h0: buf = alloc({cap});\n\
+                     \x20   buf_set(h0, 0, 1);\n\
+                     \x20   if (n0 > {guard}) {{ free(h0); }}\n\
+                     \x20   buf_set(h0, 1, 2);\n\
+                     \x20   free(h0);\n}}\n"
+                );
+                fault_stmts.push("vuln(a);".into());
+            } else {
+                fault_stmts.push(format!("let h0: buf = alloc({cap});"));
+                fault_stmts.push("buf_set(h0, 0, 1);".into());
+                fault_stmts.push(format!("if (a > {guard}) {{ free(h0); }}"));
+                fault_stmts.push("buf_set(h0, 1, 2);".into());
+                fault_stmts.push("free(h0);".into());
+            }
+        }
     }
 
     // Main: input reads, fault-free noise, then the fault template.
@@ -301,7 +412,17 @@ pub fn sample_inputs(g: &Generated, rng: &mut StdRng) -> InputMap {
     let mut map = InputMap::new();
     if let Some(scap) = g.str_cap {
         let len = rng.random_range(0..=scap);
-        let bytes: Vec<u8> = (0..len).map(|_| rng.random_range(b'a'..=b'z')).collect();
+        // Format-string programs need `%` bytes in the attacker alphabet
+        // for the faulty population to exist at all.
+        let bytes: Vec<u8> = (0..len)
+            .map(|_| {
+                if g.class == FaultClass::FormatString && rng.random_bool(0.3) {
+                    b'%'
+                } else {
+                    rng.random_range(b'a'..=b'z')
+                }
+            })
+            .collect();
         map.insert("s".to_string(), InputValue::Str(bytes));
     }
     if g.reads_a {
@@ -340,12 +461,107 @@ mod tests {
     }
 
     #[test]
-    fn all_five_classes_appear_in_a_small_seed_range() {
+    fn all_nine_classes_appear_in_a_small_seed_range() {
         let mut seen = std::collections::HashSet::new();
-        for seed in 0..64 {
+        for seed in 0..128 {
             seen.insert(generate(seed).class.label());
         }
-        assert_eq!(seen.len(), 5, "{seen:?}");
+        assert_eq!(seen.len(), FaultClass::ALL.len(), "{seen:?}");
+    }
+
+    #[test]
+    fn labels_roundtrip_through_from_label() {
+        for class in FaultClass::ALL {
+            assert_eq!(FaultClass::from_label(class.label()), Some(class));
+        }
+        assert_eq!(FaultClass::from_label("nope"), None);
+    }
+
+    #[test]
+    fn every_class_admits_a_faulty_concrete_run() {
+        // For each of the nine classes, some seed + sampled input must
+        // trigger the planted fault with the matching class — the
+        // generator's end of the replay-oracle contract.
+        let mut faulted = std::collections::HashSet::new();
+        'seeds: for seed in 0..200 {
+            let g = generate(seed);
+            if faulted.contains(&g.class) {
+                continue;
+            }
+            let module = sir::lower(&g.program).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+            for _ in 0..80 {
+                let inputs = sample_inputs(&g, &mut rng);
+                let run = concrete::run_logged(&module, &inputs, 1.0, 0).unwrap();
+                if let Some(fault) = &run.log.fault {
+                    let kind = fault.kind;
+                    assert_eq!(
+                        FaultClass::of_kind(&kind),
+                        g.class,
+                        "seed {seed} planted {:?} but faulted {kind:?}\n{}",
+                        g.class,
+                        g.source
+                    );
+                    faulted.insert(g.class);
+                    continue 'seeds;
+                }
+            }
+        }
+        for class in FaultClass::ALL {
+            assert!(faulted.contains(&class), "{class} never faulted");
+        }
+    }
+
+    #[test]
+    fn every_class_is_symbolically_detectable_and_model_replayable() {
+        // The symbolic half of the exhaustiveness contract: for every
+        // class, some generated program's exhaustive symbolic run finds
+        // the planted class, and the solver model replays on the
+        // concrete VM to the same class — a FaultKind variant cannot be
+        // added without the engine, the VM, and the generator all
+        // agreeing on it (the `of_kind` match above enforces the
+        // compile-time half).
+        let mut proven = std::collections::HashSet::new();
+        for seed in 0..200 {
+            let g = generate(seed);
+            if proven.contains(&g.class) {
+                continue;
+            }
+            let module = sir::lower(&g.program).unwrap();
+            let report = symex::Engine::new(&module, crate::oracles::budget()).run();
+            let Some(found) = report.outcome.found() else {
+                continue;
+            };
+            assert_eq!(
+                FaultClass::of_kind(&found.fault.kind),
+                g.class,
+                "seed {seed} planted {:?} but the engine found {:?}\n{}",
+                g.class,
+                found.fault.kind,
+                g.source
+            );
+            let vm = concrete::Vm::new(&module, concrete::VmConfig::default());
+            let run = vm
+                .run(&found.inputs)
+                .unwrap_or_else(|e| panic!("seed {seed}: VM rejected model inputs: {e}"));
+            let fault = run
+                .outcome
+                .fault()
+                .unwrap_or_else(|| panic!("seed {seed}: model inputs complete concretely"));
+            assert_eq!(
+                FaultClass::of_kind(&fault.kind),
+                g.class,
+                "seed {seed}: replay class diverged\n{}",
+                g.source
+            );
+            proven.insert(g.class);
+            if proven.len() == FaultClass::ALL.len() {
+                break;
+            }
+        }
+        for class in FaultClass::ALL {
+            assert!(proven.contains(&class), "{class} never proven symbolically");
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! `statsym-testkit --seeds N..N+1`.
 
 use crate::chaos::check_chaos;
-use crate::gen::generate;
+use crate::gen::{generate, FaultClass};
 use crate::oracles::{budget, check, check_all, OracleOutcome};
 use crate::shrink::shrink;
 use minic::ast::Program;
@@ -33,6 +33,9 @@ pub struct RunnerConfig {
     pub chaos: bool,
     /// Log per-seed outcomes to stderr.
     pub verbose: bool,
+    /// Only soak seeds whose planted fault class matches (per-family
+    /// sweeps); `None` soaks every seed.
+    pub class: Option<FaultClass>,
 }
 
 impl Default for RunnerConfig {
@@ -43,6 +46,7 @@ impl Default for RunnerConfig {
             sabotage: false,
             chaos: true,
             verbose: false,
+            class: None,
         }
     }
 }
@@ -157,6 +161,9 @@ pub fn run_seeds(config: &RunnerConfig) -> RunnerReport {
             break;
         }
         let g = generate(seed);
+        if config.class.is_some_and(|c| c != g.class) {
+            continue;
+        }
         report.seeds_run += 1;
 
         if config.sabotage {
@@ -236,6 +243,23 @@ mod tests {
         assert!(report.passed(), "{report}");
         assert_eq!(report.seeds_run, 8);
         assert!(report.passes > 0, "no oracle ever engaged: {report}");
+    }
+
+    #[test]
+    fn class_filter_soaks_only_matching_seeds() {
+        let report = run_seeds(&RunnerConfig {
+            start: 0,
+            end: 64,
+            chaos: false,
+            class: Some(FaultClass::UseAfterFree),
+            ..RunnerConfig::default()
+        });
+        assert!(report.passed(), "{report}");
+        let expected = (0..64)
+            .filter(|&s| generate(s).class == FaultClass::UseAfterFree)
+            .count() as u64;
+        assert!(expected > 0, "no uaf seed in 0..64");
+        assert_eq!(report.seeds_run, expected);
     }
 
     #[test]

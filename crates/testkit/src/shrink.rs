@@ -25,19 +25,23 @@ pub fn shrink(program: &Program, still_fails: &mut dyn FnMut(&Program) -> bool) 
     };
     let mut size = weight(&current);
     loop {
+        // Best-first: probe the lightest viable mutant before heavier
+        // ones, so a heap-intrinsic-shedding drop wins over an earlier
+        // text-only reduction (first-improvement order would lock in a
+        // shorter double-free before trying to drop the second free).
+        let mut viable: Vec<_> = candidates(&current)
+            .into_iter()
+            .filter_map(|mutant| {
+                let normalized = revalidate(&mutant)?;
+                let w = weight(&normalized);
+                (w < size && sir::lower(&normalized).is_ok()).then_some((w, normalized))
+            })
+            .collect();
+        viable.sort_by_key(|v| v.0);
         let mut improved = false;
-        for mutant in candidates(&current) {
-            let Some(normalized) = revalidate(&mutant) else {
-                continue;
-            };
-            if weight(&normalized) >= size {
-                continue;
-            }
-            if sir::lower(&normalized).is_err() {
-                continue;
-            }
+        for (w, normalized) in viable {
             if still_fails(&normalized) {
-                size = weight(&normalized);
+                size = w;
                 current = normalized;
                 improved = true;
                 break;
@@ -49,13 +53,19 @@ pub fn shrink(program: &Program, still_fails: &mut dyn FnMut(&Program) -> bool) 
     }
 }
 
-/// Shrink metric, compared lexicographically: rendered length first,
-/// then the summed magnitude of all literals. Halving `buf[8]` to
-/// `buf[4]` leaves the length unchanged but strictly decreases the
-/// second component, so literal shrinks always make progress and the
-/// descent still terminates (both components are non-negative and one
-/// strictly drops on every accepted step).
-fn weight(p: &Program) -> (usize, u128) {
+/// Shrink metric, compared lexicographically: heap-intrinsic count
+/// (`alloc`/`free`/`format` call sites) first, rendered length second,
+/// then the summed magnitude of all literals.
+///
+/// Heap intrinsics dominate so a use-after-free reproducer reduces to a
+/// single alloc/free pair plus one access — without the first component
+/// the descent prefers a shorter double-free (`free; free;` renders
+/// shorter than a `buf_set` access but carries one more heap op).
+/// Halving `buf[8]` to `buf[4]` leaves the first two components
+/// unchanged but strictly decreases the third, so literal shrinks always
+/// make progress and the descent still terminates (all components are
+/// non-negative and one strictly drops on every accepted step).
+fn weight(p: &Program) -> (usize, usize, u128) {
     let mut magnitude: u128 = 0;
     visit_literals(p, &mut |site| {
         magnitude = magnitude.saturating_add(match site {
@@ -64,7 +74,65 @@ fn weight(p: &Program) -> (usize, u128) {
             LitSite::BufCap(cap) => cap as u128,
         });
     });
-    (print_program(p).len(), magnitude)
+    (count_heap_intrinsics(p), print_program(p).len(), magnitude)
+}
+
+/// Counts `alloc`/`free`/`format` call sites across the program.
+fn count_heap_intrinsics(p: &Program) -> usize {
+    fn expr(e: &Expr, n: &mut usize) {
+        match &e.kind {
+            ExprKind::Call { callee, args } => {
+                if matches!(callee.as_str(), "alloc" | "free" | "format") {
+                    *n += 1;
+                }
+                for a in args {
+                    expr(a, n);
+                }
+            }
+            ExprKind::Bin { lhs, rhs, .. } => {
+                expr(lhs, n);
+                expr(rhs, n);
+            }
+            ExprKind::Un { operand, .. } => expr(operand, n),
+            _ => {}
+        }
+    }
+    fn block(b: &Block, n: &mut usize) {
+        for s in &b.stmts {
+            match &s.kind {
+                StmtKind::Let { init: Some(e), .. } => expr(e, n),
+                StmtKind::Let { init: None, .. } => {}
+                StmtKind::Assign { value, .. } => expr(value, n),
+                StmtKind::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                } => {
+                    expr(cond, n);
+                    block(then_blk, n);
+                    if let Some(e) = else_blk {
+                        block(e, n);
+                    }
+                }
+                StmtKind::While { cond, body } => {
+                    expr(cond, n);
+                    block(body, n);
+                }
+                StmtKind::Return(Some(e)) | StmtKind::Assert(e) | StmtKind::Expr(e) => expr(e, n),
+                _ => {}
+            }
+        }
+    }
+    let mut n = 0;
+    for g in &p.globals {
+        if let Some(e) = &g.init {
+            expr(e, &mut n);
+        }
+    }
+    for f in &p.functions {
+        block(&f.body, &mut n);
+    }
+    n
 }
 
 /// Pretty-print + reparse: validates the mutant (the parser type-checks)
@@ -488,6 +556,45 @@ mod tests {
         // The result must reparse (shrink guarantees it, but verify).
         parse_program(&print_program(&small)).unwrap();
         assert!(print_program(&small).contains("buf_set"));
+    }
+
+    #[test]
+    fn uaf_reproducers_shrink_to_one_alloc_free_pair() {
+        // Three alloc/free pairs of heap noise around the real bug; the
+        // heap-dominant metric must strip the reproducer down to exactly
+        // one alloc, one free, and the faulting access — not a shorter
+        // double-free.
+        let src = r#"
+            fn main() {
+                let a: int = input_int("a");
+                let h1: buf = alloc(6);
+                buf_set(h1, 0, 1);
+                free(h1);
+                let h2: buf = alloc(2);
+                buf_set(h2, 0, 3);
+                free(h2);
+                let h0: buf = alloc(4);
+                if (a > 2) { free(h0); }
+                buf_set(h0, 1, 2);
+                free(h0);
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let mut still_uaf = |q: &Program| {
+            let Ok(module) = sir::lower(q) else {
+                return false;
+            };
+            let report = symex::Engine::new(&module, crate::oracles::budget()).run();
+            matches!(
+                report.outcome.found().map(|f| f.fault.kind),
+                Some(concrete::FaultKind::UseAfterFree)
+            )
+        };
+        let small = shrink(&p, &mut still_uaf);
+        let rendered = print_program(&small);
+        assert!(still_uaf(&small), "shrunk program no longer faults");
+        assert_eq!(rendered.matches("alloc(").count(), 1, "{rendered}");
+        assert_eq!(rendered.matches("free(").count(), 1, "{rendered}");
     }
 
     #[test]

@@ -81,6 +81,10 @@ fn fault_class(kind: &FaultKind) -> &'static str {
         FaultKind::AssertFailed => "assert",
         FaultKind::DivByZero => "div0",
         FaultKind::StackOverflow => "stack",
+        FaultKind::AllocOverflow { .. } => "alloc-overflow",
+        FaultKind::OffByOne { .. } => "off-by-one",
+        FaultKind::FormatString { .. } => "format-string",
+        FaultKind::UseAfterFree => "uaf",
     }
 }
 
