@@ -19,7 +19,16 @@ use std::time::Duration;
 use symex::{Engine, EngineConfig, RunOutcome, SchedulerKind};
 
 fn main() {
-    let sink = TraceSink::from_args();
+    let mut sink = TraceSink::from_args();
+    // The ablations sweep many configs; fingerprint the paper baseline
+    // they all perturb.
+    let base = bench::statsym_config();
+    sink.set_manifest_meta(
+        PAPER_SEED,
+        &statsym_core::pipeline::config_fingerprint(&base),
+        &format!("{base:#?}"),
+    );
+    let sink = sink;
     tau_sensitivity(sink.recorder());
     scheduler_ablation(sink.recorder());
     compound_predicates(sink.recorder());

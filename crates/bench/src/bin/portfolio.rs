@@ -47,6 +47,7 @@ fn config(workers: usize, sink: &TraceSink) -> StatSymConfig {
             lineage: sink.lineage(),
             attribution: sink.attr(),
             provenance: sink.attr(),
+            panic_after: sink.panic_after(),
             ..base.engine
         },
         // The pinned pre-fault prefix (pattern matching over concrete
@@ -89,7 +90,7 @@ fn decoy(analysis: &AnalysisReport) -> CandidatePath {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let sink = TraceSink::extract(&mut args);
+    let mut sink = TraceSink::extract(&mut args);
     let mut out = String::from("BENCH_portfolio.json");
     let mut decoys = DECOYS;
     let mut it = args.iter();
@@ -114,19 +115,29 @@ fn main() {
                 eprintln!(
                     "usage: [--out <path>] [--decoys <n>] \
                      [--trace <path>] [--clock steps|wall] [--workers <n>] [--lineage] \
-                     [--attr] [--no-share-cache]"
+                     [--attr] [--no-share-cache] [--history <dir>] [--expose <addr>] \
+                     [--crash-dir <dir>] [--panic-after <steps>]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    let rec = sink.recorder();
     // An explicit --workers collapses the sweep to that single count —
     // the shape CI uses for its small traced workload.
     let worker_counts: Vec<usize> = match sink.explicit_workers() {
         Some(w) => vec![w],
         None => WORKER_COUNTS.to_vec(),
     };
+    // Manifest/crash-bundle identity: fingerprint the sequential-shape
+    // config — scheduling canonicalization makes the worker count moot.
+    let fingerprint_cfg = config(1, &sink);
+    sink.set_manifest_meta(
+        PAPER_SEED,
+        &statsym_core::pipeline::config_fingerprint(&fingerprint_cfg),
+        &format!("{fingerprint_cfg:#?}"),
+    );
+    let sink = sink;
+    let rec = sink.recorder();
 
     let app = benchapps::grep();
     let logs = generate_corpus(

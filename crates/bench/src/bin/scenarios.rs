@@ -50,7 +50,14 @@ fn config(workers: usize, sink: &TraceSink) -> StatSymConfig {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let sink = TraceSink::extract(&mut args);
+    let mut sink = TraceSink::extract(&mut args);
+    let fingerprint_cfg = config(1, &sink);
+    sink.set_manifest_meta(
+        PAPER_SEED,
+        &statsym_core::pipeline::config_fingerprint(&fingerprint_cfg),
+        &format!("{fingerprint_cfg:#?}"),
+    );
+    let sink = sink;
     let mut out = String::from("BENCH_scenarios.json");
     let mut it = args.iter();
     while let Some(a) = it.next() {

@@ -9,10 +9,18 @@
 //! per-state exploration tree for `statsym-inspect
 //! tree|coverage|flame|watch`.
 
-use bench::{run_statsym_opts_traced, GuidedRunOpts, Table, TraceSink, PAPER_SEED};
+use bench::{guided_config, run_statsym_opts_traced, GuidedRunOpts, Table, TraceSink, PAPER_SEED};
+use statsym_core::pipeline::config_fingerprint;
 
 fn main() {
-    let sink = TraceSink::from_args();
+    let mut sink = TraceSink::from_args();
+    let cfg = guided_config(&GuidedRunOpts {
+        workers: sink.workers(),
+        lineage: sink.lineage(),
+        attr: sink.attr(),
+        share_cache: sink.share_cache(),
+    });
+    sink.set_manifest_meta(PAPER_SEED, &config_fingerprint(&cfg), &format!("{cfg:#?}"));
     print_breakdown(
         1.0,
         "TABLE II: detours and time breakdown, sampling rate 100%",

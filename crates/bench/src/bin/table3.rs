@@ -8,10 +8,19 @@
 //! records the per-state exploration tree for `statsym-inspect
 //! tree|coverage|flame|watch`.
 
-use bench::{run_statsym_opts_traced, GuidedRunOpts, Table, TraceSink, PAPER_SEED};
+use bench::{guided_config, run_statsym_opts_traced, GuidedRunOpts, Table, TraceSink, PAPER_SEED};
+use statsym_core::pipeline::config_fingerprint;
 
 fn main() {
-    let sink = TraceSink::from_args();
+    let mut sink = TraceSink::from_args();
+    let cfg = guided_config(&GuidedRunOpts {
+        workers: sink.workers(),
+        lineage: sink.lineage(),
+        attr: sink.attr(),
+        share_cache: sink.share_cache(),
+    });
+    sink.set_manifest_meta(PAPER_SEED, &config_fingerprint(&cfg), &format!("{cfg:#?}"));
+    let sink = sink;
     let rate = 0.3;
     let mut table = Table::new(
         "TABLE III: detours and time breakdown, sampling rate 30%",

@@ -11,13 +11,22 @@
 //! tree|coverage|flame|watch`.
 
 use bench::{
-    pure_engine_config, run_pure_traced, run_statsym_opts_traced, GuidedRunOpts, Table, TraceSink,
-    DEFAULT_SAMPLING, PAPER_SEED,
+    guided_config, pure_engine_config, run_pure_traced, run_statsym_opts_traced, GuidedRunOpts,
+    Table, TraceSink, DEFAULT_SAMPLING, PAPER_SEED,
 };
+use statsym_core::pipeline::config_fingerprint;
 use symex::{EngineConfig, RunOutcome};
 
 fn main() {
-    let sink = TraceSink::from_args();
+    let mut sink = TraceSink::from_args();
+    let cfg = guided_config(&GuidedRunOpts {
+        workers: sink.workers(),
+        lineage: sink.lineage(),
+        attr: sink.attr(),
+        share_cache: sink.share_cache(),
+    });
+    sink.set_manifest_meta(PAPER_SEED, &config_fingerprint(&cfg), &format!("{cfg:#?}"));
+    let sink = sink;
     let mut table = Table::new(
         "TABLE IV: paths explored and time before finding the bug (30% sampling)",
         &[

@@ -144,6 +144,24 @@ pub fn run_statsym_workers_traced(
     )
 }
 
+/// The exact pipeline configuration [`run_statsym_opts_traced`] runs
+/// with — exposed so bench binaries can fingerprint it for run
+/// manifests and crash bundles.
+pub fn guided_config(opts: &GuidedRunOpts) -> StatSymConfig {
+    let base = statsym_config();
+    StatSymConfig {
+        workers: opts.workers,
+        share_cache: opts.share_cache,
+        engine: EngineConfig {
+            lineage: opts.lineage,
+            attribution: opts.attr,
+            provenance: opts.attr,
+            ..base.engine
+        },
+        ..base
+    }
+}
+
 /// [`run_statsym_workers_traced`] with the full execution-stage option
 /// set, including lineage tracing.
 pub fn run_statsym_opts_traced(
@@ -165,18 +183,7 @@ pub fn run_statsym_opts_traced(
         },
         rec,
     );
-    let base = statsym_config();
-    let statsym = StatSym::new(StatSymConfig {
-        workers: opts.workers,
-        share_cache: opts.share_cache,
-        engine: EngineConfig {
-            lineage: opts.lineage,
-            attribution: opts.attr,
-            provenance: opts.attr,
-            ..base.engine
-        },
-        ..base
-    });
+    let statsym = StatSym::new(guided_config(&opts));
     let analysis = statsym.analyze_traced(&logs, rec);
     // The paper configures required program options for both engines:
     // pin them on every candidate attempt.

@@ -9,7 +9,23 @@
 //! by [`FanoutRecorder`]: the file and the stream see the same event
 //! lines, so a stream recorded by `statsym-inspect live --record` is
 //! byte-identical to the `--trace` file.
+//!
+//! The observability layer adds four more shared flags:
+//!
+//! * `--history <dir|file.jsonl>` — fold the finished trace into a
+//!   [`RunManifest`](statsym_telemetry::manifest::RunManifest) and
+//!   append it to the content-addressed run-history archive
+//!   (`results/history/` by convention). Requires `--trace`.
+//! * `--expose <addr>` — serve live Prometheus-text metrics snapshots
+//!   on a TCP address or Unix socket (`statsym-inspect scrape` client).
+//! * `--crash-dir <dir>` — arm a panic hook that writes a diagnostic
+//!   bundle (panic message, config, reproduce command, partial trace,
+//!   crash manifest) under `<dir>/<run>/` if the run dies.
+//! * `--panic-after <n>` — chaos knob: force an engine panic after `n`
+//!   executed steps, for drilling the crash path end to end.
 
+use statsym_telemetry::crash::{CrashContext, CrashGuard};
+use statsym_telemetry::manifest::{self, ManifestMeta, RunManifest};
 use statsym_telemetry::{Clock, FanoutRecorder, FileSink, Recorder, StreamSink, NOOP};
 
 /// Command-line trace options for a bench binary.
@@ -22,13 +38,19 @@ pub struct TraceSink {
     lineage: bool,
     attr: bool,
     share_cache: bool,
+    history: Option<String>,
+    panic_after: Option<u64>,
+    run: String,
+    meta: ManifestMeta,
+    crash_guard: Option<CrashGuard>,
 }
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: [--trace <path>] [--stream <addr>] [--clock steps|wall] [--workers <n>] \
-         [--lineage] [--attr] [--no-share-cache]"
+         [--lineage] [--attr] [--no-share-cache] [--history <dir>] [--expose <addr>] \
+         [--crash-dir <dir>] [--panic-after <steps>]"
     );
     std::process::exit(2);
 }
@@ -53,11 +75,12 @@ impl TraceSink {
         sink
     }
 
-    /// Pulls the trace flags (`--trace`, `--stream`, `--clock`,
-    /// `--workers`, `--lineage`, `--attr`, `--no-share-cache`) out of
-    /// `args`, leaving every unrecognized argument in place for the
-    /// caller to parse — how binaries combine their own flags with the
-    /// shared trace options.
+    /// Pulls the shared trace/observability flags (`--trace`,
+    /// `--stream`, `--clock`, `--workers`, `--lineage`, `--attr`,
+    /// `--no-share-cache`, `--history`, `--expose`, `--crash-dir`,
+    /// `--panic-after`) out of `args`, leaving every unrecognized
+    /// argument in place for the caller to parse — how binaries combine
+    /// their own flags with the shared trace options.
     ///
     /// `--stream` dials a `statsym-inspect live` listener (TCP
     /// `host:port`, or a Unix socket path containing `/`), retrying for
@@ -75,6 +98,10 @@ impl TraceSink {
         let mut lineage = false;
         let mut attr = false;
         let mut share_cache = true;
+        let mut history = None;
+        let mut expose = None;
+        let mut crash_dir = None;
+        let mut panic_after = None;
         let mut rest = Vec::new();
         let mut it = std::mem::take(args).into_iter();
         while let Some(a) = it.next() {
@@ -103,11 +130,37 @@ impl TraceSink {
                 "--lineage" => lineage = true,
                 "--attr" => attr = true,
                 "--no-share-cache" => share_cache = false,
+                "--history" => match it.next() {
+                    Some(dir) => history = Some(dir),
+                    None => usage_exit("--history requires a directory or .jsonl file"),
+                },
+                "--expose" => match it.next() {
+                    Some(addr) => expose = Some(addr),
+                    None => usage_exit("--expose requires an address (host:port or socket path)"),
+                },
+                "--crash-dir" => match it.next() {
+                    Some(dir) => crash_dir = Some(dir),
+                    None => usage_exit("--crash-dir requires a directory"),
+                },
+                "--panic-after" => match it.next().map(|n| n.parse::<u64>()) {
+                    Some(Ok(n)) => panic_after = Some(n),
+                    Some(_) => usage_exit("--panic-after requires a step count"),
+                    None => usage_exit("--panic-after requires a step count"),
+                },
                 _ => rest.push(a),
             }
         }
         *args = rest;
-        let rec = if path.is_some() || stream.is_some() {
+        // The run id names the recorded stream on the consumer side and
+        // the manifest/crash-bundle entries: the trace file stem, so
+        // `live --record` writes the same file name the run itself would.
+        let run = path
+            .as_deref()
+            .and_then(|p| std::path::Path::new(p).file_stem())
+            .and_then(|s| s.to_str())
+            .unwrap_or("bench")
+            .to_string();
+        let rec = if path.is_some() || stream.is_some() || expose.is_some() {
             let clock = if wall { Clock::wall() } else { Clock::steps() };
             let mut fan = FanoutRecorder::new(clock);
             if let Some(p) = path.as_deref() {
@@ -116,17 +169,15 @@ impl TraceSink {
                 fan.add_sink(Box::new(file));
             }
             if let Some(addr) = stream.as_deref() {
-                // The run id names the recorded stream on the consumer
-                // side: the trace file stem, so `live --record` writes
-                // the same file name the run itself would.
-                let run = path
-                    .as_deref()
-                    .and_then(|p| std::path::Path::new(p).file_stem())
-                    .and_then(|s| s.to_str())
-                    .unwrap_or("bench");
-                let sink = StreamSink::connect(addr, run)
+                let sink = StreamSink::connect(addr, &run)
                     .unwrap_or_else(|e| usage_exit(&format!("cannot reach {addr}: {e}")));
                 fan.add_sink(Box::new(sink));
+            }
+            if let Some(addr) = expose.as_deref() {
+                let bound = fan
+                    .expose(addr, &run)
+                    .unwrap_or_else(|e| usage_exit(&format!("cannot expose on {addr}: {e}")));
+                eprintln!("metrics exposed on {bound}");
             }
             Some(fan)
         } else {
@@ -140,6 +191,27 @@ impl TraceSink {
                 "--attr requires --trace or --stream (attribution events go into the trace)",
             );
         }
+        if history.is_some() && path.is_none() {
+            usage_exit("--history requires --trace (the manifest is folded from the trace file)");
+        }
+        let meta = ManifestMeta {
+            source: "bench".to_string(),
+            run: run.clone(),
+            git: manifest::git_rev(),
+            seed: 0,
+            config: String::new(),
+        };
+        let crash_guard = crash_dir.map(|dir| {
+            let reproduce: Vec<String> = std::env::args().collect();
+            CrashGuard::install(CrashContext {
+                dir,
+                run: run.clone(),
+                reproduce: reproduce.join(" "),
+                config: String::new(),
+                trace_path: path.clone(),
+                meta: meta.clone(),
+            })
+        });
         TraceSink {
             path,
             streamed: stream.is_some(),
@@ -148,6 +220,11 @@ impl TraceSink {
             lineage,
             attr,
             share_cache,
+            history,
+            panic_after,
+            run,
+            meta,
+            crash_guard,
         }
     }
 
@@ -185,9 +262,39 @@ impl TraceSink {
         self.workers
     }
 
+    /// The chaos threshold from `--panic-after`, for wiring into
+    /// `EngineConfig::panic_after`.
+    pub fn panic_after(&self) -> Option<u64> {
+        self.panic_after
+    }
+
+    /// The run id (trace file stem, `bench` without `--trace`) stamped
+    /// into manifests, crash bundles, and stream hello frames.
+    pub fn run(&self) -> &str {
+        &self.run
+    }
+
+    /// Records the run's manifest identity — the workload seed and the
+    /// scheduling-canonical config fingerprint — once the binary has
+    /// resolved its configuration. Also folded into the armed crash
+    /// bundle (with `config_text` as its human-readable config dump), so
+    /// call this before the engine starts.
+    pub fn set_manifest_meta(&mut self, seed: u64, config: &str, config_text: &str) {
+        self.meta.seed = seed;
+        self.meta.config = config.to_string();
+        if let Some(guard) = &self.crash_guard {
+            let meta = self.meta.clone();
+            let config_text = config_text.to_string();
+            guard.update(move |ctx| {
+                ctx.meta = meta;
+                ctx.config = config_text;
+            });
+        }
+    }
+
     /// The recorder to thread through the experiment: the fan-out
-    /// recorder when `--trace` / `--stream` was given, the no-op
-    /// recorder otherwise.
+    /// recorder when `--trace` / `--stream` / `--expose` was given, the
+    /// no-op recorder otherwise.
     pub fn recorder(&self) -> &dyn Recorder {
         match &self.rec {
             Some(r) => r,
@@ -196,22 +303,45 @@ impl TraceSink {
     }
 
     /// Flushes the trace (appending the final metrics snapshot and the
-    /// stream's end-of-run frame) and reports where it was written.
+    /// stream's end-of-run frame), appends the run manifest to the
+    /// history archive when `--history` was given, disarms the crash
+    /// hook, and reports where everything was written.
     ///
     /// # Panics
     ///
-    /// Panics if the trace file or stream could not be written in full.
+    /// Panics if the trace file or stream could not be written in full,
+    /// or if the manifest could not be folded or appended.
     pub fn finish(self) {
         if let Some(rec) = self.rec {
             let path = self.path.clone().unwrap_or_default();
             rec.finish()
                 .unwrap_or_else(|e| panic!("failed to write trace {path}: {e}"));
-            if let Some(p) = self.path {
+            if let Some(p) = &self.path {
                 eprintln!("trace written to {p}");
             }
             if self.streamed {
                 eprintln!("trace streamed");
             }
+            if let Some(history) = &self.history {
+                let p = self.path.as_deref().expect("--history requires --trace");
+                let text = std::fs::read_to_string(p)
+                    .unwrap_or_else(|e| panic!("cannot re-read trace {p}: {e}"));
+                let m = RunManifest::from_trace(&text, &self.meta).unwrap_or_else(|e| {
+                    panic!(
+                        "trace {p} does not fold into a manifest (line {}): {}",
+                        e.line, e.reason
+                    )
+                });
+                let id = manifest::append_manifest(history, &m)
+                    .unwrap_or_else(|e| panic!("cannot append manifest to {history}: {e}"));
+                eprintln!(
+                    "manifest {id} appended to {}",
+                    manifest::history_path(history).display()
+                );
+            }
+        }
+        if let Some(guard) = &self.crash_guard {
+            guard.disarm();
         }
     }
 }

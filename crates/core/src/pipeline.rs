@@ -202,6 +202,27 @@ impl Default for StatSymConfig {
     }
 }
 
+/// Content fingerprint of a pipeline configuration for run manifests.
+///
+/// Scheduling-only knobs (worker counts, cancellation, budget
+/// splitting, steal tuning) are canonicalized before hashing: they
+/// change how fast a run executes, never what it computes, so the same
+/// workload at 1 and 8 workers carries the same fingerprint and
+/// cross-run analytics can group those runs together. Semantic knobs —
+/// thresholds, budgets, cache sharing (which changes solver-work
+/// counters), chaos injection — all perturb the fingerprint.
+pub fn config_fingerprint(config: &StatSymConfig) -> String {
+    let mut canon = *config;
+    canon.workers = 1;
+    canon.cancel_on_found = true;
+    canon.auto_split_workers = false;
+    let engine_defaults = EngineConfig::default();
+    canon.engine.state_workers = 0;
+    canon.engine.steal_slice = engine_defaults.steal_slice;
+    canon.engine.steal_seed = engine_defaults.steal_seed;
+    statsym_telemetry::manifest::fnv64_hex(format!("{canon:?}").as_bytes())
+}
+
 /// Output of the statistical analysis module (stages 1–3).
 #[derive(Debug, Clone)]
 pub struct AnalysisReport {
@@ -557,6 +578,34 @@ mod tests {
             convert(s);
         }
     "#;
+
+    #[test]
+    fn config_fingerprint_ignores_scheduling_but_not_semantics() {
+        let base = StatSymConfig::default();
+        let fp = config_fingerprint(&base);
+        assert_eq!(fp.len(), 16, "fnv64 hex digest");
+
+        // Deployment-scale knobs: fingerprint-invariant.
+        let mut scaled = base;
+        scaled.workers = 8;
+        scaled.cancel_on_found = false;
+        scaled.auto_split_workers = true;
+        scaled.engine.state_workers = 4;
+        scaled.engine.steal_slice = 128;
+        scaled.engine.steal_seed = 99;
+        assert_eq!(config_fingerprint(&scaled), fp);
+
+        // Semantic knobs: each changes the fingerprint.
+        let mut budget = base;
+        budget.engine.max_steps = 12_345;
+        assert_ne!(config_fingerprint(&budget), fp);
+        let mut cache = base;
+        cache.share_cache = !cache.share_cache;
+        assert_ne!(config_fingerprint(&cache), fp);
+        let mut chaos = base;
+        chaos.engine.panic_after = Some(10);
+        assert_ne!(config_fingerprint(&chaos), fp);
+    }
 
     fn module() -> Module {
         sir::lower(&minic::parse_program(SRC).unwrap()).unwrap()

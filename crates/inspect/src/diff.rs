@@ -314,6 +314,55 @@ mod tests {
         assert!(d.rendered.contains("+inf%"));
     }
 
+    /// Metric list for a trace that folded the given counters — the
+    /// same path real traces take through [`trace_metrics`].
+    fn counter_trace(counters: &[(&str, u64)]) -> Vec<Metric> {
+        let events: Vec<TraceEvent> = counters
+            .iter()
+            .map(|(name, value)| TraceEvent::Counter {
+                name: (*name).to_string(),
+                value: *value,
+            })
+            .collect();
+        trace_metrics(&events)
+    }
+
+    /// A run with an optional feature *enabled but idle* emits its
+    /// counter family at zero; a run with it disabled emits nothing.
+    /// Diffing those two configs must read as a schema change (the
+    /// counters vanished), never as regressions or improvements.
+    #[test]
+    fn disabling_a_counter_family_is_a_schema_change() {
+        let enabled = counter_trace(&[
+            ("solver.indep.queries", 0),
+            ("solver.indep.components", 0),
+            ("solver.ucache.hits", 0),
+            ("solver.queries", 40),
+        ]);
+        let disabled = counter_trace(&[("solver.queries", 40)]);
+        let d = diff_metrics(&enabled, &disabled, &cfg(10.0));
+        assert_eq!(d.regressions, 0, "{}", d.rendered);
+        assert!(d.rendered.contains("3 schema change(s)"), "{}", d.rendered);
+        assert!(d.rendered.contains("-> (absent)"));
+        // And the reverse (turning the feature on) is also schema-only.
+        let d = diff_metrics(&disabled, &enabled, &cfg(10.0));
+        assert_eq!(d.regressions, 0, "{}", d.rendered);
+        assert!(d.rendered.contains("(absent) ->"));
+    }
+
+    /// Within one config the family is always present, so a counter
+    /// going 0 -> N is a genuine +inf% regression — the zero baseline
+    /// distinguishes "feature idle" from "feature missing".
+    #[test]
+    fn present_at_zero_growth_is_inf_regression_not_schema() {
+        let idle = counter_trace(&[("solver.ucache.hits", 0), ("attr.lines", 0)]);
+        let busy = counter_trace(&[("solver.ucache.hits", 9), ("attr.lines", 12)]);
+        let d = diff_metrics(&idle, &busy, &cfg(10.0));
+        assert_eq!(d.regressions, 2, "{}", d.rendered);
+        assert!(d.rendered.contains("+inf%"));
+        assert!(d.rendered.contains("0 schema change(s)"), "{}", d.rendered);
+    }
+
     #[test]
     fn threshold_parser_accepts_percent_suffix() {
         assert_eq!(parse_threshold("20%").unwrap(), 20.0);

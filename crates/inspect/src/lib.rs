@@ -37,6 +37,19 @@
 //!   (any number of concurrent runs), with `--record` teeing each
 //!   stream back to a byte-identical trace file.
 //!
+//! Over the persistent run-history archive
+//! ([`statsym_telemetry::manifest`]) and the metrics exposition
+//! endpoint:
+//!
+//! * [`history`] — list/filter the archive, and `history add` for
+//!   appending records without running a workload (the CI synthetic-
+//!   regression injector).
+//! * [`trend`] — windowed median/MAD drift analysis of the last run vs
+//!   its predecessors, with a `--gate` CI exit code; `regress` isolates
+//!   the first archive run that broke a metric.
+//! * [`scrape`] — one-shot client for a run's `--expose` Prometheus
+//!   text-format endpoint.
+//!
 //! Traces are loaded with the *strict* parser: unbalanced or duplicate
 //! spans are rejected with line-numbered errors rather than silently
 //! skewing the analytics. `watch` (and `report --allow-truncated`) use
@@ -50,12 +63,15 @@ pub mod diff;
 pub mod explain;
 pub mod flame;
 pub mod forest;
+pub mod history;
 pub mod hotspots;
 pub mod live;
 pub mod numjson;
+pub mod scrape;
 pub mod tail;
 pub mod top;
 pub mod tree;
+pub mod trend;
 pub mod watch;
 
 use statsym_telemetry::{parse_trace_strict, parse_trace_truncated, TraceEvent, TraceSummary};

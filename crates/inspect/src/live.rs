@@ -31,6 +31,8 @@ pub struct LiveOpts {
     pub quiet: bool,
     /// Base render interval in milliseconds.
     pub interval_ms: u64,
+    /// Append plain frames with no ANSI escapes (CI logs, pipes).
+    pub no_color: bool,
 }
 
 /// A message from a connection reader thread to the render loop.
@@ -216,7 +218,11 @@ pub fn live(addr: &str, opts: &LiveOpts) -> i32 {
     let mut runs: HashMap<usize, RunState> = HashMap::new();
     let mut order: Vec<usize> = Vec::new();
     let mut taken: Vec<PathBuf> = Vec::new();
-    let mut screen = Screen::new();
+    let mut screen = if opts.no_color {
+        Screen::plain()
+    } else {
+        Screen::new()
+    };
     let mut backoff = Backoff::new(opts.interval_ms);
     let mut ended_total = 0u64;
     let mut lost_total = 0u64;

@@ -5,26 +5,33 @@
 //! statsym-inspect diff <old> <new> [--threshold <pct>%] [--ignore <prefix>]... [--min-delta <n>]
 //! statsym-inspect critical-path <trace.jsonl>
 //! statsym-inspect top <trace.jsonl> [--limit <n>]
-//! statsym-inspect tree <trace.jsonl>
+//! statsym-inspect tree <trace.jsonl> [--allow-truncated]
 //! statsym-inspect coverage <trace.jsonl> [--min <pct>]
-//! statsym-inspect flame <trace.jsonl> [--metric solver-nodes|solver-us|steps]
+//! statsym-inspect flame <trace.jsonl> [--metric solver-nodes|solver-us|steps] [--allow-truncated]
 //! statsym-inspect hotspots <trace.jsonl> [--metric <dim>] [--top <n>] [--min-pct <pct>] [--format text|json|flame]
 //! statsym-inspect explain <trace.jsonl> <rank>
 //! statsym-inspect calib <trace.jsonl> [--format text|json] [--min-corr <milli>]
-//! statsym-inspect watch <trace.jsonl> [--interval <ms>] [--once] [--allow-truncated]
-//! statsym-inspect live <addr> [--record <dir>] [--runs <n>] [--quiet] [--interval <ms>]
+//! statsym-inspect watch <trace.jsonl> [--interval <ms>] [--once] [--allow-truncated] [--no-color]
+//! statsym-inspect live <addr> [--record <dir>] [--runs <n>] [--quiet] [--interval <ms>] [--no-color]
+//! statsym-inspect history <archive> [--source <s>] [--run <r>] [--limit <n>]
+//! statsym-inspect history add <archive> [--from-trace <t>] [--inflate <metric=pct>]... [--repeat <n>] ...
+//! statsym-inspect trend <archive> [--window <n>] [--sigma <z>] [--min-delta <n>] [--metric <prefix>]... [--gate]
+//! statsym-inspect regress <archive> <metric> [--window <n>] [--sigma <z>] [--min-delta <n>]
+//! statsym-inspect scrape <addr>
 //! ```
 //!
 //! Exit codes: 0 success (and no regressions), 1 `diff` found at least
-//! one regression, `coverage` fell below `--min`, `calib` fell below
-//! `--min-corr`, or `explain` was asked about a rank the trace does not
-//! carry, 2 usage or parse error.
+//! one regression, `trend --gate` found a windowed regression,
+//! `coverage` fell below `--min`, `calib` fell below `--min-corr`, or
+//! `explain` was asked about a rank the trace does not carry, 2 usage
+//! or parse error.
 
 use statsym_inspect::diff::{diff_files, parse_threshold, DiffConfig};
 use statsym_inspect::{
-    calib, coverage, critical, explain, flame, hotspots, live, load_trace, report, report_json,
-    top, tree, watch,
+    calib, coverage, critical, explain, flame, history, hotspots, live, load_trace,
+    load_trace_truncated, report, report_json, scrape, top, tree, trend, watch,
 };
+use statsym_telemetry::manifest;
 
 const USAGE: &str = "\
 usage: statsym-inspect <command> [args]
@@ -42,15 +49,17 @@ commands:
       ratio of a portfolio execution.
   top <trace.jsonl> [--limit <n>]
       Rank solver callsites by search nodes (per-site profile).
-  tree <trace.jsonl>
+  tree <trace.jsonl> [--allow-truncated]
       Render the exploration tree of a --lineage trace: fork structure,
-      suspend causes, per-subtree solver rollups.
+      suspend causes, per-subtree solver rollups. --allow-truncated
+      accepts a trace cut short mid-line (live or crash-cut runs).
   coverage <trace.jsonl> [--min <pct>]
       Candidate-path node coverage per rank (reached / conjoined /
       conflicted / never reached). Exits 1 below the --min floor.
-  flame <trace.jsonl> [--metric solver-nodes|solver-us|steps]
+  flame <trace.jsonl> [--metric solver-nodes|solver-us|steps] [--allow-truncated]
       Collapsed-stack flamegraph of solver effort keyed by fork
       lineage (inferno / speedscope / flamegraph.pl compatible).
+      --allow-truncated accepts a trace cut short mid-line.
   hotspots <trace.jsonl> [--metric <dim>] [--top <n>] [--min-pct <pct>] [--format text|json|flame]
       Per-source-line cost table from an --attribution trace: steps,
       forks, suspensions, solver queries/nodes/µs billed to the MiniC
@@ -68,18 +77,45 @@ commands:
       next to real attempt cost, the winning rank, and the Spearman
       rank-vs-cost correlation (per-mille). --min-corr exits 1 when a
       run correlates below the floor (or nothing is gateable).
-  watch <trace.jsonl> [--interval <ms>] [--once] [--allow-truncated]
+  watch <trace.jsonl> [--interval <ms>] [--once] [--allow-truncated] [--no-color]
       Live dashboard tailing a growing --lineage trace; exits when the
       run's final metrics appear. Polling backs off adaptively while
       the file is idle. With --once, the trace is parsed strictly (like
-      report) unless --allow-truncated is given.
-  live <addr> [--record <dir>] [--runs <n>] [--quiet] [--interval <ms>]
+      report) unless --allow-truncated is given. --no-color appends
+      plain frames with no ANSI escapes (CI logs, pipes).
+  live <addr> [--record <dir>] [--runs <n>] [--quiet] [--interval <ms>] [--no-color]
       Stream-fed dashboard: listens on a tcp host:port (or a unix
       socket path containing '/') for --stream telemetry from any
       number of concurrent runs. --record tees each stream into
       <dir>/<run>.jsonl, byte-identical to the run's own trace file.
       --runs exits after <n> streams end (for CI); exits nonzero if a
-      stream hangs up without its end-of-run frame.
+      stream hangs up without its end-of-run frame. --no-color appends
+      plain frames with no ANSI escapes.
+  history <archive> [--source <s>] [--run <r>] [--limit <n>]
+      List the manifest records of a run-history archive (a directory
+      holding history.jsonl, or the file itself) in append order.
+  history add <archive> [--from-trace <trace.jsonl>] [--source <s>] [--run <r>]
+              [--seed <n>] [--config <fp>] [--inflate <metric=pct>]... [--repeat <n>]
+      Append a record without running a workload: folded from a trace,
+      or cloned from the archive's last record. --inflate grows a
+      counter (or `ticks`) by pct% — the synthetic-regression injector
+      the CI gate self-test uses. --repeat appends the record n times.
+  trend <archive> [--window <n>] [--sigma <z>] [--min-delta <n>]
+        [--metric <prefix>]... [--source <s>] [--run <r>] [--gate]
+      Windowed drift analysis: the archive's last matching run vs the
+      median/MAD of its preceding --window runs (default 8), per
+      metric. Increases beyond --sigma (default 3.0) robust deviations
+      regress; a zero-spread window regresses on any increase beyond
+      --min-delta. With --gate, exits 1 on any regression.
+  regress <archive> <metric> [--window <n>] [--sigma <z>] [--min-delta <n>]
+          [--source <s>] [--run <r>]
+      First-bad-run isolation: baselines <metric> over the earliest
+      --window runs and reports the first run deviating beyond the
+      robust threshold.
+  scrape <addr>
+      One-shot client for a run's --expose metrics endpoint: prints the
+      Prometheus text-format snapshot between the stream's hello and
+      end frames.
 ";
 
 fn usage_exit(msg: &str) -> ! {
@@ -163,8 +199,9 @@ fn main() {
             }
         }
         Some("tree") => {
-            let [path] = positional::<1>(&args[1..], "tree <trace.jsonl>");
-            match load_trace(&path) {
+            let (rest, allow_truncated) = take_flag(&args[1..], "--allow-truncated");
+            let [path] = positional::<1>(&rest, "tree <trace.jsonl> [--allow-truncated]");
+            match load_events(&path, allow_truncated) {
                 Ok(events) => {
                     print!("{}", tree::tree(&events));
                     0
@@ -199,6 +236,7 @@ fn main() {
         }
         Some("flame") => {
             let mut metric = flame::Metric::SolverNodes;
+            let mut allow_truncated = false;
             let mut rest = Vec::new();
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
@@ -210,11 +248,15 @@ fn main() {
                         },
                         None => usage_exit("--metric requires a value"),
                     },
+                    "--allow-truncated" => allow_truncated = true,
                     _ => rest.push(a.clone()),
                 }
             }
-            let [path] = positional::<1>(&rest, "flame <trace.jsonl> [--metric <m>]");
-            match load_trace(&path) {
+            let [path] = positional::<1>(
+                &rest,
+                "flame <trace.jsonl> [--metric <m>] [--allow-truncated]",
+            );
+            match load_events(&path, allow_truncated) {
                 Ok(events) => {
                     print!("{}", flame::flame(&events, metric));
                     0
@@ -329,6 +371,7 @@ fn main() {
             let mut interval = 500u64;
             let mut once = false;
             let mut allow_truncated = false;
+            let mut no_color = false;
             let mut rest = Vec::new();
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
@@ -339,14 +382,15 @@ fn main() {
                     },
                     "--once" => once = true,
                     "--allow-truncated" => allow_truncated = true,
+                    "--no-color" => no_color = true,
                     _ => rest.push(a.clone()),
                 }
             }
             let [path] = positional::<1>(
                 &rest,
-                "watch <trace.jsonl> [--interval <ms>] [--once] [--allow-truncated]",
+                "watch <trace.jsonl> [--interval <ms>] [--once] [--allow-truncated] [--no-color]",
             );
-            watch::watch(&path, interval, once, allow_truncated)
+            watch::watch(&path, interval, once, allow_truncated, no_color)
         }
         Some("live") => {
             let mut opts = live::LiveOpts {
@@ -370,19 +414,228 @@ fn main() {
                         Some(Ok(ms)) if ms >= 1 => opts.interval_ms = ms,
                         _ => usage_exit("--interval requires a positive millisecond count"),
                     },
+                    "--no-color" => opts.no_color = true,
                     _ => rest.push(a.clone()),
                 }
             }
             let [addr] = positional::<1>(
                 &rest,
-                "live <addr> [--record <dir>] [--runs <n>] [--quiet] [--interval <ms>]",
+                "live <addr> [--record <dir>] [--runs <n>] [--quiet] [--interval <ms>] [--no-color]",
             );
             live::live(&addr, &opts)
+        }
+        Some("history") => run_history(&args[1..]),
+        Some("trend") => run_trend(&args[1..]),
+        Some("regress") => run_regress(&args[1..]),
+        Some("scrape") => {
+            let [addr] = positional::<1>(&args[1..], "scrape <addr>");
+            scrape::scrape(&addr)
         }
         Some(other) => usage_exit(&format!("unknown command `{other}`")),
         None => usage_exit("missing command"),
     };
     std::process::exit(code);
+}
+
+/// Loads a trace under the flagged parser contract: strict by default,
+/// tolerant with `--allow-truncated`.
+fn load_events(
+    path: &str,
+    allow_truncated: bool,
+) -> Result<Vec<statsym_telemetry::TraceEvent>, String> {
+    if allow_truncated {
+        Ok(load_trace_truncated(path)?.0)
+    } else {
+        load_trace(path)
+    }
+}
+
+/// Splits one boolean flag out of `args`.
+fn take_flag(args: &[String], flag: &str) -> (Vec<String>, bool) {
+    let mut found = false;
+    let rest = args
+        .iter()
+        .filter(|a| {
+            if a.as_str() == flag {
+                found = true;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    (rest, found)
+}
+
+/// Loads a manifest archive or exits with its line-numbered error.
+fn load_archive(archive: &str) -> Vec<statsym_telemetry::manifest::RunManifest> {
+    match manifest::load_history(archive) {
+        Ok(ms) => ms,
+        Err(e) => fail(&format!("{archive}:{}: {}", e.line, e.reason)),
+    }
+}
+
+fn run_history(args: &[String]) -> i32 {
+    if args.first().map(String::as_str) == Some("add") {
+        return run_history_add(&args[1..]);
+    }
+    let mut f = history::HistoryFilter::default();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--source" => match it.next() {
+                Some(s) => f.source = Some(s.clone()),
+                None => usage_exit("--source requires a value"),
+            },
+            "--run" => match it.next() {
+                Some(r) => f.run = Some(r.clone()),
+                None => usage_exit("--run requires a value"),
+            },
+            "--limit" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => f.limit = Some(n),
+                _ => usage_exit("--limit requires a positive integer"),
+            },
+            _ => rest.push(a.clone()),
+        }
+    }
+    let [archive] = positional::<1>(
+        &rest,
+        "history <archive> [--source <s>] [--run <r>] [--limit <n>]",
+    );
+    print!("{}", history::list(&load_archive(&archive), &f));
+    0
+}
+
+fn run_history_add(args: &[String]) -> i32 {
+    let mut opts = history::AddOpts::default();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--from-trace" => match it.next() {
+                Some(p) => opts.from_trace = Some(p.clone()),
+                None => usage_exit("--from-trace requires a file path"),
+            },
+            "--source" => match it.next() {
+                Some(s) => opts.source = Some(s.clone()),
+                None => usage_exit("--source requires a value"),
+            },
+            "--run" => match it.next() {
+                Some(r) => opts.run = Some(r.clone()),
+                None => usage_exit("--run requires a value"),
+            },
+            "--seed" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) => opts.seed = Some(n),
+                _ => usage_exit("--seed requires a non-negative integer"),
+            },
+            "--config" => match it.next() {
+                Some(c) => opts.config = Some(c.clone()),
+                None => usage_exit("--config requires a fingerprint"),
+            },
+            "--inflate" => match it.next() {
+                Some(s) => match history::parse_inflate(s) {
+                    Ok(p) => opts.inflate.push(p),
+                    Err(e) => usage_exit(&e),
+                },
+                None => usage_exit("--inflate requires metric=pct"),
+            },
+            "--repeat" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => opts.repeat = n,
+                _ => usage_exit("--repeat requires a positive integer"),
+            },
+            _ => rest.push(a.clone()),
+        }
+    }
+    let [archive] = positional::<1>(
+        &rest,
+        "history add <archive> [--from-trace <t>] [--source <s>] [--run <r>] \
+         [--seed <n>] [--config <fp>] [--inflate <metric=pct>]... [--repeat <n>]",
+    );
+    match history::add(&archive, &opts) {
+        Ok(ids) => {
+            for id in &ids {
+                println!("appended {id}");
+            }
+            0
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+/// Parses the flags `trend` and `regress` share into a [`trend::TrendOpts`].
+fn trend_opts(args: &[String]) -> (trend::TrendOpts, bool, Vec<String>) {
+    let mut opts = trend::TrendOpts::default();
+    let mut gate = false;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--window" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => opts.window = n,
+                _ => usage_exit("--window requires a positive integer"),
+            },
+            "--sigma" => match it.next().map(|n| n.parse::<f64>()) {
+                Some(Ok(v)) if v > 0.0 && v.is_finite() => opts.sigma = v,
+                _ => usage_exit("--sigma requires a positive number"),
+            },
+            "--min-delta" => match it.next().map(|n| n.parse::<f64>()) {
+                Some(Ok(v)) if v >= 0.0 && v.is_finite() => opts.min_delta = v,
+                _ => usage_exit("--min-delta requires a non-negative number"),
+            },
+            "--metric" => match it.next() {
+                Some(m) => opts.metrics.push(m.clone()),
+                None => usage_exit("--metric requires a name prefix"),
+            },
+            "--source" => match it.next() {
+                Some(s) => opts.source = Some(s.clone()),
+                None => usage_exit("--source requires a value"),
+            },
+            "--run" => match it.next() {
+                Some(r) => opts.run = Some(r.clone()),
+                None => usage_exit("--run requires a value"),
+            },
+            "--gate" => gate = true,
+            _ => rest.push(a.clone()),
+        }
+    }
+    (opts, gate, rest)
+}
+
+fn run_trend(args: &[String]) -> i32 {
+    let (opts, gate, rest) = trend_opts(args);
+    let [archive] = positional::<1>(
+        &rest,
+        "trend <archive> [--window <n>] [--sigma <z>] [--min-delta <n>] \
+         [--metric <prefix>]... [--source <s>] [--run <r>] [--gate]",
+    );
+    match trend::trend(&load_archive(&archive), &opts) {
+        Ok(r) => {
+            print!("{}", r.rendered);
+            i32::from(gate && r.regressions > 0)
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+fn run_regress(args: &[String]) -> i32 {
+    let (opts, gate, rest) = trend_opts(args);
+    if gate {
+        usage_exit("--gate applies to trend, not regress");
+    }
+    let [archive, metric] = positional::<2>(
+        &rest,
+        "regress <archive> <metric> [--window <n>] [--sigma <z>] [--min-delta <n>] \
+         [--source <s>] [--run <r>]",
+    );
+    match trend::regress(&load_archive(&archive), &metric, &opts) {
+        Ok(text) => {
+            print!("{text}");
+            0
+        }
+        Err(e) => fail(&e),
+    }
 }
 
 /// Exactly `N` positional arguments, or a usage error.

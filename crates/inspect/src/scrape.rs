@@ -1,0 +1,160 @@
+//! `statsym-inspect scrape`: one-shot client for a run's `--expose`
+//! metrics endpoint.
+//!
+//! Connects to the TCP address (or Unix socket — any address containing
+//! `/`) a `FanoutRecorder` exposition listener is serving on, and prints
+//! the Prometheus text-format snapshot between the stream's `hello` and
+//! `end` frames. The frames make the scrape self-describing: the hello
+//! names the run (echoed to stderr) and the end frame proves the
+//! snapshot was not cut off mid-write.
+
+use statsym_telemetry::{StreamFrame, TRACE_VERSION};
+use std::io::Read;
+
+/// One completed scrape: the run name from the hello frame and the
+/// snapshot body.
+#[derive(Debug)]
+pub struct Scrape {
+    /// Run name announced by the hello frame.
+    pub run: String,
+    /// Prometheus text-format body between the frames.
+    pub body: String,
+}
+
+/// Connects to `addr` and reads one full scrape.
+///
+/// # Errors
+///
+/// Returns a rendered error when the connection fails, the first line
+/// is not a hello frame, or the server hangs up before its end frame.
+pub fn fetch(addr: &str) -> Result<Scrape, String> {
+    let mut text = String::new();
+    if addr.contains('/') {
+        #[cfg(unix)]
+        {
+            let mut conn = std::os::unix::net::UnixStream::connect(addr)
+                .map_err(|e| format!("{addr}: cannot connect: {e}"))?;
+            conn.read_to_string(&mut text)
+                .map_err(|e| format!("{addr}: read failed: {e}"))?;
+        }
+        #[cfg(not(unix))]
+        return Err(format!("{addr}: unix sockets unsupported on this platform"));
+    } else {
+        let mut conn = std::net::TcpStream::connect(addr)
+            .map_err(|e| format!("{addr}: cannot connect: {e}"))?;
+        conn.read_to_string(&mut text)
+            .map_err(|e| format!("{addr}: read failed: {e}"))?;
+    }
+    parse_scrape(addr, &text)
+}
+
+/// Splits a raw scrape into its frames and body (separated from the
+/// socket I/O for tests).
+///
+/// # Errors
+///
+/// Returns a rendered error for a missing hello or end frame.
+pub fn parse_scrape(addr: &str, text: &str) -> Result<Scrape, String> {
+    let mut lines = text.lines();
+    let run = match lines.next().map(StreamFrame::parse) {
+        Some(Some(StreamFrame::Hello { version, run })) => {
+            if version != TRACE_VERSION {
+                eprintln!("warning: {run}: stream version {version}, expected {TRACE_VERSION}");
+            }
+            run
+        }
+        _ => return Err(format!("{addr}: endpoint did not open with a hello frame")),
+    };
+    let mut body = String::new();
+    let mut ended = false;
+    for line in lines {
+        match StreamFrame::parse(line) {
+            Some(StreamFrame::End { .. }) => {
+                ended = true;
+                break;
+            }
+            Some(StreamFrame::Hello { .. }) | None => {
+                body.push_str(line);
+                body.push('\n');
+            }
+        }
+    }
+    if !ended {
+        return Err(format!(
+            "{addr}: scrape cut off without an end frame ({} body line(s) read)",
+            body.lines().count()
+        ));
+    }
+    Ok(Scrape { run, body })
+}
+
+/// Runs the scrape command: prints the snapshot body to stdout (run
+/// name to stderr). Returns the process exit code: 0 on a complete
+/// scrape, 2 on connection or framing errors.
+pub fn scrape(addr: &str) -> i32 {
+    match fetch(addr) {
+        Ok(s) => {
+            eprintln!("run: {}", s.run);
+            print!("{}", s.body);
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statsym_telemetry::expose::{render_prometheus, Exposer};
+    use statsym_telemetry::Metrics;
+
+    #[test]
+    fn parse_scrape_requires_both_frames() {
+        let hello = StreamFrame::Hello {
+            version: TRACE_VERSION,
+            run: "demo".to_string(),
+        }
+        .to_json_line();
+        let end = StreamFrame::End { dropped: 0 }.to_json_line();
+
+        let ok = format!("{hello}\nstatsym_symex_steps 5\n{end}\n");
+        let s = parse_scrape("addr", &ok).expect("complete scrape");
+        assert_eq!(s.run, "demo");
+        assert_eq!(s.body, "statsym_symex_steps 5\n");
+
+        let cut = format!("{hello}\nstatsym_symex_steps 5\n");
+        let err = parse_scrape("addr", &cut).unwrap_err();
+        assert!(err.contains("without an end frame"), "{err}");
+
+        let headless = "statsym_symex_steps 5\n";
+        let err = parse_scrape("addr", headless).unwrap_err();
+        assert!(err.contains("hello frame"), "{err}");
+    }
+
+    #[test]
+    fn fetch_reads_a_live_exposer_end_to_end() {
+        let exp = Exposer::bind("127.0.0.1:0", "scrape-test").expect("bind");
+        let m = Metrics::new();
+        m.counter_add("symex.steps", 42);
+        exp.update(render_prometheus(&m));
+        let addr = exp.addr().to_string();
+        // The accept loop polls; retry briefly until it serves.
+        let mut last = String::new();
+        for _ in 0..100 {
+            match fetch(&addr) {
+                Ok(s) => {
+                    assert_eq!(s.run, "scrape-test");
+                    assert!(s.body.contains("statsym_symex_steps 42"), "{}", s.body);
+                    exp.shutdown();
+                    return;
+                }
+                Err(e) => last = e,
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        panic!("scrape never succeeded: {last}");
+    }
+}

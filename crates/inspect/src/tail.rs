@@ -54,20 +54,44 @@ impl Backoff {
 }
 
 /// In-place full-screen redraws over ANSI: `\x1b[2J` once, then
-/// `\x1b[H…\x1b[J` per frame.
+/// `\x1b[H…\x1b[J` per frame. In plain mode (`--no-color`, for CI logs
+/// and pipes) frames are appended verbatim with no escape codes.
 #[derive(Debug, Default)]
 pub struct Screen {
     first: bool,
+    plain: bool,
 }
 
 impl Screen {
     /// A screen that clears on its first draw.
     pub fn new() -> Screen {
-        Screen { first: true }
+        Screen {
+            first: true,
+            plain: false,
+        }
     }
 
-    /// Draws `text` as the whole screen, without flicker.
+    /// A screen that appends frames without any ANSI escapes.
+    pub fn plain() -> Screen {
+        Screen {
+            first: true,
+            plain: true,
+        }
+    }
+
+    /// Draws `text` as the whole screen, without flicker (or, in plain
+    /// mode, appends the frame).
     pub fn draw(&mut self, text: &str) {
+        use std::io::Write as _;
+        if self.plain {
+            if !self.first {
+                println!();
+            }
+            self.first = false;
+            print!("{text}");
+            let _ = std::io::stdout().flush();
+            return;
+        }
         if self.first {
             // Clear once so the first frame starts on a clean screen.
             print!("\x1b[2J");
@@ -76,7 +100,6 @@ impl Screen {
         // Home the cursor and clear below: an in-place redraw without
         // flicker on every refresh.
         print!("\x1b[H{text}\x1b[J");
-        use std::io::Write as _;
         let _ = std::io::stdout().flush();
     }
 }

@@ -153,8 +153,22 @@ pub fn dashboard(events: &[TraceEvent], truncated: bool) -> Frame {
 /// `report`: strict unless `allow_truncated`, so a mid-write or
 /// crash-cut trace exits 2 instead of silently rendering half a run.
 /// Continuous watching always tolerates a partial tail line — that is
-/// the expected state of a live trace.
-pub fn watch(path: &str, interval_ms: u64, once: bool, allow_truncated: bool) -> i32 {
+/// the expected state of a live trace. `no_color` appends plain frames
+/// with no ANSI escapes (CI logs, pipes).
+pub fn watch(
+    path: &str,
+    interval_ms: u64,
+    once: bool,
+    allow_truncated: bool,
+    no_color: bool,
+) -> i32 {
+    let make_screen = || {
+        if no_color {
+            crate::tail::Screen::plain()
+        } else {
+            crate::tail::Screen::new()
+        }
+    };
     if once && !allow_truncated {
         // One strict frame, same acceptance rules as `report`.
         let events = match crate::load_trace(path) {
@@ -164,11 +178,11 @@ pub fn watch(path: &str, interval_ms: u64, once: bool, allow_truncated: bool) ->
                 return 2;
             }
         };
-        let mut screen = crate::tail::Screen::new();
+        let mut screen = make_screen();
         screen.draw(&dashboard(&events, false).text);
         return 0;
     }
-    let mut screen = crate::tail::Screen::new();
+    let mut screen = make_screen();
     let mut backoff = crate::tail::Backoff::new(interval_ms);
     let mut last_len: Option<u64> = None;
     loop {

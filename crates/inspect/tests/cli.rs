@@ -387,7 +387,10 @@ fn report_format_json_emits_one_stable_object() {
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
     assert_eq!(text.lines().count(), 1, "one JSON object per report");
-    assert!(text.starts_with("{\"clock\":"), "{text}");
+    assert!(
+        text.starts_with("{\"kind\":\"statsym.report\",\"schema_version\":1,\"clock\":"),
+        "{text}"
+    );
     for key in [
         "\"spans\":[",
         "\"counters\":{",

@@ -128,6 +128,12 @@ pub struct EngineConfig {
     /// Statistical candidate rank carried on provenance `query` events
     /// (1-based; `0` when the run is not a ranked candidate).
     pub candidate_rank: u32,
+    /// Chaos knob: deliberately panic once the executed step count
+    /// reaches this threshold. Exercises the crash-capture path (panic
+    /// hook bundles, stream end-frame-on-drop) end to end; `None` (the
+    /// default) never fires. Checked in the legacy scheduling loop
+    /// (`state_workers == 0`), the configuration the crash drill runs.
+    pub panic_after: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -148,6 +154,7 @@ impl Default for EngineConfig {
             attribution: false,
             provenance: false,
             candidate_rank: 0,
+            panic_after: None,
         }
     }
 }
@@ -603,6 +610,14 @@ impl<'m> Engine<'m> {
                 // Budget checks.
                 rec.tick(env.stats.steps - last_tick);
                 last_tick = env.stats.steps;
+                if let Some(threshold) = self.config.panic_after {
+                    if env.stats.steps >= threshold {
+                        panic!(
+                            "chaos: forced engine panic after {} steps (panic_after={threshold})",
+                            env.stats.steps
+                        );
+                    }
+                }
                 if limited && wall_tripped!() {
                     rec.counter_add(names::BUDGET_EXCEEDED, 1);
                     budget_note!();
@@ -1004,51 +1019,59 @@ pub fn record_run_telemetry(
     // Independence-slicing and unsat-cache counters follow the
     // zero-vs-absent convention: emitted only when the run actually
     // exercised the feature, so traces of runs with slicing/ucache off
-    // are byte-identical to pre-feature traces.
-    for (name, now, before) in [
+    // are byte-identical to pre-feature traces. The gate is per
+    // *family*, not per counter: once a family is exercised, all of its
+    // counters are emitted — zeros included — so a legitimate zero
+    // (e.g. no component hits despite sliced queries) reads as `0` in
+    // `inspect diff`, not as a schema change.
+    let indep = [
         (
             names::SOLVER_INDEP_QUERIES,
-            sv.indep_queries,
-            solver_before.indep_queries,
+            sv.indep_queries.saturating_sub(solver_before.indep_queries),
         ),
         (
             names::SOLVER_INDEP_COMPONENTS,
-            sv.indep_components,
-            solver_before.indep_components,
+            sv.indep_components
+                .saturating_sub(solver_before.indep_components),
         ),
         (
             names::SOLVER_INDEP_COMP_HITS,
-            sv.indep_comp_hits,
-            solver_before.indep_comp_hits,
+            sv.indep_comp_hits
+                .saturating_sub(solver_before.indep_comp_hits),
         ),
+    ];
+    if sv.indep_queries > solver_before.indep_queries {
+        for (name, delta) in indep {
+            rec.counter_add(name, delta);
+        }
+    }
+    let ucache = [
         (
             names::SOLVER_UCACHE_SUB_HITS,
-            sv.ucache_sub_hits,
-            solver_before.ucache_sub_hits,
+            sv.ucache_sub_hits
+                .saturating_sub(solver_before.ucache_sub_hits),
         ),
         (
             names::SOLVER_UCACHE_SUP_HITS,
-            sv.ucache_sup_hits,
-            solver_before.ucache_sup_hits,
+            sv.ucache_sup_hits
+                .saturating_sub(solver_before.ucache_sup_hits),
         ),
         (
             names::SOLVER_UCACHE_SUP_REJECTS,
-            sv.ucache_sup_rejects,
-            solver_before.ucache_sup_rejects,
+            sv.ucache_sup_rejects
+                .saturating_sub(solver_before.ucache_sup_rejects),
         ),
         (
             names::SOLVER_UCACHE_STORES,
-            sv.ucache_stores,
-            solver_before.ucache_stores,
+            sv.ucache_stores.saturating_sub(solver_before.ucache_stores),
         ),
         (
             names::SOLVER_UCACHE_MISSES,
-            sv.ucache_misses,
-            solver_before.ucache_misses,
+            sv.ucache_misses.saturating_sub(solver_before.ucache_misses),
         ),
-    ] {
-        let delta = now.saturating_sub(before);
-        if delta > 0 {
+    ];
+    if ucache.iter().any(|&(_, delta)| delta > 0) {
+        for (name, delta) in ucache {
             rec.counter_add(name, delta);
         }
     }

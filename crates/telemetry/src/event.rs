@@ -711,6 +711,16 @@ fn parse_strict_inner(
             }
         };
         match &ev {
+            TraceEvent::Meta { version, .. } if *version != crate::recorder::TRACE_VERSION => {
+                return fail(
+                    lineno,
+                    format!(
+                        "unsupported trace version {version} (this build supports {})",
+                        crate::recorder::TRACE_VERSION
+                    ),
+                );
+            }
+            TraceEvent::Meta { .. } => {}
             TraceEvent::SpanOpen { id, .. } => {
                 if *id == 0 {
                     return fail(lineno, "span_open with reserved id 0".to_string());
@@ -1341,6 +1351,32 @@ mod tests {
         let err = parse_trace_strict(text).unwrap_err();
         assert_eq!(err.line, 1);
         assert!(err.reason.contains("never closed"));
+    }
+
+    #[test]
+    fn strict_parse_rejects_unknown_trace_version_with_line_number() {
+        // A future-major trace must be refused up front, not
+        // half-interpreted: the meta line is line 1 by construction, but
+        // the parser reports wherever it actually sits.
+        let text = "{\"k\":\"span_open\",\"t\":0,\"id\":1,\"parent\":0,\"name\":\"a\"}\n\
+                    {\"k\":\"span_close\",\"t\":1,\"id\":1}\n\
+                    {\"k\":\"meta\",\"clock\":\"steps\",\"version\":99}\n";
+        for parse in [
+            parse_trace_strict(text).map(|_| ()),
+            parse_trace_truncated(text).map(|_| ()),
+        ] {
+            let err = parse.unwrap_err();
+            assert_eq!(err.line, 3);
+            assert!(
+                err.reason.contains("unsupported trace version 99"),
+                "{}",
+                err.reason
+            );
+            assert!(err.reason.contains("supports 1"), "{}", err.reason);
+        }
+        // The current version stays accepted.
+        let ok = "{\"k\":\"meta\",\"clock\":\"steps\",\"version\":1}\n";
+        assert_eq!(parse_trace_strict(ok).unwrap().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! Metrics exposition: a Prometheus-text renderer for the metrics
+//! registry, served over the same TCP/Unix framing the live stream
+//! uses (hello frame, payload, end frame).
+//!
+//! A run started with `--expose <addr>` binds an [`Exposer`]; the
+//! [`FanoutRecorder`](crate::FanoutRecorder) refreshes its snapshot at
+//! span-close/lineage cadence, and every accepted connection receives
+//! the current snapshot bracketed by a `hello` and an `end` frame —
+//! `statsym-inspect scrape` is the matching client. Serving is
+//! entirely off the recording thread: a scrape can never stall the
+//! engine, and a slow scraper only delays its own connection.
+
+use crate::metrics::{Hist, Metrics};
+use crate::recorder::TRACE_VERSION;
+use crate::stream::StreamFrame;
+use std::io::{self, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Sanitizes a metric name into the Prometheus identifier charset:
+/// every character outside `[a-zA-Z0-9_]` becomes `_` (`:` included —
+/// it is reserved for recording rules), and the `statsym_` prefix
+/// guarantees no leading digit.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("statsym_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Upper bound of log₂ bucket `b` as a Prometheus `le` label: bucket 0
+/// holds exactly zero, bucket `b ≥ 1` holds `[2^(b-1), 2^b - 1]`.
+fn bucket_le(b: u32) -> String {
+    if b == 0 {
+        "0".to_string()
+    } else if b >= 64 {
+        u64::MAX.to_string()
+    } else {
+        ((1u64 << b) - 1).to_string()
+    }
+}
+
+fn push_hist(out: &mut String, name: &str, h: &Hist) {
+    let n = prometheus_name(name);
+    out.push_str(&format!("# TYPE {n} histogram\n"));
+    let mut cum = 0u64;
+    for (b, &count) in h.buckets.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        cum += count;
+        out.push_str(&format!(
+            "{n}_bucket{{le=\"{}\"}} {cum}\n",
+            bucket_le(b as u32)
+        ));
+    }
+    out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+    out.push_str(&format!("{n}_sum {}\n", h.sum));
+    out.push_str(&format!("{n}_count {}\n", h.count));
+}
+
+/// Renders a metrics registry snapshot in the Prometheus text
+/// exposition format: counters, then gauges, then histograms, each in
+/// sorted name order (the registry's own dump order), so identical
+/// registries render byte-identically.
+pub fn render_prometheus(m: &Metrics) -> String {
+    let mut out = String::with_capacity(512);
+    for (name, v) in m.dump_counters() {
+        let n = prometheus_name(&name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, v) in m.dump_gauges() {
+        let n = prometheus_name(&name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, h) in m.dump_hists() {
+        push_hist(&mut out, &name, &h);
+    }
+    out
+}
+
+/// Listener kinds behind one accept loop.
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener),
+}
+
+/// A background exposition server: binds a TCP address (`host:port`) or
+/// a Unix socket path (contains `/`), and answers every connection with
+/// the most recent snapshot, framed hello → payload → end.
+pub struct Exposer {
+    snapshot: Arc<Mutex<String>>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    addr: String,
+}
+
+impl std::fmt::Debug for Exposer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Exposer").finish_non_exhaustive()
+    }
+}
+
+impl Exposer {
+    /// Binds the exposition endpoint and starts the serving thread.
+    /// `run` names the run in the hello frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (address in use, bad path, …).
+    pub fn bind(addr: &str, run: &str) -> io::Result<Exposer> {
+        let mut bound = addr.to_string();
+        let listener = {
+            #[cfg(unix)]
+            {
+                if addr.contains('/') {
+                    // A stale socket file from a crashed run blocks the
+                    // bind; remove it first (same policy as `live`).
+                    let _ = std::fs::remove_file(addr);
+                    let l = std::os::unix::net::UnixListener::bind(addr)?;
+                    l.set_nonblocking(true)?;
+                    Listener::Unix(l)
+                } else {
+                    let l = TcpListener::bind(addr)?;
+                    bound = l.local_addr()?.to_string();
+                    l.set_nonblocking(true)?;
+                    Listener::Tcp(l)
+                }
+            }
+            #[cfg(not(unix))]
+            {
+                let l = TcpListener::bind(addr)?;
+                bound = l.local_addr()?.to_string();
+                l.set_nonblocking(true)?;
+                Listener::Tcp(l)
+            }
+        };
+        let snapshot = Arc::new(Mutex::new(String::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let hello = StreamFrame::Hello {
+            version: TRACE_VERSION,
+            run: run.to_string(),
+        }
+        .to_json_line();
+        let handle = {
+            let snapshot = Arc::clone(&snapshot);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || serve(listener, &hello, &snapshot, &stop))
+        };
+        Ok(Exposer {
+            snapshot,
+            stop,
+            handle: Some(handle),
+            addr: bound,
+        })
+    }
+
+    /// The address actually bound — for TCP this resolves port 0 to the
+    /// concrete port the OS assigned.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Replaces the served snapshot.
+    pub fn update(&self, text: String) {
+        if let Ok(mut s) = self.snapshot.lock() {
+            *s = text;
+        }
+    }
+
+    /// Stops the serving thread and closes the listener.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Exposer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve(listener: Listener, hello: &str, snapshot: &Mutex<String>, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        let conn: Option<Box<dyn Write>> = match &listener {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => Some(Box::new(s)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                Err(_) => None,
+            },
+            #[cfg(unix)]
+            Listener::Unix(l) => match l.accept() {
+                Ok((s, _)) => Some(Box::new(s)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                Err(_) => None,
+            },
+        };
+        match conn {
+            Some(mut w) => {
+                let body = snapshot.lock().map(|s| s.clone()).unwrap_or_default();
+                // A dying scraper mid-write only fails its own scrape.
+                let _ = write_scrape(&mut w, hello, &body);
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+fn write_scrape(w: &mut dyn Write, hello: &str, body: &str) -> io::Result<()> {
+    w.write_all(hello.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.write_all(body.as_bytes())?;
+    if !body.is_empty() && !body.ends_with('\n') {
+        w.write_all(b"\n")?;
+    }
+    let end = StreamFrame::End { dropped: 0 }.to_json_line();
+    w.write_all(end.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    #[test]
+    fn prometheus_render_is_sorted_and_sanitized() {
+        let m = Metrics::new();
+        m.counter_add("symex.steps", 91);
+        m.counter_add("attr.main:3.steps", 4);
+        m.gauge_max("calib.winner_rank", 3);
+        m.observe("solver.query_us", 3);
+        m.observe("solver.query_us", 1000);
+        let text = render_prometheus(&m);
+        let steps = text.find("statsym_symex_steps 91").expect("counter line");
+        let attr = text.find("statsym_attr_main_3_steps 4").expect("sanitized");
+        assert!(attr < steps, "counters sorted by name:\n{text}");
+        assert!(text.contains("# TYPE statsym_symex_steps counter"));
+        assert!(text.contains("# TYPE statsym_calib_winner_rank gauge"));
+        assert!(text.contains("statsym_calib_winner_rank 3"));
+        assert!(text.contains("# TYPE statsym_solver_query_us histogram"));
+        // 3 lands in bucket 2 (le 3), 1000 in bucket 10 (le 1023);
+        // bucket counts are cumulative.
+        assert!(text.contains("statsym_solver_query_us_bucket{le=\"3\"} 1"));
+        assert!(text.contains("statsym_solver_query_us_bucket{le=\"1023\"} 2"));
+        assert!(text.contains("statsym_solver_query_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("statsym_solver_query_us_sum 1003"));
+        assert!(text.contains("statsym_solver_query_us_count 2"));
+    }
+
+    #[test]
+    fn identical_registries_render_identically() {
+        let a = Metrics::new();
+        let b = Metrics::new();
+        for m in [&a, &b] {
+            m.counter_add("x", 1);
+            m.gauge_max("y", -2);
+        }
+        assert_eq!(render_prometheus(&a), render_prometheus(&b));
+    }
+
+    #[test]
+    fn exposer_serves_hello_snapshot_end_over_tcp() {
+        let exp = Exposer::bind("127.0.0.1:0", "unit-test").expect("bind");
+        let addr = exp.addr().to_string();
+        exp.update("statsym_x 1\n".to_string());
+
+        let mut lines = Vec::new();
+        for _ in 0..50 {
+            match std::net::TcpStream::connect(&addr) {
+                Ok(s) => {
+                    let r = BufReader::new(s);
+                    lines = r.lines().map_while(Result::ok).collect();
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        exp.shutdown();
+        assert!(lines.len() >= 3, "{lines:?}");
+        match StreamFrame::parse(&lines[0]) {
+            Some(StreamFrame::Hello { run, .. }) => assert_eq!(run, "unit-test"),
+            other => panic!("expected hello frame, got {other:?} in {lines:?}"),
+        }
+        assert_eq!(lines[1], "statsym_x 1");
+        match StreamFrame::parse(lines.last().unwrap()) {
+            Some(StreamFrame::End { dropped }) => assert_eq!(dropped, 0),
+            other => panic!("expected end frame, got {other:?} in {lines:?}"),
+        }
+    }
+}

@@ -20,7 +20,10 @@
 #![warn(missing_docs)]
 
 mod clock;
+pub mod crash;
 mod event;
+pub mod expose;
+pub mod manifest;
 mod metrics;
 mod recorder;
 mod report;
@@ -36,7 +39,10 @@ pub use recorder::{
     BufferedRecorder, FileRecorder, LineageEvent, MemRecorder, NoopRecorder, QueryEvent, Recorder,
     SharedBuf, Span, TraceBuffer, NOOP, TRACE_VERSION,
 };
-pub use report::{CalibCandidate, HistStat, SpanStat, SummaryBuilder, TraceSummary};
+pub use report::{
+    CalibCandidate, HistStat, SpanStat, SummaryBuilder, TraceSummary, REPORT_KIND,
+    REPORT_SCHEMA_VERSION,
+};
 pub use stream::{
     EventSink, FanoutRecorder, FileSink, MemSink, SharedEvents, StreamFrame, StreamSink,
     STREAM_QUEUE_CAPACITY,

@@ -12,6 +12,15 @@ use std::collections::{BTreeMap, HashMap};
 use crate::event::{push_json_str, TraceEvent};
 use crate::names;
 
+/// Schema version stamped into [`TraceSummary::render_json`] output.
+/// Strict consumers reject majors they don't understand.
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
+/// Stable top-level `kind` discriminator of the JSON report, so a
+/// machine consumer can tell a report apart from a manifest or any
+/// other single-line JSON artifact before reading further.
+pub const REPORT_KIND: &str = "statsym.report";
+
 /// Aggregated statistics for one span name.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanStat {
@@ -453,7 +462,10 @@ impl TraceSummary {
     /// in.
     pub fn render_json(&self) -> String {
         let mut s = String::with_capacity(256);
-        s.push_str("{\"clock\":");
+        s.push_str("{\"kind\":");
+        push_json_str(&mut s, REPORT_KIND);
+        s.push_str(&format!(",\"schema_version\":{REPORT_SCHEMA_VERSION}"));
+        s.push_str(",\"clock\":");
         push_json_str(&mut s, &self.clock);
         s.push_str(",\"spans\":[");
         for (i, sp) in self.spans.iter().enumerate() {
@@ -681,8 +693,11 @@ mod tests {
         let s = TraceSummary::from_events(&sample_events());
         let a = s.render_json();
         assert_eq!(a, s.render_json());
-        // Key order is fixed by construction.
-        assert!(a.starts_with("{\"clock\":\"steps\",\"spans\":["));
+        // Key order is fixed by construction, and the kind + schema
+        // version lead so consumers can dispatch before parsing fully.
+        assert!(a.starts_with(
+            "{\"kind\":\"statsym.report\",\"schema_version\":1,\"clock\":\"steps\",\"spans\":["
+        ));
         assert!(a.contains("\"counters\":{\"solver.queries\":12}"));
         assert!(a.contains("\"gauges\":{\"symex.peak_live_states\":4}"));
         assert!(a.contains("\"events\":{\"candidate.result\":1}"));

@@ -3,16 +3,19 @@
 //!
 //! ```text
 //! statsym-testkit [--seeds A..B] [--class LABEL] [--no-chaos] [--sabotage] [--verbose]
+//!                 [--history <dir|file.jsonl>]
 //! ```
 //!
 //! Exit codes: 0 all oracles held, 1 at least one violation (a shrunk
 //! reproducer is printed per violation), 2 usage error.
 
+use statsym_telemetry::manifest::{self, RunManifest};
 use std::process::ExitCode;
-use testkit::{run_seeds, FaultClass, RunnerConfig};
+use testkit::{run_seeds, FaultClass, RunnerConfig, RunnerReport};
 
 const USAGE: &str =
     "usage: statsym-testkit [--seeds A..B] [--class LABEL] [--no-chaos] [--sabotage] [--verbose]
+                       [--history <dir|file.jsonl>]
 
   --seeds A..B   seed range to soak, half-open (default 0..100)
   --class LABEL  only soak seeds planting the given fault class
@@ -22,6 +25,9 @@ const USAGE: &str =
   --sabotage     run a deliberately broken oracle to demonstrate the
                  shrink-and-report path (exits 1 by design)
   --verbose      log per-seed outcomes to stderr
+  --history DIR  append a run manifest (source `testkit`) to the
+                 history archive, so soak throughput and failure
+                 counts are trend-gateable like any other run
 
 Every failure prints its seed and a minimal shrunk reproducer;
 `statsym-testkit --seeds N..N+1` replays seed N exactly.";
@@ -33,8 +39,9 @@ fn parse_range(arg: &str) -> Option<(u64, u64)> {
     (start < end).then_some((start, end))
 }
 
-fn parse_args(args: &[String]) -> Result<RunnerConfig, String> {
+fn parse_args(args: &[String]) -> Result<(RunnerConfig, Option<String>), String> {
     let mut config = RunnerConfig::default();
+    let mut history = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -55,16 +62,52 @@ fn parse_args(args: &[String]) -> Result<RunnerConfig, String> {
             "--no-chaos" => config.chaos = false,
             "--sabotage" => config.sabotage = true,
             "--verbose" => config.verbose = true,
+            "--history" => {
+                let v = it
+                    .next()
+                    .ok_or("--history needs a directory or .jsonl path")?;
+                history = Some(v.clone());
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok(config)
+    Ok((config, history))
+}
+
+/// A soak run's manifest, built directly from the runner report (a soak
+/// has no trace to fold; its counters *are* the report).
+fn soak_manifest(config: &RunnerConfig, report: &RunnerReport, rendered: &str) -> RunManifest {
+    let class = config
+        .class
+        .map_or_else(|| "all".to_string(), |c| format!("{c:?}").to_lowercase());
+    let mut m = RunManifest {
+        source: "testkit".to_string(),
+        run: format!("soak-{}..{}-{class}", config.start, config.end),
+        git: manifest::git_rev(),
+        seed: config.start,
+        config: manifest::fnv64_hex(format!("{config:?}").as_bytes()),
+        clock: "seeds".to_string(),
+        ticks: report.seeds_run,
+        winner_rank: 0,
+        budget: "none".to_string(),
+        trace: manifest::fnv64_hex(rendered.as_bytes()),
+        ..RunManifest::default()
+    };
+    m.counters
+        .insert("testkit.seeds_run".to_string(), report.seeds_run);
+    m.counters
+        .insert("testkit.passes".to_string(), report.passes);
+    m.counters
+        .insert("testkit.vacuous".to_string(), report.vacuous);
+    m.counters
+        .insert("testkit.failures".to_string(), report.failures.len() as u64);
+    m
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let config = match parse_args(&args) {
+    let (config, history) = match parse_args(&args) {
         Ok(c) => c,
         Err(msg) => {
             if msg.is_empty() {
@@ -77,7 +120,21 @@ fn main() -> ExitCode {
         }
     };
     let report = run_seeds(&config);
-    print!("{report}");
+    let rendered = format!("{report}");
+    print!("{rendered}");
+    if let Some(archive) = history {
+        let m = soak_manifest(&config, &report, &rendered);
+        match manifest::append_manifest(&archive, &m) {
+            Ok(id) => eprintln!(
+                "manifest {id} appended to {}",
+                manifest::history_path(&archive).display()
+            ),
+            Err(e) => {
+                eprintln!("statsym-testkit: cannot append manifest to {archive}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     if report.passed() {
         ExitCode::SUCCESS
     } else {
